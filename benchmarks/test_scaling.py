@@ -1,0 +1,108 @@
+"""Throughput micro-benchmarks of the individual layers.
+
+Not a paper artefact — these pin the per-operation costs the Table-1
+ratios are built from and catch accidental complexity regressions in the
+kernel step loop, the monitor transition path and the checking-list
+replay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection.fd_rules import empty_initial_state
+from repro.detection.replay import ReplayMachine
+from repro.history import HistoryDatabase
+from repro.history.events import enter_event, signal_exit_event
+from repro.kernel import Delay, SimKernel, Yield
+from repro.monitor import MonitorCore, MonitorDeclaration, MonitorType
+
+
+def test_kernel_step_throughput(benchmark):
+    """Scheduler steps per second over a pool of yielding processes."""
+
+    def run_pool():
+        kernel = SimKernel()
+
+        def spinner():
+            for __ in range(200):
+                yield Yield()
+
+        for __ in range(10):
+            kernel.spawn(spinner())
+        kernel.run(max_steps=10_000)
+        return kernel.steps
+
+    steps = benchmark(run_pool)
+    assert steps >= 2000
+
+
+def test_kernel_timer_throughput(benchmark):
+    """Timer scheduling/expiry throughput (heap discipline)."""
+
+    def run_timers():
+        kernel = SimKernel()
+
+        def sleeper():
+            for __ in range(100):
+                yield Delay(0.001)
+
+        for __ in range(10):
+            kernel.spawn(sleeper())
+        result = kernel.run()
+        return result.end_time
+
+    end_time = benchmark(run_timers)
+    assert end_time == pytest.approx(0.1)
+
+
+def test_monitor_transition_throughput(benchmark):
+    """Enter/exit pairs per second through the bare core (no kernel)."""
+    declaration = MonitorDeclaration(
+        name="m",
+        mtype=MonitorType.OPERATION_MANAGER,
+        procedures=("Op",),
+        conditions=("c",),
+    )
+    clock = {"t": 0.0}
+
+    def now():
+        clock["t"] += 1e-6
+        return clock["t"]
+
+    core = MonitorCore(declaration, now=now, history=HistoryDatabase())
+
+    def enter_exit_batch():
+        for __ in range(1000):
+            core.enter(1, "Op")
+            core.exit(1)
+
+    benchmark(enter_exit_batch)
+    assert core.idle
+
+
+def test_replay_throughput(benchmark):
+    """Checking-list replay events per second (Algorithm-1 Step 1)."""
+    declaration = MonitorDeclaration(
+        name="m",
+        mtype=MonitorType.OPERATION_MANAGER,
+        procedures=("Op",),
+        conditions=("c",),
+    )
+    events = []
+    seq = 0
+    for round_index in range(500):
+        time = round_index * 0.01
+        events.append(enter_event(seq, 1, "Op", time, 1))
+        seq += 1
+        events.append(signal_exit_event(seq, 1, "Op", time + 0.005, 0))
+        seq += 1
+    trace = tuple(events)
+
+    def replay():
+        machine = ReplayMachine(declaration, empty_initial_state(declaration))
+        machine.replay(trace)
+        return machine
+
+    machine = benchmark(replay)
+    assert machine.violations == []

@@ -1,0 +1,47 @@
+"""E1-sim — Table 1 analogue on the deterministic simulation kernel.
+
+Same workloads and ratio definition as ``test_table1_overhead`` but on the
+virtual-time kernel: no world-stop stalls, so this isolates the pure CPU
+cost of recording + checking.  The asserted shape is weaker (ratio > 1;
+checking time decreases with T) because without stalls the T-dependent
+share of the cost is only the per-checkpoint fixed work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.overhead import measure_overhead
+from repro.workloads import WorkloadSpec
+
+SPEC = WorkloadSpec(processes=4, operations=120, think_time=0.05)
+
+
+@pytest.mark.parametrize("scenario", ("coordinator", "allocator", "manager"))
+def test_sim_overhead_ratio_positive(benchmark, scenario):
+    row = benchmark.pedantic(
+        lambda: measure_overhead(
+            scenario, 1.0, backend="sim", spec=SPEC, repeats=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert row.ratio > 1.0
+    assert row.base_seconds > 0
+
+
+def test_sim_checking_time_decreases_with_interval(benchmark):
+    """Fewer checkpoints -> strictly less time inside the checker."""
+
+    def measure():
+        tight = measure_overhead(
+            "coordinator", 0.25, backend="sim", spec=SPEC, repeats=3
+        )
+        loose = measure_overhead(
+            "coordinator", 3.0, backend="sim", spec=SPEC, repeats=3
+        )
+        return tight, loose
+
+    tight, loose = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert tight.checkpoints > loose.checkpoints
+    assert tight.checking_seconds > loose.checking_seconds

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""A tour of the full fault taxonomy: inject all 21 classes, watch them fall.
+
+This is the paper's robustness experiment (Section 4) as a script: for
+every concurrency-control fault class of the taxonomy, run its injection
+campaign and print whether the detection algorithms caught it and through
+which state-transition rules.
+
+Run:  python examples/fault_injection_tour.py
+"""
+
+from repro import CAMPAIGNS, FaultClass, run_campaign
+from repro.detection.faults import FaultLevel
+
+LEVEL_TITLES = {
+    FaultLevel.IMPLEMENTATION: "Level I — implementation level "
+    "(Enter/Wait/Signal-Exit misbehaviour)",
+    FaultLevel.PROCEDURE: "Level II — monitor procedure level "
+    "(resource-state integrity)",
+    FaultLevel.USER_PROCESS: "Level III — user process level "
+    "(calling-order violations, checked in real time)",
+}
+
+
+def main():
+    detected = 0
+    for level in FaultLevel:
+        print(LEVEL_TITLES[level])
+        print("-" * 74)
+        for fault in FaultClass.at_level(level):
+            outcome = run_campaign(fault, seed=0)
+            status = "DETECTED" if outcome.detected else "MISSED"
+            if outcome.detected:
+                detected += 1
+            rules = ",".join(outcome.rules[:4]) or "-"
+            print(
+                f"  {fault.label:7s} {status:9s} via {rules:28s} "
+                f"| {CAMPAIGNS[fault].description[:52]}"
+            )
+        print()
+    total = len(FaultClass)
+    print(f"coverage: {detected}/{total} injected fault classes detected")
+    if detected == total:
+        print('paper\'s claim reproduced: "all injected faults are detected"')
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy shim: lets pip perform editable installs without the wheel package."""
+from setuptools import setup
+
+setup()

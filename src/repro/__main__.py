@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the quickstart workload (clean + injected fault) and print the
+    detector's findings.
+``coverage [--seed N]``
+    The robustness experiment: inject all 21 fault classes, print the
+    per-class detection table (exit status 1 if any class is missed).
+``overhead [--backend sim|threads] [--repeats N]``
+    Regenerate Table 1 (overhead ratio vs checking interval).
+``check TRACE.jsonl --monitor {buffer,allocator} [--tmax T] ...``
+    Offline FD-rule checking of a persisted JSONL trace (see
+    :mod:`repro.history.serialize`).
+``selftest``
+    One fast end-to-end sanity pass (clean run + one injected fault).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import (
+        BoundedBuffer,
+        Delay,
+        DetectorConfig,
+        FaultDetector,
+        HistoryDatabase,
+        RandomPolicy,
+        SimKernel,
+        TriggeredHooks,
+        detector_process,
+    )
+
+    def run(hooks=None):
+        kernel = SimKernel(RandomPolicy(seed=args.seed), on_deadlock="stop")
+        buffer = BoundedBuffer(
+            kernel,
+            capacity=3,
+            history=HistoryDatabase(),
+            hooks=hooks,
+            service_time=0.02,
+        )
+        if hooks is not None:
+            hooks.core = buffer.monitor.core
+        detector = FaultDetector(buffer, DetectorConfig(interval=0.5))
+
+        def producer():
+            for item in range(25):
+                yield Delay(0.05)
+                yield from buffer.send(item)
+
+        def consumer():
+            for __ in range(25):
+                yield Delay(0.04)
+                yield from buffer.receive()
+
+        kernel.spawn(producer())
+        kernel.spawn(consumer())
+        kernel.spawn(detector_process(detector))
+        kernel.run(until=20)
+        kernel.raise_failures()
+        return detector
+
+    detector = run()
+    print(f"clean run   : {len(detector.reports)} reports "
+          f"(clean={detector.clean})")
+    detector = run(TriggeredHooks("enter_despite_owner", fire_at=2))
+    print(f"faulty run  : {len(detector.reports)} reports")
+    for report in detector.reports[:3]:
+        print(f"   {report}")
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.bench.coverage import main as coverage_main
+
+    return coverage_main(["--seed", str(args.seed)])
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.bench.overhead import main as overhead_main
+
+    argv = ["--backend", args.backend, "--repeats", str(args.repeats)]
+    return overhead_main(argv)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.detection import check_full_trace
+    from repro.history.serialize import load_trace
+    from repro.monitor import MonitorDeclaration, MonitorType
+
+    declarations = {
+        "buffer": MonitorDeclaration(
+            name="buffer",
+            mtype=MonitorType.COMMUNICATION_COORDINATOR,
+            procedures=("Send", "Receive"),
+            conditions=("full", "empty"),
+            rmax=args.rmax,
+        ),
+        "allocator": MonitorDeclaration(
+            name="allocator",
+            mtype=MonitorType.RESOURCE_ALLOCATOR,
+            procedures=("Request", "Release"),
+            conditions=("free",),
+            call_order="(Request ; Release)*",
+        ),
+    }
+    declaration = declarations[args.monitor]
+    with open(args.trace) as stream:
+        events, states = load_trace(stream)
+    final_state = states[-1] if states else None
+    reports = check_full_trace(
+        declaration,
+        events,
+        final_state=final_state,
+        tmax=args.tmax,
+        tio=args.tio,
+        tlimit=args.tlimit,
+    )
+    print(f"checked {len(events)} events against FD-Rules 1-7")
+    for report in reports:
+        print(f"   {report}")
+    print(f"{len(reports)} violation(s) found")
+    return 1 if reports else 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Print the fault-taxonomy reference card (classes, campaigns, rules)."""
+    from repro._tables import render_table
+    from repro.detection.faults import FaultClass, FaultLevel
+    from repro.detection.rules import SUSPECTS, STRule
+    from repro.injection.campaigns import CAMPAIGNS
+
+    titles = {
+        FaultLevel.IMPLEMENTATION: "Level I — implementation level",
+        FaultLevel.PROCEDURE: "Level II — monitor procedure level",
+        FaultLevel.USER_PROCESS: "Level III — user process level (real time)",
+    }
+    detecting_rules: dict[FaultClass, list[str]] = {f: [] for f in FaultClass}
+    for rule in STRule:
+        for fault in SUSPECTS.get(rule, ()):
+            detecting_rules[fault].append(rule.value)
+    for level in FaultLevel:
+        rows = [
+            [
+                fault.label,
+                CAMPAIGNS[fault].description[:50],
+                ",".join(CAMPAIGNS[fault].primary_rules),
+                ",".join(detecting_rules[fault][:5]),
+            ]
+            for fault in FaultClass.at_level(level)
+        ]
+        print(
+            render_table(
+                ["fault", "injected as", "primary rules", "all suspecting rules"],
+                rows,
+                title=titles[level],
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from repro.detection import FaultClass
+    from repro.injection import run_campaign
+
+    demo = argparse.Namespace(seed=0)
+    status = _cmd_demo(demo)
+    outcome = run_campaign(FaultClass.RELEASE_BEFORE_REQUEST, seed=0)
+    print(f"campaign III.a: detected={outcome.detected}")
+    return 0 if status == 0 and outcome.detected else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Robust monitors with run-time fault detection "
+        "(DSN 2001 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="quickstart demo")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(func=_cmd_demo)
+
+    coverage = subparsers.add_parser(
+        "coverage", help="robustness experiment (21 fault campaigns)"
+    )
+    coverage.add_argument("--seed", type=int, default=0)
+    coverage.set_defaults(func=_cmd_coverage)
+
+    overhead = subparsers.add_parser(
+        "overhead", help="Table 1: overhead vs checking interval"
+    )
+    overhead.add_argument(
+        "--backend", choices=("sim", "threads"), default="threads"
+    )
+    overhead.add_argument("--repeats", type=int, default=3)
+    overhead.set_defaults(func=_cmd_overhead)
+
+    check = subparsers.add_parser(
+        "check", help="offline FD-rule check of a JSONL trace"
+    )
+    check.add_argument("trace", help="path to a JSONL trace file")
+    check.add_argument(
+        "--monitor", choices=("buffer", "allocator"), default="buffer"
+    )
+    check.add_argument("--rmax", type=int, default=3)
+    check.add_argument("--tmax", type=float, default=None)
+    check.add_argument("--tio", type=float, default=None)
+    check.add_argument("--tlimit", type=float, default=None)
+    check.set_defaults(func=_cmd_check)
+
+    faults = subparsers.add_parser(
+        "faults", help="fault-taxonomy reference card"
+    )
+    faults.set_defaults(func=_cmd_faults)
+
+    selftest = subparsers.add_parser("selftest", help="fast sanity pass")
+    selftest.set_defaults(func=_cmd_selftest)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Minimal aligned-text table rendering (internal shared helper)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned text table (headers, separator, rows).
+
+    Every row must have exactly one cell per header; a mismatch is a
+    programming error and is rejected loudly rather than rendered askew.
+    """
+    cells = [[str(value) for value in row] for row in rows]
+    for index, row in enumerate(cells):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {index} has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[i]) for i, value in enumerate(values))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in cells)
+    return "\n".join(parts)

@@ -1,0 +1,49 @@
+"""Application monitors — one per functional class of Section 2.1, plus
+classic synchronisation workloads used by the examples and benchmarks.
+
+* :class:`~repro.apps.bounded_buffer.BoundedBuffer` — *communication
+  coordinator* (the paper's running example: Send/Receive with integrity
+  constraints over buffer occupancy).
+* :class:`~repro.apps.resource_allocator.SingleResourceAllocator` /
+  :class:`~repro.apps.resource_allocator.CountingResourceAllocator` —
+  *resource-access-right allocators* (Request/Release with a declared
+  partial order, checked in real time by Algorithm-3).
+* :class:`~repro.apps.shared_account.SharedAccount` — *resource operation
+  manager* (implicit synchronisation; processes only issue operations).
+* :class:`~repro.apps.readers_writers.ReadersWriters`,
+  :class:`~repro.apps.dining_philosophers.ForkTable`,
+  :class:`~repro.apps.sleeping_barber.BarberShop`,
+  :class:`~repro.apps.barrier.CyclicBarrier` — classic workloads exercising
+  waits, signals and ordering constraints in different shapes.
+"""
+
+from repro.apps.barrier import CyclicBarrier
+from repro.apps.bounded_buffer import (
+    BoundedBuffer,
+    BufferIntegrityFault,
+    HoareBoundedBuffer,
+)
+from repro.apps.dining_philosophers import ForkTable, philosopher
+from repro.apps.h2o import WaterFactory
+from repro.apps.readers_writers import ReadersWriters
+from repro.apps.resource_allocator import (
+    CountingResourceAllocator,
+    SingleResourceAllocator,
+)
+from repro.apps.shared_account import SharedAccount
+from repro.apps.sleeping_barber import BarberShop
+
+__all__ = [
+    "BoundedBuffer",
+    "BufferIntegrityFault",
+    "HoareBoundedBuffer",
+    "SingleResourceAllocator",
+    "CountingResourceAllocator",
+    "SharedAccount",
+    "ReadersWriters",
+    "ForkTable",
+    "philosopher",
+    "BarberShop",
+    "CyclicBarrier",
+    "WaterFactory",
+]

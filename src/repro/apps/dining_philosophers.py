@@ -1,0 +1,159 @@
+"""Dining philosophers on a monitor fork table (Hoare 1974, §6).
+
+``ForkTable`` is a resource-access-right allocator under the Mesa
+(signal-and-continue) discipline — ``put_down`` must wake up to *two*
+neighbours, which the single-shot signal-exit primitive cannot express, so
+this app doubles as the exercise for the extended discipline support.
+
+The deadlock-free solution is Hoare's: a philosopher picks up both forks
+atomically inside the monitor and waits on a private condition until both
+are free.  For contrast (and for the detection examples) :func:`philosopher`
+can also drive a *deadlock-prone* protocol where each fork is a separate
+:class:`~repro.apps.resource_allocator.SingleResourceAllocator` and every
+philosopher grabs left-then-right — five of them reliably deadlock under a
+suitable schedule, which the simulation kernel reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.history.database import HistoryDatabase
+from repro.ids import Pid
+from repro.kernel.base import Kernel
+from repro.kernel.syscalls import Delay, Syscall
+from repro.monitor.classification import MonitorType
+from repro.monitor.construct import MonitorBase
+from repro.monitor.declaration import MonitorDeclaration
+from repro.monitor.hooks import CoreHooks
+from repro.monitor.procedures import procedure
+from repro.monitor.semantics import Discipline
+
+__all__ = ["ForkTable", "philosopher", "greedy_philosopher"]
+
+_THINKING = 0
+_HUNGRY = 1
+_EATING = 2
+
+
+class ForkTable(MonitorBase):
+    """Monitor granting each philosopher both forks atomically."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        seats: int = 5,
+        *,
+        history: Optional[HistoryDatabase] = None,
+        hooks: Optional[CoreHooks] = None,
+        name: str = "forktable",
+    ) -> None:
+        if seats < 2:
+            raise ValueError(f"the table needs >= 2 seats, got {seats}")
+        self._name = name
+        self._seats = seats
+        self._state = [_THINKING] * seats
+        self._meals = [0] * seats
+        super().__init__(kernel, history=history, hooks=hooks)
+
+    def declare(self) -> MonitorDeclaration:
+        return MonitorDeclaration(
+            name=self._name,
+            mtype=MonitorType.RESOURCE_ALLOCATOR,
+            procedures=("PickUp", "PutDown"),
+            conditions=tuple(f"self{i}" for i in range(self._seats)),
+            call_order="(PickUp ; PutDown)*",
+            discipline=Discipline.SIGNAL_AND_CONTINUE,
+        )
+
+    @property
+    def seats(self) -> int:
+        return self._seats
+
+    @property
+    def meals(self) -> tuple[int, ...]:
+        return tuple(self._meals)
+
+    def _left(self, seat: int) -> int:
+        return (seat - 1) % self._seats
+
+    def _right(self, seat: int) -> int:
+        return (seat + 1) % self._seats
+
+    def _may_eat(self, seat: int) -> bool:
+        return (
+            self._state[seat] == _HUNGRY
+            and self._state[self._left(seat)] != _EATING
+            and self._state[self._right(seat)] != _EATING
+        )
+
+    def _test(self, seat: int) -> None:
+        if self._may_eat(seat):
+            self._state[seat] = _EATING
+            self.signal(f"self{seat}")
+
+    @procedure("PickUp")
+    def pick_up(self, seat: int) -> Iterator[Syscall]:
+        """Acquire both forks, blocking until neither neighbour eats."""
+        self._state[seat] = _HUNGRY
+        self._test(seat)
+        while self._state[seat] != _EATING:
+            yield from self.wait(f"self{seat}")
+        self._meals[seat] += 1
+
+    @procedure("PutDown")
+    def put_down(self, seat: int) -> Iterator[Syscall]:
+        """Release both forks and let either neighbour eat if now able."""
+        self._state[seat] = _THINKING
+        self._test(self._left(seat))
+        self._test(self._right(seat))
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    def signal(self, cond: str) -> None:  # type: ignore[override]
+        """Mesa signal as a plain call (never blocks under this discipline)."""
+        for __ in self._monitor.signal(cond):  # pragma: no cover - no blocks
+            raise AssertionError("Mesa signal must not block")
+
+
+def philosopher(
+    table: ForkTable,
+    seat: int,
+    meals: int,
+    *,
+    think: float = 0.3,
+    eat: float = 0.2,
+) -> Iterator[Syscall]:
+    """Process body: think / pick up / eat / put down, ``meals`` times."""
+    for __ in range(meals):
+        yield Delay(think)
+        yield from table.pick_up(seat)
+        yield Delay(eat)
+        yield from table.put_down(seat)
+
+
+def greedy_philosopher(
+    forks: Sequence,  # Sequence[SingleResourceAllocator]
+    seat: int,
+    meals: int,
+    *,
+    think: float = 0.3,
+    eat: float = 0.2,
+) -> Iterator[Syscall]:
+    """Deadlock-prone body: grab the left fork, then the right.
+
+    With N philosophers each holding their left fork, the right-fork
+    requests form a cycle; the simulation kernel detects the resulting
+    global deadlock, and Algorithm-3's Tlimit timer reports the never-
+    released forks.
+    """
+    left = forks[seat]
+    right = forks[(seat + 1) % len(forks)]
+    for __ in range(meals):
+        yield Delay(think)
+        yield from left.request()
+        yield Delay(0.05)  # the window that makes the cycle easy to hit
+        yield from right.request()
+        yield Delay(eat)
+        yield from right.release()
+        yield from left.release()

@@ -1,0 +1,104 @@
+"""The H2O (building water molecules) barrier — a group-rendezvous monitor.
+
+A classic synchronisation shape distinct from all the others in
+:mod:`repro.apps`: hydrogen and oxygen processes arrive independently, and
+the monitor releases them strictly in complete 2H+1O molecules — no atom
+may cross while its molecule is incomplete, and no atom is claimed by two
+molecules.  Each atom takes a per-species *ticket* on arrival; molecule
+``m`` consists of hydrogens ``2m`` and ``2m+1`` and oxygen ``m``, so an
+atom crosses exactly when the molecule counter has passed its ticket.
+Runs under the Mesa discipline with broadcast (the generation pattern).
+
+Classified as a resource-operation-manager: processes just call ``BondH``
+or ``BondO`` and the monitor does all the coordination.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.history.database import HistoryDatabase
+from repro.kernel.base import Kernel
+from repro.kernel.syscalls import Syscall
+from repro.monitor.classification import MonitorType
+from repro.monitor.construct import MonitorBase
+from repro.monitor.declaration import MonitorDeclaration
+from repro.monitor.hooks import CoreHooks
+from repro.monitor.procedures import procedure
+from repro.monitor.semantics import Discipline
+
+__all__ = ["WaterFactory"]
+
+
+class WaterFactory(MonitorBase):
+    """Releases hydrogens and oxygens in complete 2H + 1O molecules."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        history: Optional[HistoryDatabase] = None,
+        hooks: Optional[CoreHooks] = None,
+        name: str = "water",
+    ) -> None:
+        self._name = name
+        #: Atoms that have ever arrived, per species (ticket counters).
+        self._hydrogens_arrived = 0
+        self._oxygens_arrived = 0
+        #: Completed molecules.
+        self._molecules = 0
+        super().__init__(kernel, history=history, hooks=hooks)
+
+    def declare(self) -> MonitorDeclaration:
+        return MonitorDeclaration(
+            name=self._name,
+            mtype=MonitorType.OPERATION_MANAGER,
+            procedures=("BondH", "BondO"),
+            conditions=("bonded",),
+            discipline=Discipline.SIGNAL_AND_CONTINUE,
+        )
+
+    @property
+    def molecules(self) -> int:
+        """Completed molecules so far."""
+        return self._molecules
+
+    @property
+    def banked(self) -> tuple[int, int]:
+        """(hydrogens, oxygens) arrived but not yet part of a molecule."""
+        return (
+            self._hydrogens_arrived - 2 * self._molecules,
+            self._oxygens_arrived - self._molecules,
+        )
+
+    def _complete_molecules(self) -> None:
+        """Advance the molecule counter as far as the banked atoms allow."""
+        completed = False
+        while (
+            self._hydrogens_arrived - 2 * self._molecules >= 2
+            and self._oxygens_arrived - self._molecules >= 1
+        ):
+            self._molecules += 1
+            completed = True
+        if completed:
+            self.broadcast("bonded")
+
+    @procedure("BondH")
+    def bond_hydrogen(self) -> Iterator[Syscall]:
+        """Contribute one hydrogen; returns its molecule's index."""
+        ticket = self._hydrogens_arrived
+        self._hydrogens_arrived += 1
+        self._complete_molecules()
+        while ticket >= 2 * self._molecules:
+            yield from self.wait("bonded")
+        return ticket // 2
+
+    @procedure("BondO")
+    def bond_oxygen(self) -> Iterator[Syscall]:
+        """Contribute one oxygen; returns its molecule's index."""
+        ticket = self._oxygens_arrived
+        self._oxygens_arrived += 1
+        self._complete_molecules()
+        while ticket >= self._molecules:
+            yield from self.wait("bonded")
+        return ticket

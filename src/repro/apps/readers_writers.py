@@ -1,0 +1,122 @@
+"""Readers–writers monitor (Hoare 1974, §5) with a declared call order.
+
+Classified as a resource-access-right allocator: the monitor grants read or
+write access rights (``StartRead``/``StartWrite``) and takes them back
+(``EndRead``/``EndWrite``); the protected data itself lives outside.  The
+declared path expression::
+
+    ((StartRead ; EndRead) | (StartWrite ; EndWrite))*
+
+is checked per process by the generalised Algorithm-3, demonstrating
+ordering constraints beyond the built-in Request/Release pair.
+
+The implementation is Hoare's classic chained-wakeup scheme under the
+signal-exit discipline: a reader admitted to the resource immediately
+signals the next blocked reader, so one writer hand-off releases the whole
+reader batch one by one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.history.database import HistoryDatabase
+from repro.kernel.base import Kernel
+from repro.kernel.syscalls import Syscall
+from repro.monitor.classification import MonitorType
+from repro.monitor.construct import MonitorBase
+from repro.monitor.declaration import MonitorDeclaration
+from repro.monitor.hooks import CoreHooks
+from repro.monitor.procedures import procedure
+
+__all__ = ["ReadersWriters"]
+
+
+class ReadersWriters(MonitorBase):
+    """Grants shared read access or exclusive write access."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        history: Optional[HistoryDatabase] = None,
+        hooks: Optional[CoreHooks] = None,
+        name: str = "rwlock",
+    ) -> None:
+        self._name = name
+        self._readers = 0
+        self._writing = False
+        self._reads_served = 0
+        self._writes_served = 0
+        super().__init__(kernel, history=history, hooks=hooks)
+
+    def declare(self) -> MonitorDeclaration:
+        return MonitorDeclaration(
+            name=self._name,
+            mtype=MonitorType.RESOURCE_ALLOCATOR,
+            procedures=("StartRead", "EndRead", "StartWrite", "EndWrite"),
+            conditions=("oktoread", "oktowrite"),
+            call_order="((StartRead ; EndRead) | (StartWrite ; EndWrite))*",
+        )
+
+    # ------------------------------------------------------------- accounting
+
+    @property
+    def active_readers(self) -> int:
+        return self._readers
+
+    @property
+    def writing(self) -> bool:
+        return self._writing
+
+    @property
+    def reads_served(self) -> int:
+        return self._reads_served
+
+    @property
+    def writes_served(self) -> int:
+        return self._writes_served
+
+    # ------------------------------------------------------------- procedures
+
+    @procedure("StartRead")
+    def start_read(self) -> Iterator[Syscall]:
+        """Acquire shared access; blocks while a writer holds or awaits it.
+
+        Writers waiting on ``oktowrite`` take priority over new readers so
+        a stream of readers cannot starve a writer.
+        """
+        if self._writing or self.waiting("oktowrite") > 0:
+            yield from self.wait("oktoread")
+        self._readers += 1
+        self._reads_served += 1
+        # Chained wakeup: release the next queued reader in the batch.
+        self.signal_exit("oktoread")
+
+    @procedure("EndRead")
+    def end_read(self) -> Iterator[Syscall]:
+        """Drop shared access; the last reader out admits a writer."""
+        self._readers -= 1
+        if self._readers == 0:
+            self.signal_exit("oktowrite")
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    @procedure("StartWrite")
+    def start_write(self) -> Iterator[Syscall]:
+        """Acquire exclusive access; blocks while anyone reads or writes."""
+        if self._readers > 0 or self._writing:
+            yield from self.wait("oktowrite")
+        self._writing = True
+        self._writes_served += 1
+
+    @procedure("EndWrite")
+    def end_write(self) -> Iterator[Syscall]:
+        """Drop exclusive access, preferring queued readers next."""
+        self._writing = False
+        if self.waiting("oktoread") > 0:
+            self.signal_exit("oktoread")
+        else:
+            self.signal_exit("oktowrite")
+        return
+        yield  # pragma: no cover - makes this a generator function

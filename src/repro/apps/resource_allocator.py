@@ -1,0 +1,155 @@
+"""Resource-access-right allocators (paper Section 2.1, second monitor type).
+
+The allocator only mediates the *right* to use a resource: a process calls
+``Request`` to acquire and ``Release`` to give back; using the resource
+happens outside the monitor.  The declared partial order of procedure calls
+is ``(Request ; Release)*`` per process — the constraint whose violations
+form the level-III (user-process-level) faults:
+
+* III.a — Release without a preceding Request,
+* III.b — Request never followed by Release (resource leaked),
+* III.c — Request repeated without an intervening Release (self-deadlock).
+
+Algorithm-3 checks these in real time via the Request-List.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.history.database import HistoryDatabase
+from repro.kernel.base import Kernel
+from repro.kernel.syscalls import Syscall
+from repro.monitor.classification import MonitorType
+from repro.monitor.construct import MonitorBase
+from repro.monitor.declaration import MonitorDeclaration
+from repro.monitor.hooks import CoreHooks
+from repro.monitor.procedures import procedure
+
+__all__ = ["SingleResourceAllocator", "CountingResourceAllocator"]
+
+
+class SingleResourceAllocator(MonitorBase):
+    """Grants exclusive access to one resource via Request/Release."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        history: Optional[HistoryDatabase] = None,
+        hooks: Optional[CoreHooks] = None,
+        name: str = "allocator",
+    ) -> None:
+        self._name = name
+        self._busy = False
+        self._holder: Optional[int] = None
+        self._grants = 0
+        super().__init__(kernel, history=history, hooks=hooks)
+
+    def declare(self) -> MonitorDeclaration:
+        return MonitorDeclaration(
+            name=self._name,
+            mtype=MonitorType.RESOURCE_ALLOCATOR,
+            procedures=("Request", "Release"),
+            conditions=("free",),
+            call_order="(Request ; Release)*",
+        )
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def holder(self) -> Optional[int]:
+        """Pid currently holding the resource, if any."""
+        return self._holder
+
+    @property
+    def grants(self) -> int:
+        """Total number of grants handed out (test/bench accounting)."""
+        return self._grants
+
+    @procedure("Request")
+    def request(self) -> Iterator[Syscall]:
+        """Acquire the access right, blocking while another process holds it."""
+        if self._busy:
+            yield from self.wait("free")
+        self._busy = True
+        self._holder = self.kernel.current_pid()
+        self._grants += 1
+
+    @procedure("Release")
+    def release(self) -> Iterator[Syscall]:
+        """Give the access right back, waking one requester if queued."""
+        self._busy = False
+        self._holder = None
+        self.signal_exit("free")
+        # Generator protocol even though this body never blocks: the
+        # signal-exit above already left the monitor.
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+
+class CountingResourceAllocator(MonitorBase):
+    """Grants up to ``units`` simultaneous access rights (counting allocator).
+
+    The same Request/Release discipline as the single allocator, but the
+    resource has multiple interchangeable units (think: a pool of tape
+    drives).  Still a resource-access-right allocator: the units themselves
+    live outside the monitor.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        units: int,
+        *,
+        history: Optional[HistoryDatabase] = None,
+        hooks: Optional[CoreHooks] = None,
+        name: str = "pool",
+    ) -> None:
+        if units <= 0:
+            raise ValueError(f"allocator must manage >= 1 unit, got {units}")
+        self._name = name
+        self._units = units
+        self._available = units
+        self._grants = 0
+        super().__init__(kernel, history=history, hooks=hooks)
+
+    def declare(self) -> MonitorDeclaration:
+        return MonitorDeclaration(
+            name=self._name,
+            mtype=MonitorType.RESOURCE_ALLOCATOR,
+            procedures=("Request", "Release"),
+            conditions=("free",),
+            call_order="(Request ; Release)*",
+            rmax=self._units,
+        )
+
+    @property
+    def units(self) -> int:
+        return self._units
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    @property
+    def grants(self) -> int:
+        return self._grants
+
+    @procedure("Request")
+    def request(self) -> Iterator[Syscall]:
+        """Take one unit, blocking while none are available."""
+        if self._available == 0:
+            yield from self.wait("free")
+        self._available -= 1
+        self._grants += 1
+
+    @procedure("Release")
+    def release(self) -> Iterator[Syscall]:
+        """Return one unit; hands it directly to one blocked requester."""
+        self._available += 1
+        self.signal_exit("free")
+        return
+        yield  # pragma: no cover - makes this a generator function

@@ -1,0 +1,98 @@
+"""Shared account — a resource-operation-manager monitor (Section 2.1).
+
+The third monitor type: monitor and resource are combined into one shared
+module.  Processes only issue the access operations (``Deposit`` /
+``Withdraw``); requesting and releasing are implicit, so user processes
+cannot misuse the resource — the paper's argument for this type's
+modularity benefit.  The detector runs Algorithm-1 only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.history.database import HistoryDatabase
+from repro.kernel.base import Kernel
+from repro.kernel.syscalls import Syscall
+from repro.monitor.classification import MonitorType
+from repro.monitor.construct import MonitorBase
+from repro.monitor.declaration import MonitorDeclaration
+from repro.monitor.hooks import CoreHooks
+from repro.monitor.procedures import procedure
+
+__all__ = ["SharedAccount"]
+
+
+class SharedAccount(MonitorBase):
+    """A balance that withdrawals may not drive negative.
+
+    ``Withdraw`` blocks on condition ``funds`` until the balance covers the
+    requested amount.  Because the amount is caller-specific, a resumed
+    withdrawer re-checks and possibly re-waits (a ``while`` guard) — and
+    before re-waiting it cascades the signal onward so a different
+    withdrawer whose amount *is* covered gets its chance.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        initial_balance: int = 0,
+        *,
+        history: Optional[HistoryDatabase] = None,
+        hooks: Optional[CoreHooks] = None,
+        name: str = "account",
+    ) -> None:
+        if initial_balance < 0:
+            raise ValueError("initial balance must be >= 0")
+        self._name = name
+        self._balance = initial_balance
+        self._deposits = 0
+        self._withdrawals = 0
+        super().__init__(kernel, history=history, hooks=hooks)
+
+    def declare(self) -> MonitorDeclaration:
+        return MonitorDeclaration(
+            name=self._name,
+            mtype=MonitorType.OPERATION_MANAGER,
+            procedures=("Deposit", "Withdraw"),
+            conditions=("funds",),
+        )
+
+    @property
+    def balance(self) -> int:
+        return self._balance
+
+    @property
+    def deposits(self) -> int:
+        return self._deposits
+
+    @property
+    def withdrawals(self) -> int:
+        return self._withdrawals
+
+    @procedure("Deposit")
+    def deposit(self, amount: int) -> Iterator[Syscall]:
+        """Add ``amount`` and hand the monitor to one blocked withdrawer."""
+        if amount <= 0:
+            raise ValueError(f"deposit amount must be positive, got {amount}")
+        self._balance += amount
+        self._deposits += 1
+        self.signal_exit("funds")
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    @procedure("Withdraw")
+    def withdraw(self, amount: int) -> Iterator[Syscall]:
+        """Remove ``amount``, blocking until the balance covers it."""
+        if amount <= 0:
+            raise ValueError(f"withdraw amount must be positive, got {amount}")
+        while self._balance < amount:
+            # The guard must be a loop: the amount is caller-specific, so a
+            # wake-up only means "the balance changed", not "it now covers
+            # this withdrawal".
+            yield from self.wait("funds")
+        self._balance -= amount
+        self._withdrawals += 1
+        if self._balance > 0 and self.waiting("funds") > 0:
+            # Cascade: some remaining balance may satisfy the next waiter.
+            self.signal_exit("funds")

@@ -1,0 +1,120 @@
+"""Sleeping barber — a communication-coordinator-style rendezvous monitor.
+
+Customers and the barber exchange "work" through the shop: a customer
+deposits itself into the waiting room (bounded by the number of chairs) and
+the barber consumes customers one at a time.  Runs under the Mesa
+discipline because haircut completion is broadcast to every seated customer
+(each re-checks its own ticket).
+
+Used by the examples and by workload generation; it is deliberately a
+different *shape* from the bounded buffer (rendezvous with balking) while
+still exercising Enter/Wait/Signal traffic heavily.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.history.database import HistoryDatabase
+from repro.kernel.base import Kernel
+from repro.kernel.syscalls import Syscall
+from repro.monitor.classification import MonitorType
+from repro.monitor.construct import MonitorBase
+from repro.monitor.declaration import MonitorDeclaration
+from repro.monitor.hooks import CoreHooks
+from repro.monitor.procedures import procedure
+from repro.monitor.semantics import Discipline
+
+__all__ = ["BarberShop"]
+
+
+class BarberShop(MonitorBase):
+    """Waiting room with ``chairs`` seats, one barber, balking customers."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        chairs: int = 3,
+        *,
+        history: Optional[HistoryDatabase] = None,
+        hooks: Optional[CoreHooks] = None,
+        name: str = "barbershop",
+    ) -> None:
+        if chairs < 1:
+            raise ValueError(f"the shop needs >= 1 chair, got {chairs}")
+        self._name = name
+        self._chairs = chairs
+        self._waiting = 0
+        self._next_ticket = 0
+        self._served = 0
+        self._balked = 0
+        super().__init__(kernel, history=history, hooks=hooks)
+
+    def declare(self) -> MonitorDeclaration:
+        return MonitorDeclaration(
+            name=self._name,
+            mtype=MonitorType.COMMUNICATION_COORDINATOR,
+            procedures=("GetHaircut", "NextCustomer", "FinishCut"),
+            conditions=("customers", "done"),
+            rmax=self._chairs,
+            discipline=Discipline.SIGNAL_AND_CONTINUE,
+        )
+
+    # ------------------------------------------------------------- accounting
+
+    @property
+    def chairs(self) -> int:
+        return self._chairs
+
+    @property
+    def served(self) -> int:
+        return self._served
+
+    @property
+    def balked(self) -> int:
+        """Customers turned away because every chair was taken."""
+        return self._balked
+
+    def resource_count(self) -> int:
+        """``R#``: free chairs in the waiting room."""
+        return self._chairs - self._waiting
+
+    # ------------------------------------------------------------- procedures
+
+    @procedure("GetHaircut")
+    def get_haircut(self) -> Iterator[Syscall]:
+        """Customer: sit down if a chair is free, wait until served.
+
+        Returns True when the haircut happened, False when the customer
+        balked (no free chair).
+        """
+        if self._waiting >= self._chairs:
+            self._balked += 1
+            return False
+        self._waiting += 1
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._mesa_signal("customers")
+        while self._served <= ticket:
+            yield from self.wait("done")
+        return True
+
+    @procedure("NextCustomer")
+    def next_customer(self) -> Iterator[Syscall]:
+        """Barber: sleep until a customer sits down, then take one."""
+        while self._waiting == 0:
+            yield from self.wait("customers")
+        self._waiting -= 1
+
+    @procedure("FinishCut")
+    def finish_cut(self) -> Iterator[Syscall]:
+        """Barber: declare the current haircut done; release its customer."""
+        self._served += 1
+        self.broadcast("done")
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    def _mesa_signal(self, cond: str) -> None:
+        """Drive a Mesa signal (never blocks under signal-and-continue)."""
+        for __ in self._monitor.signal(cond):  # pragma: no cover - no blocks
+            raise AssertionError("Mesa signal must not block")

@@ -1,0 +1,24 @@
+"""Benchmark harnesses regenerating the paper's evaluation artefacts.
+
+* :mod:`repro.bench.overhead` — experiment E1: Table 1, the overhead ratio
+  of the augmented monitor versus the plain construct as a function of the
+  checking interval, across the three monitor types.  Run standalone with
+  ``python -m repro.bench.overhead``.
+* :mod:`repro.bench.coverage` — experiment E2: the robustness result
+  ("all injected faults are detected"), one row per taxonomy entry.  Run
+  standalone with ``python -m repro.bench.coverage``.
+* :mod:`repro.bench.tables` — plain-text table rendering shared by both.
+"""
+
+from repro.bench.coverage import coverage_table, run_coverage
+from repro.bench.overhead import OverheadRow, measure_overhead, overhead_table
+from repro.bench.tables import render_table
+
+__all__ = [
+    "OverheadRow",
+    "measure_overhead",
+    "overhead_table",
+    "run_coverage",
+    "coverage_table",
+    "render_table",
+]

@@ -1,0 +1,10 @@
+"""Aligned-text table rendering for benchmark output.
+
+Thin re-export of :mod:`repro._tables` so benchmark code keeps its
+historical import path while non-bench modules (metrics, statistics) can
+use the renderer without importing the benchmark package.
+"""
+
+from repro._tables import render_table
+
+__all__ = ["render_table"]

@@ -1,0 +1,59 @@
+"""Run-time concurrency-control fault detection (paper Sections 2.2–3.3).
+
+Contents:
+
+* :mod:`repro.detection.faults` — the taxonomy: all 21 concurrency-control
+  fault classes at the implementation / monitor-procedure / user-process
+  levels.
+* :mod:`repro.detection.rules` — identifiers for FD-Rules 1–7 (full-trace
+  predicates, Section 3.2) and ST-Rules 1–8 (state-transition rules,
+  Section 3.3.2), with the mapping from each rule to the fault classes its
+  violation implies.
+* :mod:`repro.detection.replay` — the checking-list replay machine
+  (Enter-0-List, Wait-Cond-Lists, Running-List, Resource-No of
+  Section 3.3.1) shared by the window checkers and the offline checker.
+* :mod:`repro.detection.algorithm1/2/3` — the paper's three detection
+  algorithms, operating on one checkpoint window each.
+* :mod:`repro.detection.fd_rules` — the offline FD-rule checker over a
+  complete retained trace (ground truth for the ablations and property
+  tests).
+* :mod:`repro.detection.detector` — the orchestrating
+  :class:`~repro.detection.detector.FaultDetector`: periodic checkpointing,
+  real-time order checking for allocator monitors, report stream.
+"""
+
+from repro.detection.algorithm1 import check_general_concurrency_control
+from repro.detection.algorithm2 import ResourceStateChecker
+from repro.detection.algorithm3 import CallingOrderChecker
+from repro.detection.detector import DetectorConfig, FaultDetector, detector_process
+from repro.detection.faults import FaultClass, FaultLevel
+from repro.detection.fd_rules import check_full_trace
+from repro.detection.replay import ReplayMachine
+from repro.detection.reports import FaultReport
+from repro.detection.rules import FDRule, STRule
+from repro.detection.statistics import FaultStatistics
+from repro.detection.waitfor import (
+    DeadlockDetector,
+    ResourceWaitEdge,
+    deadlock_process,
+)
+
+__all__ = [
+    "FaultClass",
+    "FaultLevel",
+    "FDRule",
+    "STRule",
+    "FaultReport",
+    "ReplayMachine",
+    "check_general_concurrency_control",
+    "ResourceStateChecker",
+    "CallingOrderChecker",
+    "check_full_trace",
+    "FaultDetector",
+    "DetectorConfig",
+    "detector_process",
+    "FaultStatistics",
+    "DeadlockDetector",
+    "ResourceWaitEdge",
+    "deadlock_process",
+]

@@ -1,0 +1,166 @@
+"""Algorithm-2: Consistency-Of-Resource-States Checking (Section 3.3.2).
+
+Applies to communication-coordinator monitors.  The checker maintains the
+counts of successful ``Send`` and ``Receive`` procedure calls (``s`` and
+``r`` — a call is *successful* when its Signal-Exit is recorded) and the
+``Resource-No`` shadow of ``R#`` (free buffer slots), and enforces the four
+integrity constraints of Section 2.1:
+
+* per event: ``0 <= r <= s <= r + Rmax`` on the cumulative counters
+  (ST-Rule 7a),
+* ``Wait(Send, full)`` only when Resource-No = 0 (ST-Rule 7c),
+* ``Wait(Receive, empty)`` only when Resource-No = Rmax (ST-Rule 7d),
+* at the checkpoint: ``R#(s_t) = R#(s_p) + r - s`` over the window's
+  counters (ST-Rule 7b).
+
+The checker is stateful across windows because the invariant in 7a is
+cumulative over the whole execution, exactly as FD-Rule 6(a) states it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.detection.reports import FaultReport
+from repro.detection.rules import STRule
+from repro.history.database import Segment
+from repro.history.events import EventKind, SchedulingEvent
+from repro.monitor.declaration import MonitorDeclaration
+from repro.monitor.semantics import Discipline
+
+__all__ = ["ResourceStateChecker", "completion_event_kind"]
+
+#: Procedure/condition names the paper's constraints are phrased over.
+SEND = "Send"
+RECEIVE = "Receive"
+COND_FULL = "full"
+COND_EMPTY = "empty"
+
+
+def completion_event_kind(discipline: Discipline) -> EventKind:
+    """Which event marks a procedure call as *successful* (completed).
+
+    Under the paper's signal-exit discipline an operation completes at its
+    Signal-Exit.  Under the extended non-exiting disciplines the operation
+    has already taken effect when the body *signals* (the subsequent plain
+    exit is bookkeeping), so the Signal event is the completion marker —
+    otherwise a Hoare hand-off would let the receiver's exit be recorded
+    before the sender's and transiently break ``r <= s``.
+    """
+    if discipline is Discipline.SIGNAL_EXIT:
+        return EventKind.SIGNAL_EXIT
+    return EventKind.SIGNAL
+
+
+class ResourceStateChecker:
+    """Stateful Algorithm-2 instance for one monitor."""
+
+    def __init__(self, declaration: MonitorDeclaration) -> None:
+        if declaration.rmax is None:
+            raise ValueError(
+                f"Algorithm-2 requires rmax on monitor {declaration.name!r}"
+            )
+        self._declaration = declaration
+        self._rmax = declaration.rmax
+        #: Cumulative successful call counts over the whole execution.
+        self.sends = 0
+        self.receives = 0
+
+    @property
+    def applicable(self) -> bool:
+        """Algorithm-2 is phrased over Send/Receive; other coordinator
+        monitors (different procedure names) fall back to Algorithm-1 only."""
+        return SEND in self._declaration.procedures and (
+            RECEIVE in self._declaration.procedures
+        )
+
+    def check_window(self, segment: Segment) -> list[FaultReport]:
+        """Run both steps of Algorithm-2 over one checking window."""
+        reports: list[FaultReport] = []
+        name = self._declaration.name
+        window_start = segment.previous.time
+        resource_no = segment.previous.resource_count
+        if resource_no is None:
+            raise ValueError(
+                f"monitor {name!r} snapshots carry no R# — attach a "
+                "resource probe (override resource_count())"
+            )
+        window_sends = 0
+        window_receives = 0
+
+        def report(rule: STRule, message: str, time: float, pid=None, seq=None):
+            reports.append(
+                FaultReport(
+                    rule=rule,
+                    message=message,
+                    monitor=name,
+                    detected_at=time,
+                    pids=(pid,) if pid is not None else (),
+                    event_seq=seq,
+                    window_start=window_start,
+                )
+            )
+
+        completion = completion_event_kind(self._declaration.discipline)
+        for event in segment.events:
+            if event.kind is completion:
+                if event.pname == SEND:
+                    self.sends += 1
+                    window_sends += 1
+                    resource_no -= 1
+                elif event.pname == RECEIVE:
+                    self.receives += 1
+                    window_receives += 1
+                    resource_no += 1
+                else:
+                    continue
+                if not 0 <= self.receives <= self.sends <= self.receives + self._rmax:
+                    report(
+                        STRule.RESOURCE_INVARIANT,
+                        f"integrity violated after {event.pname} by "
+                        f"P{event.pid}: r={self.receives}, s={self.sends}, "
+                        f"Rmax={self._rmax} (need 0 <= r <= s <= r + Rmax)",
+                        event.time,
+                        pid=event.pid,
+                        seq=event.seq,
+                    )
+            elif event.kind is EventKind.WAIT:
+                if event.pname == SEND and event.cond == COND_FULL:
+                    if resource_no != 0:
+                        report(
+                            STRule.SEND_WAIT_CONSISTENT,
+                            f"P{event.pid} was delayed on Send although the "
+                            f"buffer is not full (Resource-No={resource_no})",
+                            event.time,
+                            pid=event.pid,
+                            seq=event.seq,
+                        )
+                elif event.pname == RECEIVE and event.cond == COND_EMPTY:
+                    if resource_no != self._rmax:
+                        report(
+                            STRule.RECEIVE_WAIT_CONSISTENT,
+                            f"P{event.pid} was delayed on Receive although "
+                            f"the buffer is not empty "
+                            f"(Resource-No={resource_no}, Rmax={self._rmax})",
+                            event.time,
+                            pid=event.pid,
+                            seq=event.seq,
+                        )
+
+        expected = (
+            segment.previous.resource_count + window_receives - window_sends
+        )
+        actual = segment.current.resource_count
+        if actual is None:
+            raise ValueError(
+                f"monitor {name!r} current snapshot carries no R#"
+            )
+        if actual != expected:
+            report(
+                STRule.RESOURCE_DELTA_MATCHES,
+                f"R# at checkpoint is {actual} but the event sequence "
+                f"implies {segment.previous.resource_count} + "
+                f"r({window_receives}) - s({window_sends}) = {expected}",
+                segment.current.time,
+            )
+        return reports

@@ -1,0 +1,149 @@
+"""Algorithm-3: Calling Orders Checking (Section 3.3.2).
+
+Applies to resource-access-right-allocator monitors — and, generalised via
+the declared path expression, to any monitor with a ``call_order``.  Per
+the paper this is the one check that runs in *real time*: level-III faults
+("the execution sequence of the monitor procedures ... must be kept
+correct") cannot wait for the next periodic checkpoint.
+
+Two mechanisms run side by side:
+
+* the paper's **Request-List**: pids with an outstanding Acquire/Request;
+  duplicates (ST-8a), releases without requests (ST-8b) and entries older
+  than ``Tlimit`` (ST-8c, the periodic Step 2) are reported;
+* the **order automaton** compiled from the declaration's path expression:
+  each process's Enter sequence must stay a prefix of the declared
+  language (reported as ST-PX).  This subsumes Request/Release and also
+  covers orders like ``((StartRead ; EndRead) | (StartWrite ; EndWrite))*``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.detection.reports import FaultReport
+from repro.detection.rules import STRule
+from repro.history.events import EventKind, SchedulingEvent
+from repro.ids import Pid
+from repro.monitor.declaration import MonitorDeclaration
+from repro.pathexpr.automaton import OrderAutomaton, compile_order
+
+__all__ = ["CallingOrderChecker"]
+
+
+class CallingOrderChecker:
+    """Stateful, real-time Algorithm-3 instance for one monitor."""
+
+    def __init__(self, declaration: MonitorDeclaration) -> None:
+        self._declaration = declaration
+        self._acquire_names = set(declaration.acquire_procedures)
+        self._release_names = set(declaration.release_procedures)
+        #: The paper's Request-List: (pid, time of the Request's Enter).
+        self.request_list: list[tuple[Pid, float]] = []
+        self._automaton: Optional[OrderAutomaton] = None
+        if declaration.call_order:
+            self._automaton = compile_order(declaration.call_order)
+        self._dfa_state: dict[Pid, int] = {}
+
+    @property
+    def automaton(self) -> Optional[OrderAutomaton]:
+        return self._automaton
+
+    def holders(self) -> tuple[Pid, ...]:
+        """Pids currently holding (or awaiting) the resource."""
+        return tuple(pid for pid, __ in self.request_list)
+
+    # --------------------------------------------------------------- per-event
+
+    def on_event(self, event: SchedulingEvent) -> list[FaultReport]:
+        """Real-time Step 1: called for every recorded scheduling event."""
+        reports: list[FaultReport] = []
+        if event.kind is EventKind.ENTER:
+            reports.extend(self._on_enter(event))
+        elif event.kind is EventKind.SIGNAL_EXIT:
+            if event.pname in self._release_names:
+                self._drop_request(event.pid)
+        return reports
+
+    def _on_enter(self, event: SchedulingEvent) -> list[FaultReport]:
+        reports: list[FaultReport] = []
+        pname = event.pname
+        if pname in self._acquire_names:
+            if any(pid == event.pid for pid, __ in self.request_list):
+                reports.append(
+                    self._make_report(
+                        STRule.NO_DUPLICATE_REQUEST,
+                        f"P{event.pid} called {pname} while already holding "
+                        "the resource (re-acquisition without release is a "
+                        "self-deadlock)",
+                        event,
+                    )
+                )
+            self.request_list.append((event.pid, event.time))
+        elif pname in self._release_names:
+            if not any(pid == event.pid for pid, __ in self.request_list):
+                reports.append(
+                    self._make_report(
+                        STRule.RELEASE_REQUIRES_REQUEST,
+                        f"P{event.pid} called {pname} without an outstanding "
+                        "Request (release before acquire)",
+                        event,
+                    )
+                )
+        if self._automaton is not None:
+            state = self._dfa_state.get(event.pid, self._automaton.start)
+            nxt = self._automaton.step(state, pname)
+            if nxt is None:
+                reports.append(
+                    self._make_report(
+                        STRule.CALL_ORDER_VIOLATED,
+                        f"P{event.pid} invoked {pname} in violation of the "
+                        f"declared order {self._automaton.source!r}",
+                        event,
+                    )
+                )
+            else:
+                self._dfa_state[event.pid] = nxt
+        return reports
+
+    def _drop_request(self, pid: Pid) -> None:
+        for index, (holder, __) in enumerate(self.request_list):
+            if holder == pid:
+                del self.request_list[index]
+                return
+
+    # ---------------------------------------------------------------- periodic
+
+    def periodic(self, now: float, tlimit: float) -> list[FaultReport]:
+        """Step 2: sweep the Request-List for entries older than Tlimit."""
+        reports: list[FaultReport] = []
+        for pid, since in self.request_list:
+            if now - since >= tlimit:
+                reports.append(
+                    FaultReport(
+                        rule=STRule.REQUEST_NOT_RELEASED,
+                        message=(
+                            f"P{pid} has held (or awaited) the resource for "
+                            f"{now - since:g} >= Tlimit={tlimit:g} without "
+                            "releasing it"
+                        ),
+                        monitor=self._declaration.name,
+                        detected_at=now,
+                        pids=(pid,),
+                    )
+                )
+        return reports
+
+    # ----------------------------------------------------------------- helpers
+
+    def _make_report(
+        self, rule: STRule, message: str, event: SchedulingEvent
+    ) -> FaultReport:
+        return FaultReport(
+            rule=rule,
+            message=message,
+            monitor=self._declaration.name,
+            detected_at=event.time,
+            pids=(event.pid,),
+            event_seq=event.seq,
+        )

@@ -1,0 +1,124 @@
+"""The taxonomy of monitor concurrency-control faults (paper Section 2.2).
+
+Twenty-one fault classes at three levels:
+
+* **Level I — implementation level** (14 faults): misbehaviour of the
+  monitor primitives themselves (Enter, Wait, Signal-Exit) plus internal
+  process termination.
+* **Level II — monitor procedure level** (4 faults): monitor procedures
+  driving the shared resource into inconsistent states, i.e. violations of
+  the communication-coordinator integrity constraints.
+* **Level III — user process level** (3 faults): user code violating the
+  declared partial order of procedure calls on allocator monitors.
+
+Per the paper, only level-III faults must be detected in real time; the
+others are checked periodically "since they induce no immediate significant
+errors or disaster".
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["FaultLevel", "FaultClass"]
+
+
+class FaultLevel(enum.Enum):
+    """The three levels of the taxonomy."""
+
+    IMPLEMENTATION = "I"
+    PROCEDURE = "II"
+    USER_PROCESS = "III"
+
+    @property
+    def realtime(self) -> bool:
+        """True when the paper requires real-time (per-event) detection."""
+        return self is FaultLevel.USER_PROCESS
+
+
+class FaultClass(enum.Enum):
+    """One entry of the paper's fault taxonomy.
+
+    The value is the paper's outline label (level.group.index).
+    """
+
+    # -- I.a: Enter procedure faults ---------------------------------------
+    #: Two or more processes have entered the monitor at the same time.
+    ENTER_MUTEX_VIOLATED = "I.a.1"
+    #: The requesting process is neither queued nor admitted.
+    ENTER_REQUEST_LOST = "I.a.2"
+    #: The process is queued indefinitely, or blocked while the monitor is free.
+    ENTER_NO_RESPONSE = "I.a.3"
+    #: A process is running inside without having invoked Enter.
+    ENTER_NOT_OBSERVED = "I.a.4"
+
+    # -- I.b: Wait procedure faults -----------------------------------------
+    #: The caller is not blocked and continues to run inside the monitor.
+    WAIT_NO_BLOCK = "I.b.1"
+    #: The caller is neither queued on the condition nor running.
+    WAIT_CALLER_LOST = "I.b.2"
+    #: No entry-queue process is resumed when the caller blocks.
+    WAIT_NO_RESUME = "I.b.3"
+    #: An entry-queue process is never resumed (starvation).
+    WAIT_ENTRY_STARVED = "I.b.4"
+    #: More than one entry-queue process is resumed at once.
+    WAIT_MUTEX_VIOLATED = "I.b.5"
+    #: The caller blocks but fails to release the monitor.
+    WAIT_MONITOR_HELD = "I.b.6"
+
+    # -- I.c: Signal-Exit procedure faults ----------------------------------
+    #: No waiting process is resumed when the caller exits.
+    SIGEXIT_NO_RESUME = "I.c.1"
+    #: The caller exits but the monitor is not released.
+    SIGEXIT_MONITOR_HELD = "I.c.2"
+    #: More than one process is resumed when the caller exits.
+    SIGEXIT_MUTEX_VIOLATED = "I.c.3"
+    #: The process terminated inside the monitor without exiting (I.d in
+    #: the paper's prose; listed under the Signal-Exit group as item 4).
+    TERMINATED_INSIDE = "I.c.4"
+
+    # -- II: monitor procedure level (integrity constraints) -----------------
+    #: Send delayed when not full, or not delayed when full.
+    SEND_DELAY_INTEGRITY = "II.a"
+    #: Receive delayed when not empty, or not delayed when empty.
+    RECEIVE_DELAY_INTEGRITY = "II.b"
+    #: Successful Sends fewer than successful Receives (r > s).
+    RECEIVE_EXCEEDS_SEND = "II.c"
+    #: Successful Sends exceed capacity plus successful Receives.
+    SEND_EXCEEDS_CAPACITY = "II.d"
+
+    # -- III: user process level (partial ordering) ---------------------------
+    #: A process releases a resource it never acquired.
+    RELEASE_BEFORE_REQUEST = "III.a"
+    #: A process never releases an acquired resource.
+    RESOURCE_NOT_RELEASED = "III.b"
+    #: A process re-acquires a held resource without releasing (self-deadlock).
+    REQUEST_WHILE_HOLDING = "III.c"
+
+    # ------------------------------------------------------------------ meta
+
+    @property
+    def level(self) -> FaultLevel:
+        prefix = self.value.split(".", 1)[0]
+        return {
+            "I": FaultLevel.IMPLEMENTATION,
+            "II": FaultLevel.PROCEDURE,
+            "III": FaultLevel.USER_PROCESS,
+        }[prefix]
+
+    @property
+    def label(self) -> str:
+        """The paper's outline label, e.g. ``"I.b.5"``."""
+        return self.value
+
+    @classmethod
+    def all_labels(cls) -> tuple[str, ...]:
+        return tuple(fault.value for fault in cls)
+
+    @classmethod
+    def at_level(cls, level: FaultLevel) -> tuple["FaultClass", ...]:
+        return tuple(fault for fault in cls if fault.level is level)
+
+
+# Sanity anchor: the paper counts twenty-one faults in total.
+assert len(FaultClass) == 21, "the taxonomy must have exactly 21 fault classes"

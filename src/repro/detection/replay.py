@@ -1,0 +1,369 @@
+"""The checking-list replay machine (paper Section 3.3.1).
+
+This is the shared engine behind Algorithm-1 and the offline FD-rule
+checker.  It maintains the paper's pseudo-historical checking lists —
+Enter-0-List, the Wait-Cond-Lists, the Running-List (plus the urgent list
+for the Hoare extension) — replays a scheduling event sequence against
+them, and reports every state-transition rule violated along the way.
+
+The replay applies *correct* monitor semantics to the recorded events; the
+actual (possibly fault-perturbed) queues are only consulted at the
+checkpoint comparison.  A fault therefore surfaces in one of three ways:
+
+1. the event sequence itself is impossible under correct semantics (e.g. a
+   blocked process generates an event — ST-Rule 4),
+2. the reconstructed lists disagree with the actual state snapshot at the
+   checkpoint (ST-Rules 1, 2 and the Running comparison),
+3. a timer bound is exceeded (ST-Rules 5, 6).
+
+Deviation from the paper's literal text (documented in DESIGN.md): the
+published update rules pop the Enter-0-List head on *every* Wait or
+Signal-Exit, which for a flag=1 Signal-Exit would admit two processes and
+contradict ST-Rule 3(a).  We implement the consistent reading: a flag=1
+Signal-Exit admits the condition-queue head; Wait and flag=0 Signal-Exit
+admit the entry-queue head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.detection.reports import FaultReport
+from repro.detection.rules import STRule
+from repro.history.events import EventKind, SchedulingEvent
+from repro.history.states import QueueEntry, SchedulingState
+from repro.ids import Cond, Pid
+from repro.monitor.declaration import MonitorDeclaration
+from repro.monitor.semantics import Discipline
+
+__all__ = ["ReplayMachine"]
+
+
+class ReplayMachine:
+    """Replays one checking window's events against model checking lists."""
+
+    def __init__(
+        self,
+        declaration: MonitorDeclaration,
+        base_state: SchedulingState,
+    ) -> None:
+        self._declaration = declaration
+        self._monitor_name = declaration.name
+        # Initial list contents come from the last checkpoint's actual state
+        # ("Initially, Enter-0-List is set to EQ", Section 3.3.1).
+        self.enter0: list[QueueEntry] = list(base_state.entry_queue)
+        self.wait_cond: dict[Cond, list[QueueEntry]] = {
+            cond: list(base_state.cond_queues.get(cond, ()))
+            for cond in declaration.conditions
+        }
+        self.running: list[QueueEntry] = list(base_state.running)
+        self.urgent: list[QueueEntry] = list(base_state.urgent)
+        self.violations: list[FaultReport] = []
+        self._window_start = base_state.time
+
+    # ------------------------------------------------------------- reporting
+
+    def _report(
+        self,
+        rule: STRule,
+        message: str,
+        *,
+        time: float,
+        pids: tuple[Pid, ...] = (),
+        event_seq: Optional[int] = None,
+    ) -> None:
+        self.violations.append(
+            FaultReport(
+                rule=rule,
+                message=message,
+                monitor=self._monitor_name,
+                detected_at=time,
+                pids=pids,
+                event_seq=event_seq,
+                window_start=self._window_start,
+            )
+        )
+
+    # ------------------------------------------------------------ list helpers
+
+    def _blocked_location(self, pid: Pid) -> Optional[str]:
+        if any(e.pid == pid for e in self.enter0):
+            return "Enter-0-List"
+        for cond, queue in self.wait_cond.items():
+            if any(e.pid == pid for e in queue):
+                return f"Wait-Cond-List[{cond}]"
+        if any(e.pid == pid for e in self.urgent):
+            return "urgent list"
+        return None
+
+    def _remove_running(self, pid: Pid) -> Optional[QueueEntry]:
+        for index, entry in enumerate(self.running):
+            if entry.pid == pid:
+                return self.running.pop(index)
+        return None
+
+    def _admit_next(self, time: float) -> None:
+        """Model the correct admission after the monitor is released."""
+        if self.running:
+            return
+        if self.urgent:
+            entry = self.urgent.pop()
+            self.running.append(replace(entry, since=time))
+        elif self.enter0:
+            entry = self.enter0.pop(0)
+            self.running.append(replace(entry, since=time))
+
+    # ----------------------------------------------------------- event replay
+
+    def process(self, event: SchedulingEvent) -> None:
+        """Replay one event, appending any rule violations found."""
+        location = self._blocked_location(event.pid)
+        if location is not None:
+            self._report(
+                STRule.EVENT_WHILE_BLOCKED,
+                f"P{event.pid} generated {event.kind.value} while on the "
+                f"{location}: a blocked process cannot act (it was resumed "
+                "without being admitted)",
+                time=event.time,
+                pids=(event.pid,),
+                event_seq=event.seq,
+            )
+        if event.kind is EventKind.ENTER:
+            self._replay_enter(event)
+        elif event.kind is EventKind.WAIT:
+            self._replay_wait(event)
+        elif event.kind is EventKind.SIGNAL_EXIT:
+            self._replay_signal_exit(event)
+        elif event.kind is EventKind.SIGNAL:
+            self._replay_signal(event)
+        if len(self.running) > 1:
+            self._report(
+                STRule.ONE_INSIDE,
+                f"{len(self.running)} processes inside the monitor after "
+                f"{event.kind.value} by P{event.pid}: "
+                f"{[e.pid for e in self.running]}",
+                time=event.time,
+                pids=tuple(e.pid for e in self.running),
+                event_seq=event.seq,
+            )
+
+    def replay(self, events: tuple[SchedulingEvent, ...]) -> None:
+        for event in events:
+            self.process(event)
+
+    def _replay_enter(self, event: SchedulingEvent) -> None:
+        entry = QueueEntry(event.pid, event.pname, event.time)
+        if event.flag == 1:
+            already_busy = bool(self.running)
+            self.running.append(entry)
+            if already_busy:
+                self._report(
+                    STRule.ENTER_TAKES_FREE_MONITOR,
+                    f"P{event.pid} entered successfully while "
+                    f"{[e.pid for e in self.running[:-1]]} already inside "
+                    "(Running-List was not {Pid} after a successful Enter)",
+                    time=event.time,
+                    pids=(event.pid,),
+                    event_seq=event.seq,
+                )
+        else:
+            if not self.running:
+                self._report(
+                    STRule.BLOCKED_MEANS_BUSY,
+                    f"P{event.pid} was delayed on Enter although no process "
+                    "was inside the monitor (unfair response)",
+                    time=event.time,
+                    pids=(event.pid,),
+                    event_seq=event.seq,
+                )
+            self.enter0.append(entry)
+
+    def _check_caller_running(self, event: SchedulingEvent) -> bool:
+        if any(e.pid == event.pid for e in self.running):
+            return True
+        self._report(
+            STRule.CALLER_IS_RUNNING,
+            f"P{event.pid} issued {event.kind.value} but the Running-List "
+            f"is {[e.pid for e in self.running]} — the caller never "
+            "(observably) entered the monitor",
+            time=event.time,
+            pids=(event.pid,),
+            event_seq=event.seq,
+        )
+        return False
+
+    def _replay_wait(self, event: SchedulingEvent) -> None:
+        was_running = self._check_caller_running(event)
+        if was_running:
+            self._remove_running(event.pid)
+        assert event.cond is not None  # enforced by the event constructor
+        queue = self.wait_cond.setdefault(event.cond, [])
+        queue.append(QueueEntry(event.pid, event.pname, event.time))
+        self._admit_next(event.time)
+
+    def _replay_signal_exit(self, event: SchedulingEvent) -> None:
+        was_running = self._check_caller_running(event)
+        if was_running:
+            self._remove_running(event.pid)
+        if event.flag == 1:
+            queue = self.wait_cond.get(event.cond or "", [])
+            if event.cond is None or not queue:
+                self._report(
+                    STRule.SIGNAL_CONSISTENT,
+                    f"Signal-Exit by P{event.pid} claims it resumed a waiter "
+                    f"on {event.cond!r} but the Wait-Cond-List is empty",
+                    time=event.time,
+                    pids=(event.pid,),
+                    event_seq=event.seq,
+                )
+                self._admit_next(event.time)
+            else:
+                waiter = queue.pop(0)
+                self.running.append(replace(waiter, since=event.time))
+        else:
+            if event.cond is not None and self.wait_cond.get(event.cond):
+                self._report(
+                    STRule.SIGNAL_CONSISTENT,
+                    f"Signal-Exit by P{event.pid} on {event.cond!r} resumed "
+                    f"nobody although "
+                    f"{[e.pid for e in self.wait_cond[event.cond]]} were "
+                    "waiting on the condition",
+                    time=event.time,
+                    pids=(event.pid,),
+                    event_seq=event.seq,
+                )
+            self._admit_next(event.time)
+
+    def _replay_signal(self, event: SchedulingEvent) -> None:
+        """Extension: non-exiting Signal under the Hoare/Mesa disciplines."""
+        self._check_caller_running(event)
+        assert event.cond is not None or event.flag == 0
+        discipline = self._declaration.discipline
+        queue = self.wait_cond.get(event.cond or "", [])
+        if event.flag == 0:
+            if event.cond is not None and queue:
+                self._report(
+                    STRule.SIGNAL_CONSISTENT,
+                    f"Signal by P{event.pid} on {event.cond!r} resumed nobody "
+                    f"although {[e.pid for e in queue]} were waiting",
+                    time=event.time,
+                    pids=(event.pid,),
+                    event_seq=event.seq,
+                )
+            return
+        if not queue:
+            self._report(
+                STRule.SIGNAL_CONSISTENT,
+                f"Signal by P{event.pid} claims it resumed a waiter on "
+                f"{event.cond!r} but the Wait-Cond-List is empty",
+                time=event.time,
+                pids=(event.pid,),
+                event_seq=event.seq,
+            )
+            return
+        waiter = queue.pop(0)
+        if discipline is Discipline.SIGNAL_AND_WAIT:
+            signaller = self._remove_running(event.pid)
+            if signaller is not None:
+                self.urgent.append(replace(signaller, since=event.time))
+            self.running.append(replace(waiter, since=event.time))
+        else:
+            # Mesa: the waiter re-queues at the entry queue tail; the
+            # signaller keeps the monitor.
+            self.enter0.append(replace(waiter, since=event.time))
+
+    # ----------------------------------------------------- checkpoint compare
+
+    def compare_with(
+        self,
+        current: SchedulingState,
+        *,
+        tmax: Optional[float] = None,
+        tio: Optional[float] = None,
+    ) -> None:
+        """Step 2 of Algorithm-1: compare lists with the actual state."""
+        now = current.time
+        model_eq = [e.pid for e in self.enter0]
+        actual_eq = list(current.entry_pids)
+        if model_eq != actual_eq:
+            self._report(
+                STRule.ENTRY_QUEUE_MATCHES,
+                f"Enter-0-List {model_eq} != actual EQ {actual_eq}",
+                time=now,
+                pids=tuple(set(model_eq) ^ set(actual_eq)),
+            )
+        for cond in self._declaration.conditions:
+            model_cq = [e.pid for e in self.wait_cond.get(cond, [])]
+            actual_cq = list(current.cond_pids(cond))
+            if model_cq != actual_cq:
+                self._report(
+                    STRule.COND_QUEUE_MATCHES,
+                    f"Wait-Cond-List[{cond}] {model_cq} != actual "
+                    f"CQ[{cond}] {actual_cq}",
+                    time=now,
+                    pids=tuple(set(model_cq) ^ set(actual_cq)),
+                )
+        if len(current.running) > 1:
+            # The snapshot directly witnesses a mutual-exclusion violation,
+            # independent of whether the event replay re-converged: this is
+            # how transient double admissions are caught when the checking
+            # interval is tight enough (the paper's T-accuracy trade-off).
+            self._report(
+                STRule.ONE_INSIDE,
+                f"snapshot shows {len(current.running)} processes inside "
+                f"the monitor simultaneously: {list(current.running_pids)}",
+                time=now,
+                pids=tuple(current.running_pids),
+            )
+        model_running = sorted(e.pid for e in self.running)
+        actual_running = sorted(current.running_pids)
+        if model_running != actual_running:
+            self._report(
+                STRule.RUNNING_MATCHES,
+                f"Running-List {model_running} != actual Running "
+                f"{actual_running}",
+                time=now,
+                pids=tuple(set(model_running) ^ set(actual_running)),
+            )
+        model_urgent = sorted(e.pid for e in self.urgent)
+        actual_urgent = sorted(e.pid for e in current.urgent)
+        if model_urgent != actual_urgent:
+            self._report(
+                STRule.RUNNING_MATCHES,
+                f"urgent list {model_urgent} != actual urgent "
+                f"{actual_urgent}",
+                time=now,
+                pids=tuple(set(model_urgent) ^ set(actual_urgent)),
+            )
+        if tmax is not None:
+            for entry in self.running:
+                if entry.timer(now) >= tmax:
+                    self._report(
+                        STRule.TMAX_EXCEEDED,
+                        f"P{entry.pid} ({entry.pname}) has been inside the "
+                        f"monitor for {entry.timer(now):g} >= Tmax={tmax:g}",
+                        time=now,
+                        pids=(entry.pid,),
+                    )
+            for cond, queue in self.wait_cond.items():
+                for entry in queue:
+                    if entry.timer(now) >= tmax:
+                        self._report(
+                            STRule.TMAX_EXCEEDED,
+                            f"P{entry.pid} has waited on condition {cond!r} "
+                            f"for {entry.timer(now):g} >= Tmax={tmax:g}",
+                            time=now,
+                            pids=(entry.pid,),
+                        )
+        if tio is not None:
+            for entry in self.enter0:
+                if entry.timer(now) >= tio:
+                    self._report(
+                        STRule.TIO_EXCEEDED,
+                        f"P{entry.pid} has sat on the entry queue for "
+                        f"{entry.timer(now):g} >= Tio={tio:g} (starved or "
+                        "lost)",
+                        time=now,
+                        pids=(entry.pid,),
+                    )

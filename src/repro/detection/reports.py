@@ -1,0 +1,66 @@
+"""Fault reports — the checker's output stream.
+
+A detected violation is data, not an exception: the faulty execution has
+already happened, and the paper's construct *reports* it (Section 3.3:
+"report an error").  Reports carry the violated rule, the implicated fault
+classes, the processes involved and the checking window, so that the
+robustness experiment can score detection coverage per fault class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.detection.faults import FaultClass
+from repro.detection.rules import SUSPECTS, FDRule, STRule
+from repro.ids import Pid
+
+__all__ = ["FaultReport"]
+
+Rule = Union[FDRule, STRule]
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """One detected concurrency-control rule violation."""
+
+    #: The violated rule (an ST-Rule for on-line checks, FD-Rule off-line).
+    rule: Rule
+    #: Human-readable description of what was observed.
+    message: str
+    #: Monitor in which the violation was observed.
+    monitor: str
+    #: Time at which the checker flagged the violation.
+    detected_at: float
+    #: Processes implicated (possibly empty when not attributable).
+    pids: tuple[Pid, ...] = ()
+    #: Sequence number of the event that triggered the violation, when the
+    #: check was event-triggered (None for checkpoint-comparison checks).
+    event_seq: Optional[int] = None
+    #: Start of the checking window in which the violation was found.
+    window_start: Optional[float] = None
+
+    @property
+    def suspected_faults(self) -> tuple[FaultClass, ...]:
+        """Fault classes whose occurrence this violation implicates."""
+        return SUSPECTS.get(self.rule, ())
+
+    @property
+    def rule_id(self) -> str:
+        return self.rule.value
+
+    def implicates(self, fault: FaultClass) -> bool:
+        return fault in self.suspected_faults
+
+    def render(self) -> str:
+        """One-line rendering for logs and example output."""
+        pids = ",".join(f"P{p}" for p in self.pids) or "-"
+        return (
+            f"[{self.rule_id}] t={self.detected_at:g} monitor={self.monitor} "
+            f"pids={pids}: {self.message}"
+        )
+
+    def __str__(self) -> str:
+        return self.render()

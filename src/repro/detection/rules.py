@@ -1,0 +1,227 @@
+"""Rule identifiers: FD-Rules 1–7 (Section 3.2) and ST-Rules 1–8 (3.3.2).
+
+The FD-Rules characterise a *valid scheduling sequence* over the complete
+event/state history; the ST-Rules are their incremental, checkpoint-window
+reformulation over the checking lists.  The paper proves that every fault
+class violates at least one FD-Rule and that every FD-Rule violation
+surfaces as an ST-Rule violation, which is what justifies the pruning
+strategy.  ``SUSPECTS`` records which fault classes a given rule violation
+implicates — it is how a :class:`~repro.detection.reports.FaultReport`
+names its suspected faults.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.detection.faults import FaultClass
+
+__all__ = ["FDRule", "STRule", "SUSPECTS"]
+
+
+class FDRule(enum.Enum):
+    """FD-Rules over full event sequences (paper Section 3.2)."""
+
+    #: 1a — a process enters only when no process uses the monitor.
+    MUTUAL_EXCLUSION_ENTER = "FD-1a"
+    #: 1b — Wait / unsuccessful Signal-Exit activates exactly one entry waiter.
+    MUTUAL_EXCLUSION_RELEASE = "FD-1b"
+    #: 1c — successful Signal-Exit activates exactly one condition waiter.
+    MUTUAL_EXCLUSION_SIGNAL = "FD-1c"
+    #: 1d — every process operating inside must have called Enter.
+    ENTER_OBSERVED = "FD-1d"
+    #: 2 — nontermination inside a monitor (exit within Tmax).
+    NONTERMINATION = "FD-2"
+    #: 3 — fair response: a request is delayed only when the monitor is busy.
+    FAIR_RESPONSE = "FD-3"
+    #: 4 — free of starvation and losing processes (queue residence <= Tio).
+    NO_STARVATION = "FD-4"
+    #: 5a — a condition waiter resumes only via a signal on that condition.
+    CORRECT_SYNC_COND = "FD-5a"
+    #: 5b — an entry waiter resumes only via Wait or a non-signalling Exit.
+    CORRECT_SYNC_ENTRY = "FD-5b"
+    #: 6a — 0 <= r <= s <= r + Rmax.
+    RESOURCE_INVARIANT = "FD-6a"
+    #: 6b — Wait(Send, full) only when R# = 0.
+    SEND_WAIT_CONSISTENT = "FD-6b"
+    #: 6c — Wait(Receive, empty) only when R# = Rmax.
+    RECEIVE_WAIT_CONSISTENT = "FD-6c"
+    #: 7a — every Acquire is followed by a Release before the next Acquire.
+    ACQUIRE_THEN_RELEASE = "FD-7a"
+    #: 7b — every Release is preceded by an unmatched Acquire.
+    RELEASE_AFTER_ACQUIRE = "FD-7b"
+
+
+class STRule(enum.Enum):
+    """State-transition rules over the checking lists (Section 3.3.2)."""
+
+    #: 1 — Enter-0-List equals the actual EQ at the checkpoint.
+    ENTRY_QUEUE_MATCHES = "ST-1"
+    #: 2 — each Wait-Cond-List equals the actual CQ[Cond] at the checkpoint.
+    COND_QUEUE_MATCHES = "ST-2"
+    #: 3a — at any time |Running-List| <= 1.
+    ONE_INSIDE = "ST-3a"
+    #: 3b — Wait/Signal-Exit only by the process that is Running.
+    CALLER_IS_RUNNING = "ST-3b"
+    #: 3c — a successful Enter leaves Running = {Pid}.
+    ENTER_TAKES_FREE_MONITOR = "ST-3c"
+    #: 3d — an unsuccessful Enter implies someone is Running.
+    BLOCKED_MEANS_BUSY = "ST-3d"
+    #: 4 — a process generating an event cannot be on any waiting list.
+    EVENT_WHILE_BLOCKED = "ST-4"
+    #: 5 — residence in Running / condition queues bounded by Tmax.
+    TMAX_EXCEEDED = "ST-5"
+    #: 6 — residence in the entry queue bounded by Tio.
+    TIO_EXCEEDED = "ST-6"
+    #: 7a — 0 <= r <= s <= r + Rmax (cumulative).
+    RESOURCE_INVARIANT = "ST-7a"
+    #: 7b — R# at the checkpoint equals last R# + r - s.
+    RESOURCE_DELTA_MATCHES = "ST-7b"
+    #: 7c — Wait(Send, full) only when Resource-No = 0.
+    SEND_WAIT_CONSISTENT = "ST-7c"
+    #: 7d — Wait(Receive, empty) only when Resource-No = Rmax.
+    RECEIVE_WAIT_CONSISTENT = "ST-7d"
+    #: 8a — no pid occurs twice in the Request-List.
+    NO_DUPLICATE_REQUEST = "ST-8a"
+    #: 8b — Enter(Release) requires the pid to be in the Request-List.
+    RELEASE_REQUIRES_REQUEST = "ST-8b"
+    #: 8c — no pid stays in the Request-List beyond Tlimit.
+    REQUEST_NOT_RELEASED = "ST-8c"
+    #: extension — a Signal/Signal-Exit flag must agree with the model
+    #: condition queue (flag=1 needs a waiter; flag=0 with waiters pending
+    #: is a missed resumption).  Implied by FD-Rule 1(c).
+    SIGNAL_CONSISTENT = "ST-SG"
+    #: extension — the running set at the checkpoint matches the model
+    #: (catches held-monitor and not-observed faults; implied by the
+    #: paper's "Running-List = s_t.Running" step of Algorithm-1).
+    RUNNING_MATCHES = "ST-R"
+    #: extension — a declared path-expression call order was violated.
+    CALL_ORDER_VIOLATED = "ST-PX"
+    #: extension — a circular wait across allocator monitors (wait-for
+    #: graph cycle; see :mod:`repro.detection.waitfor`).
+    WAIT_FOR_CYCLE = "ST-WF"
+
+
+#: Which fault classes a violation of each rule implicates.  A report lists
+#: the union over the rules it violated; campaigns assert that their
+#: injected class appears among the suspects.
+SUSPECTS: dict[enum.Enum, tuple[FaultClass, ...]] = {
+    STRule.ENTRY_QUEUE_MATCHES: (
+        FaultClass.ENTER_REQUEST_LOST,
+        FaultClass.ENTER_NO_RESPONSE,
+        FaultClass.WAIT_NO_RESUME,
+        FaultClass.WAIT_ENTRY_STARVED,
+        # The entry queue also diverges when a second process was admitted
+        # from it behind the model's back:
+        FaultClass.WAIT_MUTEX_VIOLATED,
+        FaultClass.SIGEXIT_MUTEX_VIOLATED,
+    ),
+    STRule.COND_QUEUE_MATCHES: (
+        FaultClass.WAIT_CALLER_LOST,
+        FaultClass.SIGEXIT_NO_RESUME,
+    ),
+    STRule.ONE_INSIDE: (
+        FaultClass.ENTER_MUTEX_VIOLATED,
+        FaultClass.WAIT_MUTEX_VIOLATED,
+        FaultClass.SIGEXIT_MUTEX_VIOLATED,
+    ),
+    STRule.CALLER_IS_RUNNING: (
+        FaultClass.ENTER_NOT_OBSERVED,
+        FaultClass.WAIT_NO_BLOCK,
+    ),
+    STRule.ENTER_TAKES_FREE_MONITOR: (
+        FaultClass.ENTER_MUTEX_VIOLATED,
+        FaultClass.SIGEXIT_MONITOR_HELD,
+        # An Enter that succeeds while the model believes the monitor is
+        # occupied also arises when an earlier release resumed nobody (the
+        # model admitted the head, reality left the monitor free):
+        FaultClass.ENTER_NO_RESPONSE,
+        FaultClass.WAIT_NO_RESUME,
+    ),
+    STRule.BLOCKED_MEANS_BUSY: (FaultClass.ENTER_NO_RESPONSE,),
+    STRule.EVENT_WHILE_BLOCKED: (
+        FaultClass.WAIT_NO_BLOCK,
+        FaultClass.ENTER_REQUEST_LOST,
+        # A process acting while the model still has it on a waiting list is
+        # also the signature of a double resume: it was woken alongside the
+        # legitimately admitted process.
+        FaultClass.WAIT_MUTEX_VIOLATED,
+        FaultClass.SIGEXIT_MUTEX_VIOLATED,
+    ),
+    STRule.TMAX_EXCEEDED: (
+        FaultClass.TERMINATED_INSIDE,
+        FaultClass.SIGEXIT_NO_RESUME,
+        FaultClass.SIGEXIT_MONITOR_HELD,
+        FaultClass.WAIT_MONITOR_HELD,
+    ),
+    STRule.TIO_EXCEEDED: (
+        FaultClass.ENTER_NO_RESPONSE,
+        FaultClass.WAIT_ENTRY_STARVED,
+        FaultClass.ENTER_REQUEST_LOST,
+        FaultClass.WAIT_NO_RESUME,
+    ),
+    STRule.RESOURCE_INVARIANT: (
+        FaultClass.RECEIVE_EXCEEDS_SEND,
+        FaultClass.SEND_EXCEEDS_CAPACITY,
+    ),
+    STRule.RESOURCE_DELTA_MATCHES: (
+        FaultClass.SEND_DELAY_INTEGRITY,
+        FaultClass.RECEIVE_DELAY_INTEGRITY,
+    ),
+    STRule.SEND_WAIT_CONSISTENT: (FaultClass.SEND_DELAY_INTEGRITY,),
+    STRule.RECEIVE_WAIT_CONSISTENT: (FaultClass.RECEIVE_DELAY_INTEGRITY,),
+    STRule.NO_DUPLICATE_REQUEST: (FaultClass.REQUEST_WHILE_HOLDING,),
+    STRule.RELEASE_REQUIRES_REQUEST: (FaultClass.RELEASE_BEFORE_REQUEST,),
+    STRule.REQUEST_NOT_RELEASED: (FaultClass.RESOURCE_NOT_RELEASED,),
+    STRule.SIGNAL_CONSISTENT: (
+        FaultClass.SIGEXIT_NO_RESUME,
+        FaultClass.WAIT_CALLER_LOST,
+    ),
+    STRule.RUNNING_MATCHES: (
+        FaultClass.ENTER_NOT_OBSERVED,
+        FaultClass.WAIT_MONITOR_HELD,
+        FaultClass.SIGEXIT_MONITOR_HELD,
+        FaultClass.WAIT_NO_BLOCK,
+        FaultClass.SIGEXIT_NO_RESUME,
+    ),
+    STRule.CALL_ORDER_VIOLATED: (
+        FaultClass.RELEASE_BEFORE_REQUEST,
+        FaultClass.REQUEST_WHILE_HOLDING,
+    ),
+    STRule.WAIT_FOR_CYCLE: (
+        # A circular wait means every participant holds a resource it will
+        # now never release (the deadlock freezes them all):
+        FaultClass.RESOURCE_NOT_RELEASED,
+        FaultClass.REQUEST_WHILE_HOLDING,
+    ),
+    # FD-rule suspects (used by the offline checker's reports)
+    FDRule.MUTUAL_EXCLUSION_ENTER: (FaultClass.ENTER_MUTEX_VIOLATED,),
+    FDRule.MUTUAL_EXCLUSION_RELEASE: (
+        FaultClass.WAIT_NO_RESUME,
+        FaultClass.WAIT_MUTEX_VIOLATED,
+    ),
+    FDRule.MUTUAL_EXCLUSION_SIGNAL: (
+        FaultClass.SIGEXIT_NO_RESUME,
+        FaultClass.SIGEXIT_MUTEX_VIOLATED,
+    ),
+    FDRule.ENTER_OBSERVED: (FaultClass.ENTER_NOT_OBSERVED,),
+    FDRule.NONTERMINATION: (FaultClass.TERMINATED_INSIDE,),
+    FDRule.FAIR_RESPONSE: (FaultClass.ENTER_NO_RESPONSE,),
+    FDRule.NO_STARVATION: (
+        FaultClass.WAIT_ENTRY_STARVED,
+        FaultClass.ENTER_REQUEST_LOST,
+    ),
+    FDRule.CORRECT_SYNC_COND: (FaultClass.WAIT_NO_BLOCK,),
+    FDRule.CORRECT_SYNC_ENTRY: (FaultClass.WAIT_CALLER_LOST,),
+    FDRule.RESOURCE_INVARIANT: (
+        FaultClass.RECEIVE_EXCEEDS_SEND,
+        FaultClass.SEND_EXCEEDS_CAPACITY,
+    ),
+    FDRule.SEND_WAIT_CONSISTENT: (FaultClass.SEND_DELAY_INTEGRITY,),
+    FDRule.RECEIVE_WAIT_CONSISTENT: (FaultClass.RECEIVE_DELAY_INTEGRITY,),
+    FDRule.ACQUIRE_THEN_RELEASE: (
+        FaultClass.REQUEST_WHILE_HOLDING,
+        FaultClass.RESOURCE_NOT_RELEASED,
+    ),
+    FDRule.RELEASE_AFTER_ACQUIRE: (FaultClass.RELEASE_BEFORE_REQUEST,),
+}

@@ -1,0 +1,132 @@
+"""Fault frequency statistics (paper Section 2, third purpose).
+
+The paper motivates the taxonomy partly as instrumentation: "it provides
+information about the frequency of each fault.  For example, if a
+particular kind of fault appears frequently we could use a variety of
+methods to reduce the incidence of it."  ``FaultStatistics`` aggregates a
+report stream into exactly that information: counts per rule, per
+implicated fault class, per monitor, and per taxonomy level, with a text
+rendering for operator consumption.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+from repro._tables import render_table
+from repro.detection.detector import FaultDetector
+from repro.detection.faults import FaultClass, FaultLevel
+from repro.detection.reports import FaultReport
+
+__all__ = ["FaultStatistics"]
+
+
+class FaultStatistics:
+    """Aggregates fault reports into frequency tables."""
+
+    def __init__(self) -> None:
+        self.total_reports = 0
+        self.by_rule: Counter[str] = Counter()
+        self.by_fault: Counter[FaultClass] = Counter()
+        self.by_monitor: Counter[str] = Counter()
+        self.by_level: Counter[FaultLevel] = Counter()
+        self._first_at: Optional[float] = None
+        self._last_at: Optional[float] = None
+
+    # ---------------------------------------------------------------- intake
+
+    def record(self, report: FaultReport) -> None:
+        """Fold one report into the counters.
+
+        A report increments every fault class it implicates — frequencies
+        answer "how often was this class suspected", mirroring how an
+        operator would triage the stream.
+        """
+        self.total_reports += 1
+        self.by_rule[report.rule_id] += 1
+        self.by_monitor[report.monitor] += 1
+        for fault in report.suspected_faults:
+            self.by_fault[fault] += 1
+            self.by_level[fault.level] += 1
+        if self._first_at is None or report.detected_at < self._first_at:
+            self._first_at = report.detected_at
+        if self._last_at is None or report.detected_at > self._last_at:
+            self._last_at = report.detected_at
+
+    def record_all(self, reports: Iterable[FaultReport]) -> None:
+        for report in reports:
+            self.record(report)
+
+    @classmethod
+    def from_detector(cls, detector: FaultDetector) -> "FaultStatistics":
+        stats = cls()
+        stats.record_all(detector.reports)
+        return stats
+
+    @classmethod
+    def from_detectors(
+        cls, detectors: Iterable[FaultDetector]
+    ) -> "FaultStatistics":
+        stats = cls()
+        for detector in detectors:
+            stats.record_all(detector.reports)
+        return stats
+
+    # --------------------------------------------------------------- queries
+
+    def most_frequent_fault(self) -> Optional[FaultClass]:
+        """The fault class implicated most often (None when no reports)."""
+        if not self.by_fault:
+            return None
+        return self.by_fault.most_common(1)[0][0]
+
+    def frequency(self, fault: FaultClass) -> int:
+        return self.by_fault.get(fault, 0)
+
+    @property
+    def window(self) -> tuple[Optional[float], Optional[float]]:
+        """(first, last) report timestamps."""
+        return (self._first_at, self._last_at)
+
+    # -------------------------------------------------------------- rendering
+
+    def render(self, top: int = 10) -> str:
+        """Multi-table text rendering (rules, fault classes, monitors)."""
+        if not self.total_reports:
+            return "no fault reports recorded"
+        parts = [
+            f"{self.total_reports} reports between "
+            f"t={self._first_at:g} and t={self._last_at:g}"
+        ]
+        parts.append(
+            render_table(
+                ["rule", "reports"],
+                self.by_rule.most_common(top),
+                title="\nby rule",
+            )
+        )
+        parts.append(
+            render_table(
+                ["fault class", "level", "implicated"],
+                [
+                    (fault.label, fault.level.value, count)
+                    for fault, count in self.by_fault.most_common(top)
+                ],
+                title="\nby implicated fault class",
+            )
+        )
+        parts.append(
+            render_table(
+                ["monitor", "reports"],
+                self.by_monitor.most_common(top),
+                title="\nby monitor",
+            )
+        )
+        return "\n".join(parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultStatistics(reports={self.total_reports}, "
+            f"rules={len(self.by_rule)}, faults={len(self.by_fault)})"
+        )

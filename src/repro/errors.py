@@ -1,0 +1,167 @@
+"""Exception hierarchy for the robust-monitor reproduction.
+
+Two families of errors exist in this system and must never be confused:
+
+* **Usage errors** (:class:`MonitorUsageError` and friends) are raised
+  *synchronously* to the offending process, exactly like a Java monitor
+  throwing ``IllegalMonitorStateException``.  They indicate that client code
+  called a primitive it was not allowed to call (e.g. ``wait`` while not
+  inside the monitor).
+
+* **Detected concurrency-control faults** are *not* exceptions.  They are
+  :class:`repro.detection.reports.FaultReport` values produced by the
+  detection algorithms, because the whole point of the paper is that the
+  faulty execution has *already happened* — the detector observes history
+  and reports violations after the fact.
+
+Kernel-level errors (:class:`KernelError` and friends) indicate misuse of the
+execution substrate itself.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "KernelError",
+    "UnknownProcessError",
+    "ProcessStateError",
+    "SchedulerStalled",
+    "SimulationDeadlock",
+    "MonitorError",
+    "MonitorUsageError",
+    "NotInsideMonitorError",
+    "UnknownConditionError",
+    "UnknownProcedureError",
+    "DeclarationError",
+    "PathExpressionError",
+    "PathExpressionSyntaxError",
+    "HistoryError",
+    "CheckpointError",
+    "InjectionError",
+    "UnknownCampaignError",
+    "RecoveryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Kernel / substrate errors
+# ---------------------------------------------------------------------------
+
+
+class KernelError(ReproError):
+    """Base class for errors raised by an execution kernel."""
+
+
+class UnknownProcessError(KernelError):
+    """An operation referenced a pid the kernel has never seen."""
+
+
+class ProcessStateError(KernelError):
+    """A process was asked to transition from an incompatible state.
+
+    For example unblocking a process that is not blocked, or stepping a
+    process that has already terminated.
+    """
+
+
+class SchedulerStalled(KernelError):
+    """``run()`` hit its step budget before the system quiesced."""
+
+
+class SimulationDeadlock(KernelError):
+    """Every live process is blocked and no timer can wake any of them.
+
+    This is the *kernel's* notion of deadlock (nothing can ever run again).
+    The paper's user-process-level deadlock fault (fault III.c) is detected
+    separately, by Algorithm-3, from the monitor call history.
+    """
+
+    def __init__(self, blocked_pids: tuple[int, ...], at_time: float) -> None:
+        self.blocked_pids = blocked_pids
+        self.at_time = at_time
+        names = ", ".join(f"P{p}" for p in blocked_pids)
+        super().__init__(
+            f"simulation deadlock at t={at_time:g}: all live processes "
+            f"blocked ({names}) and no pending timers"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Monitor construct errors
+# ---------------------------------------------------------------------------
+
+
+class MonitorError(ReproError):
+    """Base class for monitor-construct errors."""
+
+
+class MonitorUsageError(MonitorError):
+    """Client code called a monitor primitive it was not permitted to call."""
+
+
+class NotInsideMonitorError(MonitorUsageError):
+    """``wait``/``signal``/``exit`` was called by a process not inside."""
+
+
+class UnknownConditionError(MonitorUsageError):
+    """A condition-variable name was used that the monitor never declared."""
+
+
+class UnknownProcedureError(MonitorUsageError):
+    """A procedure name was invoked that the declaration does not define."""
+
+
+class DeclarationError(MonitorError):
+    """The monitor declaration itself is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Path expression errors
+# ---------------------------------------------------------------------------
+
+
+class PathExpressionError(ReproError):
+    """Base class for path-expression handling errors."""
+
+
+class PathExpressionSyntaxError(PathExpressionError):
+    """The path-expression source text could not be parsed."""
+
+    def __init__(self, message: str, position: int, source: str) -> None:
+        self.position = position
+        self.source = source
+        super().__init__(f"{message} at position {position} in {source!r}")
+
+
+# ---------------------------------------------------------------------------
+# History / detection errors
+# ---------------------------------------------------------------------------
+
+
+class HistoryError(ReproError):
+    """Base class for history-database errors."""
+
+
+class CheckpointError(HistoryError):
+    """A checkpoint operation was invalid (e.g. out-of-order cut)."""
+
+
+# ---------------------------------------------------------------------------
+# Injection / recovery errors
+# ---------------------------------------------------------------------------
+
+
+class InjectionError(ReproError):
+    """Base class for fault-injection framework errors."""
+
+
+class UnknownCampaignError(InjectionError):
+    """A campaign name was requested that the registry does not define."""
+
+
+class RecoveryError(ReproError):
+    """An error-recovery strategy could not be applied."""

@@ -1,0 +1,55 @@
+"""History information recording (paper Section 3.1 / 3.3.1).
+
+The paper models a monitor's run-time behaviour as a finite sequence of
+*scheduling events* ``L = l1 ... ln`` with a corresponding sequence of
+*scheduling states* ``S = s1 ... sn``.  This package provides:
+
+* :mod:`repro.history.events` — the EVENTset: ``Enter``, ``Wait``,
+  ``Signal-Exit`` (plus the non-exiting ``Signal`` extension used by the
+  Hoare/Mesa signalling disciplines),
+* :mod:`repro.history.states` — scheduling-state snapshots
+  ``<EQ, CQ[], R#>`` augmented with the ``Running`` set (Section 3.3.1),
+* :mod:`repro.history.database` — the history information database: an
+  event log segmented by checkpoints, with the paper's pruning strategy
+  ("only the states at the last checking time and the current checking time
+  are recorded ... most of the information can be removed after being
+  used").
+"""
+
+from repro.history.database import HistoryDatabase, Segment
+from repro.history.serialize import (
+    dump_trace,
+    event_from_dict,
+    event_to_dict,
+    load_trace,
+    state_from_dict,
+    state_to_dict,
+)
+from repro.history.events import (
+    EventKind,
+    SchedulingEvent,
+    enter_event,
+    signal_event,
+    signal_exit_event,
+    wait_event,
+)
+from repro.history.states import QueueEntry, SchedulingState
+
+__all__ = [
+    "EventKind",
+    "SchedulingEvent",
+    "enter_event",
+    "wait_event",
+    "signal_event",
+    "signal_exit_event",
+    "QueueEntry",
+    "SchedulingState",
+    "HistoryDatabase",
+    "Segment",
+    "dump_trace",
+    "load_trace",
+    "event_to_dict",
+    "event_from_dict",
+    "state_to_dict",
+    "state_from_dict",
+]

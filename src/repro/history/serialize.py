@@ -1,0 +1,172 @@
+"""Serialisation of scheduling histories (JSON-compatible, JSONL files).
+
+The history information database is the system's audit trail; being able
+to persist a trace and re-check it offline (on another machine, against a
+different rule configuration, or long after the run) is what makes the
+offline FD checker practically useful.  The format is line-oriented JSON:
+one object per event or state, with a ``kind`` discriminator, so traces
+can be streamed and grepped.
+
+Round-trip guarantees are exact: ``load_events(dump_events(trace)) ==
+trace`` (covered by property tests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator, Optional, Union
+
+from repro.errors import HistoryError
+from repro.history.events import EventKind, SchedulingEvent
+from repro.history.states import QueueEntry, SchedulingState
+
+__all__ = [
+    "event_to_dict",
+    "event_from_dict",
+    "state_to_dict",
+    "state_from_dict",
+    "dump_trace",
+    "load_trace",
+]
+
+
+# ------------------------------------------------------------------ events
+
+
+def event_to_dict(event: SchedulingEvent) -> dict:
+    """One scheduling event as a JSON-compatible dict."""
+    record = {
+        "kind": "event",
+        "event": event.kind.value,
+        "seq": event.seq,
+        "pid": event.pid,
+        "pname": event.pname,
+        "time": event.time,
+        "flag": event.flag,
+    }
+    if event.cond is not None:
+        record["cond"] = event.cond
+    return record
+
+
+def event_from_dict(record: dict) -> SchedulingEvent:
+    if record.get("kind") != "event":
+        raise HistoryError(f"not an event record: {record!r}")
+    try:
+        return SchedulingEvent(
+            seq=record["seq"],
+            kind=EventKind(record["event"]),
+            pid=record["pid"],
+            pname=record["pname"],
+            time=record["time"],
+            flag=record["flag"],
+            cond=record.get("cond"),
+        )
+    except (KeyError, ValueError) as exc:
+        raise HistoryError(f"malformed event record {record!r}: {exc}") from exc
+
+
+# ------------------------------------------------------------------ states
+
+
+def _entry_to_list(entry: QueueEntry) -> list:
+    return [entry.pid, entry.pname, entry.since]
+
+
+def _entry_from_list(raw: list) -> QueueEntry:
+    pid, pname, since = raw
+    return QueueEntry(pid, pname, since)
+
+
+def state_to_dict(state: SchedulingState) -> dict:
+    """One scheduling state snapshot as a JSON-compatible dict."""
+    return {
+        "kind": "state",
+        "time": state.time,
+        "entry_queue": [_entry_to_list(e) for e in state.entry_queue],
+        "cond_queues": {
+            cond: [_entry_to_list(e) for e in queue]
+            for cond, queue in state.cond_queues.items()
+        },
+        "running": [_entry_to_list(e) for e in state.running],
+        "urgent": [_entry_to_list(e) for e in state.urgent],
+        "resource_count": state.resource_count,
+    }
+
+
+def state_from_dict(record: dict) -> SchedulingState:
+    if record.get("kind") != "state":
+        raise HistoryError(f"not a state record: {record!r}")
+    try:
+        return SchedulingState(
+            time=record["time"],
+            entry_queue=tuple(
+                _entry_from_list(e) for e in record["entry_queue"]
+            ),
+            cond_queues={
+                cond: tuple(_entry_from_list(e) for e in queue)
+                for cond, queue in record["cond_queues"].items()
+            },
+            running=tuple(_entry_from_list(e) for e in record["running"]),
+            urgent=tuple(_entry_from_list(e) for e in record.get("urgent", [])),
+            resource_count=record.get("resource_count"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise HistoryError(f"malformed state record {record!r}: {exc}") from exc
+
+
+# ------------------------------------------------------------------- files
+
+
+def dump_trace(
+    stream: IO[str],
+    events: Iterable[SchedulingEvent],
+    states: Iterable[SchedulingState] = (),
+) -> int:
+    """Write events (and optional checkpoint states) as JSON lines.
+
+    States and events are written in one stream, distinguished by their
+    ``kind`` field; returns the number of lines written.
+    """
+    written = 0
+    for state in states:
+        stream.write(json.dumps(state_to_dict(state)) + "\n")
+        written += 1
+    for event in events:
+        stream.write(json.dumps(event_to_dict(event)) + "\n")
+        written += 1
+    return written
+
+
+def load_trace(
+    stream: IO[str],
+) -> tuple[tuple[SchedulingEvent, ...], tuple[SchedulingState, ...]]:
+    """Read a JSONL trace back into (events, states).
+
+    Events are re-sorted by sequence number so that concatenated or
+    interleaved dumps still load as a well-ordered trace.
+    """
+    events: list[SchedulingEvent] = []
+    states: list[SchedulingState] = []
+    for line_number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise HistoryError(
+                f"line {line_number}: invalid JSON: {exc}"
+            ) from exc
+        kind = record.get("kind")
+        if kind == "event":
+            events.append(event_from_dict(record))
+        elif kind == "state":
+            states.append(state_from_dict(record))
+        else:
+            raise HistoryError(
+                f"line {line_number}: unknown record kind {kind!r}"
+            )
+    events.sort(key=lambda event: event.seq)
+    states.sort(key=lambda state: state.time)
+    return tuple(events), tuple(states)

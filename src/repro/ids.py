@@ -1,0 +1,27 @@
+"""Shared lightweight identifier types.
+
+The paper's formalism names three kinds of identifiers:
+
+* ``Pid`` — the identity of a user process (an integer issued by the kernel),
+* ``Pname`` — the name of the monitor *procedure* being executed
+  (``"Send"``, ``"Receive"``, ``"Acquire"``, ...),
+* ``Cond`` — the name of a condition variable (``"full"``, ``"empty"``, ...).
+
+We keep them as plain ``int``/``str`` aliases rather than wrapper classes so
+that event records stay cheap to create (they are created on every monitor
+primitive invocation) while signatures stay self-describing.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+__all__ = ["Pid", "Pname", "Cond", "NO_PID"]
+
+Pid: TypeAlias = int
+Pname: TypeAlias = str
+Cond: TypeAlias = str
+
+#: Sentinel pid used in records that need a pid slot but have no process
+#: (for instance a detector-generated synthetic event).
+NO_PID: Pid = -1

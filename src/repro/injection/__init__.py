@@ -1,0 +1,30 @@
+"""Fault injection — the robustness experiment's machinery (Section 4).
+
+The paper evaluates robustness by injecting "faults of different kinds as
+classified in Section 3.2" and reports that all injected faults are
+detected.  This package makes that experiment reproducible:
+
+* :class:`~repro.injection.hooks.TriggeredHooks` — a configurable
+  :class:`~repro.monitor.hooks.CoreHooks` that fires one named perturbation
+  on its n-th opportunity,
+* :mod:`repro.injection.campaigns` — one campaign per taxonomy entry
+  (21 total): each builds a deterministic workload, injects exactly one
+  fault, runs the detector, and scores whether any report implicates the
+  injected fault class.
+"""
+
+from repro.injection.campaigns import (
+    CAMPAIGNS,
+    CampaignOutcome,
+    run_all_campaigns,
+    run_campaign,
+)
+from repro.injection.hooks import TriggeredHooks
+
+__all__ = [
+    "TriggeredHooks",
+    "CampaignOutcome",
+    "CAMPAIGNS",
+    "run_campaign",
+    "run_all_campaigns",
+]

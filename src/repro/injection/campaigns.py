@@ -1,0 +1,502 @@
+"""One fault-injection campaign per taxonomy entry (21 total).
+
+Each campaign builds a deterministic workload on the simulation kernel,
+activates exactly one fault, lets the detector run, and reports a
+:class:`CampaignOutcome`.  A campaign *succeeds* when (a) the fault was
+actually activated during the run and (b) at least one report implicates
+the injected fault class (via the rule→fault SUSPECTS mapping).
+
+Activation mechanisms by level:
+
+* **Level I** — a :class:`~repro.injection.hooks.TriggeredHooks`
+  perturbation of the monitor core (or, for I.c.4, a process body that
+  terminates inside the monitor).
+* **Level II** — a :class:`~repro.apps.bounded_buffer.BufferIntegrityFault`
+  variant of the bounded-buffer procedures.
+* **Level III** — deliberately buggy user processes driving a correct
+  allocator monitor.
+
+The robustness benchmark (`benchmarks/test_robustness_coverage.py`)
+regenerates the paper's Section 4 claim — "all injected faults are
+detected" — by running the full campaign table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.apps.bounded_buffer import BoundedBuffer, BufferIntegrityFault
+from repro.apps.resource_allocator import SingleResourceAllocator
+from repro.detection.detector import DetectorConfig, FaultDetector, detector_process
+from repro.detection.faults import FaultClass
+from repro.detection.reports import FaultReport
+from repro.errors import UnknownCampaignError
+from repro.history.database import HistoryDatabase
+from repro.injection.hooks import TriggeredHooks
+from repro.kernel.policies import RandomPolicy
+from repro.kernel.sim import SimKernel
+from repro.kernel.syscalls import Delay, Syscall
+from repro.monitor.hooks import CoreHooks
+
+__all__ = ["CampaignOutcome", "CAMPAIGNS", "run_campaign", "run_all_campaigns"]
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """Result of one fault-injection run."""
+
+    fault: FaultClass
+    #: True when the fault actually manifested during the run.
+    activated: bool
+    #: True when some report implicates the injected fault class.
+    detected: bool
+    reports: tuple[FaultReport, ...]
+    #: Distinct rule ids that fired.
+    rules: tuple[str, ...]
+    end_time: float
+    events_recorded: int
+
+    def summary(self) -> str:
+        status = "DETECTED" if self.detected else (
+            "MISSED" if self.activated else "NOT-ACTIVATED"
+        )
+        return (
+            f"{self.fault.label:8s} {status:13s} reports={len(self.reports):3d} "
+            f"rules={','.join(self.rules) or '-'}"
+        )
+
+
+@dataclass(frozen=True)
+class _Campaign:
+    fault: FaultClass
+    description: str
+    build: Callable[[int], CampaignOutcome]
+    #: The rule(s) primarily expected to flag this fault (test metadata).
+    primary_rules: tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# shared scenario scaffolding
+# ---------------------------------------------------------------------------
+
+
+def _producer(buffer: BoundedBuffer, items: int, delay: float) -> Iterator[Syscall]:
+    for item in range(items):
+        yield Delay(delay)
+        yield from buffer.send(item)
+
+
+def _consumer(buffer: BoundedBuffer, items: int, delay: float) -> Iterator[Syscall]:
+    for __ in range(items):
+        yield Delay(delay)
+        yield from buffer.receive()
+
+
+def _buffer_outcome(
+    fault: FaultClass,
+    *,
+    hooks: Optional[TriggeredHooks] = None,
+    integrity_fault: BufferIntegrityFault = BufferIntegrityFault.NONE,
+    seed: int = 0,
+    producers: int = 2,
+    consumers: int = 2,
+    items: int = 25,
+    produce_delay: float = 0.05,
+    consume_delay: float = 0.04,
+    until: float = 25.0,
+    config: Optional[DetectorConfig] = None,
+    extra_body: Optional[Callable[[SimKernel, BoundedBuffer], Iterator[Syscall]]] = None,
+    activation: Optional[Callable[[], bool]] = None,
+    service_time: float = 0.03,
+    capacity: int = 3,
+) -> CampaignOutcome:
+    kernel = SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
+    history = HistoryDatabase()
+    buffer = BoundedBuffer(
+        kernel,
+        capacity=capacity,
+        history=history,
+        hooks=hooks,
+        integrity_fault=integrity_fault,
+        service_time=service_time,
+    )
+    if hooks is not None:
+        hooks.core = buffer.monitor.core
+    detector = FaultDetector(
+        buffer, config or DetectorConfig(interval=0.5, tmax=3.0, tio=6.0)
+    )
+    for __ in range(producers):
+        kernel.spawn(_producer(buffer, items, produce_delay), "producer")
+    for __ in range(consumers):
+        kernel.spawn(_consumer(buffer, items, consume_delay), "consumer")
+    if extra_body is not None:
+        kernel.spawn(extra_body(kernel, buffer), "saboteur")
+    kernel.spawn(detector_process(detector), "detector")
+    result = kernel.run(until=until)
+    if activation is not None:
+        activated = activation()
+    elif hooks is not None:
+        activated = hooks.fired > 0
+    else:
+        activated = True
+    return _outcome(fault, activated, detector, result.end_time, history)
+
+
+def _allocator_outcome(
+    fault: FaultClass,
+    buggy_bodies: Callable[
+        [SimKernel, SingleResourceAllocator], list[Iterator[Syscall]]
+    ],
+    *,
+    seed: int = 0,
+    honest_users: int = 3,
+    until: float = 25.0,
+    config: Optional[DetectorConfig] = None,
+) -> CampaignOutcome:
+    kernel = SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
+    history = HistoryDatabase()
+    allocator = SingleResourceAllocator(kernel, history=history)
+    detector = FaultDetector(
+        allocator,
+        config or DetectorConfig(interval=0.5, tmax=4.0, tio=8.0, tlimit=4.0),
+    )
+
+    def honest(index: int) -> Iterator[Syscall]:
+        for __ in range(4):
+            yield Delay(0.1 + 0.03 * index)
+            yield from allocator.request()
+            yield Delay(0.2)
+            yield from allocator.release()
+
+    for index in range(honest_users):
+        kernel.spawn(honest(index), f"user-{index}")
+    for body in buggy_bodies(kernel, allocator):
+        kernel.spawn(body, "buggy-user")
+    kernel.spawn(detector_process(detector), "detector")
+    result = kernel.run(until=until)
+    return _outcome(fault, True, detector, result.end_time, history)
+
+
+def _outcome(
+    fault: FaultClass,
+    activated: bool,
+    detector: FaultDetector,
+    end_time: float,
+    history: HistoryDatabase,
+) -> CampaignOutcome:
+    reports = tuple(detector.reports)
+    detected = any(report.implicates(fault) for report in reports)
+    rules = tuple(sorted({report.rule_id for report in reports}))
+    return CampaignOutcome(
+        fault=fault,
+        activated=activated,
+        detected=activated and detected,
+        reports=reports,
+        rules=rules,
+        end_time=end_time,
+        events_recorded=history.total_recorded,
+    )
+
+
+# ---------------------------------------------------------------------------
+# level I campaigns
+# ---------------------------------------------------------------------------
+
+
+def _hooked(
+    fault: FaultClass,
+    perturbation: str,
+    scenario_kwargs: Optional[dict] = None,
+    **hook_kwargs,
+):
+    def build(seed: int) -> CampaignOutcome:
+        hooks = TriggeredHooks(perturbation, **hook_kwargs)
+        return _buffer_outcome(
+            fault, hooks=hooks, seed=seed, **(scenario_kwargs or {})
+        )
+
+    return build
+
+
+#: Scenario shape for faults that fire on the wait-release and
+#: signal-handoff paths (I.b.3, I.b.5, I.c.3).  Asymmetric rates make the
+#: buffer run empty so consumers genuinely Wait, while the surplus of
+#: eager processes keeps the entry queue populated at those instants.  The
+#: tight checking interval makes the transient double-admission overlap
+#: observable — the paper's "by properly defining the checking frequency T,
+#: the checking can be made more accurate".
+_WAIT_PATH_KWARGS = dict(
+    capacity=2,
+    service_time=0.05,
+    producers=3,
+    consumers=6,
+    produce_delay=0.15,
+    consume_delay=0.02,
+    items=40,
+    until=30.0,
+    # Generous timeouts: consumers legitimately wait a long time for slow
+    # producers here, and this scenario's faults are queue-shape faults,
+    # not timeouts.
+    config=DetectorConfig(interval=0.04, tmax=30.0, tio=30.0),
+)
+
+
+def _terminate_inside(seed: int) -> CampaignOutcome:
+    activated = {"value": False}
+
+    def saboteur(kernel: SimKernel, buffer: BoundedBuffer) -> Iterator[Syscall]:
+        yield Delay(0.7)
+        yield from buffer.monitor.enter("Send")
+        activated["value"] = True
+        # Terminates here, still inside the monitor: fault I.c.4.
+
+    return _buffer_outcome(
+        FaultClass.TERMINATED_INSIDE,
+        seed=seed,
+        extra_body=saboteur,
+        activation=lambda: activated["value"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# level II campaigns (buggy buffer procedures)
+# ---------------------------------------------------------------------------
+
+
+def _integrity(fault: FaultClass, variant: BufferIntegrityFault, **kwargs):
+    def build(seed: int) -> CampaignOutcome:
+        return _buffer_outcome(
+            fault, integrity_fault=variant, seed=seed, **kwargs
+        )
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# level III campaigns (buggy user processes)
+# ---------------------------------------------------------------------------
+
+
+def _release_before_request(seed: int) -> CampaignOutcome:
+    def bodies(kernel, allocator):
+        def buggy() -> Iterator[Syscall]:
+            yield Delay(0.5)
+            yield from allocator.release()  # never requested: fault III.a
+
+        return [buggy()]
+
+    return _allocator_outcome(FaultClass.RELEASE_BEFORE_REQUEST, bodies, seed=seed)
+
+
+def _resource_not_released(seed: int) -> CampaignOutcome:
+    def bodies(kernel, allocator):
+        def buggy() -> Iterator[Syscall]:
+            yield Delay(0.5)
+            yield from allocator.request()
+            # Holds the resource forever: fault III.b.
+            yield Delay(1e9)
+
+        return [buggy()]
+
+    return _allocator_outcome(FaultClass.RESOURCE_NOT_RELEASED, bodies, seed=seed)
+
+
+def _request_while_holding(seed: int) -> CampaignOutcome:
+    def bodies(kernel, allocator):
+        def buggy() -> Iterator[Syscall]:
+            yield Delay(0.5)
+            yield from allocator.request()
+            yield Delay(0.1)
+            # Requests again without releasing: fault III.c (self-deadlock).
+            yield from allocator.request()
+
+        return [buggy()]
+
+    return _allocator_outcome(FaultClass.REQUEST_WHILE_HOLDING, bodies, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# the campaign table
+# ---------------------------------------------------------------------------
+
+CAMPAIGNS: dict[FaultClass, _Campaign] = {
+    FaultClass.ENTER_MUTEX_VIOLATED: _Campaign(
+        FaultClass.ENTER_MUTEX_VIOLATED,
+        "a contended Enter is admitted although the monitor is occupied",
+        _hooked(FaultClass.ENTER_MUTEX_VIOLATED, "enter_despite_owner", fire_at=2),
+        ("ST-3c", "ST-3a"),
+    ),
+    FaultClass.ENTER_REQUEST_LOST: _Campaign(
+        FaultClass.ENTER_REQUEST_LOST,
+        "a blocked enterer is dropped from the entry queue",
+        _hooked(FaultClass.ENTER_REQUEST_LOST, "drop_enter", fire_at=2),
+        ("ST-1", "ST-6"),
+    ),
+    FaultClass.ENTER_NO_RESPONSE: _Campaign(
+        FaultClass.ENTER_NO_RESPONSE,
+        "a release admits nobody although the entry queue is populated",
+        _hooked(
+            FaultClass.ENTER_NO_RESPONSE,
+            "suppress_admission",
+            origin="signal-exit",
+        ),
+        # The missed admission surfaces when the next process enters the
+        # "free" monitor that the model believes is occupied:
+        ("ST-3c", "ST-3a"),
+    ),
+    FaultClass.ENTER_NOT_OBSERVED: _Campaign(
+        FaultClass.ENTER_NOT_OBSERVED,
+        "a successful Enter is not recorded (process inside unobserved)",
+        _hooked(FaultClass.ENTER_NOT_OBSERVED, "suppress_enter_record", fire_at=3),
+        ("ST-3b", "ST-R"),
+    ),
+    FaultClass.WAIT_NO_BLOCK: _Campaign(
+        FaultClass.WAIT_NO_BLOCK,
+        "Wait records the event but the caller keeps running inside",
+        _hooked(FaultClass.WAIT_NO_BLOCK, "wait_no_block"),
+        ("ST-4", "ST-2"),
+    ),
+    FaultClass.WAIT_CALLER_LOST: _Campaign(
+        FaultClass.WAIT_CALLER_LOST,
+        "a waiting caller is dropped from the condition queue",
+        _hooked(FaultClass.WAIT_CALLER_LOST, "wait_lose_caller"),
+        ("ST-2", "ST-SG"),
+    ),
+    FaultClass.WAIT_NO_RESUME: _Campaign(
+        FaultClass.WAIT_NO_RESUME,
+        "a Wait releases the monitor but resumes no entry waiter",
+        _hooked(
+            FaultClass.WAIT_NO_RESUME,
+            "suppress_admission",
+            scenario_kwargs=_WAIT_PATH_KWARGS,
+            origin="wait",
+        ),
+        ("ST-3c", "ST-3a"),
+    ),
+    FaultClass.WAIT_ENTRY_STARVED: _Campaign(
+        FaultClass.WAIT_ENTRY_STARVED,
+        "one entry-queue process is skipped at every admission",
+        _hooked(FaultClass.WAIT_ENTRY_STARVED, "starve_victim", victim=2),
+        ("ST-1", "ST-6"),
+    ),
+    FaultClass.WAIT_MUTEX_VIOLATED: _Campaign(
+        FaultClass.WAIT_MUTEX_VIOLATED,
+        "a Wait's release admits two entry waiters at once",
+        _hooked(
+            FaultClass.WAIT_MUTEX_VIOLATED,
+            "admit_extra",
+            scenario_kwargs=_WAIT_PATH_KWARGS,
+            origin="wait",
+        ),
+        ("ST-3a", "ST-4", "ST-R"),
+    ),
+    FaultClass.WAIT_MONITOR_HELD: _Campaign(
+        FaultClass.WAIT_MONITOR_HELD,
+        "the caller blocks on the condition but never releases the lock",
+        _hooked(FaultClass.WAIT_MONITOR_HELD, "wait_hold_monitor"),
+        ("ST-R", "ST-1", "ST-5"),
+    ),
+    FaultClass.SIGEXIT_NO_RESUME: _Campaign(
+        FaultClass.SIGEXIT_NO_RESUME,
+        "Signal-Exit claims flag=1 but the waiter stays on the queue",
+        _hooked(FaultClass.SIGEXIT_NO_RESUME, "fake_resume"),
+        ("ST-SG", "ST-2", "ST-R"),
+    ),
+    FaultClass.SIGEXIT_MONITOR_HELD: _Campaign(
+        FaultClass.SIGEXIT_MONITOR_HELD,
+        "the exiting process never vacates the Running slot",
+        _hooked(FaultClass.SIGEXIT_MONITOR_HELD, "hold_monitor_on_exit"),
+        ("ST-R", "ST-3d", "ST-5"),
+    ),
+    FaultClass.SIGEXIT_MUTEX_VIOLATED: _Campaign(
+        FaultClass.SIGEXIT_MUTEX_VIOLATED,
+        "Signal-Exit resumes the condition waiter and the entry head",
+        _hooked(
+            FaultClass.SIGEXIT_MUTEX_VIOLATED,
+            "admit_extra",
+            scenario_kwargs=_WAIT_PATH_KWARGS,
+            origin="signal-exit-handoff",
+        ),
+        ("ST-3a", "ST-4", "ST-R"),
+    ),
+    FaultClass.TERMINATED_INSIDE: _Campaign(
+        FaultClass.TERMINATED_INSIDE,
+        "a process terminates inside the monitor without exiting",
+        _terminate_inside,
+        ("ST-5",),
+    ),
+    FaultClass.SEND_DELAY_INTEGRITY: _Campaign(
+        FaultClass.SEND_DELAY_INTEGRITY,
+        "Send is delayed although the buffer is not full",
+        _integrity(
+            FaultClass.SEND_DELAY_INTEGRITY,
+            BufferIntegrityFault.SEND_SPURIOUS_DELAY,
+        ),
+        ("ST-7c",),
+    ),
+    FaultClass.RECEIVE_DELAY_INTEGRITY: _Campaign(
+        FaultClass.RECEIVE_DELAY_INTEGRITY,
+        "Receive is delayed although the buffer is not empty",
+        _integrity(
+            FaultClass.RECEIVE_DELAY_INTEGRITY,
+            BufferIntegrityFault.RECEIVE_SPURIOUS_DELAY,
+        ),
+        ("ST-7d",),
+    ),
+    FaultClass.RECEIVE_EXCEEDS_SEND: _Campaign(
+        FaultClass.RECEIVE_EXCEEDS_SEND,
+        "Receive completes from an empty buffer (r overtakes s)",
+        _integrity(
+            FaultClass.RECEIVE_EXCEEDS_SEND,
+            BufferIntegrityFault.RECEIVE_IGNORES_EMPTY,
+            produce_delay=0.2,
+            consume_delay=0.03,
+        ),
+        ("ST-7a",),
+    ),
+    FaultClass.SEND_EXCEEDS_CAPACITY: _Campaign(
+        FaultClass.SEND_EXCEEDS_CAPACITY,
+        "Send completes into a full buffer (s overtakes r + Rmax)",
+        _integrity(
+            FaultClass.SEND_EXCEEDS_CAPACITY,
+            BufferIntegrityFault.SEND_IGNORES_FULL,
+            produce_delay=0.03,
+            consume_delay=0.2,
+        ),
+        ("ST-7a", "ST-7b"),
+    ),
+    FaultClass.RELEASE_BEFORE_REQUEST: _Campaign(
+        FaultClass.RELEASE_BEFORE_REQUEST,
+        "a user process releases a resource it never acquired",
+        _release_before_request,
+        ("ST-8b",),
+    ),
+    FaultClass.RESOURCE_NOT_RELEASED: _Campaign(
+        FaultClass.RESOURCE_NOT_RELEASED,
+        "a user process acquires the resource and never releases it",
+        _resource_not_released,
+        ("ST-8c",),
+    ),
+    FaultClass.REQUEST_WHILE_HOLDING: _Campaign(
+        FaultClass.REQUEST_WHILE_HOLDING,
+        "a user process re-acquires the resource it already holds",
+        _request_while_holding,
+        ("ST-8a",),
+    ),
+}
+
+assert len(CAMPAIGNS) == len(FaultClass), "every fault class needs a campaign"
+
+
+def run_campaign(fault: FaultClass, seed: int = 0) -> CampaignOutcome:
+    """Run the campaign for one fault class and return its outcome."""
+    campaign = CAMPAIGNS.get(fault)
+    if campaign is None:
+        raise UnknownCampaignError(f"no campaign registered for {fault}")
+    return campaign.build(seed)
+
+
+def run_all_campaigns(seed: int = 0) -> dict[FaultClass, CampaignOutcome]:
+    """Run the full robustness experiment (the paper's Section 4 claim)."""
+    return {fault: run_campaign(fault, seed) for fault in FaultClass}

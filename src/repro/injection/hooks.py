@@ -1,0 +1,181 @@
+"""Configurable perturbation hooks for fault injection.
+
+``TriggeredHooks`` implements every perturbation point of
+:class:`~repro.monitor.hooks.CoreHooks`, armed with exactly one named
+perturbation.  The perturbation fires on its ``fire_at``-th *opportunity* —
+an opportunity being a call to the corresponding hook in a context where
+misbehaving is actually possible (e.g. suppressing admission only counts
+when somebody is waiting to be admitted).  Counting opportunities rather
+than raw calls makes campaigns deterministic across workload tweaks.
+
+Perturbation names
+------------------
+=========================  ====================================  ==========
+name                       effect                                fault
+=========================  ====================================  ==========
+``enter_despite_owner``    admit while occupied                  I.a.1
+``drop_enter``             lose a blocked enterer                I.a.2
+``suppress_admission``     release resumes nobody                I.a.3/I.b.3
+``suppress_enter_record``  admit without recording Enter         I.a.4
+``wait_no_block``          Wait does not block                   I.b.1
+``wait_lose_caller``       waiter vanishes                       I.b.2
+``starve_victim``          skip one pid at every admission       I.b.4
+``admit_extra``            admit a second process                I.b.5/I.c.3
+``wait_hold_monitor``      Wait keeps the lock                   I.b.6
+``fake_resume``            Signal-Exit claims a resume           I.c.1
+``hold_monitor_on_exit``   exit keeps the Running slot           I.c.2
+=========================  ====================================  ==========
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from repro.errors import InjectionError
+from repro.history.events import EventKind, SchedulingEvent
+from repro.ids import Cond, Pid, Pname
+from repro.monitor.hooks import CoreHooks
+
+__all__ = ["TriggeredHooks", "PERTURBATIONS"]
+
+PERTURBATIONS = frozenset(
+    {
+        "enter_despite_owner",
+        "drop_enter",
+        "suppress_admission",
+        "suppress_enter_record",
+        "wait_no_block",
+        "wait_lose_caller",
+        "starve_victim",
+        "admit_extra",
+        "wait_hold_monitor",
+        "fake_resume",
+        "hold_monitor_on_exit",
+    }
+)
+
+
+class TriggeredHooks(CoreHooks):
+    """Fire one named perturbation on its n-th opportunity.
+
+    Parameters
+    ----------
+    perturbation:
+        One of :data:`PERTURBATIONS`.
+    fire_at:
+        Which opportunity triggers the misbehaviour (1 = first).  Ignored
+        by ``starve_victim``, which misbehaves persistently.
+    victim:
+        Target pid for ``starve_victim``.
+    origin:
+        For ``suppress_admission`` / ``admit_extra``: restrict to
+        admissions caused by ``"wait"``, ``"signal-exit"`` or
+        ``"signal-exit-handoff"``; None fires on any origin.
+    """
+
+    def __init__(
+        self,
+        perturbation: str,
+        *,
+        fire_at: int = 1,
+        victim: Optional[Pid] = None,
+        origin: Optional[str] = None,
+    ) -> None:
+        if perturbation not in PERTURBATIONS:
+            raise InjectionError(
+                f"unknown perturbation {perturbation!r}; "
+                f"choose from {sorted(PERTURBATIONS)}"
+            )
+        if perturbation == "starve_victim" and victim is None:
+            raise InjectionError("starve_victim requires a victim pid")
+        self._perturbation = perturbation
+        self._fire_at = fire_at
+        self._victim = victim
+        self._origin = origin
+        self._opportunities: dict[str, int] = defaultdict(int)
+        #: Number of times the perturbation actually fired.
+        self.fired = 0
+        #: Pids affected by fired perturbations (for campaign assertions).
+        self.affected: list[Pid] = []
+        #: Optional back-reference to the MonitorCore, wired by campaigns.
+        #: The admission perturbations use it to count only *real*
+        #: opportunities (someone is actually waiting to be admitted).
+        self.core = None
+
+    def _trigger(self, name: str, pid: Optional[Pid] = None) -> bool:
+        if name != self._perturbation:
+            return False
+        self._opportunities[name] += 1
+        if self._opportunities[name] != self._fire_at:
+            return False
+        self.fired += 1
+        if pid is not None:
+            self.affected.append(pid)
+        return True
+
+    def _origin_matches(self, origin: str) -> bool:
+        return self._origin is None or self._origin == origin
+
+    # ------------------------------------------------------------- recording
+
+    def should_record(self, event: SchedulingEvent) -> bool:
+        if (
+            self._perturbation == "suppress_enter_record"
+            and event.kind is EventKind.ENTER
+            and event.flag == 1
+        ):
+            return not self._trigger("suppress_enter_record", event.pid)
+        return True
+
+    # ----------------------------------------------------------------- enter
+
+    def enter_admit_despite_owner(self, pid: Pid, pname: Pname) -> bool:
+        return self._trigger("enter_despite_owner", pid)
+
+    def enter_drop_request(self, pid: Pid, pname: Pname) -> bool:
+        return self._trigger("drop_enter", pid)
+
+    # ------------------------------------------------------------- admission
+
+    def _someone_is_waiting(self) -> bool:
+        return self.core is None or bool(self.core.entry_pids)
+
+    def admission_suppressed(self, origin: str) -> bool:
+        if not self._origin_matches(origin) or not self._someone_is_waiting():
+            return False
+        return self._trigger("suppress_admission")
+
+    def admission_skip_victim(self, pid: Pid) -> bool:
+        if self._perturbation != "starve_victim":
+            return False
+        if pid == self._victim:
+            self.fired += 1
+            if pid not in self.affected:
+                self.affected.append(pid)
+            return True
+        return False
+
+    def admission_admit_extra(self, origin: str) -> bool:
+        if not self._origin_matches(origin) or not self._someone_is_waiting():
+            return False
+        return self._trigger("admit_extra")
+
+    # ------------------------------------------------------------------ wait
+
+    def wait_no_block(self, pid: Pid, cond: Cond) -> bool:
+        return self._trigger("wait_no_block", pid)
+
+    def wait_lose_caller(self, pid: Pid, cond: Cond) -> bool:
+        return self._trigger("wait_lose_caller", pid)
+
+    def wait_hold_monitor(self, pid: Pid, cond: Cond) -> bool:
+        return self._trigger("wait_hold_monitor", pid)
+
+    # ----------------------------------------------------------- signal-exit
+
+    def sigexit_fake_resume(self, pid: Pid, cond: Optional[Cond]) -> bool:
+        return self._trigger("fake_resume", pid)
+
+    def sigexit_hold_monitor(self, pid: Pid) -> bool:
+        return self._trigger("hold_monitor_on_exit", pid)

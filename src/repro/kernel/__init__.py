@@ -1,0 +1,63 @@
+"""Execution substrates for monitor-based concurrent programs.
+
+The paper evaluated a Java prototype with real preemptive threads.  For the
+reproduction we provide two interchangeable kernels behind one process model:
+
+* :class:`repro.kernel.sim.SimKernel` — a deterministic discrete-event
+  simulation kernel.  Processes are Python generators that yield *syscalls*;
+  the kernel interleaves them under a pluggable, seedable scheduling policy
+  and advances a virtual clock.  This kernel is the default everywhere
+  because CPython's GIL masks genuine data races: the robustness experiment
+  needs faults such as "two processes inside the monitor at once" to be
+  *constructible and reproducible*, which only a simulated interleaving
+  substrate provides.
+
+* :class:`repro.kernel.threads.ThreadKernel` — a real ``threading`` kernel
+  that interprets the *same* generator protocol on OS threads.  It exists so
+  that the Table-1 overhead experiment measures genuine wall-clock cost of
+  history recording and checking.
+
+Both kernels implement :class:`repro.kernel.base.Kernel`, so monitors, apps,
+workloads and benchmarks are written once and run on either.
+"""
+
+from repro.kernel.base import Kernel, ProcessRecord, ProcessState, RunResult
+from repro.kernel.clock import VirtualClock
+from repro.kernel.explore import ExplorationResult, SeedFailure, explore_seeds
+from repro.kernel.policies import (
+    FifoPolicy,
+    LifoPolicy,
+    RandomPolicy,
+    SchedulingPolicy,
+    ScriptedPolicy,
+    make_policy,
+)
+from repro.kernel.sim import SimKernel
+from repro.kernel.sync import KernelSemaphore
+from repro.kernel.syscalls import Block, Delay, Spawn, Syscall, Yield
+from repro.kernel.threads import ThreadKernel
+
+__all__ = [
+    "Kernel",
+    "ProcessRecord",
+    "ProcessState",
+    "RunResult",
+    "VirtualClock",
+    "explore_seeds",
+    "ExplorationResult",
+    "SeedFailure",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "LifoPolicy",
+    "RandomPolicy",
+    "ScriptedPolicy",
+    "make_policy",
+    "SimKernel",
+    "ThreadKernel",
+    "KernelSemaphore",
+    "Syscall",
+    "Delay",
+    "Block",
+    "Yield",
+    "Spawn",
+]

@@ -1,0 +1,170 @@
+"""Kernel interface shared by the simulation and thread substrates.
+
+A *kernel* owns a set of processes, a notion of time, and three capabilities
+that the monitor construct is built from:
+
+* ``current_pid()`` — identity of the process executing right now,
+* ``atomic(fn)`` — run ``fn`` as one indivisible action with respect to all
+  other processes (trivially true on the cooperative simulation kernel; a
+  global lock on the thread kernel),
+* ``make_ready(pid)`` — grant a wake-up permit to a blocked process.
+
+Everything higher level — semaphores, monitors, detectors — is expressed in
+terms of these plus the syscall protocol in :mod:`repro.kernel.syscalls`.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.ids import Pid
+from repro.kernel.syscalls import ProcessBody
+
+__all__ = ["ProcessState", "ProcessRecord", "RunResult", "Kernel"]
+
+T = TypeVar("T")
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a kernel process."""
+
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    TERMINATED = "terminated"
+    FAILED = "failed"
+
+
+@dataclass
+class ProcessRecord:
+    """Kernel bookkeeping for one process."""
+
+    pid: Pid
+    name: str
+    state: ProcessState = ProcessState.NEW
+    #: Label explaining why a blocked process is blocked (diagnostics only).
+    block_reason: Optional[str] = None
+    #: Sticky wake-up permit: set by make_ready before the process blocks.
+    permit: bool = False
+    #: Value carried by a sticky permit, delivered at the next Block (kept
+    #: separate from wake_value so an intermediate Yield resume does not
+    #: consume it).
+    permit_value: Any = None
+    #: Value delivered to the process when it resumes from a Block.
+    wake_value: Any = None
+    #: Exception that terminated the process, when state is FAILED.
+    failure: Optional[BaseException] = None
+    #: Value returned by the body generator, when state is TERMINATED.
+    result: Any = None
+    #: Virtual time at which the process was spawned / terminated.
+    spawned_at: float = 0.0
+    finished_at: Optional[float] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ProcessState.TERMINATED, ProcessState.FAILED)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Summary returned by ``Kernel.run``."""
+
+    #: Virtual (sim) or wall-clock (threads) time when the run stopped.
+    end_time: float
+    #: Number of scheduler steps executed (sim kernel only; 0 for threads).
+    steps: int
+    #: Pids that terminated normally during the run.
+    terminated: tuple[Pid, ...]
+    #: Pids that died with an exception, with the exception attached
+    #: to their ProcessRecord.
+    failed: tuple[Pid, ...]
+    #: Pids still alive (blocked or ready) when the run stopped.
+    live: tuple[Pid, ...]
+    #: True when the run ended because every live process was blocked with
+    #: no pending timers (kernel-level deadlock) and the kernel was
+    #: configured not to raise.
+    deadlocked: bool = False
+
+    @property
+    def quiesced(self) -> bool:
+        """True when no live processes remained at the end of the run."""
+        return not self.live
+
+
+class Kernel(abc.ABC):
+    """Abstract execution substrate.
+
+    Concrete kernels:  :class:`repro.kernel.sim.SimKernel` (deterministic,
+    virtual time) and :class:`repro.kernel.threads.ThreadKernel` (real
+    threads, wall-clock time).
+    """
+
+    # -- process management -------------------------------------------------
+
+    @abc.abstractmethod
+    def spawn(self, body: ProcessBody, name: Optional[str] = None) -> Pid:
+        """Register a new process; it becomes READY immediately."""
+
+    @abc.abstractmethod
+    def process(self, pid: Pid) -> ProcessRecord:
+        """Return the bookkeeping record for ``pid`` (raises if unknown)."""
+
+    @abc.abstractmethod
+    def processes(self) -> tuple[ProcessRecord, ...]:
+        """Snapshot of every process the kernel has ever spawned."""
+
+    # -- execution -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> RunResult:
+        """Drive processes until quiescence, ``until`` time, or step budget."""
+
+    # -- primitives used by synchronisation layers ---------------------------
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time (virtual or wall-clock)."""
+
+    @abc.abstractmethod
+    def current_pid(self) -> Pid:
+        """Pid of the process currently executing (raises outside one)."""
+
+    @abc.abstractmethod
+    def atomic(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` indivisibly with respect to every other process."""
+
+    @abc.abstractmethod
+    def make_ready(self, pid: Pid, value: Any = None) -> None:
+        """Grant a wake-up permit to ``pid``, delivering ``value``.
+
+        If ``pid`` is currently blocked it becomes ready; if it has not
+        blocked yet the permit is remembered (sticky) and its next ``Block``
+        returns immediately.  Waking an already-permitted or dead process is
+        a :class:`repro.errors.ProcessStateError` — double wake-ups are how
+        mutual-exclusion violations sneak in, so the substrate refuses them
+        loudly unless fault injection explicitly asks for them.
+        """
+
+    # -- conveniences ---------------------------------------------------------
+
+    def failures(self) -> dict[Pid, BaseException]:
+        """Map of pid -> exception for every failed process."""
+        return {
+            rec.pid: rec.failure
+            for rec in self.processes()
+            if rec.state is ProcessState.FAILED and rec.failure is not None
+        }
+
+    def raise_failures(self) -> None:
+        """Re-raise the first process failure, if any (test helper)."""
+        for rec in self.processes():
+            if rec.state is ProcessState.FAILED and rec.failure is not None:
+                raise rec.failure

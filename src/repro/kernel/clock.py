@@ -1,0 +1,147 @@
+"""Virtual clock with a timer wheel for the simulation kernel.
+
+The clock owns *virtual time*: a monotonically non-decreasing float that the
+kernel advances explicitly.  Timers are kept in a binary heap keyed by
+``(deadline, sequence)``; the sequence number makes expiry order total and
+deterministic even when deadlines tie, which matters for reproducibility of
+whole-system runs under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Timer", "VirtualClock"]
+
+
+@dataclass(frozen=True, slots=True)
+class Timer:
+    """A scheduled wake-up.
+
+    ``payload`` is opaque to the clock; the kernel stores the pid to wake.
+    """
+
+    deadline: float
+    sequence: int
+    payload: Any
+
+    def sort_key(self) -> tuple[float, int]:
+        return (self.deadline, self.sequence)
+
+
+class VirtualClock:
+    """Monotonic virtual time plus a deterministic timer heap."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._heap: list[tuple[float, int, Timer]] = []
+        self._seq = itertools.count()
+        self._cancelled: set[int] = set()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def schedule(self, delay: float, payload: Any) -> Timer:
+        """Register a timer ``delay`` units from now and return it."""
+        if delay < 0:
+            raise ValueError(f"timer delay must be >= 0, got {delay}")
+        timer = Timer(self._now + delay, next(self._seq), payload)
+        heapq.heappush(self._heap, (timer.deadline, timer.sequence, timer))
+        return timer
+
+    def cancel(self, timer: Timer) -> None:
+        """Cancel a previously scheduled timer (lazy removal)."""
+        self._cancelled.add(timer.sequence)
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][1] in self._cancelled:
+            __, seq, __timer = heapq.heappop(self._heap)
+            self._cancelled.discard(seq)
+
+    @property
+    def has_timers(self) -> bool:
+        """True when at least one live (non-cancelled) timer is pending."""
+        self._drop_cancelled()
+        return bool(self._heap)
+
+    def next_deadline(self) -> Optional[float]:
+        """Deadline of the earliest live timer, or None when none pending."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def advance_to_next(self) -> list[Timer]:
+        """Jump to the earliest deadline and pop every timer expiring then.
+
+        Returns the expired timers in registration order.  Raises
+        ``RuntimeError`` when no timer is pending (callers must check
+        :attr:`has_timers` first) so that an accidental time warp is loud.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            raise RuntimeError("advance_to_next() called with no pending timers")
+        deadline = self._heap[0][0]
+        if deadline < self._now:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"timer heap corrupted: deadline {deadline} < now {self._now}"
+            )
+        self._now = deadline
+        expired: list[Timer] = []
+        while self._heap and self._heap[0][0] == deadline:
+            __, seq, timer = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            expired.append(timer)
+        return expired
+
+    def pop_due(self) -> list[Timer]:
+        """Pop every live timer whose deadline is <= now, in expiry order."""
+        self._drop_cancelled()
+        due: list[Timer] = []
+        while self._heap and self._heap[0][0] <= self._now:
+            __, seq, timer = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            due.append(timer)
+        return due
+
+    def advance_capped(self, amount: float) -> float:
+        """Advance by at most ``amount``, stopping at the next deadline.
+
+        Returns the amount actually advanced.  Unlike :meth:`advance_by`
+        this never raises on a pending timer — it simply stops there, and
+        the caller is expected to drain :meth:`pop_due`.
+        """
+        if amount < 0:
+            raise ValueError(f"cannot move time backwards (amount={amount})")
+        target = self._now + amount
+        nxt = self.next_deadline()
+        if nxt is not None and target > nxt:
+            target = nxt
+        advanced = target - self._now
+        self._now = target
+        return advanced
+
+    def advance_by(self, amount: float) -> None:
+        """Advance time without touching timers (kernel step accounting).
+
+        Refuses to jump past the next pending deadline — that would silently
+        reorder time with respect to timer expiry.
+        """
+        if amount < 0:
+            raise ValueError(f"cannot move time backwards (amount={amount})")
+        target = self._now + amount
+        nxt = self.next_deadline()
+        if nxt is not None and target > nxt:
+            raise RuntimeError(
+                f"advance_by({amount}) would skip a timer due at {nxt}"
+            )
+        self._now = target

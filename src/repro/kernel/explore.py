@@ -1,0 +1,122 @@
+"""Schedule exploration: run one workload under many seeds, check each run.
+
+The simulation kernel makes interleavings a function of the scheduling
+seed, which turns concurrency testing into a search problem: sweep seeds,
+assert an invariant on every run, report the seeds that break it.  This is
+the substrate-level companion to the detector — the detector checks a
+*live* run from the inside; the explorer checks *many* runs from the
+outside.
+
+Example::
+
+    def build(kernel):
+        buffer = BoundedBuffer(kernel, capacity=2)
+        kernel.spawn(producer(buffer, 10))
+        kernel.spawn(consumer(buffer, 10))
+        return buffer
+
+    def check(kernel, buffer):
+        if buffer.occupancy != 0:
+            return f"buffer not drained: {buffer.occupancy}"
+        return None
+
+    result = explore_seeds(build, check, seeds=range(100))
+    assert result.all_passed, result.failures
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, TypeVar
+
+from repro.kernel.base import RunResult
+from repro.kernel.policies import RandomPolicy
+from repro.kernel.sim import SimKernel
+
+__all__ = ["SeedFailure", "ExplorationResult", "explore_seeds"]
+
+T = TypeVar("T")
+
+#: build(kernel) -> context object handed to check()
+Builder = Callable[[SimKernel], T]
+#: check(kernel, context) -> None/"" when fine, else a failure description
+Checker = Callable[[SimKernel, T], Optional[str]]
+
+
+@dataclass(frozen=True)
+class SeedFailure:
+    """One seed whose run violated the invariant (or crashed)."""
+
+    seed: int
+    reason: str
+    end_time: float
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Outcome of a seed sweep."""
+
+    seeds_run: int
+    failures: tuple[SeedFailure, ...]
+    deadlocked_seeds: tuple[int, ...]
+
+    @property
+    def all_passed(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.all_passed else "FAILED"
+        return (
+            f"{status}: {self.seeds_run} seeds, "
+            f"{len(self.failures)} failure(s), "
+            f"{len(self.deadlocked_seeds)} deadlocked"
+        )
+
+
+def explore_seeds(
+    build: Builder,
+    check: Checker,
+    *,
+    seeds: Iterable[int] = range(50),
+    until: Optional[float] = 1000.0,
+    max_steps: int = 2_000_000,
+    allow_deadlock: bool = False,
+    stop_after: Optional[int] = None,
+) -> ExplorationResult:
+    """Run ``build``'s workload once per seed and apply ``check`` to each.
+
+    A run fails when any process dies with an exception, when the run
+    deadlocks (unless ``allow_deadlock``), or when ``check`` returns a
+    non-empty reason.  ``stop_after`` bounds the number of failures
+    collected before the sweep stops early (None = sweep everything).
+    """
+    failures: list[SeedFailure] = []
+    deadlocked: list[int] = []
+    seeds_run = 0
+    for seed in seeds:
+        seeds_run += 1
+        kernel = SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
+        context = build(kernel)
+        result: RunResult = kernel.run(until=until, max_steps=max_steps)
+        reason: Optional[str] = None
+        process_failures = kernel.failures()
+        if process_failures:
+            pid, exc = next(iter(process_failures.items()))
+            reason = f"process P{pid} died: {type(exc).__name__}: {exc}"
+        elif result.deadlocked:
+            deadlocked.append(seed)
+            if not allow_deadlock:
+                reason = "kernel deadlock"
+        if reason is None:
+            reason = check(kernel, context) or None
+        if reason:
+            failures.append(
+                SeedFailure(seed=seed, reason=reason, end_time=result.end_time)
+            )
+            if stop_after is not None and len(failures) >= stop_after:
+                break
+    return ExplorationResult(
+        seeds_run=seeds_run,
+        failures=tuple(failures),
+        deadlocked_seeds=tuple(deadlocked),
+    )

@@ -1,0 +1,154 @@
+"""Scheduling policies for the simulation kernel.
+
+The policy decides which ready process runs next.  Determinism is the whole
+point: given the same seed and workload, the kernel reproduces the same
+interleaving event-for-event, which is what makes the fault-injection
+experiments repeatable (the paper injected faults "randomly"; we inject them
+reproducibly).
+
+Policies see only the ordered tuple of ready pids, never process internals,
+so they cannot accidentally depend on mutable state.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional, Sequence
+
+from repro.ids import Pid
+
+__all__ = [
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "LifoPolicy",
+    "RandomPolicy",
+    "ScriptedPolicy",
+    "make_policy",
+]
+
+
+class SchedulingPolicy(abc.ABC):
+    """Strategy object choosing the next pid from the ready queue."""
+
+    @abc.abstractmethod
+    def choose(self, ready: Sequence[Pid]) -> Pid:
+        """Return one element of ``ready`` (non-empty)."""
+
+    def fork(self) -> "SchedulingPolicy":
+        """Return an independent policy with equivalent configuration.
+
+        Used when a benchmark wants several kernels with identical
+        scheduling behaviour.
+        """
+        return self
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Run the process that became ready earliest (round-robin-ish)."""
+
+    def choose(self, ready: Sequence[Pid]) -> Pid:
+        if not ready:
+            raise ValueError("choose() called with empty ready queue")
+        return ready[0]
+
+    def __repr__(self) -> str:
+        return "FifoPolicy()"
+
+
+class LifoPolicy(SchedulingPolicy):
+    """Run the most recently readied process first.
+
+    Deliberately unfair; useful in tests for provoking starvation-shaped
+    schedules without injecting faults.
+    """
+
+    def choose(self, ready: Sequence[Pid]) -> Pid:
+        if not ready:
+            raise ValueError("choose() called with empty ready queue")
+        return ready[-1]
+
+    def __repr__(self) -> str:
+        return "LifoPolicy()"
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Choose uniformly at random under a fixed seed.
+
+    The default policy for tests and experiments: it explores many
+    interleavings while staying perfectly reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def choose(self, ready: Sequence[Pid]) -> Pid:
+        if not ready:
+            raise ValueError("choose() called with empty ready queue")
+        return ready[self._rng.randrange(len(ready))]
+
+    def fork(self) -> "RandomPolicy":
+        return RandomPolicy(self._seed)
+
+    def __repr__(self) -> str:
+        return f"RandomPolicy(seed={self._seed})"
+
+
+class ScriptedPolicy(SchedulingPolicy):
+    """Follow an explicit script of pid choices, then fall back to FIFO.
+
+    Built for tests that must construct one *exact* interleaving: each
+    script entry names the pid to run next; when the named pid is not
+    ready (or the script is exhausted) the head of the ready queue runs
+    instead, and the miss is recorded in :attr:`misses` so the test can
+    assert the script was actually honoured.
+    """
+
+    def __init__(self, script: Sequence[Pid]) -> None:
+        self._script = list(script)
+        self._cursor = 0
+        #: (position, wanted pid) entries where the script could not be
+        #: followed because the pid was not ready.
+        self.misses: list[tuple[int, Pid]] = []
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._script)
+
+    def choose(self, ready: Sequence[Pid]) -> Pid:
+        if not ready:
+            raise ValueError("choose() called with empty ready queue")
+        while self._cursor < len(self._script):
+            wanted = self._script[self._cursor]
+            self._cursor += 1
+            if wanted in ready:
+                return wanted
+            self.misses.append((self._cursor - 1, wanted))
+        return ready[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"ScriptedPolicy(cursor={self._cursor}/{len(self._script)}, "
+            f"misses={len(self.misses)})"
+        )
+
+
+def make_policy(spec: Optional[str] = None, seed: int = 0) -> SchedulingPolicy:
+    """Build a policy from a short textual spec.
+
+    ``None`` or ``"fifo"`` -> FIFO; ``"lifo"`` -> LIFO; ``"random"`` ->
+    seeded random.  Benchmarks use this so a policy can be selected from a
+    command-line flag.
+    """
+    if spec is None or spec == "fifo":
+        return FifoPolicy()
+    if spec == "lifo":
+        return LifoPolicy()
+    if spec == "random":
+        return RandomPolicy(seed=seed)
+    raise ValueError(f"unknown scheduling policy {spec!r}")

@@ -1,0 +1,336 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the primary execution substrate of the reproduction.  Processes are
+generators; the kernel resumes one process at a time, so a generator segment
+between two ``yield``s is atomic by construction.  All nondeterminism is
+funnelled through a single seedable :class:`~repro.kernel.policies.SchedulingPolicy`,
+which makes every run — including runs with injected faults — exactly
+reproducible.
+
+Why simulate instead of using real threads?  Two reasons, both from the
+paper's evaluation needs:
+
+1. The robustness experiment requires *constructing* executions that violate
+   monitor semantics (two owners at once, lost wake-ups, starved queues).
+   Under CPython's GIL such interleavings are impossible to produce reliably
+   with OS threads; under the sim kernel they are one injection hook away.
+2. Fault detection reasons about *event orderings*.  A virtual clock gives
+   stable timestamps, so detector behaviour (timeouts ``Tio``/``Tmax``,
+   checking period ``T``) is testable without real sleeps.
+
+The wall-clock overhead experiment (Table 1) uses the sibling
+:class:`repro.kernel.threads.ThreadKernel` instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.errors import (
+    KernelError,
+    ProcessStateError,
+    SchedulerStalled,
+    SimulationDeadlock,
+    UnknownProcessError,
+)
+from repro.ids import Pid
+from repro.kernel.base import Kernel, ProcessRecord, ProcessState, RunResult
+from repro.kernel.clock import VirtualClock
+from repro.kernel.policies import FifoPolicy, SchedulingPolicy
+from repro.kernel.syscalls import Block, Delay, ProcessBody, Spawn, Syscall, Yield
+
+__all__ = ["SimKernel"]
+
+T = TypeVar("T")
+
+#: Block reason used internally for Delay, distinguishing timer sleeps from
+#: synchronisation blocks.
+_DELAY_REASON = "__delay__"
+
+
+class _SimProcess(ProcessRecord):
+    """ProcessRecord plus the generator being driven (sim-kernel private)."""
+
+    def __init__(self, pid: Pid, name: str, body: ProcessBody, spawned_at: float):
+        super().__init__(pid=pid, name=name, spawned_at=spawned_at)
+        self.body = body
+        #: Timer for a pending Delay, so injection/shutdown can cancel it.
+        self.delay_timer = None
+
+
+class SimKernel(Kernel):
+    """Cooperative, deterministic kernel over virtual time.
+
+    Parameters
+    ----------
+    policy:
+        Scheduling policy choosing among ready processes.  Defaults to FIFO.
+    step_cost:
+        Virtual time consumed by each scheduler step.  The default ``0.0``
+        means time only advances through explicit :class:`Delay` syscalls;
+        set a small positive value when workloads have no natural delays but
+        timeout-based detection rules still need time to move.
+    on_deadlock:
+        ``"raise"`` (default) raises :class:`SimulationDeadlock` when every
+        live process is blocked with no pending timer; ``"stop"`` ends the
+        run and flags :attr:`RunResult.deadlocked` instead — used by tests
+        and campaigns that deliberately create deadlocks.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[SchedulingPolicy] = None,
+        *,
+        step_cost: float = 0.0,
+        on_deadlock: str = "raise",
+    ) -> None:
+        if on_deadlock not in ("raise", "stop"):
+            raise ValueError(f"on_deadlock must be 'raise' or 'stop', got {on_deadlock!r}")
+        if step_cost < 0:
+            raise ValueError(f"step_cost must be >= 0, got {step_cost}")
+        self._policy = policy or FifoPolicy()
+        self._step_cost = step_cost
+        self._on_deadlock = on_deadlock
+        self._clock = VirtualClock()
+        self._procs: dict[Pid, _SimProcess] = {}
+        self._ready: list[Pid] = []
+        self._pid_counter = itertools.count(1)
+        self._current: Optional[Pid] = None
+        self._steps = 0
+
+    # ------------------------------------------------------------------ api
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self._clock
+
+    @property
+    def steps(self) -> int:
+        """Total scheduler steps executed so far (proxy for simulated work)."""
+        return self._steps
+
+    def now(self) -> float:
+        return self._clock.now
+
+    def spawn(self, body: ProcessBody, name: Optional[str] = None) -> Pid:
+        pid = next(self._pid_counter)
+        proc = _SimProcess(
+            pid=pid,
+            name=name or f"proc-{pid}",
+            body=body,
+            spawned_at=self._clock.now,
+        )
+        proc.state = ProcessState.READY
+        self._procs[pid] = proc
+        self._ready.append(pid)
+        return pid
+
+    def process(self, pid: Pid) -> ProcessRecord:
+        try:
+            return self._procs[pid]
+        except KeyError:
+            raise UnknownProcessError(f"unknown pid {pid}") from None
+
+    def processes(self) -> tuple[ProcessRecord, ...]:
+        return tuple(self._procs.values())
+
+    def current_pid(self) -> Pid:
+        if self._current is None:
+            raise KernelError("current_pid() called outside a process step")
+        return self._current
+
+    def atomic(self, fn: Callable[[], T]) -> T:
+        # Generator segments are atomic on this kernel; nothing to lock.
+        return fn()
+
+    # ------------------------------------------------------- wake-up permits
+
+    def make_ready(self, pid: Pid, value: Any = None, *, force: bool = False) -> None:
+        proc = self._procs.get(pid)
+        if proc is None:
+            raise UnknownProcessError(f"unknown pid {pid}")
+        if not proc.alive:
+            if force:
+                return
+            raise ProcessStateError(f"cannot wake dead process {pid} ({proc.name})")
+        if proc.state is ProcessState.BLOCKED:
+            if proc.block_reason == _DELAY_REASON:
+                if not force:
+                    raise ProcessStateError(
+                        f"process {pid} is sleeping on a Delay, not a sync block"
+                    )
+                if proc.delay_timer is not None:
+                    self._clock.cancel(proc.delay_timer)
+                    proc.delay_timer = None
+            proc.state = ProcessState.READY
+            proc.block_reason = None
+            proc.wake_value = value
+            self._ready.append(pid)
+            return
+        # Not blocked yet: leave a sticky permit.
+        if proc.permit and not force:
+            raise ProcessStateError(
+                f"double wake-up for process {pid} ({proc.name}): permit already set"
+            )
+        proc.permit = True
+        proc.permit_value = value
+
+    def forget(self, pid: Pid) -> None:
+        """Drop a blocked process on the floor (fault injection only).
+
+        Models the paper's "requesting process is lost" faults: the process
+        stays BLOCKED forever and nothing will ever wake it.  The kernel's
+        own deadlock detection ignores forgotten processes so that the
+        *detector*, not the substrate, is the thing that notices.
+        """
+        proc = self._procs.get(pid)
+        if proc is None:
+            raise UnknownProcessError(f"unknown pid {pid}")
+        proc.block_reason = "__forgotten__"
+
+    # --------------------------------------------------------------- run loop
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_steps: Optional[int] = 1_000_000,
+    ) -> RunResult:
+        deadlocked = False
+        steps_at_entry = self._steps
+        while True:
+            # 1. expire any timers due at the current instant
+            for timer in self._clock.pop_due():
+                self._wake_from_timer(timer.payload)
+
+            if until is not None and self._clock.now >= until:
+                break
+
+            if self._ready:
+                if max_steps is not None and self._steps - steps_at_entry >= max_steps:
+                    raise SchedulerStalled(
+                        f"step budget of {max_steps} exhausted at t={self._clock.now:g} "
+                        f"with {len(self._ready)} process(es) still ready"
+                    )
+                self._step_one()
+                if self._step_cost:
+                    self._clock.advance_capped(self._step_cost)
+                continue
+
+            # 2. nothing ready: advance time to the next timer if any
+            if self._clock.has_timers:
+                nxt = self._clock.next_deadline()
+                assert nxt is not None
+                if until is not None and nxt > until:
+                    # The horizon falls inside this idle gap: the run
+                    # covers [start, until], so the clock lands on until.
+                    self._clock.advance_capped(until - self._clock.now)
+                    break
+                for timer in self._clock.advance_to_next():
+                    self._wake_from_timer(timer.payload)
+                continue
+
+            # 3. no ready processes, no timers: quiescent or deadlocked
+            blocked = tuple(
+                p.pid
+                for p in self._procs.values()
+                if p.alive
+                and p.state is ProcessState.BLOCKED
+                and p.block_reason != "__forgotten__"
+            )
+            if blocked:
+                if self._on_deadlock == "raise":
+                    raise SimulationDeadlock(blocked, self._clock.now)
+                deadlocked = True
+            break
+
+        return self._result(deadlocked)
+
+    def _result(self, deadlocked: bool) -> RunResult:
+        terminated, failed, live = [], [], []
+        for proc in self._procs.values():
+            if proc.state is ProcessState.TERMINATED:
+                terminated.append(proc.pid)
+            elif proc.state is ProcessState.FAILED:
+                failed.append(proc.pid)
+            else:
+                live.append(proc.pid)
+        return RunResult(
+            end_time=self._clock.now,
+            steps=self._steps,
+            terminated=tuple(terminated),
+            failed=tuple(failed),
+            live=tuple(live),
+            deadlocked=deadlocked,
+        )
+
+    def _wake_from_timer(self, pid: Pid) -> None:
+        proc = self._procs.get(pid)
+        if proc is None or not proc.alive:
+            return
+        if proc.state is ProcessState.BLOCKED and proc.block_reason == _DELAY_REASON:
+            proc.state = ProcessState.READY
+            proc.block_reason = None
+            proc.delay_timer = None
+            proc.wake_value = None
+            self._ready.append(pid)
+
+    def _step_one(self) -> None:
+        pid = self._policy.choose(self._ready)
+        self._ready.remove(pid)
+        proc = self._procs[pid]
+        if not proc.alive:  # pragma: no cover - defensive
+            raise ProcessStateError(f"dead process {pid} found on ready queue")
+        proc.state = ProcessState.RUNNING
+        self._current = pid
+        self._steps += 1
+        wake = proc.wake_value
+        proc.wake_value = None
+        try:
+            syscall = proc.body.send(wake)
+        except StopIteration as stop:
+            self._terminate(proc, result=stop.value)
+            return
+        except Exception as exc:
+            proc.state = ProcessState.FAILED
+            proc.failure = exc
+            proc.finished_at = self._clock.now
+            return
+        finally:
+            self._current = None
+        self._dispatch(proc, syscall)
+
+    def _terminate(self, proc: _SimProcess, result: Any) -> None:
+        proc.state = ProcessState.TERMINATED
+        proc.result = result
+        proc.finished_at = self._clock.now
+
+    def _dispatch(self, proc: _SimProcess, syscall: Syscall) -> None:
+        if isinstance(syscall, Delay):
+            proc.state = ProcessState.BLOCKED
+            proc.block_reason = _DELAY_REASON
+            proc.delay_timer = self._clock.schedule(syscall.duration, proc.pid)
+        elif isinstance(syscall, Yield):
+            proc.state = ProcessState.READY
+            self._ready.append(proc.pid)
+        elif isinstance(syscall, Block):
+            if proc.permit:
+                proc.permit = False
+                proc.wake_value = proc.permit_value
+                proc.permit_value = None
+                proc.state = ProcessState.READY
+                self._ready.append(proc.pid)
+            else:
+                proc.state = ProcessState.BLOCKED
+                proc.block_reason = syscall.reason or "block"
+        elif isinstance(syscall, Spawn):
+            child = self.spawn(syscall.factory(), name=syscall.name)
+            proc.state = ProcessState.READY
+            proc.wake_value = child
+            self._ready.append(proc.pid)
+        else:
+            proc.state = ProcessState.FAILED
+            proc.failure = KernelError(
+                f"process {proc.pid} ({proc.name}) yielded a non-syscall: {syscall!r}"
+            )
+            proc.finished_at = self._clock.now

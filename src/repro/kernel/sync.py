@@ -1,0 +1,104 @@
+"""Low-level synchronisation built directly on kernel primitives.
+
+The monitor construct in :mod:`repro.monitor` manages its own queues (it has
+to — the detector inspects them), but a plain counting semaphore is still
+needed by workloads, tests and the thread kernel's internals, and it doubles
+as the reference example of how to build a blocking primitive from
+``atomic`` + ``Block`` + ``make_ready``.
+
+Usage (inside a process body)::
+
+    sem = KernelSemaphore(kernel, initial=1)
+
+    def worker(kernel):
+        yield from sem.acquire()
+        try:
+            ...critical section...
+        finally:
+            sem.release()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.ids import Pid
+from repro.kernel.base import Kernel
+from repro.kernel.syscalls import Block, Syscall
+
+__all__ = ["KernelSemaphore"]
+
+
+class KernelSemaphore:
+    """Counting semaphore with a strict FIFO wait queue.
+
+    FIFO hand-off (the released permit goes *directly* to the head waiter,
+    not back into the counter) gives the fairness property the paper's
+    FD-Rule 4 ("free of starvation") assumes of a correct substrate.
+    """
+
+    def __init__(self, kernel: Kernel, initial: int = 1, name: Optional[str] = None):
+        if initial < 0:
+            raise ValueError(f"semaphore initial value must be >= 0, got {initial}")
+        self._kernel = kernel
+        self._count = initial
+        self._queue: deque[Pid] = deque()
+        self.name = name or "sem"
+
+    @property
+    def value(self) -> int:
+        """Current counter value (snapshot; for tests and diagnostics)."""
+        return self._count
+
+    @property
+    def waiters(self) -> tuple[Pid, ...]:
+        """Pids currently queued (snapshot; for tests and diagnostics)."""
+        return tuple(self._queue)
+
+    def acquire(self) -> Iterator[Syscall]:
+        """Generator: take one permit, blocking FIFO when none available."""
+        me = self._kernel.current_pid()
+
+        def try_take() -> bool:
+            if self._count > 0:
+                self._count -= 1
+                return True
+            self._queue.append(me)
+            return False
+
+        if not self._kernel.atomic(try_take):
+            yield Block(reason=f"sem:{self.name}")
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True when a permit was taken."""
+
+        def try_take() -> bool:
+            if self._count > 0:
+                self._count -= 1
+                return True
+            return False
+
+        return self._kernel.atomic(try_take)
+
+    def release(self) -> None:
+        """Return one permit, handing it to the head waiter if any.
+
+        Plain method (never blocks), callable from any process.
+        """
+
+        def give_back() -> Optional[Pid]:
+            if self._queue:
+                return self._queue.popleft()
+            self._count += 1
+            return None
+
+        waiter = self._kernel.atomic(give_back)
+        if waiter is not None:
+            self._kernel.make_ready(waiter)
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelSemaphore(name={self.name!r}, value={self._count}, "
+            f"waiters={len(self._queue)})"
+        )

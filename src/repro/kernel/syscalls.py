@@ -1,0 +1,92 @@
+"""Syscall objects yielded by simulated processes.
+
+A *process body* in this package is a Python generator.  Whenever the body
+needs the kernel to do something on its behalf — pass time, give up the CPU,
+or block until another process wakes it — it ``yield``s one of the small
+request objects defined here.  The kernel interprets the request and resumes
+the generator later with ``generator.send(value)``.
+
+The protocol is deliberately tiny (compare SimPy's event zoo): monitors and
+every higher layer are built from just :class:`Delay`, :class:`Yield` and
+:class:`Block` plus direct (non-blocking, atomic) kernel method calls such as
+``kernel.make_ready(pid)``.
+
+Example
+-------
+A producer that sleeps and then deposits into a monitor-protected buffer::
+
+    def producer(kernel, buffer):
+        for item in range(10):
+            yield Delay(0.5)               # think time
+            yield from buffer.send(item)   # may yield Block() internally
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+__all__ = ["Syscall", "Delay", "Yield", "Block", "Spawn", "ProcessBody"]
+
+#: The type of a process body: a generator that yields syscalls and receives
+#: wake-up values back.
+ProcessBody = Generator["Syscall", Any, Any]
+
+
+class Syscall:
+    """Marker base class for everything a process body may yield."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Delay(Syscall):
+    """Suspend the calling process for ``duration`` units of (virtual) time.
+
+    On the simulation kernel the clock is virtual and jumps directly to the
+    next scheduled wake-up; on the thread kernel this maps to
+    ``time.sleep`` scaled by the kernel's ``time_scale``.
+    """
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"Delay duration must be >= 0, got {self.duration}")
+
+
+@dataclass(frozen=True, slots=True)
+class Yield(Syscall):
+    """Give up the CPU voluntarily; the process stays ready.
+
+    Used to create extra preemption points so that scheduling policies can
+    explore more interleavings.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class Block(Syscall):
+    """Suspend the calling process until someone calls ``make_ready(pid)``.
+
+    ``reason`` is a free-form label recorded on the process for diagnostics
+    (e.g. ``"monitor-entry:buffer"`` or ``"cond:full"``).
+
+    Wake-ups are *sticky permits*: if ``make_ready`` for this pid happens
+    before the process actually blocks (possible on the thread kernel), the
+    block consumes the permit and returns immediately.  This mirrors how
+    real schedulers avoid lost-wakeup races.
+    """
+
+    reason: Optional[str] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Spawn(Syscall):
+    """Ask the kernel to start a new process from within a running one.
+
+    ``factory`` is a zero-argument callable returning a process body
+    generator; the new pid is sent back as the result of the ``yield``.
+    """
+
+    factory: Callable[[], ProcessBody]
+    name: Optional[str] = None

@@ -1,0 +1,200 @@
+"""Real-thread kernel: the same process protocol on OS threads.
+
+This kernel interprets the identical generator/syscall protocol as
+:class:`repro.kernel.sim.SimKernel`, but each process runs on its own
+``threading.Thread`` and time is the wall clock.  It exists for one purpose:
+the Table-1 overhead experiment, which must measure the *real* cost of
+history recording and periodic checking, something a virtual clock cannot
+express.
+
+Timing model
+------------
+``Delay`` durations and ``now()`` are in *virtual seconds*, converted to wall
+time by ``time_scale``.  With ``time_scale=0.01`` a workload written with
+``Delay(0.5)`` think times finishes 100x faster while every ratio between
+configurations is preserved — which is all the overhead table needs.
+
+Determinism caveat
+------------------
+Thread interleavings are inherently nondeterministic; correctness tests and
+fault-injection campaigns therefore run on the sim kernel.  This kernel's own
+test suite asserts only schedule-independent properties.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.errors import KernelError, UnknownProcessError
+from repro.ids import Pid
+from repro.kernel.base import Kernel, ProcessRecord, ProcessState, RunResult
+from repro.kernel.syscalls import Block, Delay, ProcessBody, Spawn, Syscall, Yield
+
+__all__ = ["ThreadKernel"]
+
+T = TypeVar("T")
+
+
+class _ThreadProcess(ProcessRecord):
+    """ProcessRecord plus the thread and wake-up event driving it."""
+
+    def __init__(self, pid: Pid, name: str, body: ProcessBody, spawned_at: float):
+        super().__init__(pid=pid, name=name, spawned_at=spawned_at)
+        self.body = body
+        self.thread: Optional[threading.Thread] = None
+        self.wake_event = threading.Event()
+
+
+class ThreadKernel(Kernel):
+    """Kernel over ``threading`` for wall-clock measurements."""
+
+    def __init__(self, *, time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be > 0, got {time_scale}")
+        self._time_scale = time_scale
+        self._start = time.monotonic()
+        self._procs: dict[Pid, _ThreadProcess] = {}
+        self._pid_counter = itertools.count(1)
+        self._lock = threading.RLock()
+        self._by_ident: dict[int, Pid] = {}
+
+    # ------------------------------------------------------------------ api
+
+    def now(self) -> float:
+        return (time.monotonic() - self._start) / self._time_scale
+
+    def spawn(self, body: ProcessBody, name: Optional[str] = None) -> Pid:
+        with self._lock:
+            pid = next(self._pid_counter)
+            proc = _ThreadProcess(
+                pid=pid,
+                name=name or f"proc-{pid}",
+                body=body,
+                spawned_at=self.now(),
+            )
+            proc.state = ProcessState.READY
+            self._procs[pid] = proc
+        thread = threading.Thread(
+            target=self._interpret, args=(proc,), name=proc.name, daemon=True
+        )
+        proc.thread = thread
+        thread.start()
+        return pid
+
+    def process(self, pid: Pid) -> ProcessRecord:
+        with self._lock:
+            try:
+                return self._procs[pid]
+            except KeyError:
+                raise UnknownProcessError(f"unknown pid {pid}") from None
+
+    def processes(self) -> tuple[ProcessRecord, ...]:
+        with self._lock:
+            return tuple(self._procs.values())
+
+    def current_pid(self) -> Pid:
+        pid = self._by_ident.get(threading.get_ident())
+        if pid is None:
+            raise KernelError("current_pid() called outside a kernel process")
+        return pid
+
+    def atomic(self, fn: Callable[[], T]) -> T:
+        with self._lock:
+            return fn()
+
+    def make_ready(self, pid: Pid, value: Any = None) -> None:
+        with self._lock:
+            proc = self._procs.get(pid)
+            if proc is None:
+                raise UnknownProcessError(f"unknown pid {pid}")
+            proc.wake_value = value
+            proc.wake_event.set()
+
+    # -------------------------------------------------------------- run/join
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> RunResult:
+        """Join every spawned thread; ``until`` is a virtual-time deadline."""
+        deadline = (
+            None if until is None else self._start + until * self._time_scale
+        )
+        for proc in self.processes():
+            thread = proc.thread  # type: ignore[attr-defined]
+            if thread is None:
+                continue
+            if deadline is None:
+                thread.join()
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining > 0:
+                    thread.join(timeout=remaining)
+        terminated, failed, live = [], [], []
+        with self._lock:
+            for proc in self._procs.values():
+                if proc.state is ProcessState.TERMINATED:
+                    terminated.append(proc.pid)
+                elif proc.state is ProcessState.FAILED:
+                    failed.append(proc.pid)
+                else:
+                    live.append(proc.pid)
+        return RunResult(
+            end_time=self.now(),
+            steps=0,
+            terminated=tuple(terminated),
+            failed=tuple(failed),
+            live=tuple(live),
+            deadlocked=False,
+        )
+
+    # ------------------------------------------------------------ interpreter
+
+    def _interpret(self, proc: _ThreadProcess) -> None:
+        self._by_ident[threading.get_ident()] = proc.pid
+        proc.state = ProcessState.RUNNING
+        value: Any = None
+        try:
+            while True:
+                syscall = proc.body.send(value)
+                value = self._execute(proc, syscall)
+        except StopIteration as stop:
+            with self._lock:
+                proc.state = ProcessState.TERMINATED
+                proc.result = stop.value
+                proc.finished_at = self.now()
+        except Exception as exc:
+            with self._lock:
+                proc.state = ProcessState.FAILED
+                proc.failure = exc
+                proc.finished_at = self.now()
+        finally:
+            self._by_ident.pop(threading.get_ident(), None)
+
+    def _execute(self, proc: _ThreadProcess, syscall: Syscall) -> Any:
+        if isinstance(syscall, Delay):
+            time.sleep(syscall.duration * self._time_scale)
+            return None
+        if isinstance(syscall, Yield):
+            time.sleep(0)
+            return None
+        if isinstance(syscall, Block):
+            proc.state = ProcessState.BLOCKED
+            proc.block_reason = syscall.reason or "block"
+            proc.wake_event.wait()
+            with self._lock:
+                proc.wake_event.clear()
+                proc.state = ProcessState.RUNNING
+                proc.block_reason = None
+                value = proc.wake_value
+                proc.wake_value = None
+            return value
+        if isinstance(syscall, Spawn):
+            return self.spawn(syscall.factory(), name=syscall.name)
+        raise KernelError(
+            f"process {proc.pid} ({proc.name}) yielded a non-syscall: {syscall!r}"
+        )

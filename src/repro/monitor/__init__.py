@@ -1,0 +1,43 @@
+"""The monitor construct, augmented for run-time fault detection.
+
+Layering (mirrors Figure 1 of the paper):
+
+* :class:`~repro.monitor.core.MonitorCore` — a *pure* scheduling state
+  machine: Running set, entry queue, condition queues, urgent stack.  Every
+  transition is a plain function from state to (state, processes-to-wake).
+  It performs the data gathering (event recording) and exposes the
+  perturbation hooks used by fault injection.  Being pure makes it
+  unit-testable without any kernel and identical across substrates.
+* :class:`~repro.monitor.construct.Monitor` — binds a core to a
+  :class:`~repro.kernel.base.Kernel`: it wraps each transition in
+  ``kernel.atomic``, translates "caller must block" into the ``Block``
+  syscall, and delivers wake-ups via ``kernel.make_ready``.
+* :class:`~repro.monitor.construct.MonitorBase` + the
+  :func:`~repro.monitor.procedures.procedure` decorator — the user-facing
+  construct: declare a monitor class, write procedures as generator
+  methods, get Enter/Exit bracketing, history recording and call-order
+  specification automatically.
+"""
+
+from repro.monitor.classification import MonitorType
+from repro.monitor.construct import Monitor, MonitorBase
+from repro.monitor.core import MonitorCore, Transition
+from repro.monitor.declaration import MonitorDeclaration
+from repro.monitor.hooks import CoreHooks
+from repro.monitor.metrics import DurationStats, MonitorMetrics
+from repro.monitor.procedures import procedure
+from repro.monitor.semantics import Discipline
+
+__all__ = [
+    "MonitorType",
+    "Discipline",
+    "MonitorDeclaration",
+    "CoreHooks",
+    "MonitorCore",
+    "Transition",
+    "Monitor",
+    "MonitorBase",
+    "procedure",
+    "MonitorMetrics",
+    "DurationStats",
+]

@@ -1,0 +1,70 @@
+"""Classification of monitors by functional characteristics (Section 2.1).
+
+The paper divides monitors into three types.  The type is part of the
+monitor declaration and selects which detection algorithms apply:
+
+=====================================  ==========================================
+Type                                   Algorithms run by the detector
+=====================================  ==========================================
+``COMMUNICATION_COORDINATOR``          Algorithm-1 + Algorithm-2 (resource states)
+``RESOURCE_ALLOCATOR``                 Algorithm-1 + Algorithm-3 (calling orders,
+                                       checked in real time)
+``OPERATION_MANAGER``                  Algorithm-1 only
+=====================================  ==========================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["MonitorType"]
+
+
+class MonitorType(enum.Enum):
+    """Functional classification of a monitor (paper Section 2.1)."""
+
+    #: Pairs of processes exchange data through the monitor (e.g. a bounded
+    #: buffer with Send/Receive).  Subject to the four integrity constraints
+    #: of Section 2.1 and therefore to Algorithm-2.
+    COMMUNICATION_COORDINATOR = "communication-coordinator"
+
+    #: The monitor only grants and revokes the *right* to use a resource
+    #: (Request/Release); the resource operations themselves happen outside.
+    #: Subject to the partial-ordering constraint and Algorithm-3.
+    RESOURCE_ALLOCATOR = "resource-access-right-allocator"
+
+    #: Monitor and resource are combined into one shared module; processes
+    #: issue operations and the monitor handles request/release implicitly.
+    OPERATION_MANAGER = "resource-operation-manager"
+
+    @property
+    def needs_resource_checking(self) -> bool:
+        """True when Algorithm-2 (consistency of resource states) applies."""
+        return self is MonitorType.COMMUNICATION_COORDINATOR
+
+    @property
+    def needs_order_checking(self) -> bool:
+        """True when Algorithm-3 (calling orders) applies.
+
+        The paper mandates *real-time* order checking for this type: "Only
+        the user process level faults ... should be detected during real
+        time execution."
+        """
+        return self is MonitorType.RESOURCE_ALLOCATOR
+
+    def describe(self) -> str:
+        if self is MonitorType.COMMUNICATION_COORDINATOR:
+            return (
+                "communication coordinator: processes exchange data through "
+                "monitor-controlled buffers (Send/Receive)"
+            )
+        if self is MonitorType.RESOURCE_ALLOCATOR:
+            return (
+                "resource-access-right allocator: the monitor grants and "
+                "revokes access rights (Request/Release) but does not mediate "
+                "use of the resource"
+            )
+        return (
+            "resource operation manager: monitor and resource are combined; "
+            "synchronisation is implicit in the operations"
+        )

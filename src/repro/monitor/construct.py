@@ -1,0 +1,313 @@
+"""The kernel-bound monitor construct and the user-facing base class.
+
+:class:`Monitor` binds a :class:`~repro.monitor.core.MonitorCore` to a
+kernel.  Each primitive is a generator: the core transition runs inside
+``kernel.atomic``, wake-ups are delivered through ``kernel.make_ready``, and
+"caller must block" becomes a ``Block`` syscall — so the primitives compose
+with process bodies via ``yield from``.
+
+:class:`MonitorBase` is what applications subclass.  Together with the
+:func:`~repro.monitor.procedures.procedure` decorator it reproduces the
+paper's augmented declaration form: the monitor type, condition variables
+and procedure call order are stated once in a
+:class:`~repro.monitor.declaration.MonitorDeclaration`, and Enter /
+Signal-Exit bracketing plus history recording happen automatically.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Iterator, Optional
+
+from repro.errors import MonitorUsageError
+from repro.history.database import HistoryDatabase
+from repro.history.states import SchedulingState
+from repro.ids import Cond, Pid, Pname
+from repro.kernel.base import Kernel
+from repro.kernel.syscalls import Block, Syscall
+from repro.monitor.core import MonitorCore, Transition
+from repro.monitor.declaration import MonitorDeclaration
+from repro.monitor.hooks import CoreHooks
+
+__all__ = ["Monitor", "MonitorBase"]
+
+
+class Monitor:
+    """A monitor bound to an execution kernel.
+
+    Parameters
+    ----------
+    kernel:
+        The execution substrate.
+    declaration:
+        Static monitor specification (name, type, conditions, call order).
+    history:
+        Attach a history database to enable the paper's extension (event
+        recording + snapshots).  ``None`` runs the plain construct — the
+        baseline of the overhead experiment.
+    hooks:
+        Perturbation hooks for fault injection.
+    resource_probe:
+        ``R#`` probe for communication-coordinator monitors.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        declaration: MonitorDeclaration,
+        *,
+        history: Optional[HistoryDatabase] = None,
+        hooks: Optional[CoreHooks] = None,
+        resource_probe: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.kernel = kernel
+        #: Pids whose current procedure invocation already issued an
+        #: explicit Signal-Exit/Exit.  The @procedure wrapper consults this
+        #: instead of the Running set so an injected "monitor not released"
+        #: fault is not silently repaired by the automatic exit.
+        self.explicit_exits: set[Pid] = set()
+        #: Accumulated wall-clock seconds spent executing primitives, and
+        #: the number of primitive invocations (overhead accounting).
+        self.op_seconds = 0.0
+        self.op_count = 0
+        self.core = MonitorCore(
+            declaration,
+            now=kernel.now,
+            history=None,
+            hooks=hooks,
+            resource_probe=resource_probe,
+        )
+        if history is not None:
+            self.core.attach_history(history)
+
+    @property
+    def declaration(self) -> MonitorDeclaration:
+        return self.core.declaration
+
+    @property
+    def name(self) -> str:
+        return self.core.declaration.name
+
+    @property
+    def history(self) -> Optional[HistoryDatabase]:
+        return self.core.history
+
+    # ------------------------------------------------------------- primitives
+    #
+    # Each primitive accumulates the wall-clock time spent *executing* the
+    # monitor operation (the atomic transition plus wake-up delivery, not
+    # any blocking) into ``op_seconds``.  The overhead experiment (Table 1)
+    # is the ratio of this figure — plus checking time — between the
+    # augmented and the plain construct, which is how the paper defines
+    # "the time spent on executing monitor operations".
+
+    def _apply(self, transition: Transition) -> None:
+        for pid in transition.wake:
+            self.kernel.make_ready(pid)
+
+    def _timed(self, fn: Callable[[], Transition]) -> Transition:
+        started = perf_counter()
+        try:
+            transition = self.kernel.atomic(fn)
+            self._apply(transition)
+        finally:
+            self.op_seconds += perf_counter() - started
+        self.op_count += 1
+        return transition
+
+    def enter(self, pname: Pname) -> Iterator[Syscall]:
+        """Enter primitive; ``yield from`` it inside a process body."""
+        pid = self.kernel.current_pid()
+        transition = self._timed(lambda: self.core.enter(pid, pname))
+        if transition.caller_blocks:
+            yield Block(reason=f"monitor-entry:{self.name}")
+
+    def wait(self, cond: Cond) -> Iterator[Syscall]:
+        """Wait primitive; blocks on the named condition queue."""
+        pid = self.kernel.current_pid()
+        transition = self._timed(lambda: self.core.wait(pid, cond))
+        if transition.caller_blocks:
+            yield Block(reason=f"monitor-cond:{self.name}:{cond}")
+
+    def signal_exit(self, cond: Optional[Cond] = None) -> None:
+        """Signal-Exit primitive (never blocks; plain call)."""
+        pid = self.kernel.current_pid()
+        self._timed(lambda: self.core.signal_exit(pid, cond))
+        self.explicit_exits.add(pid)
+
+    def exit(self) -> None:
+        """Plain Exit (Signal-Exit with no condition)."""
+        self.signal_exit(None)
+
+    def signal(self, cond: Cond) -> Iterator[Syscall]:
+        """Signal primitive under the declared discipline.
+
+        Must be ``yield from``-ed: under the Hoare discipline the signaller
+        blocks on the urgent stack.
+        """
+        pid = self.kernel.current_pid()
+        transition = self._timed(lambda: self.core.signal(pid, cond))
+        if transition.caller_blocks:
+            yield Block(reason=f"monitor-urgent:{self.name}")
+
+    def broadcast(self, cond: Cond) -> None:
+        """Signal every waiter on ``cond`` (Mesa discipline only)."""
+        pid = self.kernel.current_pid()
+        self._timed(lambda: self.core.broadcast(pid, cond))
+
+    # --------------------------------------------------------------- support
+
+    def waiting(self, cond: Cond) -> int:
+        """Number of processes waiting on ``cond`` (Hoare's ``cond.queue``)."""
+        return self.kernel.atomic(lambda: self.core.queue_length(cond))
+
+    def snapshot(self) -> SchedulingState:
+        """Atomically capture the monitor's actual scheduling state."""
+        return self.kernel.atomic(self.core.snapshot)
+
+    def is_inside(self, pid: Pid) -> bool:
+        return self.core.is_inside(pid)
+
+    def __repr__(self) -> str:
+        return f"Monitor({self.name!r} on {type(self.kernel).__name__})"
+
+
+class MonitorBase:
+    """Base class for application monitors.
+
+    Subclasses provide :meth:`declare` (returning the declaration) and write
+    monitor procedures as generator methods decorated with
+    :func:`~repro.monitor.procedures.procedure`.  Example::
+
+        class Allocator(MonitorBase):
+            def declare(self):
+                return MonitorDeclaration(
+                    name="allocator",
+                    mtype=MonitorType.RESOURCE_ALLOCATOR,
+                    procedures=("Request", "Release"),
+                    conditions=("free",),
+                    call_order="(Request ; Release)*",
+                )
+
+            @procedure("Request")
+            def request(self):
+                if self._busy:
+                    yield from self.wait("free")
+                self._busy = True
+
+            @procedure("Release")
+            def release(self):
+                self._busy = False
+                self.signal_exit("free")
+
+    A procedure that does not call ``signal_exit`` itself gets a plain Exit
+    appended automatically, so "exit is not observed" can only occur when a
+    campaign injects it.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        history: Optional[HistoryDatabase] = None,
+        hooks: Optional[CoreHooks] = None,
+    ) -> None:
+        self._declaration = self.declare()
+        self._validate_procedures()
+        self._monitor = Monitor(
+            kernel,
+            self._declaration,
+            history=history,
+            hooks=hooks,
+            resource_probe=self._resource_probe_or_none(),
+        )
+
+    def _validate_procedures(self) -> None:
+        """Fail at construction when an @procedure name is undeclared.
+
+        The declaration is the visible contract; a decorated method whose
+        name is missing from it would otherwise only explode on first call.
+        """
+        from repro.errors import DeclarationError
+        from repro.monitor.procedures import declared_procedures
+
+        implemented = set(declared_procedures(type(self)))
+        declared = set(self._declaration.procedures)
+        undeclared = implemented - declared
+        if undeclared:
+            raise DeclarationError(
+                f"monitor {self._declaration.name!r} implements procedures "
+                f"not in its declaration: {sorted(undeclared)}"
+            )
+
+    # -- subclass interface ---------------------------------------------------
+
+    def declare(self) -> MonitorDeclaration:
+        """Return this monitor's declaration (subclasses must override)."""
+        raise NotImplementedError
+
+    def resource_count(self) -> Optional[int]:
+        """Return ``R#`` (available resources / free buffer slots).
+
+        Communication-coordinator subclasses override this; the default
+        None means the monitor has no resource-count notion.
+        """
+        return None
+
+    def _resource_probe_or_none(self) -> Optional[Callable[[], int]]:
+        if type(self).resource_count is MonitorBase.resource_count:
+            return None
+
+        def probe() -> int:
+            count = self.resource_count()
+            if count is None:
+                raise MonitorUsageError(
+                    f"monitor {self._declaration.name!r} resource_count() "
+                    "returned None"
+                )
+            return count
+
+        return probe
+
+    # -- primitives re-exported for procedure bodies ---------------------------
+
+    @property
+    def monitor(self) -> Monitor:
+        return self._monitor
+
+    @property
+    def kernel(self) -> Kernel:
+        return self._monitor.kernel
+
+    @property
+    def declaration(self) -> MonitorDeclaration:
+        return self._declaration
+
+    @property
+    def name(self) -> str:
+        return self._declaration.name
+
+    @property
+    def history(self) -> Optional[HistoryDatabase]:
+        return self._monitor.history
+
+    def wait(self, cond: Cond) -> Iterator[Syscall]:
+        return self._monitor.wait(cond)
+
+    def signal(self, cond: Cond) -> Iterator[Syscall]:
+        return self._monitor.signal(cond)
+
+    def signal_exit(self, cond: Optional[Cond] = None) -> None:
+        self._monitor.signal_exit(cond)
+
+    def broadcast(self, cond: Cond) -> None:
+        self._monitor.broadcast(cond)
+
+    def waiting(self, cond: Cond) -> int:
+        return self._monitor.waiting(cond)
+
+    def snapshot(self) -> SchedulingState:
+        return self._monitor.snapshot()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._declaration.name!r})"

@@ -1,0 +1,139 @@
+"""Perturbation hooks — the seam between the monitor core and fault injection.
+
+Every decision point of the monitor scheduling machinery consults a
+:class:`CoreHooks` instance.  The default implementation answers "behave
+correctly" everywhere, so a production monitor pays one virtual call per
+decision and nothing else.  The fault-injection campaigns in
+:mod:`repro.injection` subclass this to realise each entry of the paper's
+fault taxonomy (Section 2.2) as a concrete misbehaviour.
+
+The hook names reference the taxonomy: ``I.a`` = Enter procedure faults,
+``I.b`` = Wait procedure faults, ``I.c`` = Signal-Exit procedure faults.
+Level-II faults (resource-state integrity) are injected in the *application*
+logic of communication-coordinator monitors, and level-III faults (calling
+order) in the *user processes*, so neither needs core hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.history.events import SchedulingEvent
+from repro.ids import Cond, Pid, Pname
+
+__all__ = ["CoreHooks"]
+
+
+class CoreHooks:
+    """Correct-behaviour defaults for every perturbation point.
+
+    Subclasses override individual methods to misbehave.  All methods are
+    consulted *inside* the kernel-atomic transition, so overrides must not
+    block; they may keep state (e.g. fire only on the n-th call).
+    """
+
+    # ------------------------------------------------------------- recording
+
+    def should_record(self, event: SchedulingEvent) -> bool:
+        """Return False to suppress recording of this event.
+
+        Fault I.a.4 ("entry is not observed — the process running inside
+        the monitor has not invoked the Enter primitive") is modelled by
+        suppressing the Enter record while the admission still happens.
+        """
+        return True
+
+    # ----------------------------------------------------------------- enter
+
+    def enter_admit_despite_owner(self, pid: Pid, pname: Pname) -> bool:
+        """Fault I.a.1: admit even though the monitor is occupied.
+
+        Two (or more) processes end up inside simultaneously — the mutual
+        exclusion violation of FD-Rule 1(a) / ST-Rule 3.
+        """
+        return False
+
+    def enter_drop_request(self, pid: Pid, pname: Pname) -> bool:
+        """Fault I.a.2: lose the requesting process.
+
+        The Enter event is recorded (the invocation happened) but the
+        process is neither queued nor admitted; it blocks forever.
+        """
+        return False
+
+    # ------------------------------------------------------------- admission
+    # These govern which waiting process receives the monitor whenever it is
+    # released (by Wait or by a Signal-Exit that resumed nobody).
+
+    def admission_suppressed(self, origin: str) -> bool:
+        """Faults I.a.3 / I.b.3: release resumes nobody.
+
+        ``origin`` names the releasing primitive (``"wait"`` or
+        ``"signal-exit"``) so campaigns can target one path.  The monitor
+        becomes (or stays) idle while processes starve on the entry queue.
+        """
+        return False
+
+    def admission_skip_victim(self, pid: Pid) -> bool:
+        """Fault I.b.4: starve a specific entry-queue process.
+
+        Admission passes over ``pid`` (returns True) and admits the next
+        process instead, violating FIFO fairness until the victim's ``Tio``
+        timer expires.
+        """
+        return False
+
+    def admission_admit_extra(self, origin: str) -> bool:
+        """Faults I.b.5 / I.c.3: resume a second process into the monitor.
+
+        After the legitimate admission, the entry-queue head is *also*
+        admitted, putting two processes inside simultaneously.  ``origin``
+        is ``"wait"``, ``"signal-exit"`` or ``"signal-exit-handoff"`` (the
+        direct condition-waiter hand-off path).
+        """
+        return False
+
+    # ------------------------------------------------------------------ wait
+
+    def wait_no_block(self, pid: Pid, cond: Cond) -> bool:
+        """Fault I.b.1: synchronisation not guaranteed.
+
+        The Wait event is recorded but the caller keeps running inside the
+        monitor instead of blocking on the condition queue.
+        """
+        return False
+
+    def wait_lose_caller(self, pid: Pid, cond: Cond) -> bool:
+        """Fault I.b.2: the waiting process is lost.
+
+        The caller leaves the Running set but is never appended to the
+        condition queue — no future signal can ever find it.
+        """
+        return False
+
+    def wait_hold_monitor(self, pid: Pid, cond: Cond) -> bool:
+        """Fault I.b.6: the monitor is not released on wait.
+
+        The caller blocks on the condition queue but the mutual-exclusion
+        lock is never handed over, so every other process starves.
+        """
+        return False
+
+    # ----------------------------------------------------------- signal-exit
+
+    def sigexit_fake_resume(self, pid: Pid, cond: Optional[Cond]) -> bool:
+        """Fault I.c.1: waiting processes are not resumed.
+
+        The Signal-Exit event is recorded with flag=1 (the implementation
+        *claims* it resumed a waiter) but the waiter stays blocked on the
+        condition queue.
+        """
+        return False
+
+    def sigexit_hold_monitor(self, pid: Pid) -> bool:
+        """Fault I.c.2: the monitor is not released on exit.
+
+        The caller leaves, but the Running slot is never vacated; the
+        monitor is wedged.
+        """
+        return False

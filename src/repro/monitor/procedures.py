@@ -1,0 +1,86 @@
+"""The ``@procedure`` decorator: monitor procedures with automatic bracketing.
+
+A monitor procedure decorated with ``@procedure("Name")``:
+
+* performs the Enter primitive before the body runs,
+* performs a plain Exit after the body returns **iff** the body has not
+  already left the monitor via ``signal_exit`` (the paper's normal pattern
+  is an explicit Signal-Exit as the last action),
+* does *not* swallow exceptions: a body that raises terminates its process
+  inside the monitor, which is exactly the paper's fault I.d ("internal
+  process termination") and is left for the detector to find.
+
+The body may be a generator (when it waits or signals under the Hoare
+discipline) or a plain function (when it never blocks)::
+
+    class Buffer(MonitorBase):
+        @procedure("Send")
+        def send(self, item):
+            if self._full():
+                yield from self.wait("full")
+            self._deposit(item)
+            self.signal_exit("empty")
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Any, Callable, Iterator, Optional
+
+from repro.kernel.syscalls import Syscall
+
+__all__ = ["procedure", "declared_procedures"]
+
+#: Attribute set on wrapped methods so tooling can discover procedures.
+_MARKER = "__monitor_procedure__"
+
+
+def procedure(pname: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Mark a :class:`~repro.monitor.construct.MonitorBase` method as the
+    monitor procedure named ``pname``.
+
+    The returned wrapper is always a generator function, to be driven from a
+    process body with ``yield from instance.method(...)``; its return value
+    is the body's return value.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        body_is_generator = inspect.isgeneratorfunction(fn)
+
+        @functools.wraps(fn)
+        def wrapper(self, *args: Any, **kwargs: Any) -> Iterator[Syscall]:
+            monitor = self._monitor
+            pid = monitor.kernel.current_pid()
+            monitor.explicit_exits.discard(pid)
+            yield from monitor.enter(pname)
+            if body_is_generator:
+                result = yield from fn(self, *args, **kwargs)
+            else:
+                result = fn(self, *args, **kwargs)
+            # Append a plain Exit only when the body did not explicitly
+            # leave.  Checking the Running set instead would silently repair
+            # an injected "monitor not released" fault.
+            if pid not in monitor.explicit_exits and monitor.core.is_inside(pid):
+                monitor.exit()
+            monitor.explicit_exits.discard(pid)
+            return result
+
+        setattr(wrapper, _MARKER, pname)
+        return wrapper
+
+    return decorate
+
+
+def declared_procedures(cls: type) -> tuple[str, ...]:
+    """Procedure names declared via ``@procedure`` on ``cls`` (and bases)."""
+    names: list[str] = []
+    for attr in vars(cls).values():
+        pname: Optional[str] = getattr(attr, _MARKER, None)
+        if pname is not None:
+            names.append(pname)
+    for base in cls.__bases__:
+        for inherited in declared_procedures(base):
+            if inherited not in names:
+                names.append(inherited)
+    return tuple(names)

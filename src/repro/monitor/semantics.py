@@ -1,0 +1,44 @@
+"""Signalling disciplines (monitor classification of Buhr & Fortier [2]).
+
+The paper's primitive set combines signal and exit into ``Signal-Exit``,
+following Hoare's observation that signalling processes "normally exit the
+monitor right after issuing the signalling operation".  For completeness —
+and because the paper's Section 2 grounds its taxonomy in the wider monitor
+classification literature — the construct also implements the two classic
+non-exiting disciplines.  The detection algorithms are defined (and proved)
+for the ``SIGNAL_EXIT`` discipline; the extended checker tracks the urgent
+stack so Hoare-style monitors can be checked too (documented deviation, see
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Discipline"]
+
+
+class Discipline(enum.Enum):
+    """How ``signal`` hands the monitor to a waiting process."""
+
+    #: The paper's primitive: signalling and exiting are one operation.  The
+    #: resumed waiter (if any) receives the monitor directly.
+    SIGNAL_EXIT = "signal-exit"
+
+    #: Hoare semantics: the signaller is suspended on the *urgent stack*, the
+    #: waiter runs immediately, and the signaller resumes with priority once
+    #: the waiter releases the monitor.  Condition checks need only ``if``.
+    SIGNAL_AND_WAIT = "signal-and-wait"
+
+    #: Mesa semantics: the signalled waiter is moved to the entry queue and
+    #: re-admitted later; the signaller keeps running.  Condition checks
+    #: must be ``while`` loops.
+    SIGNAL_AND_CONTINUE = "signal-and-continue"
+
+    @property
+    def signaller_keeps_monitor(self) -> bool:
+        return self is Discipline.SIGNAL_AND_CONTINUE
+
+    @property
+    def waiter_runs_immediately(self) -> bool:
+        return self in (Discipline.SIGNAL_EXIT, Discipline.SIGNAL_AND_WAIT)

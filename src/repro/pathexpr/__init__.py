@@ -1,0 +1,40 @@
+"""Path-expression notation for procedure call orders (paper Section 3).
+
+The paper requires "the partial ordering of procedure calls within a
+monitor be specified in the monitor declaration" using a "path-expression
+like notation" (Campbell & Kolstad, reference [3]).  This package provides
+the notation:
+
+* a small grammar — names, sequencing ``;``, alternation ``|``, repetition
+  ``*`` / ``+`` / ``?``, grouping ``( )``,
+* a recursive-descent parser producing an AST,
+* a Thompson-construction NFA, determinised and trimmed into an
+  :class:`~repro.pathexpr.automaton.OrderAutomaton` that answers the one
+  question Algorithm-3 asks per event: *may this process, given its call
+  history, invoke this procedure now?*
+
+Validity is prefix-based: a call sequence is legal while it is a prefix of
+some word in the expression's language.  Example::
+
+    auto = compile_order("(Request ; Release)*")
+    state = auto.start
+    state = auto.step(state, "Request")   # ok
+    auto.step(state, "Request")           # -> None: violation (III.c)
+"""
+
+from repro.pathexpr.ast import Alt, Name, Opt, PathExpr, Plus, Seq, Star
+from repro.pathexpr.automaton import OrderAutomaton, compile_order
+from repro.pathexpr.parser import parse_path_expression
+
+__all__ = [
+    "PathExpr",
+    "Name",
+    "Seq",
+    "Alt",
+    "Star",
+    "Plus",
+    "Opt",
+    "parse_path_expression",
+    "OrderAutomaton",
+    "compile_order",
+]

@@ -1,0 +1,107 @@
+"""AST node types for path expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PathExpr", "Name", "Seq", "Alt", "Star", "Plus", "Opt"]
+
+
+class PathExpr:
+    """Base class for path-expression AST nodes."""
+
+    __slots__ = ()
+
+    def alphabet(self) -> frozenset[str]:
+        """Every procedure name mentioned in the expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Name(PathExpr):
+    """A single procedure invocation."""
+
+    value: str
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset({self.value})
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Seq(PathExpr):
+    """``a ; b`` — a then b."""
+
+    parts: tuple[PathExpr, ...]
+
+    def alphabet(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for part in self.parts:
+            result |= part.alphabet()
+        return result
+
+    def __str__(self) -> str:
+        return " ; ".join(_wrap(p) for p in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Alt(PathExpr):
+    """``a | b`` — a or b."""
+
+    options: tuple[PathExpr, ...]
+
+    def alphabet(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for option in self.options:
+            result |= option.alphabet()
+        return result
+
+    def __str__(self) -> str:
+        return " | ".join(_wrap(o) for o in self.options)
+
+
+@dataclass(frozen=True, slots=True)
+class Star(PathExpr):
+    """``a*`` — zero or more repetitions."""
+
+    inner: PathExpr
+
+    def alphabet(self) -> frozenset[str]:
+        return self.inner.alphabet()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+@dataclass(frozen=True, slots=True)
+class Plus(PathExpr):
+    """``a+`` — one or more repetitions."""
+
+    inner: PathExpr
+
+    def alphabet(self) -> frozenset[str]:
+        return self.inner.alphabet()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}+"
+
+
+@dataclass(frozen=True, slots=True)
+class Opt(PathExpr):
+    """``a?`` — zero or one occurrence."""
+
+    inner: PathExpr
+
+    def alphabet(self) -> frozenset[str]:
+        return self.inner.alphabet()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}?"
+
+
+def _wrap(expr: PathExpr) -> str:
+    if isinstance(expr, (Seq, Alt)):
+        return f"({expr})"
+    return str(expr)

@@ -1,0 +1,202 @@
+"""NFA/DFA compilation of path expressions for prefix-validity checking.
+
+Algorithm-3 asks, per Enter event: *given this process's call history, may
+it invoke this procedure now?*  That is prefix membership in the declared
+expression's language.  We Thompson-construct an epsilon-NFA from the AST,
+determinise by subset construction, and drop states from which no accepting
+state is reachable — in the trimmed DFA, *any* missing transition is a
+genuine ordering violation, so the per-event check is a single dict lookup.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pathexpr.ast import Alt, Name, Opt, PathExpr, Plus, Seq, Star
+from repro.pathexpr.parser import parse_path_expression
+
+__all__ = ["OrderAutomaton", "compile_order"]
+
+
+# --------------------------------------------------------------------- NFA
+
+
+class _Nfa:
+    """Epsilon-NFA under construction (Thompson)."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count()
+        self.eps: dict[int, set[int]] = {}
+        self.step: dict[tuple[int, str], set[int]] = {}
+
+    def state(self) -> int:
+        s = next(self._ids)
+        self.eps.setdefault(s, set())
+        return s
+
+    def add_eps(self, src: int, dst: int) -> None:
+        self.eps.setdefault(src, set()).add(dst)
+
+    def add_step(self, src: int, symbol: str, dst: int) -> None:
+        self.step.setdefault((src, symbol), set()).add(dst)
+
+    def closure(self, states: frozenset[int]) -> frozenset[int]:
+        seen = set(states)
+        stack = list(states)
+        while stack:
+            s = stack.pop()
+            for nxt in self.eps.get(s, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return frozenset(seen)
+
+
+def _build(nfa: _Nfa, expr: PathExpr) -> tuple[int, int]:
+    """Thompson construction: returns (entry, exit) states for ``expr``."""
+    if isinstance(expr, Name):
+        a, b = nfa.state(), nfa.state()
+        nfa.add_step(a, expr.value, b)
+        return a, b
+    if isinstance(expr, Seq):
+        first_in, prev_out = _build(nfa, expr.parts[0])
+        for part in expr.parts[1:]:
+            part_in, part_out = _build(nfa, part)
+            nfa.add_eps(prev_out, part_in)
+            prev_out = part_out
+        return first_in, prev_out
+    if isinstance(expr, Alt):
+        a, b = nfa.state(), nfa.state()
+        for option in expr.options:
+            opt_in, opt_out = _build(nfa, option)
+            nfa.add_eps(a, opt_in)
+            nfa.add_eps(opt_out, b)
+        return a, b
+    if isinstance(expr, Star):
+        a, b = nfa.state(), nfa.state()
+        inner_in, inner_out = _build(nfa, expr.inner)
+        nfa.add_eps(a, inner_in)
+        nfa.add_eps(a, b)
+        nfa.add_eps(inner_out, inner_in)
+        nfa.add_eps(inner_out, b)
+        return a, b
+    if isinstance(expr, Plus):
+        inner_in, inner_out = _build(nfa, expr.inner)
+        b = nfa.state()
+        nfa.add_eps(inner_out, inner_in)
+        nfa.add_eps(inner_out, b)
+        return inner_in, b
+    if isinstance(expr, Opt):
+        a, b = nfa.state(), nfa.state()
+        inner_in, inner_out = _build(nfa, expr.inner)
+        nfa.add_eps(a, inner_in)
+        nfa.add_eps(a, b)
+        nfa.add_eps(inner_out, b)
+        return a, b
+    raise TypeError(f"unknown path expression node: {expr!r}")
+
+
+# --------------------------------------------------------------------- DFA
+
+
+@dataclass(frozen=True)
+class OrderAutomaton:
+    """Trimmed DFA answering per-call order queries.
+
+    States are small ints; ``step`` returns the successor state or ``None``
+    when the call violates the declared order.  Symbols outside
+    :attr:`alphabet` are unconstrained (a declaration need not mention
+    every procedure) and leave the state unchanged.
+    """
+
+    source: str
+    start: int
+    transitions: dict[tuple[int, str], int]
+    accepting: frozenset[int]
+    alphabet: frozenset[str]
+
+    def step(self, state: int, symbol: str) -> Optional[int]:
+        """Successor state after invoking ``symbol``, or None on violation."""
+        if symbol not in self.alphabet:
+            return state
+        return self.transitions.get((state, symbol))
+
+    def accepts_now(self, state: int) -> bool:
+        """True when the history so far is a *complete* word of the language.
+
+        A process that terminates with ``accepts_now() == False`` holds an
+        unfinished protocol (e.g. Request without Release).
+        """
+        return state in self.accepting
+
+    def check(self, symbols: list[str]) -> Optional[int]:
+        """Walk a whole call sequence; index of the first violation or None."""
+        state = self.start
+        for index, symbol in enumerate(symbols):
+            nxt = self.step(state, symbol)
+            if nxt is None:
+                return index
+            state = nxt
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"OrderAutomaton({self.source!r}, states="
+            f"{len({s for s, _ in self.transitions} | self.accepting | {self.start})})"
+        )
+
+
+def compile_order(source: str) -> OrderAutomaton:
+    """Parse and compile a path expression into an :class:`OrderAutomaton`."""
+    expr = parse_path_expression(source)
+    alphabet = expr.alphabet()
+    nfa = _Nfa()
+    entry, exit_ = _build(nfa, expr)
+
+    # subset construction
+    start_set = nfa.closure(frozenset({entry}))
+    dfa_ids: dict[frozenset[int], int] = {start_set: 0}
+    transitions: dict[tuple[int, str], int] = {}
+    accepting: set[int] = set()
+    worklist = [start_set]
+    while worklist:
+        current = worklist.pop()
+        cid = dfa_ids[current]
+        if exit_ in current:
+            accepting.add(cid)
+        for symbol in alphabet:
+            targets: set[int] = set()
+            for state in current:
+                targets |= nfa.step.get((state, symbol), set())
+            if not targets:
+                continue
+            closed = nfa.closure(frozenset(targets))
+            if closed not in dfa_ids:
+                dfa_ids[closed] = len(dfa_ids)
+                worklist.append(closed)
+            transitions[(cid, symbol)] = dfa_ids[closed]
+
+    # trim: keep only states from which an accepting state is reachable,
+    # so prefix validity == "a transition exists".
+    reach_accepting = set(accepting)
+    changed = True
+    while changed:
+        changed = False
+        for (src, __), dst in transitions.items():
+            if dst in reach_accepting and src not in reach_accepting:
+                reach_accepting.add(src)
+                changed = True
+    trimmed = {
+        key: dst
+        for key, dst in transitions.items()
+        if key[0] in reach_accepting and dst in reach_accepting
+    }
+    return OrderAutomaton(
+        source=source,
+        start=0,
+        transitions=trimmed,
+        accepting=frozenset(accepting),
+        alphabet=alphabet,
+    )

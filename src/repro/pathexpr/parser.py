@@ -1,0 +1,121 @@
+"""Recursive-descent parser for path expressions.
+
+Grammar (lowest to highest precedence)::
+
+    expr   := seq ( '|' seq )*
+    seq    := rep ( ';' rep )*
+    rep    := atom ( '*' | '+' | '?' )*
+    atom   := NAME | '(' expr ')'
+    NAME   := [A-Za-z_][A-Za-z0-9_]*
+
+Whitespace is insignificant.  ``;`` binds tighter than ``|``, so
+``a ; b | c`` parses as ``(a ; b) | c``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import PathExpressionSyntaxError
+from repro.pathexpr.ast import Alt, Name, Opt, PathExpr, Plus, Seq, Star
+
+__all__ = ["parse_path_expression"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_]*)|(?P<punct>[();|*+?]))"
+)
+
+
+class _Tokenizer:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.current: Optional[str] = None
+        self.advance()
+
+    def advance(self) -> None:
+        rest = self.source[self.pos :]
+        if not rest.strip():
+            self.current = None
+            self.pos = len(self.source)
+            return
+        match = _TOKEN_RE.match(self.source, self.pos)
+        if match is None:
+            raise PathExpressionSyntaxError(
+                "unexpected character", self.pos, self.source
+            )
+        self.pos = match.end()
+        self.current = match.group("name") or match.group("punct")
+
+    def expect(self, punct: str) -> None:
+        if self.current != punct:
+            raise PathExpressionSyntaxError(
+                f"expected {punct!r}, found {self.current!r}",
+                self.pos,
+                self.source,
+            )
+        self.advance()
+
+
+def parse_path_expression(source: str) -> PathExpr:
+    """Parse ``source`` into a :class:`~repro.pathexpr.ast.PathExpr`."""
+    if not source or not source.strip():
+        raise PathExpressionSyntaxError("empty path expression", 0, source)
+    tokens = _Tokenizer(source)
+    expr = _parse_alt(tokens)
+    if tokens.current is not None:
+        raise PathExpressionSyntaxError(
+            f"trailing input {tokens.current!r}", tokens.pos, source
+        )
+    return expr
+
+
+def _parse_alt(tokens: _Tokenizer) -> PathExpr:
+    options = [_parse_seq(tokens)]
+    while tokens.current == "|":
+        tokens.advance()
+        options.append(_parse_seq(tokens))
+    if len(options) == 1:
+        return options[0]
+    return Alt(tuple(options))
+
+
+def _parse_seq(tokens: _Tokenizer) -> PathExpr:
+    parts = [_parse_rep(tokens)]
+    while tokens.current == ";":
+        tokens.advance()
+        parts.append(_parse_rep(tokens))
+    if len(parts) == 1:
+        return parts[0]
+    return Seq(tuple(parts))
+
+
+def _parse_rep(tokens: _Tokenizer) -> PathExpr:
+    expr = _parse_atom(tokens)
+    while tokens.current in ("*", "+", "?"):
+        if tokens.current == "*":
+            expr = Star(expr)
+        elif tokens.current == "+":
+            expr = Plus(expr)
+        else:
+            expr = Opt(expr)
+        tokens.advance()
+    return expr
+
+
+def _parse_atom(tokens: _Tokenizer) -> PathExpr:
+    token = tokens.current
+    if token == "(":
+        tokens.advance()
+        expr = _parse_alt(tokens)
+        tokens.expect(")")
+        return expr
+    if token is None or token in ");|*+?":
+        raise PathExpressionSyntaxError(
+            f"expected a name or '(', found {token!r}",
+            tokens.pos,
+            tokens.source,
+        )
+    tokens.advance()
+    return Name(token)

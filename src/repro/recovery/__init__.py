@@ -1,0 +1,36 @@
+"""Extensions the paper names as future work (Section 5).
+
+Two extensions turn the fault-*detecting* monitor into something closer to
+a fault-*tolerant* one:
+
+* :mod:`repro.recovery.assertions` — "predefined and user-supplied
+  assertions ... specified as part of monitor declarations and used for
+  checking the functional operations and external use of the monitors".
+  Assertions are predicates over the monitor's application state and
+  scheduling snapshot, evaluated at every checkpoint.
+* :mod:`repro.recovery.strategies` — "error recovery mechanisms should be
+  incorporated into the model to handle the faults detected": a supervisor
+  maps fault reports to recovery actions (expel a stuck process, rebuild
+  queues from the model, raise an alarm) and applies them.
+"""
+
+from repro.recovery.assertions import AssertionChecker, MonitorAssertion
+from repro.recovery.strategies import (
+    AlarmStrategy,
+    ExpelStrategy,
+    RecoveryAction,
+    RecoverySupervisor,
+    RecoveryStrategy,
+    ResetQueuesStrategy,
+)
+
+__all__ = [
+    "MonitorAssertion",
+    "AssertionChecker",
+    "RecoveryAction",
+    "RecoveryStrategy",
+    "AlarmStrategy",
+    "ExpelStrategy",
+    "ResetQueuesStrategy",
+    "RecoverySupervisor",
+]

@@ -1,0 +1,118 @@
+"""User-supplied monitor assertions (paper Section 5, first extension).
+
+An assertion is a named predicate over (application state, scheduling
+snapshot) declared next to the monitor and evaluated at every detector
+checkpoint — the "run time assertion checking" the paper proposes for
+validating functional operations, complementing the concurrency-control
+rules which are application-agnostic.
+
+Example::
+
+    checker = AssertionChecker(buffer_monitor)
+    checker.add("occupancy-in-range",
+                lambda snap: 0 <= buffer.occupancy <= buffer.capacity)
+    checker.add("no-withdraw-overdraft", lambda snap: account.balance >= 0)
+
+    # inside the detector loop
+    reports = checker.evaluate()
+
+A failing assertion produces a :class:`~repro.detection.reports.FaultReport`
+under the ``ST-AS`` rule id so it flows through the same report stream as
+the concurrency-control violations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.detection.reports import FaultReport
+from repro.history.states import SchedulingState
+from repro.monitor.construct import Monitor, MonitorBase
+
+__all__ = ["MonitorAssertion", "AssertionChecker", "ASSERTION_RULE"]
+
+
+class _AssertionRule(enum.Enum):
+    """Rule id namespace for assertion failures."""
+
+    ASSERTION_FAILED = "ST-AS"
+
+
+ASSERTION_RULE = _AssertionRule.ASSERTION_FAILED
+
+
+@dataclass(frozen=True)
+class MonitorAssertion:
+    """One named invariant over the monitor's state."""
+
+    name: str
+    predicate: Callable[[SchedulingState], bool]
+    description: str = ""
+
+    def holds(self, snapshot: SchedulingState) -> bool:
+        return bool(self.predicate(snapshot))
+
+
+class AssertionChecker:
+    """Evaluates declared assertions against live monitor snapshots."""
+
+    def __init__(self, target: Union[Monitor, MonitorBase]) -> None:
+        self._monitor = (
+            target.monitor if isinstance(target, MonitorBase) else target
+        )
+        self._assertions: list[MonitorAssertion] = []
+        self.reports: list[FaultReport] = []
+
+    @property
+    def assertions(self) -> tuple[MonitorAssertion, ...]:
+        return tuple(self._assertions)
+
+    def add(
+        self,
+        name: str,
+        predicate: Callable[[SchedulingState], bool],
+        description: str = "",
+    ) -> MonitorAssertion:
+        """Declare an assertion; returns the created record."""
+        if any(existing.name == name for existing in self._assertions):
+            raise ValueError(f"assertion {name!r} already declared")
+        assertion = MonitorAssertion(name, predicate, description)
+        self._assertions.append(assertion)
+        return assertion
+
+    def evaluate(self) -> list[FaultReport]:
+        """Check every assertion against a fresh snapshot.
+
+        Returns (and retains) reports for the assertions that failed.  A
+        predicate that *raises* also counts as a failure — a broken
+        assertion must never silently pass.
+        """
+        snapshot = self._monitor.snapshot()
+        new_reports: list[FaultReport] = []
+        for assertion in self._assertions:
+            try:
+                ok = assertion.holds(snapshot)
+                detail = "" if ok else "predicate returned False"
+            except Exception as exc:  # noqa: BLE001 - reported, not hidden
+                ok = False
+                detail = f"predicate raised {type(exc).__name__}: {exc}"
+            if not ok:
+                new_reports.append(
+                    FaultReport(
+                        rule=ASSERTION_RULE,
+                        message=(
+                            f"assertion {assertion.name!r} failed: {detail}"
+                            + (
+                                f" ({assertion.description})"
+                                if assertion.description
+                                else ""
+                            )
+                        ),
+                        monitor=self._monitor.name,
+                        detected_at=snapshot.time,
+                    )
+                )
+        self.reports.extend(new_reports)
+        return new_reports

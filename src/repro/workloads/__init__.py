@@ -1,0 +1,25 @@
+"""Workload generation for experiments and benchmarks.
+
+A :class:`~repro.workloads.scenarios.Scenario` bundles a monitor factory
+and the process mix that drives it, parameterised by a
+:class:`~repro.workloads.scenarios.WorkloadSpec`.  The overhead experiment
+instantiates the same scenario repeatedly — with and without the detection
+extension, across checking intervals and kernels — so everything that can
+vary is captured in the spec and everything else is deterministic.
+"""
+
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioRun,
+    WorkloadSpec,
+    build_scenario,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "Scenario",
+    "ScenarioRun",
+    "SCENARIOS",
+    "build_scenario",
+]

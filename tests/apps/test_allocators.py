@@ -1,0 +1,101 @@
+"""Tests for the resource-access-right allocators."""
+
+import pytest
+
+from repro.apps import CountingResourceAllocator, SingleResourceAllocator
+from repro.kernel import Delay, RandomPolicy, SimKernel
+
+
+class TestSingleAllocator:
+    def test_exclusive_holding(self, kernel):
+        allocator = SingleResourceAllocator(kernel)
+        violations = []
+
+        def user(i):
+            for __ in range(4):
+                yield Delay(0.05 * (i + 1))
+                yield from allocator.request()
+                if allocator.holder != kernel.current_pid():
+                    violations.append(i)
+                yield Delay(0.1)
+                yield from allocator.release()
+
+        for i in range(4):
+            kernel.spawn(user(i))
+        kernel.run()
+        kernel.raise_failures()
+        assert violations == []
+        assert allocator.grants == 16
+        assert not allocator.busy
+        assert allocator.holder is None
+
+    def test_fifo_granting(self, fifo_kernel):
+        allocator = SingleResourceAllocator(fifo_kernel)
+        grants = []
+
+        def holder():
+            yield from allocator.request()
+            yield Delay(1.0)
+            yield from allocator.release()
+
+        def waiter(i):
+            yield Delay(0.1 * (i + 1))
+            yield from allocator.request()
+            grants.append(i)
+            yield from allocator.release()
+
+        fifo_kernel.spawn(holder())
+        for i in range(3):
+            fifo_kernel.spawn(waiter(i))
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        assert grants == [0, 1, 2]
+
+    def test_declaration_shape(self, kernel):
+        allocator = SingleResourceAllocator(kernel)
+        decl = allocator.declaration
+        assert decl.call_order == "(Request ; Release)*"
+        assert decl.acquire_procedures == ("Request",)
+        assert decl.release_procedures == ("Release",)
+
+
+class TestCountingAllocator:
+    def test_invalid_units(self, kernel):
+        with pytest.raises(ValueError):
+            CountingResourceAllocator(kernel, 0)
+
+    def test_concurrent_holders_bounded_by_units(self):
+        kernel = SimKernel(RandomPolicy(seed=17), on_deadlock="stop")
+        allocator = CountingResourceAllocator(kernel, units=3)
+        holding = []
+        peak = []
+
+        def user(i):
+            for __ in range(3):
+                yield Delay(0.03 * (i + 1))
+                yield from allocator.request()
+                holding.append(i)
+                peak.append(len(holding))
+                yield Delay(0.2)
+                holding.remove(i)
+                yield from allocator.release()
+
+        for i in range(7):
+            kernel.spawn(user(i))
+        kernel.run(until=60)
+        kernel.raise_failures()
+        assert max(peak) == 3
+        assert allocator.available == 3
+        assert allocator.grants == 21
+
+    def test_all_units_usable(self, kernel):
+        allocator = CountingResourceAllocator(kernel, units=2)
+
+        def taker():
+            yield from allocator.request()
+
+        kernel.spawn(taker())
+        kernel.spawn(taker())
+        kernel.run()
+        kernel.raise_failures()
+        assert allocator.available == 0

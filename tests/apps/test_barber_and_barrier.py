@@ -1,0 +1,116 @@
+"""Tests for the sleeping-barber and cyclic-barrier monitors."""
+
+import pytest
+
+from repro.apps import BarberShop, CyclicBarrier
+from repro.kernel import Delay, RandomPolicy, SimKernel
+
+
+def barber_loop(shop):
+    while True:
+        yield from shop.next_customer()
+        yield Delay(0.1)
+        yield from shop.finish_cut()
+
+
+class TestBarberShop:
+    def test_invalid_chairs(self, kernel):
+        with pytest.raises(ValueError):
+            BarberShop(kernel, chairs=0)
+
+    def test_all_customers_accounted_for(self, kernel):
+        shop = BarberShop(kernel, chairs=2)
+        results = []
+
+        def customer(i):
+            yield Delay(0.05 * i)
+            served = yield from shop.get_haircut()
+            results.append(served)
+
+        kernel.spawn(barber_loop(shop), "barber")
+        for i in range(8):
+            kernel.spawn(customer(i), f"c{i}")
+        kernel.run(until=60)
+        assert len(results) == 8
+        haircuts = sum(1 for served in results if served)
+        assert haircuts == shop.served
+        assert (8 - haircuts) == shop.balked
+        assert haircuts >= 1
+
+    def test_burst_overflows_chairs(self, fifo_kernel):
+        shop = BarberShop(fifo_kernel, chairs=1)
+
+        def customer():
+            served = yield from shop.get_haircut()
+            return served
+
+        fifo_kernel.spawn(barber_loop(shop), "barber")
+        # Five simultaneous arrivals into one chair: most must balk.
+        for __ in range(5):
+            fifo_kernel.spawn(customer())
+        fifo_kernel.run(until=30)
+        assert shop.balked >= 1
+        assert shop.served + shop.balked == 5
+
+    def test_quiet_shop_barber_sleeps(self, kernel):
+        shop = BarberShop(kernel, chairs=2)
+        kernel.spawn(barber_loop(shop), "barber")
+        result = kernel.run(until=5)
+        assert shop.served == 0
+        assert not result.quiesced  # barber parked on 'customers'
+
+
+class TestCyclicBarrier:
+    def test_invalid_parties(self, kernel):
+        with pytest.raises(ValueError):
+            CyclicBarrier(kernel, 1)
+
+    @pytest.mark.parametrize("seed", [0, 9])
+    def test_rounds_complete_in_lockstep(self, seed):
+        kernel = SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
+        barrier = CyclicBarrier(kernel, parties=4)
+        generations = []
+
+        def party(i):
+            for __ in range(3):
+                yield Delay(0.1 * (i + 1))
+                generation = yield from barrier.await_barrier()
+                generations.append(generation)
+
+        for i in range(4):
+            kernel.spawn(party(i))
+        kernel.run(until=60)
+        kernel.raise_failures()
+        assert barrier.generation == 3
+        assert sorted(generations) == [0] * 4 + [1] * 4 + [2] * 4
+
+    def test_nobody_crosses_early(self, fifo_kernel):
+        barrier = CyclicBarrier(fifo_kernel, parties=3)
+        crossed = []
+
+        def party(i, delay):
+            yield Delay(delay)
+            yield from barrier.await_barrier()
+            crossed.append((i, fifo_kernel.now()))
+
+        fifo_kernel.spawn(party(0, 0.1))
+        fifo_kernel.spawn(party(1, 0.5))
+        fifo_kernel.spawn(party(2, 2.0))
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        # nobody crossed before the last arrival at t=2.0
+        assert all(time >= 2.0 for __, time in crossed)
+        assert len(crossed) == 3
+
+    def test_barrier_is_reusable(self, fifo_kernel):
+        barrier = CyclicBarrier(fifo_kernel, parties=2)
+
+        def party():
+            for __ in range(5):
+                yield from barrier.await_barrier()
+
+        fifo_kernel.spawn(party())
+        fifo_kernel.spawn(party())
+        fifo_kernel.run(max_steps=100_000)
+        fifo_kernel.raise_failures()
+        assert barrier.generation == 5

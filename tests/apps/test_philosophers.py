@@ -1,0 +1,68 @@
+"""Tests for the fork-table monitor and the deadlock-prone protocol."""
+
+import pytest
+
+from repro.apps import ForkTable, philosopher
+from repro.apps.dining_philosophers import greedy_philosopher
+from repro.apps.resource_allocator import SingleResourceAllocator
+from repro.kernel import RandomPolicy, SimKernel
+
+
+class TestForkTable:
+    def test_invalid_seats(self, kernel):
+        with pytest.raises(ValueError):
+            ForkTable(kernel, seats=1)
+
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_all_philosophers_eat(self, seed):
+        kernel = SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
+        table = ForkTable(kernel, seats=5)
+        for seat in range(5):
+            kernel.spawn(philosopher(table, seat, meals=4), f"phil-{seat}")
+        result = kernel.run(until=200, max_steps=5_000_000)
+        kernel.raise_failures()
+        assert not result.deadlocked
+        assert table.meals == (4, 4, 4, 4, 4)
+
+    def test_neighbours_never_eat_together(self, kernel):
+        table = ForkTable(kernel, seats=5)
+        violations = []
+
+        def checked(seat):
+            from repro.kernel import Delay
+
+            for __ in range(3):
+                yield Delay(0.1)
+                yield from table.pick_up(seat)
+                left = table._left(seat)
+                right = table._right(seat)
+                if table._state[left] == 2 or table._state[right] == 2:
+                    violations.append(seat)
+                yield Delay(0.1)
+                yield from table.put_down(seat)
+
+        for seat in range(5):
+            kernel.spawn(checked(seat))
+        kernel.run(until=100)
+        kernel.raise_failures()
+        assert violations == []
+
+
+class TestGreedyProtocolDeadlocks:
+    def test_left_then_right_deadlocks(self):
+        """Five greedy philosophers over fork allocators form the classic
+        circular wait; the kernel detects the global deadlock."""
+        kernel = SimKernel(on_deadlock="stop")  # FIFO makes the cycle certain
+        forks = [
+            SingleResourceAllocator(kernel, name=f"fork{i}") for i in range(5)
+        ]
+        for seat in range(5):
+            kernel.spawn(
+                greedy_philosopher(forks, seat, meals=3, think=0.1),
+                f"greedy-{seat}",
+            )
+        result = kernel.run(until=300)
+        assert result.deadlocked
+        # every fork is held and every philosopher still hungry
+        meals_possible = [fork.grants for fork in forks]
+        assert all(grants >= 1 for grants in meals_possible)

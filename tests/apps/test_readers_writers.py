@@ -1,0 +1,92 @@
+"""Tests for the readers-writers allocator monitor."""
+
+import pytest
+
+from repro.apps import ReadersWriters
+from repro.kernel import Delay, RandomPolicy, SimKernel
+
+
+def reader(rw, rounds, think, violations):
+    for __ in range(rounds):
+        yield Delay(think)
+        yield from rw.start_read()
+        if rw.writing:
+            violations.append("reader-during-write")
+        yield Delay(0.02)
+        yield from rw.end_read()
+
+
+def writer(rw, rounds, think, violations):
+    for __ in range(rounds):
+        yield Delay(think)
+        yield from rw.start_write()
+        if rw.active_readers > 0:
+            violations.append("writer-during-read")
+        yield Delay(0.03)
+        yield from rw.end_write()
+
+
+class TestExclusion:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_no_reader_writer_overlap(self, seed):
+        kernel = SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
+        rw = ReadersWriters(kernel)
+        violations = []
+        for i in range(4):
+            kernel.spawn(reader(rw, 6, 0.03 * (i + 1), violations))
+        for i in range(2):
+            kernel.spawn(writer(rw, 4, 0.07 * (i + 1), violations))
+        kernel.run(until=60)
+        kernel.raise_failures()
+        assert violations == []
+        assert rw.reads_served == 24
+        assert rw.writes_served == 8
+        assert rw.active_readers == 0
+        assert not rw.writing
+
+    def test_readers_share(self, fifo_kernel):
+        rw = ReadersWriters(fifo_kernel)
+        concurrency = []
+
+        def observer_reader(i):
+            yield Delay(0.01 * i)
+            yield from rw.start_read()
+            concurrency.append(rw.active_readers)
+            yield Delay(1.0)
+            yield from rw.end_read()
+
+        for i in range(3):
+            fifo_kernel.spawn(observer_reader(i))
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        assert max(concurrency) == 3  # all three read simultaneously
+
+
+class TestWriterPriority:
+    def test_new_readers_defer_to_waiting_writer(self, fifo_kernel):
+        rw = ReadersWriters(fifo_kernel)
+        order = []
+
+        def long_reader():
+            yield from rw.start_read()
+            yield Delay(1.0)
+            yield from rw.end_read()
+
+        def waiting_writer():
+            yield Delay(0.2)
+            yield from rw.start_write()
+            order.append("writer")
+            yield from rw.end_write()
+
+        def late_reader():
+            yield Delay(0.4)  # arrives while the writer is queued
+            yield from rw.start_read()
+            order.append("late-reader")
+            yield from rw.end_read()
+
+        fifo_kernel.spawn(long_reader())
+        fifo_kernel.spawn(waiting_writer())
+        fifo_kernel.spawn(late_reader())
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        assert order == ["writer", "late-reader"]

@@ -1,0 +1,104 @@
+"""Tests for the shared-account operation manager."""
+
+import pytest
+
+from repro.apps import SharedAccount
+from repro.kernel import Delay, RandomPolicy, SimKernel
+
+
+class TestValidation:
+    def test_negative_initial_balance(self, kernel):
+        with pytest.raises(ValueError):
+            SharedAccount(kernel, -5)
+
+    def test_nonpositive_deposit(self, kernel):
+        account = SharedAccount(kernel, 10)
+
+        def bad_deposit():
+            yield from account.deposit(0)
+
+        pid = kernel.spawn(bad_deposit())
+        kernel.run(until=5)
+        assert isinstance(kernel.failures()[pid], ValueError)
+
+    def test_nonpositive_withdraw(self, kernel):
+        account = SharedAccount(kernel, 10)
+
+        def bad_withdraw():
+            yield from account.withdraw(-3)
+
+        pid = kernel.spawn(bad_withdraw())
+        kernel.run(until=5)
+        assert isinstance(kernel.failures()[pid], ValueError)
+
+
+class TestSemantics:
+    def test_withdraw_blocks_until_covered(self, kernel):
+        account = SharedAccount(kernel, 0)
+        log = []
+
+        def withdrawer():
+            yield from account.withdraw(30)
+            log.append(("withdrew", kernel.now()))
+
+        def depositor():
+            for __ in range(3):
+                yield Delay(1.0)
+                yield from account.deposit(10)
+
+        kernel.spawn(withdrawer())
+        kernel.spawn(depositor())
+        kernel.run()
+        kernel.raise_failures()
+        assert log and log[0][1] >= 3.0
+        assert account.balance == 0
+
+    def test_balance_never_negative(self):
+        kernel = SimKernel(RandomPolicy(seed=23), on_deadlock="stop")
+        account = SharedAccount(kernel, 20)
+        observed = []
+
+        def watcher():
+            for __ in range(100):
+                observed.append(account.balance)
+                yield Delay(0.1)
+
+        def depositor():
+            for __ in range(10):
+                yield Delay(0.25)
+                yield from account.deposit(7)
+
+        def withdrawer(amount):
+            for __ in range(5):
+                yield Delay(0.4)
+                yield from account.withdraw(amount)
+
+        kernel.spawn(watcher())
+        kernel.spawn(depositor())
+        kernel.spawn(withdrawer(9))
+        kernel.spawn(withdrawer(6))
+        kernel.run(until=30)
+        kernel.raise_failures()
+        assert all(balance >= 0 for balance in observed)
+
+    def test_cascade_serves_multiple_waiters_from_one_deposit(self, fifo_kernel):
+        account = SharedAccount(fifo_kernel, 0)
+        served = []
+
+        def withdrawer(tag, amount):
+            yield from account.withdraw(amount)
+            served.append(tag)
+
+        def depositor():
+            yield Delay(1.0)
+            yield from account.deposit(30)
+
+        fifo_kernel.spawn(withdrawer("a", 10))
+        fifo_kernel.spawn(withdrawer("b", 10))
+        fifo_kernel.spawn(withdrawer("c", 10))
+        fifo_kernel.spawn(depositor())
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        assert sorted(served) == ["a", "b", "c"]
+        assert account.balance == 0
+        assert account.withdrawals == 3

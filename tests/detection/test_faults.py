@@ -1,0 +1,64 @@
+"""Unit tests for the fault taxonomy and rule identifiers."""
+
+from repro.detection.faults import FaultClass, FaultLevel
+from repro.detection.rules import SUSPECTS, FDRule, STRule
+
+
+class TestTaxonomy:
+    def test_exactly_21_faults(self):
+        assert len(FaultClass) == 21
+
+    def test_level_partition(self):
+        impl = FaultClass.at_level(FaultLevel.IMPLEMENTATION)
+        proc = FaultClass.at_level(FaultLevel.PROCEDURE)
+        user = FaultClass.at_level(FaultLevel.USER_PROCESS)
+        assert len(impl) == 14
+        assert len(proc) == 4
+        assert len(user) == 3
+        assert len(impl) + len(proc) + len(user) == 21
+
+    def test_labels_match_paper_outline(self):
+        assert FaultClass.ENTER_MUTEX_VIOLATED.label == "I.a.1"
+        assert FaultClass.SEND_DELAY_INTEGRITY.label == "II.a"
+        assert FaultClass.REQUEST_WHILE_HOLDING.label == "III.c"
+
+    def test_labels_unique(self):
+        labels = FaultClass.all_labels()
+        assert len(labels) == len(set(labels))
+
+    def test_only_user_level_is_realtime(self):
+        assert FaultLevel.USER_PROCESS.realtime
+        assert not FaultLevel.IMPLEMENTATION.realtime
+        assert not FaultLevel.PROCEDURE.realtime
+
+
+class TestRuleIds:
+    def test_fd_rule_ids(self):
+        assert FDRule.MUTUAL_EXCLUSION_ENTER.value == "FD-1a"
+        assert FDRule.RELEASE_AFTER_ACQUIRE.value == "FD-7b"
+        assert len({rule.value for rule in FDRule}) == len(FDRule)
+
+    def test_st_rule_ids(self):
+        assert STRule.ENTRY_QUEUE_MATCHES.value == "ST-1"
+        assert STRule.REQUEST_NOT_RELEASED.value == "ST-8c"
+        assert len({rule.value for rule in STRule}) == len(STRule)
+
+
+class TestSuspects:
+    def test_every_st_rule_has_suspects(self):
+        for rule in STRule:
+            assert rule in SUSPECTS, f"{rule} missing from SUSPECTS"
+            assert SUSPECTS[rule], f"{rule} has empty suspect list"
+
+    def test_every_fd_rule_has_suspects(self):
+        for rule in FDRule:
+            assert rule in SUSPECTS, f"{rule} missing from SUSPECTS"
+
+    def test_every_fault_is_suspected_by_some_st_rule(self):
+        """Detectability: each taxonomy entry must be reachable through at
+        least one ST-rule's suspect list (the paper's claim that every
+        fault violates at least one rule)."""
+        covered = set()
+        for rule in STRule:
+            covered.update(SUSPECTS[rule])
+        assert covered == set(FaultClass)

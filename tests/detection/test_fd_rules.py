@@ -1,0 +1,150 @@
+"""Tests for the offline FD-rule checker over complete traces."""
+
+import pytest
+
+from repro.apps import BoundedBuffer, SingleResourceAllocator
+from repro.detection import FDRule, check_full_trace
+from repro.detection.fd_rules import ST_TO_FD, empty_initial_state
+from repro.detection.rules import STRule
+from repro.history import HistoryDatabase
+from repro.history.events import enter_event, signal_exit_event, wait_event
+from repro.kernel import Delay, RandomPolicy, SimKernel
+from repro.monitor import MonitorDeclaration, MonitorType
+from tests.conftest import consumer, producer
+
+
+def coordinator_declaration(rmax=3):
+    return MonitorDeclaration(
+        name="buffer",
+        mtype=MonitorType.COMMUNICATION_COORDINATOR,
+        procedures=("Send", "Receive"),
+        conditions=("full", "empty"),
+        rmax=rmax,
+    )
+
+
+class TestTranslation:
+    def test_every_st_rule_translates(self):
+        for rule in STRule:
+            if rule is STRule.EVENT_WHILE_BLOCKED:
+                continue  # split contextually inside _translate
+            assert rule in ST_TO_FD
+
+    def test_empty_initial_state_carries_rmax(self):
+        state = empty_initial_state(coordinator_declaration(rmax=5))
+        assert state.resource_count == 5
+        assert state.running == ()
+
+
+class TestHandBuiltTraces:
+    def test_clean_trace(self):
+        trace = (
+            enter_event(0, 1, "Send", 0.1, 1),
+            signal_exit_event(1, 1, "Send", 0.2, 0, cond="empty"),
+        )
+        assert check_full_trace(coordinator_declaration(), trace) == []
+
+    def test_empty_trace(self):
+        assert check_full_trace(coordinator_declaration(), ()) == []
+
+    def test_mutex_violation_maps_to_fd1a(self):
+        trace = (
+            enter_event(0, 1, "Send", 0.1, 1),
+            enter_event(1, 2, "Send", 0.2, 1),
+        )
+        reports = check_full_trace(coordinator_declaration(), trace)
+        assert any(r.rule is FDRule.MUTUAL_EXCLUSION_ENTER for r in reports)
+
+    def test_unfair_delay_maps_to_fd3(self):
+        trace = (enter_event(0, 1, "Send", 0.1, 0),)
+        reports = check_full_trace(coordinator_declaration(), trace)
+        assert any(r.rule is FDRule.FAIR_RESPONSE for r in reports)
+
+    def test_resource_violation_maps_to_fd6(self):
+        trace = (
+            enter_event(0, 1, "Receive", 0.1, 1),
+            signal_exit_event(1, 1, "Receive", 0.2, 0, cond="full"),
+        )
+        reports = check_full_trace(coordinator_declaration(), trace)
+        assert any(r.rule is FDRule.RESOURCE_INVARIANT for r in reports)
+
+    def test_nontermination_via_tmax(self):
+        from repro.history.states import QueueEntry, SchedulingState
+
+        trace = (enter_event(0, 1, "Send", 0.0, 1),)
+        # P1 never exits; the final snapshot at t=50 still shows it inside.
+        final = SchedulingState(
+            time=50.0,
+            entry_queue=(),
+            cond_queues={"full": (), "empty": ()},
+            running=(QueueEntry(1, "Send", 0.0),),
+            resource_count=3,
+        )
+        reports = check_full_trace(
+            coordinator_declaration(), trace, final_state=final, tmax=10.0
+        )
+        assert any(r.rule is FDRule.NONTERMINATION for r in reports)
+
+    def test_ordering_violation_maps_to_fd7(self):
+        decl = MonitorDeclaration(
+            name="allocator",
+            mtype=MonitorType.RESOURCE_ALLOCATOR,
+            procedures=("Request", "Release"),
+            conditions=("free",),
+            call_order="(Request ; Release)*",
+        )
+        trace = (
+            enter_event(0, 1, "Request", 0.1, 1),
+            signal_exit_event(1, 1, "Request", 0.15, 0),
+            enter_event(2, 1, "Request", 0.2, 1),
+        )
+        reports = check_full_trace(decl, trace)
+        assert any(r.rule is FDRule.ACQUIRE_THEN_RELEASE for r in reports)
+
+
+class TestLiveTraces:
+    def test_clean_buffer_run_passes_fd_rules(self):
+        kernel = SimKernel(RandomPolicy(seed=3), on_deadlock="stop")
+        history = HistoryDatabase(retain_full_trace=True)
+        buffer = BoundedBuffer(
+            kernel, capacity=3, history=history, service_time=0.02
+        )
+        for __ in range(2):
+            kernel.spawn(producer(buffer, 20))
+            kernel.spawn(consumer(buffer, 20))
+        kernel.run(until=30)
+        kernel.raise_failures()
+        reports = check_full_trace(
+            buffer.declaration,
+            history.full_trace,
+            final_state=buffer.snapshot(),
+            tmax=20.0,
+            tio=20.0,
+        )
+        assert reports == []
+
+    def test_clean_allocator_run_passes_fd_rules(self):
+        kernel = SimKernel(RandomPolicy(seed=3), on_deadlock="stop")
+        history = HistoryDatabase(retain_full_trace=True)
+        allocator = SingleResourceAllocator(kernel, history=history)
+
+        def user(i):
+            for __ in range(5):
+                yield Delay(0.05 * (i + 1))
+                yield from allocator.request()
+                yield Delay(0.1)
+                yield from allocator.release()
+
+        for i in range(4):
+            kernel.spawn(user(i))
+        kernel.run(until=30)
+        kernel.raise_failures()
+        reports = check_full_trace(
+            allocator.declaration,
+            history.full_trace,
+            final_state=allocator.snapshot(),
+            tmax=20.0,
+            tio=20.0,
+            tlimit=20.0,
+        )
+        assert reports == []

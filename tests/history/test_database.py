@@ -1,0 +1,126 @@
+"""Unit tests for the history database (segments, pruning, taps)."""
+
+import pytest
+
+from repro.errors import CheckpointError, HistoryError
+from repro.history import HistoryDatabase, SchedulingState
+from repro.history.events import enter_event
+
+
+def state_at(time):
+    return SchedulingState(
+        time=time, entry_queue=(), cond_queues={}, running=()
+    )
+
+
+def event(seq, time=0.0, pid=1):
+    return enter_event(seq, pid, "Op", time, flag=1)
+
+
+class TestRecording:
+    def test_seq_numbers_monotonic(self):
+        db = HistoryDatabase()
+        assert [db.next_seq() for __ in range(3)] == [0, 1, 2]
+
+    def test_record_accumulates(self):
+        db = HistoryDatabase()
+        db.record(event(0))
+        db.record(event(1))
+        assert len(db.pending_events) == 2
+        assert db.total_recorded == 2
+
+    def test_open_twice_rejected(self):
+        db = HistoryDatabase()
+        db.open(state_at(0.0))
+        with pytest.raises(CheckpointError):
+            db.open(state_at(1.0))
+
+
+class TestCheckpoints:
+    def test_cut_returns_segment_and_prunes(self):
+        db = HistoryDatabase()
+        db.open(state_at(0.0))
+        db.record(event(0, 0.5))
+        db.record(event(1, 0.8))
+        segment = db.cut(state_at(1.0))
+        assert len(segment) == 2
+        assert segment.previous.time == 0.0
+        assert segment.current.time == 1.0
+        assert segment.duration == 1.0
+        assert db.pending_events == ()
+        assert db.live_events == 0
+        assert db.total_recorded == 2  # accounting survives pruning
+
+    def test_successive_segments_chain(self):
+        db = HistoryDatabase()
+        db.open(state_at(0.0))
+        db.record(event(0, 0.5))
+        first = db.cut(state_at(1.0))
+        db.record(event(1, 1.5))
+        second = db.cut(state_at(2.0))
+        assert second.previous is first.current
+
+    def test_cut_before_open_rejected(self):
+        with pytest.raises(CheckpointError):
+            HistoryDatabase().cut(state_at(1.0))
+
+    def test_out_of_order_cut_rejected(self):
+        db = HistoryDatabase()
+        db.open(state_at(5.0))
+        with pytest.raises(CheckpointError):
+            db.cut(state_at(1.0))
+
+    def test_empty_segment_allowed(self):
+        db = HistoryDatabase()
+        db.open(state_at(0.0))
+        segment = db.cut(state_at(1.0))
+        assert len(segment) == 0
+
+
+class TestFullTrace:
+    def test_full_trace_retained(self):
+        db = HistoryDatabase(retain_full_trace=True)
+        db.open(state_at(0.0))
+        db.record(event(0))
+        db.cut(state_at(1.0))
+        db.record(event(1))
+        assert len(db.full_trace) == 2
+        assert len(db.full_states) == 2
+
+    def test_full_trace_unavailable_by_default(self):
+        db = HistoryDatabase()
+        with pytest.raises(HistoryError):
+            db.full_trace
+        with pytest.raises(HistoryError):
+            db.full_states
+
+
+class TestPruningAccounting:
+    def test_peak_live_tracks_window_size(self):
+        db = HistoryDatabase()
+        db.open(state_at(0.0))
+        for seq in range(10):
+            db.record(event(seq))
+        db.cut(state_at(1.0))
+        for seq in range(3):
+            db.record(event(10 + seq))
+        assert db.peak_live_events == 10
+        assert db.live_events == 3
+
+
+class TestSubscription:
+    def test_listener_sees_every_event(self):
+        db = HistoryDatabase()
+        seen = []
+        db.subscribe(seen.append)
+        db.record(event(0))
+        db.record(event(1))
+        assert [e.seq for e in seen] == [0, 1]
+
+    def test_multiple_listeners(self):
+        db = HistoryDatabase()
+        a, b = [], []
+        db.subscribe(a.append)
+        db.subscribe(b.append)
+        db.record(event(0))
+        assert len(a) == len(b) == 1

@@ -1,0 +1,180 @@
+"""Tests for trace serialisation (JSONL round trips)."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HistoryError
+from repro.history.events import (
+    EventKind,
+    SchedulingEvent,
+    enter_event,
+    signal_exit_event,
+    wait_event,
+)
+from repro.history.serialize import (
+    dump_trace,
+    event_from_dict,
+    event_to_dict,
+    load_trace,
+    state_from_dict,
+    state_to_dict,
+)
+from repro.history.states import QueueEntry, SchedulingState
+
+
+def sample_state():
+    return SchedulingState(
+        time=4.2,
+        entry_queue=(QueueEntry(1, "Send", 1.0),),
+        cond_queues={"full": (QueueEntry(2, "Send", 2.0),), "empty": ()},
+        running=(QueueEntry(3, "Receive", 3.0),),
+        urgent=(QueueEntry(4, "Send", 3.5),),
+        resource_count=2,
+    )
+
+
+class TestDictRoundTrips:
+    def test_event_round_trip(self):
+        event = signal_exit_event(7, 3, "Send", 1.25, flag=1, cond="empty")
+        assert event_from_dict(event_to_dict(event)) == event
+
+    def test_event_without_cond(self):
+        event = enter_event(0, 1, "Op", 0.0, 1)
+        record = event_to_dict(event)
+        assert "cond" not in record
+        assert event_from_dict(record) == event
+
+    def test_state_round_trip(self):
+        state = sample_state()
+        loaded = state_from_dict(state_to_dict(state))
+        assert loaded.time == state.time
+        assert loaded.entry_queue == state.entry_queue
+        assert dict(loaded.cond_queues) == dict(state.cond_queues)
+        assert loaded.running == state.running
+        assert loaded.urgent == state.urgent
+        assert loaded.resource_count == state.resource_count
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(HistoryError):
+            event_from_dict({"kind": "state"})
+        with pytest.raises(HistoryError):
+            state_from_dict({"kind": "event"})
+
+    def test_malformed_event_rejected(self):
+        with pytest.raises(HistoryError):
+            event_from_dict({"kind": "event", "event": "Nonsense", "seq": 0})
+
+
+class TestStreamRoundTrips:
+    def test_dump_and_load(self):
+        events = (
+            enter_event(0, 1, "Send", 0.1, 1),
+            wait_event(1, 1, "Send", "full", 0.2),
+            signal_exit_event(2, 2, "Receive", 0.3, 1, cond="full"),
+        )
+        states = (sample_state(),)
+        buffer = io.StringIO()
+        written = dump_trace(buffer, events, states)
+        assert written == 4
+        buffer.seek(0)
+        loaded_events, loaded_states = load_trace(buffer)
+        assert loaded_events == events
+        assert len(loaded_states) == 1
+
+    def test_events_resorted_by_seq(self):
+        events = (
+            enter_event(5, 1, "Send", 0.5, 1),
+            enter_event(2, 2, "Send", 0.2, 0),
+        )
+        buffer = io.StringIO()
+        dump_trace(buffer, events)
+        buffer.seek(0)
+        loaded, __ = load_trace(buffer)
+        assert [event.seq for event in loaded] == [2, 5]
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO('\n{"kind": "event", "event": "Enter", '
+                             '"seq": 0, "pid": 1, "pname": "Op", '
+                             '"time": 0.0, "flag": 1}\n\n')
+        events, states = load_trace(buffer)
+        assert len(events) == 1 and states == ()
+
+    def test_invalid_json_rejected_with_line_number(self):
+        buffer = io.StringIO("{not json}\n")
+        with pytest.raises(HistoryError, match="line 1"):
+            load_trace(buffer)
+
+    def test_unknown_kind_rejected(self):
+        buffer = io.StringIO('{"kind": "mystery"}\n')
+        with pytest.raises(HistoryError, match="unknown record kind"):
+            load_trace(buffer)
+
+
+# hypothesis strategies for arbitrary events
+kinds = st.sampled_from(list(EventKind))
+
+
+@st.composite
+def events_strategy(draw):
+    kind = draw(kinds)
+    cond = draw(st.sampled_from(["full", "empty", None]))
+    if kind is EventKind.WAIT and cond is None:
+        cond = "full"
+    flag = 0 if kind is EventKind.WAIT else draw(st.integers(0, 1))
+    return SchedulingEvent(
+        seq=draw(st.integers(0, 10_000)),
+        kind=kind,
+        pid=draw(st.integers(1, 500)),
+        pname=draw(st.sampled_from(["Send", "Receive", "Request", "Op"])),
+        time=draw(
+            st.floats(0, 1e6, allow_nan=False, allow_infinity=False)
+        ),
+        flag=flag,
+        cond=cond,
+    )
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(event=events_strategy())
+    def test_any_event_round_trips(self, event):
+        assert event_from_dict(event_to_dict(event)) == event
+
+    @settings(max_examples=50, deadline=None)
+    @given(events=st.lists(events_strategy(), max_size=20))
+    def test_any_trace_round_trips(self, events):
+        unique = {event.seq: event for event in events}
+        trace = tuple(sorted(unique.values(), key=lambda e: e.seq))
+        buffer = io.StringIO()
+        dump_trace(buffer, trace)
+        buffer.seek(0)
+        loaded, __ = load_trace(buffer)
+        assert loaded == trace
+
+
+class TestEndToEnd:
+    def test_dump_live_run_and_recheck_offline(self, kernel, tmp_path):
+        """Persist a real run's trace to disk and re-check it offline."""
+        from repro.apps import BoundedBuffer
+        from repro.detection import check_full_trace
+        from repro.history import HistoryDatabase
+        from tests.conftest import consumer, producer
+
+        history = HistoryDatabase(retain_full_trace=True)
+        buffer = BoundedBuffer(kernel, capacity=3, history=history)
+        kernel.spawn(producer(buffer, 10))
+        kernel.spawn(consumer(buffer, 10))
+        kernel.run(until=10)
+        kernel.raise_failures()
+
+        path = tmp_path / "trace.jsonl"
+        with path.open("w") as stream:
+            dump_trace(stream, history.full_trace, history.full_states)
+        with path.open() as stream:
+            events, states = load_trace(stream)
+        assert events == history.full_trace
+        reports = check_full_trace(buffer.declaration, events)
+        assert reports == []

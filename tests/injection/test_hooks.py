@@ -1,0 +1,100 @@
+"""Unit tests for TriggeredHooks."""
+
+import pytest
+
+from repro.errors import InjectionError
+from repro.history.events import enter_event
+from repro.injection.hooks import PERTURBATIONS, TriggeredHooks
+
+
+class TestValidation:
+    def test_unknown_perturbation_rejected(self):
+        with pytest.raises(InjectionError):
+            TriggeredHooks("explode_everything")
+
+    def test_starve_victim_requires_victim(self):
+        with pytest.raises(InjectionError):
+            TriggeredHooks("starve_victim")
+
+    def test_all_names_documented(self):
+        for name in PERTURBATIONS:
+            if name == "starve_victim":
+                TriggeredHooks(name, victim=1)
+            else:
+                TriggeredHooks(name)
+
+
+class TestFiring:
+    def test_fires_exactly_once_at_fire_at(self):
+        hooks = TriggeredHooks("enter_despite_owner", fire_at=3)
+        results = [
+            hooks.enter_admit_despite_owner(pid, "Op") for pid in range(1, 6)
+        ]
+        assert results == [False, False, True, False, False]
+        assert hooks.fired == 1
+        assert hooks.affected == [3]
+
+    def test_other_hooks_stay_correct(self):
+        hooks = TriggeredHooks("enter_despite_owner")
+        assert not hooks.wait_no_block(1, "c")
+        assert not hooks.sigexit_fake_resume(1, "c")
+        assert not hooks.admission_suppressed("wait")
+        assert hooks.should_record(enter_event(0, 1, "Op", 0.0, 1))
+
+    def test_origin_filter(self):
+        hooks = TriggeredHooks("suppress_admission", origin="wait")
+        assert not hooks.admission_suppressed("signal-exit")
+        assert hooks.admission_suppressed("wait")
+
+    def test_origin_none_matches_all(self):
+        hooks = TriggeredHooks("suppress_admission")
+        assert hooks.admission_suppressed("signal-exit")
+
+    def test_starve_victim_is_persistent(self):
+        hooks = TriggeredHooks("starve_victim", victim=7)
+        assert hooks.admission_skip_victim(7)
+        assert hooks.admission_skip_victim(7)
+        assert not hooks.admission_skip_victim(8)
+        assert hooks.fired == 2
+        assert hooks.affected == [7]
+
+    def test_suppress_enter_record_targets_successful_enters(self):
+        hooks = TriggeredHooks("suppress_enter_record", fire_at=2)
+        blocked = enter_event(0, 1, "Op", 0.0, 0)
+        ok1 = enter_event(1, 2, "Op", 0.1, 1)
+        ok2 = enter_event(2, 3, "Op", 0.2, 1)
+        assert hooks.should_record(blocked)   # flag=0: not an opportunity
+        assert hooks.should_record(ok1)       # first opportunity: recorded
+        assert not hooks.should_record(ok2)   # second: suppressed
+        assert hooks.affected == [3]
+
+    def test_core_gate_blocks_empty_queue_opportunities(self):
+        class FakeCore:
+            entry_pids = ()
+
+        hooks = TriggeredHooks("admit_extra")
+        hooks.core = FakeCore()
+        assert not hooks.admission_admit_extra("wait")
+        assert hooks.fired == 0
+        FakeCore.entry_pids = (5,)
+        assert hooks.admission_admit_extra("wait")
+        assert hooks.fired == 1
+
+
+class TestPerturbationCoverage:
+    def test_every_perturbation_used_by_some_campaign(self):
+        """The perturbation vocabulary and the campaign table must not
+        drift apart: each named perturbation is exercised somewhere."""
+        import inspect
+
+        from repro.injection import campaigns
+
+        source = inspect.getsource(campaigns)
+        unused = [
+            name
+            for name in PERTURBATIONS
+            if f'"{name}"' not in source
+        ]
+        # Campaigns construct TriggeredHooks by name; drop_enter etc. all
+        # appear literally in the campaign table.
+        assert unused == [], f"perturbations without campaigns: {unused}"

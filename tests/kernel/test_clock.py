@@ -1,0 +1,133 @@
+"""Unit tests for the virtual clock and timer wheel."""
+
+import pytest
+
+from repro.kernel.clock import VirtualClock
+
+
+class TestBasics:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=5.5).now == 5.5
+
+    def test_no_timers_initially(self):
+        clock = VirtualClock()
+        assert not clock.has_timers
+        assert clock.next_deadline() is None
+
+    def test_advance_to_next_without_timers_raises(self):
+        with pytest.raises(RuntimeError):
+            VirtualClock().advance_to_next()
+
+
+class TestScheduling:
+    def test_schedule_sets_deadline(self):
+        clock = VirtualClock()
+        timer = clock.schedule(2.0, "a")
+        assert timer.deadline == 2.0
+        assert clock.next_deadline() == 2.0
+        assert clock.has_timers
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().schedule(-1.0, "x")
+
+    def test_zero_delay_allowed(self):
+        clock = VirtualClock()
+        clock.schedule(0.0, "now")
+        assert clock.next_deadline() == 0.0
+
+    def test_advance_to_next_moves_time_and_pops(self):
+        clock = VirtualClock()
+        clock.schedule(1.0, "a")
+        clock.schedule(2.0, "b")
+        expired = clock.advance_to_next()
+        assert clock.now == 1.0
+        assert [t.payload for t in expired] == ["a"]
+        expired = clock.advance_to_next()
+        assert clock.now == 2.0
+        assert [t.payload for t in expired] == ["b"]
+
+    def test_simultaneous_timers_expire_in_registration_order(self):
+        clock = VirtualClock()
+        clock.schedule(1.0, "first")
+        clock.schedule(1.0, "second")
+        clock.schedule(1.0, "third")
+        expired = clock.advance_to_next()
+        assert [t.payload for t in expired] == ["first", "second", "third"]
+
+    def test_deadlines_computed_relative_to_now(self):
+        clock = VirtualClock()
+        clock.schedule(1.0, "a")
+        clock.advance_to_next()
+        timer = clock.schedule(1.0, "b")
+        assert timer.deadline == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_timer_never_expires(self):
+        clock = VirtualClock()
+        keep = clock.schedule(1.0, "keep")
+        drop = clock.schedule(1.0, "drop")
+        clock.cancel(drop)
+        expired = clock.advance_to_next()
+        assert [t.payload for t in expired] == ["keep"]
+
+    def test_cancelling_all_timers_empties_the_clock(self):
+        clock = VirtualClock()
+        timer = clock.schedule(1.0, "x")
+        clock.cancel(timer)
+        assert not clock.has_timers
+        assert clock.next_deadline() is None
+
+
+class TestPopDue:
+    def test_pop_due_empty_before_deadline(self):
+        clock = VirtualClock()
+        clock.schedule(1.0, "a")
+        assert clock.pop_due() == []
+
+    def test_pop_due_after_advance(self):
+        clock = VirtualClock()
+        clock.schedule(1.0, "a")
+        clock.schedule(1.5, "b")
+        clock.advance_capped(1.2)
+        # advance_capped stops at the 1.0 deadline
+        assert clock.now == 1.0
+        assert [t.payload for t in clock.pop_due()] == ["a"]
+
+    def test_pop_due_returns_all_elapsed(self):
+        clock = VirtualClock()
+        clock.schedule(0.0, "a")
+        clock.schedule(0.0, "b")
+        assert [t.payload for t in clock.pop_due()] == ["a", "b"]
+
+
+class TestAdvance:
+    def test_advance_capped_free_run(self):
+        clock = VirtualClock()
+        advanced = clock.advance_capped(3.0)
+        assert advanced == 3.0
+        assert clock.now == 3.0
+
+    def test_advance_capped_stops_at_deadline(self):
+        clock = VirtualClock()
+        clock.schedule(1.0, "a")
+        advanced = clock.advance_capped(5.0)
+        assert advanced == 1.0
+        assert clock.now == 1.0
+
+    def test_advance_by_refuses_to_skip_timer(self):
+        clock = VirtualClock()
+        clock.schedule(1.0, "a")
+        with pytest.raises(RuntimeError):
+            clock.advance_by(2.0)
+
+    def test_advance_negative_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance_by(-0.1)
+        with pytest.raises(ValueError):
+            clock.advance_capped(-0.1)

@@ -1,0 +1,95 @@
+"""Tests for the seed-exploration harness."""
+
+import pytest
+
+from repro.apps import BoundedBuffer, SingleResourceAllocator
+from repro.apps.dining_philosophers import greedy_philosopher
+from repro.kernel import Delay
+from repro.kernel.explore import explore_seeds
+from tests.conftest import consumer, producer
+
+
+class TestCleanWorkloads:
+    def test_buffer_invariant_across_seeds(self):
+        def build(kernel):
+            buffer = BoundedBuffer(kernel, capacity=2, service_time=0.01)
+            kernel.spawn(producer(buffer, 10, delay=0.02))
+            kernel.spawn(consumer(buffer, 10, delay=0.03))
+            return buffer
+
+        def check(kernel, buffer):
+            if buffer.occupancy != 0:
+                return f"buffer not drained: {buffer.occupancy}"
+            if not buffer.monitor.core.idle:
+                return "monitor not idle at quiescence"
+            return None
+
+        result = explore_seeds(build, check, seeds=range(30))
+        assert result.all_passed, result.failures
+        assert result.seeds_run == 30
+        assert "OK" in result.summary()
+
+
+class TestFailureDetection:
+    def test_check_failures_are_collected_with_seed(self):
+        def build(kernel):
+            return {}
+
+        def check(kernel, context):
+            return "always wrong"
+
+        result = explore_seeds(build, check, seeds=range(5))
+        assert len(result.failures) == 5
+        assert [failure.seed for failure in result.failures] == list(range(5))
+        assert not result.all_passed
+        assert "FAILED" in result.summary()
+
+    def test_stop_after_bounds_collection(self):
+        result = explore_seeds(
+            lambda kernel: None,
+            lambda kernel, ctx: "bad",
+            seeds=range(100),
+            stop_after=3,
+        )
+        assert len(result.failures) == 3
+        assert result.seeds_run == 3
+
+    def test_process_crash_reported(self):
+        def build(kernel):
+            def crasher():
+                yield Delay(0.1)
+                raise RuntimeError("boom")
+
+            kernel.spawn(crasher())
+            return None
+
+        result = explore_seeds(build, lambda k, c: None, seeds=range(3))
+        assert len(result.failures) == 3
+        assert "boom" in result.failures[0].reason
+
+
+class TestDeadlockHandling:
+    def _greedy_build(self, kernel):
+        forks = [SingleResourceAllocator(kernel, name=f"f{i}") for i in range(5)]
+        for seat in range(5):
+            kernel.spawn(greedy_philosopher(forks, seat, meals=2, think=0.05))
+        return forks
+
+    def test_deadlock_counts_as_failure_by_default(self):
+        result = explore_seeds(
+            self._greedy_build, lambda k, c: None, seeds=range(5), until=60
+        )
+        # The greedy protocol deadlocks under (at least) most schedules.
+        assert result.deadlocked_seeds
+        assert result.failures
+
+    def test_allow_deadlock_tolerates_it(self):
+        result = explore_seeds(
+            self._greedy_build,
+            lambda k, c: None,
+            seeds=range(5),
+            until=60,
+            allow_deadlock=True,
+        )
+        assert result.deadlocked_seeds
+        assert result.all_passed

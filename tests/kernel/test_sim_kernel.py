@@ -1,0 +1,361 @@
+"""Unit tests for the deterministic simulation kernel."""
+
+import pytest
+
+from repro.errors import (
+    KernelError,
+    ProcessStateError,
+    SchedulerStalled,
+    SimulationDeadlock,
+    UnknownProcessError,
+)
+from repro.kernel import (
+    Block,
+    Delay,
+    LifoPolicy,
+    ProcessState,
+    RandomPolicy,
+    SimKernel,
+    Spawn,
+    Yield,
+)
+
+
+def noop():
+    return
+    yield
+
+
+def sleeper(duration):
+    yield Delay(duration)
+
+
+class TestLifecycle:
+    def test_spawn_assigns_increasing_pids(self):
+        kernel = SimKernel()
+        assert kernel.spawn(noop()) == 1
+        assert kernel.spawn(noop()) == 2
+
+    def test_run_terminates_processes(self):
+        kernel = SimKernel()
+        pid = kernel.spawn(noop())
+        result = kernel.run()
+        assert result.quiesced
+        assert pid in result.terminated
+        assert kernel.process(pid).state is ProcessState.TERMINATED
+
+    def test_return_value_captured(self):
+        def body():
+            yield Delay(0.1)
+            return 42
+
+        kernel = SimKernel()
+        pid = kernel.spawn(body())
+        kernel.run()
+        assert kernel.process(pid).result == 42
+
+    def test_exception_marks_failed(self):
+        def crasher():
+            yield Delay(0.1)
+            raise RuntimeError("boom")
+
+        kernel = SimKernel()
+        pid = kernel.spawn(crasher())
+        result = kernel.run()
+        assert pid in result.failed
+        record = kernel.process(pid)
+        assert record.state is ProcessState.FAILED
+        assert isinstance(record.failure, RuntimeError)
+        with pytest.raises(RuntimeError, match="boom"):
+            kernel.raise_failures()
+
+    def test_unknown_pid_rejected(self):
+        with pytest.raises(UnknownProcessError):
+            SimKernel().process(99)
+
+    def test_failures_mapping(self):
+        def crasher():
+            raise ValueError("x")
+            yield
+
+        kernel = SimKernel()
+        pid = kernel.spawn(crasher())
+        kernel.run()
+        assert set(kernel.failures()) == {pid}
+
+
+class TestTime:
+    def test_delay_advances_virtual_time(self):
+        kernel = SimKernel()
+        kernel.spawn(sleeper(2.5))
+        result = kernel.run()
+        assert result.end_time == 2.5
+
+    def test_parallel_delays_interleave(self):
+        order = []
+
+        def body(name, duration):
+            yield Delay(duration)
+            order.append(name)
+
+        kernel = SimKernel()
+        kernel.spawn(body("late", 2.0))
+        kernel.spawn(body("early", 1.0))
+        kernel.run()
+        assert order == ["early", "late"]
+
+    def test_until_stops_early(self):
+        def forever():
+            while True:
+                yield Delay(1.0)
+
+        kernel = SimKernel()
+        kernel.spawn(forever())
+        result = kernel.run(until=5.5)
+        assert result.end_time <= 5.5
+        assert not result.quiesced
+
+    def test_step_cost_advances_time(self):
+        def spinner():
+            for __ in range(10):
+                yield Yield()
+
+        kernel = SimKernel(step_cost=0.1)
+        kernel.spawn(spinner())
+        result = kernel.run()
+        assert result.end_time == pytest.approx(1.1)
+
+    def test_negative_step_cost_rejected(self):
+        with pytest.raises(ValueError):
+            SimKernel(step_cost=-1)
+
+
+class TestBlocking:
+    def test_block_then_make_ready(self):
+        log = []
+
+        def waiter():
+            value = yield Block(reason="test")
+            log.append(value)
+
+        def waker(pid):
+            yield Delay(1.0)
+            kernel.make_ready(pid, value="hello")
+
+        kernel = SimKernel()
+        pid = kernel.spawn(waiter())
+        kernel.spawn(waker(pid))
+        kernel.run()
+        assert log == ["hello"]
+
+    def test_sticky_permit_prevents_lost_wakeup(self):
+        log = []
+
+        def early_waker(pid):
+            kernel.make_ready(pid, value="early")
+            return
+            yield
+
+        def late_blocker():
+            # Stay READY for one scheduler round so the wake-up arrives
+            # before we block; the permit must be remembered.
+            yield Yield()
+            value = yield Block()
+            log.append(value)
+
+        kernel = SimKernel()
+        pid = kernel.spawn(late_blocker())
+        kernel.spawn(early_waker(pid))
+        kernel.run()
+        kernel.raise_failures()
+        assert log == ["early"]
+
+    def test_double_wake_rejected(self):
+        def blocker():
+            yield Delay(10.0)
+            yield Block()
+
+        kernel = SimKernel()
+        pid = kernel.spawn(blocker())
+
+        def double_waker():
+            kernel.make_ready(pid)
+            kernel.make_ready(pid)
+            return
+            yield
+
+        kernel.spawn(double_waker())
+        kernel.run(until=1.0)
+        failures = kernel.failures()
+        assert len(failures) == 1
+        assert isinstance(next(iter(failures.values())), ProcessStateError)
+
+    def test_waking_delay_sleeper_rejected(self):
+        kernel = SimKernel()
+        pid = kernel.spawn(sleeper(5.0))
+
+        def waker():
+            yield Delay(1.0)
+            kernel.make_ready(pid)
+
+        kernel.spawn(waker())
+        kernel.run()
+        failures = kernel.failures()
+        assert len(failures) == 1
+
+    def test_force_wake_cancels_delay(self):
+        kernel = SimKernel()
+        pid = kernel.spawn(sleeper(100.0))
+
+        def waker():
+            yield Delay(1.0)
+            kernel.make_ready(pid, force=True)
+
+        kernel.spawn(waker())
+        result = kernel.run()
+        kernel.raise_failures()
+        assert result.quiesced
+        assert result.end_time == 1.0
+
+    def test_waking_dead_process_rejected(self):
+        kernel = SimKernel()
+        pid = kernel.spawn(noop())
+        kernel.run()
+        with pytest.raises(ProcessStateError):
+            kernel.make_ready(pid)
+
+
+class TestDeadlock:
+    def test_deadlock_raises_by_default(self):
+        def stuck():
+            yield Block(reason="forever")
+
+        kernel = SimKernel()
+        kernel.spawn(stuck())
+        with pytest.raises(SimulationDeadlock):
+            kernel.run()
+
+    def test_deadlock_stop_mode_flags_result(self):
+        def stuck():
+            yield Block(reason="forever")
+
+        kernel = SimKernel(on_deadlock="stop")
+        kernel.spawn(stuck())
+        result = kernel.run()
+        assert result.deadlocked
+        assert not result.quiesced
+
+    def test_forgotten_process_not_deadlock(self):
+        def stuck():
+            yield Block(reason="lost")
+
+        kernel = SimKernel()
+        pid = kernel.spawn(stuck())
+
+        def forgetter():
+            yield Delay(0.1)
+            kernel.forget(pid)
+
+        kernel.spawn(forgetter())
+        result = kernel.run()
+        assert not result.deadlocked
+        assert pid in result.live
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SimKernel(on_deadlock="explode")
+
+
+class TestMisc:
+    def test_spawn_syscall(self):
+        children = []
+
+        def child():
+            yield Delay(0.5)
+
+        def parent():
+            pid = yield Spawn(child, name="kid")
+            children.append(pid)
+
+        kernel = SimKernel()
+        kernel.spawn(parent())
+        result = kernel.run()
+        assert len(children) == 1
+        assert kernel.process(children[0]).name == "kid"
+        assert result.quiesced
+
+    def test_non_syscall_yield_fails_process(self):
+        def bad():
+            yield "not a syscall"
+
+        kernel = SimKernel()
+        pid = kernel.spawn(bad())
+        kernel.run()
+        assert isinstance(kernel.process(pid).failure, KernelError)
+
+    def test_current_pid_outside_step_raises(self):
+        with pytest.raises(KernelError):
+            SimKernel().current_pid()
+
+    def test_current_pid_inside_step(self):
+        seen = []
+
+        def body():
+            seen.append(kernel.current_pid())
+            return
+            yield
+
+        kernel = SimKernel()
+        pid = kernel.spawn(body())
+        kernel.run()
+        assert seen == [pid]
+
+    def test_max_steps_raises_stalled(self):
+        def spinner():
+            while True:
+                yield Yield()
+
+        kernel = SimKernel()
+        kernel.spawn(spinner())
+        with pytest.raises(SchedulerStalled):
+            kernel.run(max_steps=100)
+
+    def test_atomic_is_passthrough(self):
+        kernel = SimKernel()
+        assert kernel.atomic(lambda: 7) == 7
+
+    def test_lifo_policy_changes_order(self):
+        order_fifo, order_lifo = [], []
+
+        def body(sink, tag):
+            sink.append(tag)
+            return
+            yield
+
+        k1 = SimKernel()
+        for tag in "abc":
+            k1.spawn(body(order_fifo, tag))
+        k1.run()
+        k2 = SimKernel(policy=LifoPolicy())
+        for tag in "abc":
+            k2.spawn(body(order_lifo, tag))
+        k2.run()
+        assert order_fifo == ["a", "b", "c"]
+        assert order_lifo == ["c", "b", "a"]
+
+    def test_seeded_runs_reproduce_exactly(self):
+        def trace_run(seed):
+            trace = []
+
+            def body(tag):
+                for __ in range(5):
+                    yield Delay(0.1)
+                    trace.append(tag)
+
+            kern = SimKernel(RandomPolicy(seed=seed))
+            for tag in "abcd":
+                kern.spawn(body(tag))
+            kern.run()
+            return trace
+
+        assert trace_run(11) == trace_run(11)

@@ -1,0 +1,145 @@
+"""Unit tests for the kernel-level semaphore."""
+
+import pytest
+
+from repro.kernel import Delay, KernelSemaphore, RandomPolicy, SimKernel
+
+
+class TestConstruction:
+    def test_initial_value(self):
+        kernel = SimKernel()
+        assert KernelSemaphore(kernel, 3).value == 3
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSemaphore(SimKernel(), -1)
+
+
+class TestAcquireRelease:
+    def test_uncontended_acquire(self):
+        kernel = SimKernel()
+        sem = KernelSemaphore(kernel, 1)
+        done = []
+
+        def body():
+            yield from sem.acquire()
+            done.append(True)
+            sem.release()
+
+        kernel.spawn(body())
+        kernel.run()
+        kernel.raise_failures()
+        assert done == [True]
+        assert sem.value == 1
+
+    def test_mutual_exclusion_under_contention(self):
+        kernel = SimKernel(RandomPolicy(seed=4))
+        sem = KernelSemaphore(kernel, 1)
+        inside = []
+        max_inside = []
+
+        def body(i):
+            for __ in range(5):
+                yield Delay(0.05 * (i + 1))
+                yield from sem.acquire()
+                inside.append(i)
+                max_inside.append(len(inside))
+                yield Delay(0.1)
+                inside.remove(i)
+                sem.release()
+
+        for i in range(5):
+            kernel.spawn(body(i))
+        kernel.run()
+        kernel.raise_failures()
+        assert max(max_inside) == 1
+
+    def test_counting_semaphore_allows_n(self):
+        kernel = SimKernel()
+        sem = KernelSemaphore(kernel, 3)
+        peak = {"value": 0, "current": 0}
+
+        def body():
+            yield from sem.acquire()
+            peak["current"] += 1
+            peak["value"] = max(peak["value"], peak["current"])
+            yield Delay(1.0)
+            peak["current"] -= 1
+            sem.release()
+
+        for __ in range(6):
+            kernel.spawn(body())
+        kernel.run()
+        kernel.raise_failures()
+        assert peak["value"] == 3
+
+    def test_fifo_handoff_order(self):
+        kernel = SimKernel()
+        sem = KernelSemaphore(kernel, 1)
+        order = []
+
+        def holder():
+            yield from sem.acquire()
+            yield Delay(1.0)
+            sem.release()
+
+        def waiter(i):
+            yield Delay(0.1 * (i + 1))
+            yield from sem.acquire()
+            order.append(i)
+            sem.release()
+
+        kernel.spawn(holder())
+        for i in range(4):
+            kernel.spawn(waiter(i))
+        kernel.run()
+        kernel.raise_failures()
+        assert order == [0, 1, 2, 3]
+
+
+class TestTryAcquire:
+    def test_try_acquire_success_and_failure(self):
+        kernel = SimKernel()
+        sem = KernelSemaphore(kernel, 1)
+        results = []
+
+        def body():
+            results.append(sem.try_acquire())
+            results.append(sem.try_acquire())
+            sem.release()
+            results.append(sem.try_acquire())
+            return
+            yield
+
+        kernel.spawn(body())
+        kernel.run()
+        kernel.raise_failures()
+        assert results == [True, False, True]
+
+
+class TestIntrospection:
+    def test_waiters_snapshot(self):
+        kernel = SimKernel()
+        sem = KernelSemaphore(kernel, 1, name="mx")
+        observed = []
+
+        def holder():
+            yield from sem.acquire()
+            yield Delay(1.0)
+            observed.append(sem.waiters)
+            sem.release()
+
+        def waiter():
+            yield Delay(0.1)
+            yield from sem.acquire()
+            sem.release()
+
+        kernel.spawn(holder())
+        pid = kernel.spawn(waiter())
+        kernel.run()
+        kernel.raise_failures()
+        assert observed == [(pid,)]
+
+    def test_repr_mentions_name(self):
+        sem = KernelSemaphore(SimKernel(), 2, name="pool")
+        assert "pool" in repr(sem)

@@ -1,0 +1,160 @@
+"""Tests for the real-thread kernel.
+
+Thread interleavings are nondeterministic; these tests assert only
+schedule-independent properties (completion, counts, mutual exclusion).
+"""
+
+import pytest
+
+from repro.errors import KernelError, UnknownProcessError
+from repro.kernel import (
+    Block,
+    Delay,
+    KernelSemaphore,
+    ProcessState,
+    Spawn,
+    ThreadKernel,
+    Yield,
+)
+
+# Compress virtual seconds aggressively: these workloads only sleep.
+FAST = 0.002
+
+
+class TestLifecycle:
+    def test_processes_complete(self):
+        kernel = ThreadKernel(time_scale=FAST)
+        done = []
+
+        def body(i):
+            yield Delay(0.1)
+            done.append(i)
+
+        for i in range(4):
+            kernel.spawn(body(i))
+        result = kernel.run()
+        kernel.raise_failures()
+        assert sorted(done) == [0, 1, 2, 3]
+        assert result.quiesced
+
+    def test_return_value_and_state(self):
+        kernel = ThreadKernel(time_scale=FAST)
+
+        def body():
+            yield Delay(0.01)
+            return "ok"
+
+        pid = kernel.spawn(body())
+        kernel.run()
+        record = kernel.process(pid)
+        assert record.state is ProcessState.TERMINATED
+        assert record.result == "ok"
+
+    def test_exception_captured(self):
+        kernel = ThreadKernel(time_scale=FAST)
+
+        def crasher():
+            yield Delay(0.01)
+            raise RuntimeError("thread boom")
+
+        pid = kernel.spawn(crasher())
+        kernel.run()
+        assert isinstance(kernel.process(pid).failure, RuntimeError)
+
+    def test_unknown_pid(self):
+        with pytest.raises(UnknownProcessError):
+            ThreadKernel().process(12345)
+
+    def test_invalid_time_scale(self):
+        with pytest.raises(ValueError):
+            ThreadKernel(time_scale=0)
+
+
+class TestPrimitives:
+    def test_block_and_make_ready(self):
+        kernel = ThreadKernel(time_scale=FAST)
+        log = []
+
+        def waiter():
+            value = yield Block(reason="x")
+            log.append(value)
+
+        pid = kernel.spawn(waiter())
+
+        def waker():
+            yield Delay(0.2)
+            kernel.make_ready(pid, value=99)
+
+        kernel.spawn(waker())
+        kernel.run()
+        kernel.raise_failures()
+        assert log == [99]
+
+    def test_spawn_syscall(self):
+        kernel = ThreadKernel(time_scale=FAST)
+        seen = []
+
+        def child():
+            yield Delay(0.01)
+            seen.append("child")
+
+        def parent():
+            pid = yield Spawn(child, name="kid")
+            seen.append(("spawned", pid > 0))
+
+        kernel.spawn(parent())
+        kernel.run()
+        kernel.raise_failures()
+        assert ("spawned", True) in seen
+        assert "child" in seen
+
+    def test_yield_is_harmless(self):
+        kernel = ThreadKernel(time_scale=FAST)
+
+        def body():
+            for __ in range(5):
+                yield Yield()
+
+        kernel.spawn(body())
+        result = kernel.run()
+        kernel.raise_failures()
+        assert result.quiesced
+
+    def test_semaphore_mutual_exclusion_on_threads(self):
+        kernel = ThreadKernel(time_scale=FAST)
+        sem = KernelSemaphore(kernel, 1)
+        inside = []
+        violations = []
+
+        def body(i):
+            for __ in range(5):
+                yield from sem.acquire()
+                inside.append(i)
+                if len(inside) > 1:
+                    violations.append(list(inside))
+                yield Delay(0.01)
+                inside.remove(i)
+                sem.release()
+
+        for i in range(4):
+            kernel.spawn(body(i))
+        kernel.run()
+        kernel.raise_failures()
+        assert violations == []
+
+    def test_current_pid_outside_process(self):
+        with pytest.raises(KernelError):
+            ThreadKernel().current_pid()
+
+    def test_now_uses_virtual_units(self):
+        kernel = ThreadKernel(time_scale=FAST)
+
+        def body():
+            yield Delay(1.0)  # one virtual second = 2 real ms
+
+        kernel.spawn(body())
+        kernel.run()
+        assert kernel.now() >= 1.0
+        # With scale 0.002 the virtual clock races far ahead of real time,
+        # so a 1 s virtual delay must not have taken ~1 real second.
+        assert kernel.now() < 500.0

@@ -1,0 +1,235 @@
+"""Tests for the kernel-bound Monitor and the @procedure decorator."""
+
+import pytest
+
+from repro.history import HistoryDatabase
+from repro.kernel import Delay, SimKernel
+from repro.monitor import (
+    Monitor,
+    MonitorBase,
+    MonitorDeclaration,
+    MonitorType,
+    procedure,
+)
+from repro.monitor.procedures import declared_procedures
+
+
+def make_declaration(**overrides):
+    base = dict(
+        name="m",
+        mtype=MonitorType.OPERATION_MANAGER,
+        procedures=("Op", "Other"),
+        conditions=("ready",),
+    )
+    base.update(overrides)
+    return MonitorDeclaration(**base)
+
+
+class TestRawMonitor:
+    def test_enter_exit_cycle(self, fifo_kernel):
+        monitor = Monitor(fifo_kernel, make_declaration())
+        log = []
+
+        def body():
+            yield from monitor.enter("Op")
+            log.append(monitor.core.running_pids)
+            monitor.exit()
+            log.append(monitor.core.running_pids)
+
+        fifo_kernel.spawn(body())
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        assert log == [(1,), ()]
+
+    def test_mutual_exclusion_two_processes(self, fifo_kernel):
+        monitor = Monitor(fifo_kernel, make_declaration())
+        overlaps = []
+
+        def body():
+            yield from monitor.enter("Op")
+            assert len(monitor.core.running_pids) == 1
+            overlaps.append(monitor.core.running_pids)
+            yield Delay(0.5)
+            monitor.exit()
+
+        fifo_kernel.spawn(body())
+        fifo_kernel.spawn(body())
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        assert len(overlaps) == 2
+
+    def test_wait_and_signal_exit(self, fifo_kernel):
+        monitor = Monitor(fifo_kernel, make_declaration())
+        log = []
+
+        def waiter():
+            yield from monitor.enter("Op")
+            yield from monitor.wait("ready")
+            log.append("resumed")
+            monitor.exit()
+
+        def signaller():
+            yield Delay(1.0)
+            yield from monitor.enter("Other")
+            monitor.signal_exit("ready")
+            log.append("signalled")
+
+        fifo_kernel.spawn(waiter())
+        fifo_kernel.spawn(signaller())
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        assert log == ["signalled", "resumed"]
+
+    def test_waiting_count(self, fifo_kernel):
+        monitor = Monitor(fifo_kernel, make_declaration())
+        counts = []
+
+        def waiter():
+            yield from monitor.enter("Op")
+            yield from monitor.wait("ready")
+            monitor.exit()
+
+        def observer():
+            yield Delay(1.0)
+            counts.append(monitor.waiting("ready"))
+            yield from monitor.enter("Other")
+            monitor.signal_exit("ready")
+
+        fifo_kernel.spawn(waiter())
+        fifo_kernel.spawn(observer())
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        assert counts == [1]
+
+    def test_op_accounting(self, fifo_kernel):
+        monitor = Monitor(fifo_kernel, make_declaration())
+
+        def body():
+            yield from monitor.enter("Op")
+            monitor.exit()
+
+        fifo_kernel.spawn(body())
+        fifo_kernel.run()
+        assert monitor.op_count == 2
+        assert monitor.op_seconds >= 0.0
+
+
+class Counter(MonitorBase):
+    """Tiny monitor used to exercise the @procedure decorator."""
+
+    def __init__(self, kernel, **kwargs):
+        self.value = 0
+        super().__init__(kernel, **kwargs)
+
+    def declare(self):
+        return MonitorDeclaration(
+            name="counter",
+            mtype=MonitorType.OPERATION_MANAGER,
+            procedures=("Increment", "Read", "AwaitAtLeast", "Crash"),
+            conditions=("grew",),
+        )
+
+    @procedure("Increment")
+    def increment(self):
+        self.value += 1
+        self.signal_exit("grew")
+        return
+        yield  # pragma: no cover
+
+    @procedure("Read")
+    def read(self):
+        # Plain (non-generator) body: never blocks.
+        return self.value
+
+    @procedure("AwaitAtLeast")
+    def await_at_least(self, threshold):
+        while self.value < threshold:
+            yield from self.wait("grew")
+        return self.value
+
+    @procedure("Crash")
+    def crash(self):
+        raise RuntimeError("died inside")
+        yield  # pragma: no cover
+
+
+class TestProcedureDecorator:
+    def test_plain_body_supported(self, fifo_kernel):
+        counter = Counter(fifo_kernel, history=HistoryDatabase())
+        results = []
+
+        def body():
+            value = yield from counter.read()
+            results.append(value)
+
+        fifo_kernel.spawn(body())
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        assert results == [0]
+        assert counter.monitor.core.idle
+
+    def test_auto_exit_when_no_signal(self, fifo_kernel):
+        counter = Counter(fifo_kernel, history=HistoryDatabase(retain_full_trace=True))
+
+        def body():
+            yield from counter.await_at_least(0)
+
+        fifo_kernel.spawn(body())
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        kinds = [e.kind.value for e in counter.history.full_trace]
+        assert kinds == ["Enter", "Signal-Exit"]
+
+    def test_return_value_propagates(self, fifo_kernel):
+        counter = Counter(fifo_kernel)
+        results = []
+
+        def incrementer():
+            for __ in range(3):
+                yield Delay(0.2)
+                yield from counter.increment()
+
+        def awaiter():
+            value = yield from counter.await_at_least(3)
+            results.append(value)
+
+        fifo_kernel.spawn(incrementer())
+        fifo_kernel.spawn(awaiter())
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        assert results == [3]
+
+    def test_crash_leaves_process_inside(self, fifo_kernel):
+        """A raising body terminates its process inside the monitor —
+        fault I.c.4, deliberately not auto-repaired."""
+        counter = Counter(fifo_kernel)
+
+        def body():
+            yield from counter.crash()
+
+        pid = fifo_kernel.spawn(body())
+        fifo_kernel.run()
+        assert pid in fifo_kernel.failures()
+        assert counter.monitor.core.is_inside(pid)
+
+    def test_declared_procedures_discovery(self):
+        assert set(declared_procedures(Counter)) == {
+            "Increment",
+            "Read",
+            "AwaitAtLeast",
+            "Crash",
+        }
+
+    def test_explicit_exit_not_doubled(self, fifo_kernel):
+        counter = Counter(fifo_kernel, history=HistoryDatabase(retain_full_trace=True))
+
+        def body():
+            yield from counter.increment()
+
+        fifo_kernel.spawn(body())
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        exits = [
+            e for e in counter.history.full_trace if e.kind.value == "Signal-Exit"
+        ]
+        assert len(exits) == 1

@@ -1,0 +1,150 @@
+"""Edge-case tests for the Monitor construct and MonitorBase validation."""
+
+import pytest
+
+from repro.errors import DeclarationError, MonitorUsageError
+from repro.history import HistoryDatabase
+from repro.kernel import Delay, SimKernel
+from repro.monitor import (
+    Discipline,
+    Monitor,
+    MonitorBase,
+    MonitorDeclaration,
+    MonitorType,
+    procedure,
+)
+
+
+def declaration(**overrides):
+    base = dict(
+        name="m",
+        mtype=MonitorType.OPERATION_MANAGER,
+        procedures=("Op",),
+        conditions=("ready",),
+    )
+    base.update(overrides)
+    return MonitorDeclaration(**base)
+
+
+class TestSignalOnConstruct:
+    def test_signal_under_signal_exit_discipline_exits(self, fifo_kernel):
+        """Monitor.signal degrades to signal_exit under the default
+        discipline — the signaller leaves the monitor."""
+        monitor = Monitor(fifo_kernel, declaration())
+        states = []
+
+        def body():
+            yield from monitor.enter("Op")
+            yield from monitor.signal("ready")  # exits immediately
+            states.append(monitor.core.is_inside(fifo_kernel.current_pid()))
+
+        fifo_kernel.spawn(body())
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        assert states == [False]
+
+    def test_nested_monitor_call_rejected(self, fifo_kernel):
+        monitor = Monitor(fifo_kernel, declaration())
+
+        def body():
+            yield from monitor.enter("Op")
+            yield from monitor.enter("Op")  # nested: must raise
+
+        pid = fifo_kernel.spawn(body())
+        fifo_kernel.run()
+        assert isinstance(
+            fifo_kernel.failures()[pid], MonitorUsageError
+        )
+
+    def test_exit_without_enter_rejected(self, fifo_kernel):
+        monitor = Monitor(fifo_kernel, declaration())
+
+        def body():
+            monitor.exit()
+            return
+            yield
+
+        pid = fifo_kernel.spawn(body())
+        fifo_kernel.run()
+        assert isinstance(fifo_kernel.failures()[pid], MonitorUsageError)
+
+
+class TestMonitorBaseValidation:
+    def test_undeclared_procedure_rejected_at_construction(self, fifo_kernel):
+        class Sneaky(MonitorBase):
+            def declare(self):
+                return declaration(procedures=("Op",))
+
+            @procedure("Undeclared")
+            def rogue(self):
+                return None
+
+        with pytest.raises(DeclarationError, match="Undeclared"):
+            Sneaky(fifo_kernel)
+
+    def test_declare_must_be_overridden(self, fifo_kernel):
+        class Bare(MonitorBase):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Bare(fifo_kernel)
+
+    def test_declared_but_unimplemented_is_fine(self, fifo_kernel):
+        class Partial(MonitorBase):
+            def declare(self):
+                return declaration(procedures=("Op", "Extra"))
+
+            @procedure("Op")
+            def op(self):
+                return None
+
+        monitor = Partial(fifo_kernel)  # "Extra" may be driven manually
+        assert monitor.name == "m"
+
+    def test_repr(self, fifo_kernel):
+        class Simple(MonitorBase):
+            def declare(self):
+                return declaration()
+
+        monitor = Simple(fifo_kernel)
+        assert "Simple" in repr(monitor)
+        assert "Monitor(" in repr(monitor.monitor)
+
+
+class TestOpAccounting:
+    def test_counts_cover_all_primitives(self, fifo_kernel):
+        monitor = Monitor(fifo_kernel, declaration())
+
+        def waiter():
+            yield from monitor.enter("Op")      # 1
+            yield from monitor.wait("ready")    # 2
+            monitor.exit()                      # 3
+
+        def signaller():
+            yield Delay(1.0)
+            yield from monitor.enter("Op")      # 4
+            monitor.signal_exit("ready")        # 5
+
+        fifo_kernel.spawn(waiter())
+        fifo_kernel.spawn(signaller())
+        fifo_kernel.run()
+        fifo_kernel.raise_failures()
+        assert monitor.op_count == 5
+        assert monitor.op_seconds > 0
+
+
+class TestHistoryAttachment:
+    def test_attach_opens_with_initial_snapshot(self, fifo_kernel):
+        history = HistoryDatabase(retain_full_trace=True)
+        Monitor(fifo_kernel, declaration(), history=history)
+        assert history.opened
+        assert history.last_state is not None
+        assert history.last_state.running == ()
+
+    def test_shared_history_across_monitors_opens_once(self, fifo_kernel):
+        """Two monitors may share one database (sequence numbers interleave);
+        only the first attachment installs the base snapshot."""
+        history = HistoryDatabase()
+        Monitor(fifo_kernel, declaration(name="a"), history=history)
+        Monitor(fifo_kernel, declaration(name="b"), history=history)
+        assert history.opened

@@ -1,0 +1,303 @@
+"""Unit tests for the pure monitor core state machine (no kernel)."""
+
+import pytest
+
+from repro.errors import (
+    MonitorUsageError,
+    NotInsideMonitorError,
+    UnknownConditionError,
+    UnknownProcedureError,
+)
+from repro.history import HistoryDatabase
+from repro.monitor import Discipline, MonitorCore, MonitorDeclaration, MonitorType
+
+
+class FakeClock:
+    def __init__(self):
+        self.time = 0.0
+
+    def __call__(self):
+        return self.time
+
+    def tick(self, amount=1.0):
+        self.time += amount
+
+
+def make_core(
+    *,
+    conditions=("ready",),
+    procedures=("Op", "Other"),
+    discipline=Discipline.SIGNAL_EXIT,
+    history=None,
+    hooks=None,
+    probe=None,
+):
+    declaration = MonitorDeclaration(
+        name="m",
+        mtype=MonitorType.OPERATION_MANAGER,
+        procedures=procedures,
+        conditions=conditions,
+        discipline=discipline,
+    )
+    clock = FakeClock()
+    core = MonitorCore(
+        declaration, now=clock, history=history, hooks=hooks, resource_probe=probe
+    )
+    return core, clock
+
+
+class TestEnter:
+    def test_free_monitor_admits_immediately(self):
+        core, __ = make_core()
+        transition = core.enter(1, "Op")
+        assert not transition.caller_blocks
+        assert core.running_pids == (1,)
+        assert core.is_inside(1)
+
+    def test_busy_monitor_queues(self):
+        core, __ = make_core()
+        core.enter(1, "Op")
+        transition = core.enter(2, "Op")
+        assert transition.caller_blocks
+        assert core.entry_pids == (2,)
+        assert core.running_pids == (1,)
+
+    def test_unknown_procedure_rejected(self):
+        core, __ = make_core()
+        with pytest.raises(UnknownProcedureError):
+            core.enter(1, "Nope")
+
+    def test_reentry_rejected(self):
+        core, __ = make_core()
+        core.enter(1, "Op")
+        with pytest.raises(MonitorUsageError):
+            core.enter(1, "Other")
+
+    def test_reentry_from_queue_rejected(self):
+        core, __ = make_core()
+        core.enter(1, "Op")
+        core.enter(2, "Op")
+        with pytest.raises(MonitorUsageError):
+            core.enter(2, "Op")
+
+
+class TestWait:
+    def test_wait_moves_to_condition_queue(self):
+        core, __ = make_core()
+        core.enter(1, "Op")
+        transition = core.wait(1, "ready")
+        assert transition.caller_blocks
+        assert core.cond_pids("ready") == (1,)
+        assert core.running_pids == ()
+
+    def test_wait_admits_entry_head(self):
+        core, __ = make_core()
+        core.enter(1, "Op")
+        core.enter(2, "Op")
+        transition = core.wait(1, "ready")
+        assert transition.wake == (2,)
+        assert core.running_pids == (2,)
+        assert core.entry_pids == ()
+
+    def test_wait_requires_being_inside(self):
+        core, __ = make_core()
+        with pytest.raises(NotInsideMonitorError):
+            core.wait(1, "ready")
+
+    def test_wait_unknown_condition(self):
+        core, __ = make_core()
+        core.enter(1, "Op")
+        with pytest.raises(UnknownConditionError):
+            core.wait(1, "nope")
+
+
+class TestSignalExit:
+    def test_signal_exit_hands_monitor_to_waiter(self):
+        core, __ = make_core()
+        core.enter(1, "Op")
+        core.wait(1, "ready")
+        core.enter(2, "Op")
+        transition = core.signal_exit(2, "ready")
+        assert not transition.caller_blocks
+        assert transition.wake == (1,)
+        assert core.running_pids == (1,)
+        assert core.cond_pids("ready") == ()
+
+    def test_signal_exit_without_waiter_admits_entry(self):
+        core, __ = make_core()
+        core.enter(1, "Op")
+        core.enter(2, "Op")
+        transition = core.signal_exit(1, "ready")
+        assert transition.wake == (2,)
+        assert core.running_pids == (2,)
+
+    def test_plain_exit(self):
+        core, __ = make_core()
+        core.enter(1, "Op")
+        transition = core.exit(1)
+        assert core.running_pids == ()
+        assert transition.wake == ()
+
+    def test_exit_requires_being_inside(self):
+        core, __ = make_core()
+        with pytest.raises(NotInsideMonitorError):
+            core.exit(1)
+
+    def test_fifo_condition_queue(self):
+        core, __ = make_core()
+        for pid in (1, 2, 3):
+            core.enter(pid, "Op")
+            core.wait(pid, "ready")
+        resumed = []
+        for pid in (10, 11, 12):
+            core.enter(pid, "Op")
+            transition = core.signal_exit(pid, "ready")
+            resumed.extend(transition.wake)
+            # The resumed waiter holds the monitor; it must exit before the
+            # next signaller can enter.
+            core.exit(transition.wake[0])
+        assert resumed == [1, 2, 3]
+
+
+class TestHoareDiscipline:
+    def test_signal_and_wait_parks_signaller_on_urgent(self):
+        core, clock = make_core(discipline=Discipline.SIGNAL_AND_WAIT)
+        core.enter(1, "Op")
+        core.wait(1, "ready")
+        core.enter(2, "Op")
+        transition = core.signal(2, "ready")
+        assert transition.caller_blocks
+        assert transition.wake == (1,)
+        assert core.running_pids == (1,)
+        snapshot = core.snapshot()
+        assert tuple(entry.pid for entry in snapshot.urgent) == (2,)
+
+    def test_urgent_has_priority_over_entry_queue(self):
+        core, __ = make_core(discipline=Discipline.SIGNAL_AND_WAIT)
+        core.enter(1, "Op")
+        core.wait(1, "ready")
+        core.enter(2, "Op")
+        core.enter(3, "Op")  # queues behind 2
+        core.signal(2, "ready")  # 1 runs, 2 urgent, 3 still queued
+        transition = core.exit(1)
+        assert transition.wake == (2,)  # urgent beats entry queue
+        assert core.running_pids == (2,)
+        assert core.entry_pids == (3,)
+
+    def test_signal_without_waiter_continues(self):
+        core, __ = make_core(discipline=Discipline.SIGNAL_AND_WAIT)
+        core.enter(1, "Op")
+        transition = core.signal(1, "ready")
+        assert not transition.caller_blocks
+        assert core.running_pids == (1,)
+
+
+class TestMesaDiscipline:
+    def test_signal_moves_waiter_to_entry_queue(self):
+        core, __ = make_core(discipline=Discipline.SIGNAL_AND_CONTINUE)
+        core.enter(1, "Op")
+        core.wait(1, "ready")
+        core.enter(2, "Op")
+        transition = core.signal(2, "ready")
+        assert not transition.caller_blocks
+        assert transition.wake == ()
+        assert core.running_pids == (2,)
+        assert core.entry_pids == (1,)
+
+    def test_broadcast_moves_everyone(self):
+        core, __ = make_core(discipline=Discipline.SIGNAL_AND_CONTINUE)
+        for pid in (1, 2, 3):
+            core.enter(pid, "Op")
+            core.wait(pid, "ready")
+        core.enter(9, "Op")
+        core.broadcast(9, "ready")
+        assert core.cond_pids("ready") == ()
+        assert core.entry_pids == (1, 2, 3)
+
+    def test_broadcast_rejected_outside_mesa(self):
+        core, __ = make_core(discipline=Discipline.SIGNAL_EXIT)
+        core.enter(1, "Op")
+        with pytest.raises(MonitorUsageError):
+            core.broadcast(1, "ready")
+
+
+class TestSnapshotAndIntrospection:
+    def test_snapshot_captures_queues(self):
+        core, clock = make_core()
+        core.enter(1, "Op")
+        clock.tick()
+        core.enter(2, "Other")
+        snapshot = core.snapshot()
+        assert snapshot.running_pids == (1,)
+        assert snapshot.entry_pids == (2,)
+        assert snapshot.find(1) == "running"
+        assert snapshot.find(2) == "entry"
+        assert snapshot.find(99) is None
+
+    def test_snapshot_resource_probe(self):
+        core, __ = make_core(probe=lambda: 7)
+        assert core.snapshot().resource_count == 7
+
+    def test_snapshot_without_probe(self):
+        core, __ = make_core()
+        assert core.snapshot().resource_count is None
+
+    def test_idle(self):
+        core, __ = make_core()
+        assert core.idle
+        core.enter(1, "Op")
+        assert not core.idle
+        core.exit(1)
+        assert core.idle
+
+    def test_queue_length(self):
+        core, __ = make_core()
+        core.enter(1, "Op")
+        core.wait(1, "ready")
+        assert core.queue_length("ready") == 1
+        with pytest.raises(UnknownConditionError):
+            core.queue_length("nope")
+
+    def test_expel_vacates_and_admits(self):
+        core, __ = make_core()
+        core.enter(1, "Op")
+        core.enter(2, "Op")
+        wake = core.expel(1)
+        assert wake == [2]
+        assert core.running_pids == (2,)
+
+    def test_expel_requires_inside(self):
+        core, __ = make_core()
+        with pytest.raises(NotInsideMonitorError):
+            core.expel(1)
+
+
+class TestRecording:
+    def test_events_recorded_in_order(self):
+        history = HistoryDatabase(retain_full_trace=True)
+        core, __ = make_core(history=None)
+        core.attach_history(history)
+        core.enter(1, "Op")
+        core.wait(1, "ready")
+        core.enter(2, "Op")
+        core.signal_exit(2, "ready")
+        kinds = [event.kind.value for event in history.full_trace]
+        assert kinds == ["Enter", "Wait", "Enter", "Signal-Exit"]
+        seqs = [event.seq for event in history.full_trace]
+        assert seqs == sorted(seqs)
+
+    def test_flags_reflect_admission(self):
+        history = HistoryDatabase(retain_full_trace=True)
+        core, __ = make_core(history=None)
+        core.attach_history(history)
+        core.enter(1, "Op")
+        core.enter(2, "Op")
+        first, second = history.full_trace
+        assert first.flag == 1
+        assert second.flag == 0
+
+    def test_no_history_means_no_recording(self):
+        core, __ = make_core(history=None)
+        core.enter(1, "Op")
+        transition = core.exit(1)
+        assert transition.event is None

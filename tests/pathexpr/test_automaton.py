@@ -1,0 +1,102 @@
+"""Unit tests for the path-expression order automaton."""
+
+import pytest
+
+from repro.pathexpr import compile_order
+
+
+def walk(auto, symbols):
+    """Drive the automaton; returns final state or None on violation."""
+    state = auto.start
+    for symbol in symbols:
+        state = auto.step(state, symbol)
+        if state is None:
+            return None
+    return state
+
+
+class TestAllocatorOrder:
+    AUTO = compile_order("(Request ; Release)*")
+
+    def test_valid_cycles(self):
+        state = walk(self.AUTO, ["Request", "Release"] * 3)
+        assert state is not None
+        assert self.AUTO.accepts_now(state)
+
+    def test_half_cycle_is_viable_prefix_not_complete(self):
+        state = walk(self.AUTO, ["Request"])
+        assert state is not None
+        assert not self.AUTO.accepts_now(state)
+
+    def test_release_first_violates(self):
+        assert walk(self.AUTO, ["Release"]) is None
+
+    def test_double_request_violates(self):
+        assert walk(self.AUTO, ["Request", "Request"]) is None
+
+    def test_empty_sequence_accepted(self):
+        assert self.AUTO.accepts_now(self.AUTO.start)
+
+    def test_check_reports_first_violation_index(self):
+        assert self.AUTO.check(["Request", "Release", "Release"]) == 2
+        assert self.AUTO.check(["Request", "Release"]) is None
+
+
+class TestReadersWritersOrder:
+    AUTO = compile_order("((StartRead ; EndRead) | (StartWrite ; EndWrite))*")
+
+    def test_mixed_valid_history(self):
+        history = [
+            "StartRead", "EndRead",
+            "StartWrite", "EndWrite",
+            "StartRead", "EndRead",
+        ]
+        assert self.AUTO.check(history) is None
+
+    def test_mismatched_end_violates(self):
+        assert self.AUTO.check(["StartRead", "EndWrite"]) == 1
+
+    def test_nested_read_violates(self):
+        assert self.AUTO.check(["StartRead", "StartRead"]) == 1
+
+
+class TestAlphabetPolicy:
+    def test_foreign_symbols_unconstrained(self):
+        auto = compile_order("(Request ; Release)*")
+        state = auto.step(auto.start, "Stats")
+        assert state == auto.start  # unchanged, no violation
+
+    def test_alphabet_exposed(self):
+        auto = compile_order("(a ; b) | c")
+        assert auto.alphabet == frozenset({"a", "b", "c"})
+
+
+class TestOperators:
+    def test_plus_requires_one(self):
+        auto = compile_order("a+")
+        assert not auto.accepts_now(auto.start)
+        state = walk(auto, ["a"])
+        assert auto.accepts_now(state)
+        state = walk(auto, ["a", "a", "a"])
+        assert auto.accepts_now(state)
+
+    def test_opt_zero_or_one(self):
+        auto = compile_order("a?")
+        assert auto.accepts_now(auto.start)
+        state = walk(auto, ["a"])
+        assert auto.accepts_now(state)
+        assert walk(auto, ["a", "a"]) is None
+
+    def test_alternation_commits_lazily(self):
+        auto = compile_order("(a ; b) | (a ; c)")
+        # After 'a' both branches are live; either ending must work.
+        assert auto.check(["a", "b"]) is None
+        assert auto.check(["a", "c"]) is None
+        assert auto.check(["a", "a"]) == 1
+
+    def test_sequence_of_three(self):
+        auto = compile_order("a ; b ; c")
+        assert auto.check(["a", "b", "c"]) is None
+        assert auto.check(["a", "c"]) == 1
+        # Completed sequence cannot restart (no star).
+        assert auto.check(["a", "b", "c", "a"]) == 3

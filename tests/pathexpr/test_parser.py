@@ -1,0 +1,91 @@
+"""Unit tests for the path-expression parser."""
+
+import pytest
+
+from repro.errors import PathExpressionSyntaxError
+from repro.pathexpr import Alt, Name, Opt, Plus, Seq, Star, parse_path_expression
+
+
+class TestAtoms:
+    def test_single_name(self):
+        assert parse_path_expression("Request") == Name("Request")
+
+    def test_underscored_name(self):
+        assert parse_path_expression("start_read") == Name("start_read")
+
+    def test_whitespace_ignored(self):
+        assert parse_path_expression("  Request  ") == Name("Request")
+
+
+class TestOperators:
+    def test_sequence(self):
+        expr = parse_path_expression("a ; b ; c")
+        assert expr == Seq((Name("a"), Name("b"), Name("c")))
+
+    def test_alternation(self):
+        expr = parse_path_expression("a | b")
+        assert expr == Alt((Name("a"), Name("b")))
+
+    def test_star_plus_opt(self):
+        assert parse_path_expression("a*") == Star(Name("a"))
+        assert parse_path_expression("a+") == Plus(Name("a"))
+        assert parse_path_expression("a?") == Opt(Name("a"))
+
+    def test_stacked_postfix(self):
+        assert parse_path_expression("a*?") == Opt(Star(Name("a")))
+
+    def test_seq_binds_tighter_than_alt(self):
+        expr = parse_path_expression("a ; b | c")
+        assert expr == Alt((Seq((Name("a"), Name("b"))), Name("c")))
+
+    def test_parentheses_override(self):
+        expr = parse_path_expression("a ; (b | c)")
+        assert expr == Seq((Name("a"), Alt((Name("b"), Name("c")))))
+
+    def test_paper_allocator_order(self):
+        expr = parse_path_expression("(Request ; Release)*")
+        assert expr == Star(Seq((Name("Request"), Name("Release"))))
+
+    def test_readers_writers_order(self):
+        expr = parse_path_expression(
+            "((StartRead ; EndRead) | (StartWrite ; EndWrite))*"
+        )
+        assert isinstance(expr, Star)
+        assert isinstance(expr.inner, Alt)
+
+
+class TestAlphabet:
+    def test_alphabet_collects_names(self):
+        expr = parse_path_expression("(a ; b)* | c?")
+        assert expr.alphabet() == frozenset({"a", "b", "c"})
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        ["", "   ", "a ;", "; a", "(a", "a)", "a b", "*", "a | | b", "a @ b"],
+    )
+    def test_malformed_rejected(self, source):
+        with pytest.raises(PathExpressionSyntaxError):
+            parse_path_expression(source)
+
+    def test_error_carries_position(self):
+        with pytest.raises(PathExpressionSyntaxError) as info:
+            parse_path_expression("a ; *")
+        assert info.value.source == "a ; *"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "Request",
+            "(Request ; Release)*",
+            "((a ; b) | (c ; d))*",
+            "a+ ; b? ; c*",
+            "a | b | c",
+        ],
+    )
+    def test_str_reparses_to_same_ast(self, source):
+        expr = parse_path_expression(source)
+        assert parse_path_expression(str(expr)) == expr

@@ -1,0 +1,180 @@
+"""Stateful property testing of MonitorCore (hypothesis rule machine).
+
+Drives the pure core through random *valid* operation sequences — enters,
+waits, signal-exits and plain exits by a pool of simulated processes — and
+checks the paper's structural invariants after every step:
+
+* at most one process in the Running set (mutual exclusion),
+* a pid appears in at most one place (running / EQ / one CQ / urgent),
+* the event log stays well-formed (total order, non-decreasing time),
+* replaying the recorded events through the checking-list machine against
+  the live snapshots yields **zero** violations (no false positives, for
+  every reachable interleaving, not just app-shaped ones).
+
+The machine mirrors the blocking protocol: a pid whose transition said
+"caller blocks" is parked until some transition wakes it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.detection.fd_rules import empty_initial_state
+from repro.detection.replay import ReplayMachine
+from repro.history import HistoryDatabase
+from repro.monitor import MonitorCore, MonitorDeclaration, MonitorType
+
+PIDS = list(range(1, 6))
+CONDS = ("alpha", "beta")
+
+
+def make_core(history):
+    declaration = MonitorDeclaration(
+        name="m",
+        mtype=MonitorType.OPERATION_MANAGER,
+        procedures=("Op",),
+        conditions=CONDS,
+    )
+    clock = {"time": 0.0}
+
+    def now():
+        clock["time"] += 0.001  # strictly increasing event times
+        return clock["time"]
+
+    core = MonitorCore(declaration, now=now, history=None)
+    core.attach_history(history)
+    return core
+
+
+class MonitorMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.history = HistoryDatabase(retain_full_trace=True)
+        self.core = make_core(self.history)
+        #: pids currently blocked (their last transition said so).
+        self.blocked: set[int] = set()
+        #: pids currently believed to be inside (admitted, running).
+        self.inside: set[int] = set()
+
+    # -------------------------------------------------------------- helpers
+
+    def _apply(self, pid, transition):
+        if transition.caller_blocks:
+            self.blocked.add(pid)
+            self.inside.discard(pid)
+        else:
+            self.inside.add(pid)
+        for woken in transition.wake:
+            self.blocked.discard(woken)
+            self.inside.add(woken)
+
+    def _idle_pids(self):
+        return [
+            pid
+            for pid in PIDS
+            if pid not in self.blocked and pid not in self.inside
+        ]
+
+    # ---------------------------------------------------------------- rules
+
+    @precondition(lambda self: self._idle_pids())
+    @rule(choice=st.integers(0, 10_000))
+    def enter(self, choice):
+        candidates = self._idle_pids()
+        pid = candidates[choice % len(candidates)]
+        transition = self.core.enter(pid, "Op")
+        self._apply(pid, transition)
+
+    @precondition(lambda self: self.inside)
+    @rule(choice=st.integers(0, 10_000), cond=st.sampled_from(CONDS))
+    def wait(self, choice, cond):
+        candidates = sorted(self.inside)
+        pid = candidates[choice % len(candidates)]
+        self.inside.discard(pid)
+        transition = self.core.wait(pid, cond)
+        self._apply(pid, transition)
+        if transition.caller_blocks:
+            self.inside.discard(pid)
+
+    @precondition(lambda self: self.inside)
+    @rule(choice=st.integers(0, 10_000), cond=st.sampled_from(CONDS))
+    def signal_exit(self, choice, cond):
+        candidates = sorted(self.inside)
+        pid = candidates[choice % len(candidates)]
+        self.inside.discard(pid)
+        transition = self.core.signal_exit(pid, cond)
+        for woken in transition.wake:
+            self.blocked.discard(woken)
+            self.inside.add(woken)
+
+    @rule()
+    def observe(self):
+        """Always-enabled no-op so runs where every process has blocked
+        (everyone waiting on a condition nobody can signal — a legitimate
+        reachable state) still satisfy hypothesis's progress requirement."""
+        self.core.snapshot()
+
+    @precondition(lambda self: self.inside)
+    @rule(choice=st.integers(0, 10_000))
+    def plain_exit(self, choice):
+        candidates = sorted(self.inside)
+        pid = candidates[choice % len(candidates)]
+        self.inside.discard(pid)
+        transition = self.core.exit(pid)
+        for woken in transition.wake:
+            self.blocked.discard(woken)
+            self.inside.add(woken)
+
+    # ------------------------------------------------------------ invariants
+
+    @invariant()
+    def mutual_exclusion(self):
+        assert len(self.core.running_pids) <= 1
+
+    @invariant()
+    def each_pid_in_one_place(self):
+        snapshot = self.core.snapshot()
+        seen: list[int] = []
+        seen.extend(entry.pid for entry in snapshot.running)
+        seen.extend(entry.pid for entry in snapshot.entry_queue)
+        seen.extend(entry.pid for entry in snapshot.urgent)
+        for queue in snapshot.cond_queues.values():
+            seen.extend(entry.pid for entry in queue)
+        assert len(seen) == len(set(seen)), f"pid in two places: {seen}"
+
+    @invariant()
+    def model_agrees_with_core(self):
+        assert set(self.core.running_pids) == self.inside
+
+    @invariant()
+    def event_log_well_formed(self):
+        trace = self.history.full_trace
+        seqs = [event.seq for event in trace]
+        assert seqs == sorted(seqs)
+        times = [event.time for event in trace]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    @invariant()
+    def replay_is_clean(self):
+        machine = ReplayMachine(
+            self.core.declaration,
+            empty_initial_state(self.core.declaration),
+        )
+        machine.replay(self.history.full_trace)
+        machine.compare_with(self.core.snapshot())
+        assert machine.violations == [], [
+            str(violation) for violation in machine.violations
+        ]
+
+
+MonitorMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestMonitorMachine = MonitorMachine.TestCase

@@ -1,0 +1,147 @@
+"""Stateful property testing of the Mesa (signal-and-continue) discipline.
+
+Same shape as the signal-exit machine, but with non-exiting signals and
+broadcast: a signalled waiter is moved to the entry queue and readmitted
+later, so the blocked-set bookkeeping follows wake-ups from *admissions*
+rather than direct hand-offs.  The extended checker must stay clean over
+every reachable interleaving.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.detection.fd_rules import empty_initial_state
+from repro.detection.replay import ReplayMachine
+from repro.history import HistoryDatabase
+from repro.monitor import (
+    Discipline,
+    MonitorCore,
+    MonitorDeclaration,
+    MonitorType,
+)
+
+PIDS = list(range(1, 5))
+CONDS = ("alpha", "beta")
+
+
+class MesaMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.history = HistoryDatabase(retain_full_trace=True)
+        declaration = MonitorDeclaration(
+            name="mesa",
+            mtype=MonitorType.OPERATION_MANAGER,
+            procedures=("Op",),
+            conditions=CONDS,
+            discipline=Discipline.SIGNAL_AND_CONTINUE,
+        )
+        clock = {"time": 0.0}
+
+        def now():
+            clock["time"] += 0.001
+            return clock["time"]
+
+        self.core = MonitorCore(declaration, now=now)
+        self.core.attach_history(self.history)
+        self.blocked: set[int] = set()
+        self.inside: set[int] = set()
+
+    def _idle(self):
+        return [
+            pid for pid in PIDS
+            if pid not in self.blocked and pid not in self.inside
+        ]
+
+    def _absorb_wakes(self, transition):
+        for woken in transition.wake:
+            self.blocked.discard(woken)
+            self.inside.add(woken)
+
+    @rule()
+    def observe(self):
+        self.core.snapshot()
+
+    @precondition(lambda self: self._idle())
+    @rule(choice=st.integers(0, 10_000))
+    def enter(self, choice):
+        candidates = self._idle()
+        pid = candidates[choice % len(candidates)]
+        transition = self.core.enter(pid, "Op")
+        if transition.caller_blocks:
+            self.blocked.add(pid)
+        else:
+            self.inside.add(pid)
+        self._absorb_wakes(transition)
+
+    @precondition(lambda self: self.inside)
+    @rule(choice=st.integers(0, 10_000), cond=st.sampled_from(CONDS))
+    def wait(self, choice, cond):
+        candidates = sorted(self.inside)
+        pid = candidates[choice % len(candidates)]
+        self.inside.discard(pid)
+        transition = self.core.wait(pid, cond)
+        self.blocked.add(pid)
+        self._absorb_wakes(transition)
+
+    @precondition(lambda self: self.inside)
+    @rule(choice=st.integers(0, 10_000), cond=st.sampled_from(CONDS))
+    def mesa_signal(self, choice, cond):
+        candidates = sorted(self.inside)
+        pid = candidates[choice % len(candidates)]
+        transition = self.core.signal(pid, cond)
+        # signal-and-continue: the signaller keeps running, nobody wakes yet
+        assert not transition.caller_blocks
+        assert transition.wake == ()
+
+    @precondition(lambda self: self.inside)
+    @rule(choice=st.integers(0, 10_000), cond=st.sampled_from(CONDS))
+    def broadcast(self, choice, cond):
+        candidates = sorted(self.inside)
+        pid = candidates[choice % len(candidates)]
+        transition = self.core.broadcast(pid, cond)
+        assert not transition.caller_blocks
+
+    @precondition(lambda self: self.inside)
+    @rule(choice=st.integers(0, 10_000))
+    def plain_exit(self, choice):
+        candidates = sorted(self.inside)
+        pid = candidates[choice % len(candidates)]
+        self.inside.discard(pid)
+        transition = self.core.exit(pid)
+        self._absorb_wakes(transition)
+
+    # ------------------------------------------------------------ invariants
+
+    @invariant()
+    def mutual_exclusion(self):
+        assert len(self.core.running_pids) <= 1
+
+    @invariant()
+    def model_agrees_with_core(self):
+        assert set(self.core.running_pids) == self.inside
+
+    @invariant()
+    def replay_is_clean(self):
+        machine = ReplayMachine(
+            self.core.declaration,
+            empty_initial_state(self.core.declaration),
+        )
+        machine.replay(self.history.full_trace)
+        machine.compare_with(self.core.snapshot())
+        assert machine.violations == [], [
+            str(violation) for violation in machine.violations
+        ]
+
+
+MesaMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=25, deadline=None
+)
+TestMesaMachine = MesaMachine.TestCase

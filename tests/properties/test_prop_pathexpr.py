@@ -1,0 +1,107 @@
+"""Property-based tests: the order automaton against Python's re module.
+
+A path expression maps directly onto a regular expression over single-
+letter symbols.  We generate random path-expression ASTs, random candidate
+words, and check that the automaton's language agrees exactly with
+``re.fullmatch`` — plus the prefix-viability property Algorithm-3 relies
+on: every prefix of an accepted word walks the trimmed DFA without hitting
+a missing transition.
+"""
+
+from __future__ import annotations
+
+import re
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pathexpr import Alt, Name, Opt, PathExpr, Plus, Seq, Star
+from repro.pathexpr.automaton import compile_order
+
+#: Single-letter procedure names so the regex translation is 1:1.
+SYMBOLS = tuple(string.ascii_lowercase[:4])
+
+names = st.sampled_from(SYMBOLS).map(Name)
+
+
+def exprs(max_depth: int = 3) -> st.SearchStrategy[PathExpr]:
+    return st.recursive(
+        names,
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda t: Seq(t)),
+            st.tuples(inner, inner).map(lambda t: Alt(t)),
+            inner.map(Star),
+            inner.map(Plus),
+            inner.map(Opt),
+        ),
+        max_leaves=8,
+    )
+
+
+def to_regex(expr: PathExpr) -> str:
+    if isinstance(expr, Name):
+        return re.escape(expr.value)
+    if isinstance(expr, Seq):
+        return "".join(f"(?:{to_regex(p)})" for p in expr.parts)
+    if isinstance(expr, Alt):
+        return "|".join(f"(?:{to_regex(o)})" for o in expr.options)
+    if isinstance(expr, Star):
+        return f"(?:{to_regex(expr.inner)})*"
+    if isinstance(expr, Plus):
+        return f"(?:{to_regex(expr.inner)})+"
+    if isinstance(expr, Opt):
+        return f"(?:{to_regex(expr.inner)})?"
+    raise TypeError(expr)
+
+
+def automaton_accepts(auto, word: str) -> bool:
+    state = auto.start
+    for symbol in word:
+        state = auto.step(state, symbol)
+        if state is None:
+            return False
+    return auto.accepts_now(state)
+
+
+words = st.text(alphabet="".join(SYMBOLS), max_size=8)
+
+
+@settings(max_examples=200, deadline=None)
+@given(expr=exprs(), word=words)
+def test_automaton_agrees_with_re(expr, word):
+    """The automaton's language, projected onto the declared alphabet,
+    is exactly the regex's language.  (Symbols outside the alphabet are
+    unconstrained by design: a declaration need not mention every
+    procedure.)"""
+    auto = compile_order(str(expr))
+    pattern = re.compile(to_regex(expr))
+    projected = "".join(symbol for symbol in word if symbol in auto.alphabet)
+    expected = pattern.fullmatch(projected) is not None
+    assert automaton_accepts(auto, word) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(expr=exprs(), word=words)
+def test_prefix_viability(expr, word):
+    """If the whole word is in the language, every prefix must walk the
+    trimmed DFA without a missing transition (no false ordering violation
+    mid-protocol)."""
+    auto = compile_order(str(expr))
+    pattern = re.compile(to_regex(expr))
+    if pattern.fullmatch(word) is None:
+        return
+    state = auto.start
+    for symbol in word:
+        state = auto.step(state, symbol)
+        assert state is not None
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=exprs())
+def test_round_trip_compiles(expr):
+    """str() of any AST reparses and compiles; empty word acceptance agrees
+    with the regex."""
+    auto = compile_order(str(expr))
+    pattern = re.compile(to_regex(expr))
+    assert auto.accepts_now(auto.start) == (pattern.fullmatch("") is not None)

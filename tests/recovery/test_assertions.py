@@ -1,0 +1,71 @@
+"""Tests for user-supplied monitor assertions (Section 5 extension)."""
+
+import pytest
+
+from repro.apps import BoundedBuffer
+from repro.history import HistoryDatabase
+from repro.kernel import Delay, SimKernel
+from repro.recovery.assertions import ASSERTION_RULE, AssertionChecker
+from tests.conftest import producer
+
+
+class TestDeclaration:
+    def test_add_and_list(self, kernel):
+        buffer = BoundedBuffer(kernel, capacity=2)
+        checker = AssertionChecker(buffer)
+        checker.add("in-range", lambda snap: True, "occupancy bounded")
+        assert len(checker.assertions) == 1
+        assert checker.assertions[0].name == "in-range"
+
+    def test_duplicate_name_rejected(self, kernel):
+        buffer = BoundedBuffer(kernel, capacity=2)
+        checker = AssertionChecker(buffer)
+        checker.add("x", lambda snap: True)
+        with pytest.raises(ValueError):
+            checker.add("x", lambda snap: True)
+
+
+class TestEvaluation:
+    def test_holding_assertions_produce_nothing(self, kernel):
+        buffer = BoundedBuffer(kernel, capacity=2, history=HistoryDatabase())
+        checker = AssertionChecker(buffer)
+        checker.add(
+            "occupancy-in-range",
+            lambda snap: 0 <= buffer.occupancy <= buffer.capacity,
+        )
+        kernel.spawn(producer(buffer, 2))
+        kernel.run(until=10)
+        kernel.raise_failures()
+        assert checker.evaluate() == []
+        assert checker.reports == []
+
+    def test_failing_assertion_reported(self, kernel):
+        buffer = BoundedBuffer(kernel, capacity=2)
+        checker = AssertionChecker(buffer)
+        checker.add("always-false", lambda snap: False, "demo")
+        reports = checker.evaluate()
+        assert len(reports) == 1
+        assert reports[0].rule is ASSERTION_RULE
+        assert "always-false" in reports[0].message
+        assert "demo" in reports[0].message
+
+    def test_raising_predicate_counts_as_failure(self, kernel):
+        buffer = BoundedBuffer(kernel, capacity=2)
+        checker = AssertionChecker(buffer)
+
+        def broken(snap):
+            raise KeyError("oops")
+
+        checker.add("broken", broken)
+        reports = checker.evaluate()
+        assert len(reports) == 1
+        assert "KeyError" in reports[0].message
+
+    def test_snapshot_passed_to_predicate(self, kernel):
+        buffer = BoundedBuffer(kernel, capacity=2)
+        seen = []
+        checker = AssertionChecker(buffer)
+        checker.add("capture", lambda snap: seen.append(snap) or True)
+        checker.evaluate()
+        assert len(seen) == 1
+        assert hasattr(seen[0], "entry_queue")

@@ -1,0 +1,122 @@
+"""Tests for the benchmark harness modules themselves."""
+
+import pytest
+
+from repro.bench.coverage import coverage_table, run_coverage
+from repro.bench.overhead import (
+    OverheadRow,
+    measure_overhead,
+    overhead_table,
+    render_overhead_table,
+)
+from repro.bench.tables import render_table
+from repro.workloads import WorkloadSpec
+
+FAST_SPEC = WorkloadSpec(processes=2, operations=10, think_time=0.05)
+
+
+class TestTables:
+    def test_render_alignment(self):
+        text = render_table(
+            ["name", "value"], [["a", 1], ["longer-name", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_render_without_title(self):
+        text = render_table(["x"], [["1"]])
+        assert text.splitlines()[0] == "x"
+
+
+class TestOverheadHarness:
+    def test_measure_produces_consistent_row(self):
+        row = measure_overhead(
+            "coordinator", 1.0, backend="sim", spec=FAST_SPEC, repeats=1
+        )
+        assert isinstance(row, OverheadRow)
+        assert row.scenario == "coordinator"
+        assert row.interval == 1.0
+        assert row.base_seconds > 0
+        assert row.extended_seconds > 0
+        assert row.events > 0
+        assert row.ratio == pytest.approx(
+            (row.extended_seconds + row.checking_seconds) / row.base_seconds
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            measure_overhead("coordinator", 1.0, backend="quantum")
+
+    def test_grid_covers_all_cells(self):
+        rows = overhead_table(
+            intervals=(1.0,),
+            scenarios=("coordinator", "manager"),
+            backend="sim",
+            spec=FAST_SPEC,
+            repeats=1,
+        )
+        assert {(row.scenario, row.interval) for row in rows} == {
+            ("coordinator", 1.0),
+            ("manager", 1.0),
+        }
+
+    def test_render_layout(self):
+        rows = overhead_table(
+            intervals=(1.0,),
+            scenarios=("coordinator",),
+            backend="sim",
+            spec=FAST_SPEC,
+            repeats=1,
+        )
+        text = render_overhead_table(rows)
+        assert "Table 1" in text
+        assert "coordinator" in text
+        assert "T=1s" in text
+
+
+class TestCoverageHarness:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return run_coverage(seed=0)
+
+    def test_all_classes_present(self, outcomes):
+        from repro.detection import FaultClass
+
+        assert set(outcomes) == set(FaultClass)
+
+    def test_table_renders_each_class(self, outcomes):
+        text = coverage_table(outcomes)
+        assert "I.a.1" in text
+        assert "III.c" in text
+        assert "21/21" in text
+
+
+class TestAblationsHarness:
+    def test_st_vs_fd_table(self):
+        from repro.bench.ablations import ablation_st_vs_fd
+
+        text = ablation_st_vs_fd()
+        assert "verdicts agree" in text
+        assert "NO" not in text.splitlines()[2]  # clean row agrees
+
+    def test_pruning_table(self):
+        from repro.bench.ablations import ablation_pruning
+
+        text = ablation_pruning(sizes=(30, 60))
+        assert "pruned window peak" in text
+
+    def test_interval_accuracy_table(self):
+        from repro.bench.ablations import ablation_interval_accuracy
+
+        text = ablation_interval_accuracy(intervals=(0.5, 2.0))
+        assert "detection latency" in text
+        assert "nan" not in text
+
+
+class TestTableValidation:
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row 0"):
+            render_table(["a", "b"], [["only-one"]])

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.history import HistoryDatabase, dump_trace
+
+
+class TestDemo:
+    def test_demo_runs_clean_then_faulty(self, capsys):
+        assert main(["demo", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "clean run" in output
+        assert "clean=True" in output
+        assert "faulty run" in output
+        assert "ST-3" in output
+
+
+class TestSelftest:
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        assert "detected=True" in capsys.readouterr().out
+
+
+class TestCheck:
+    @pytest.fixture
+    def clean_trace(self, kernel, tmp_path):
+        from repro.apps import BoundedBuffer
+        from tests.conftest import consumer, producer
+
+        history = HistoryDatabase(retain_full_trace=True)
+        buffer = BoundedBuffer(kernel, capacity=3, history=history)
+        kernel.spawn(producer(buffer, 8))
+        kernel.spawn(consumer(buffer, 8))
+        kernel.run(until=10)
+        kernel.raise_failures()
+        path = tmp_path / "trace.jsonl"
+        with path.open("w") as stream:
+            dump_trace(stream, history.full_trace, history.full_states)
+        return path
+
+    def test_clean_trace_exits_zero(self, clean_trace, capsys):
+        status = main(
+            ["check", str(clean_trace), "--monitor", "buffer", "--rmax", "3"]
+        )
+        assert status == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_faulty_trace_exits_nonzero(self, tmp_path, capsys):
+        from repro.history.events import enter_event
+
+        path = tmp_path / "bad.jsonl"
+        with path.open("w") as stream:
+            dump_trace(
+                stream,
+                (
+                    enter_event(0, 1, "Send", 0.1, 1),
+                    enter_event(1, 2, "Send", 0.2, 1),  # mutex violation
+                ),
+            )
+        status = main(["check", str(path), "--monitor", "buffer"])
+        assert status == 1
+        assert "FD-1a" in capsys.readouterr().out
+
+
+class TestArgumentHandling:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestFaultsCommand:
+    def test_reference_card_covers_all_levels(self, capsys):
+        assert main(["faults"]) == 0
+        output = capsys.readouterr().out
+        assert "Level I" in output
+        assert "Level II" in output
+        assert "Level III" in output
+        assert "I.a.1" in output and "III.c" in output

@@ -1,0 +1,101 @@
+"""Unit tests for the exception hierarchy and report rendering."""
+
+import pytest
+
+from repro import errors
+from repro.detection.faults import FaultClass
+from repro.detection.reports import FaultReport
+from repro.detection.rules import FDRule, STRule
+
+
+class TestExceptionHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in errors.__all__:
+            if name == "ReproError":
+                continue
+            exc_type = getattr(errors, name)
+            assert issubclass(exc_type, errors.ReproError), name
+
+    def test_kernel_family(self):
+        assert issubclass(errors.SimulationDeadlock, errors.KernelError)
+        assert issubclass(errors.SchedulerStalled, errors.KernelError)
+        assert issubclass(errors.ProcessStateError, errors.KernelError)
+
+    def test_monitor_family(self):
+        assert issubclass(errors.NotInsideMonitorError, errors.MonitorUsageError)
+        assert issubclass(errors.UnknownConditionError, errors.MonitorUsageError)
+        assert issubclass(errors.MonitorUsageError, errors.MonitorError)
+
+    def test_simulation_deadlock_message(self):
+        exc = errors.SimulationDeadlock((3, 5), 2.5)
+        assert "P3" in str(exc) and "P5" in str(exc)
+        assert "t=2.5" in str(exc)
+        assert exc.blocked_pids == (3, 5)
+
+    def test_path_expression_error_carries_position(self):
+        exc = errors.PathExpressionSyntaxError("bad", 4, "a ; *")
+        assert exc.position == 4
+        assert exc.source == "a ; *"
+        assert "position 4" in str(exc)
+
+
+class TestFaultReport:
+    def make(self, **overrides):
+        base = dict(
+            rule=STRule.ONE_INSIDE,
+            message="two inside",
+            monitor="buffer",
+            detected_at=1.5,
+            pids=(1, 2),
+        )
+        base.update(overrides)
+        return FaultReport(**base)
+
+    def test_rule_id(self):
+        assert self.make().rule_id == "ST-3a"
+        assert self.make(rule=FDRule.NONTERMINATION).rule_id == "FD-2"
+
+    def test_suspected_faults_from_mapping(self):
+        report = self.make()
+        assert FaultClass.ENTER_MUTEX_VIOLATED in report.suspected_faults
+        assert report.implicates(FaultClass.ENTER_MUTEX_VIOLATED)
+        assert not report.implicates(FaultClass.RELEASE_BEFORE_REQUEST)
+
+    def test_render_contains_core_fields(self):
+        text = self.make().render()
+        assert "ST-3a" in text
+        assert "buffer" in text
+        assert "P1,P2" in text
+        assert "two inside" in text
+        assert str(self.make()) == self.make().render()
+
+    def test_render_without_pids(self):
+        text = self.make(pids=()).render()
+        assert "pids=-" in text
+
+    def test_reports_are_immutable(self):
+        report = self.make()
+        with pytest.raises(AttributeError):
+            report.message = "changed"
+
+
+class TestIds:
+    def test_aliases(self):
+        from repro.ids import NO_PID, Cond, Pid, Pname
+
+        assert NO_PID == -1
+        assert Pid is int
+        assert Pname is str and Cond is str
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,141 @@
+"""Schedule sweeps: classic-app invariants across many scheduling seeds.
+
+Uses the seed-exploration harness to run each workload under dozens of
+interleavings and assert its safety/liveness invariant on every one —
+the substrate-level complement to the detector-based tests.
+"""
+
+import pytest
+
+from repro.apps import (
+    CyclicBarrier,
+    ForkTable,
+    ReadersWriters,
+    SharedAccount,
+    philosopher,
+)
+from repro.kernel import Delay
+from repro.kernel.explore import explore_seeds
+
+SEEDS = range(25)
+
+
+class TestReadersWritersSweep:
+    def test_no_overlap_any_schedule(self):
+        def build(kernel):
+            rw = ReadersWriters(kernel)
+            violations = []
+
+            def reader(i):
+                for __ in range(4):
+                    yield Delay(0.02 * (i + 1))
+                    yield from rw.start_read()
+                    if rw.writing:
+                        violations.append("read-during-write")
+                    yield Delay(0.01)
+                    yield from rw.end_read()
+
+            def writer(i):
+                for __ in range(3):
+                    yield Delay(0.05 * (i + 1))
+                    yield from rw.start_write()
+                    if rw.active_readers:
+                        violations.append("write-during-read")
+                    yield Delay(0.02)
+                    yield from rw.end_write()
+
+            for i in range(3):
+                kernel.spawn(reader(i))
+            for i in range(2):
+                kernel.spawn(writer(i))
+            return (rw, violations)
+
+        def check(kernel, context):
+            rw, violations = context
+            if violations:
+                return f"exclusion violated: {violations[0]}"
+            if rw.reads_served != 12 or rw.writes_served != 6:
+                return (
+                    f"lost operations: reads={rw.reads_served} "
+                    f"writes={rw.writes_served}"
+                )
+            return None
+
+        result = explore_seeds(build, check, seeds=SEEDS, until=200)
+        assert result.all_passed, result.failures
+
+
+class TestPhilosopherSweep:
+    def test_everyone_eats_every_schedule(self):
+        def build(kernel):
+            table = ForkTable(kernel, seats=5)
+            for seat in range(5):
+                kernel.spawn(philosopher(table, seat, meals=3))
+            return table
+
+        def check(kernel, table):
+            if table.meals != (3, 3, 3, 3, 3):
+                return f"meals lost: {table.meals}"
+            return None
+
+        result = explore_seeds(
+            build, check, seeds=SEEDS, until=500, max_steps=3_000_000
+        )
+        assert result.all_passed, result.failures
+        assert not result.deadlocked_seeds
+
+
+class TestBarrierSweep:
+    def test_lockstep_every_schedule(self):
+        def build(kernel):
+            barrier = CyclicBarrier(kernel, parties=4)
+            generations = []
+
+            def party(i):
+                for __ in range(3):
+                    yield Delay(0.05 * (i + 1))
+                    generations.append((yield from barrier.await_barrier()))
+
+            for i in range(4):
+                kernel.spawn(party(i))
+            return (barrier, generations)
+
+        def check(kernel, context):
+            barrier, generations = context
+            if barrier.generation != 3:
+                return f"only {barrier.generation} rounds completed"
+            if sorted(generations) != [0] * 4 + [1] * 4 + [2] * 4:
+                return f"rounds interleaved wrongly: {sorted(generations)}"
+            return None
+
+        result = explore_seeds(build, check, seeds=SEEDS, until=200)
+        assert result.all_passed, result.failures
+
+
+class TestAccountSweep:
+    def test_no_overdraft_and_conservation(self):
+        def build(kernel):
+            account = SharedAccount(kernel, 10)
+
+            def depositor():
+                for __ in range(8):
+                    yield Delay(0.05)
+                    yield from account.deposit(5)
+
+            def withdrawer():
+                for __ in range(5):
+                    yield Delay(0.07)
+                    yield from account.withdraw(10)
+
+            kernel.spawn(depositor())
+            kernel.spawn(withdrawer())
+            return account
+
+        def check(kernel, account):
+            # 10 + 8*5 - 5*10 = 0
+            if account.balance != 0:
+                return f"conservation broken: balance={account.balance}"
+            return None
+
+        result = explore_seeds(build, check, seeds=SEEDS, until=200)
+        assert result.all_passed, result.failures

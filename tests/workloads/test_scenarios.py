@@ -1,0 +1,61 @@
+"""Tests for the benchmark workload scenarios."""
+
+import pytest
+
+from repro.history import HistoryDatabase
+from repro.kernel import RandomPolicy, SimKernel
+from repro.workloads import SCENARIOS, WorkloadSpec, build_scenario
+
+
+class TestRegistry:
+    def test_three_scenarios_matching_monitor_types(self):
+        assert set(SCENARIOS) == {"coordinator", "allocator", "manager"}
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenario("bogus", SimKernel(), None)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+class TestEachScenario:
+    def test_runs_clean_without_history(self, name):
+        kernel = SimKernel(RandomPolicy(seed=1), on_deadlock="stop")
+        spec = WorkloadSpec(processes=4, operations=10)
+        run = build_scenario(name, kernel, None, spec)
+        assert run.monitor.history is None
+        run.spawn_all(kernel)
+        result = kernel.run(until=200, max_steps=2_000_000)
+        kernel.raise_failures()
+        assert result.quiesced
+
+    def test_records_history_when_attached(self, name):
+        kernel = SimKernel(RandomPolicy(seed=1), on_deadlock="stop")
+        history = HistoryDatabase()
+        spec = WorkloadSpec(processes=4, operations=10)
+        run = build_scenario(name, kernel, history, spec)
+        run.spawn_all(kernel)
+        kernel.run(until=200, max_steps=2_000_000)
+        kernel.raise_failures()
+        # every operation produces at least an Enter and an exit event
+        assert history.total_recorded >= spec.total_operations
+
+    def test_deterministic_given_seed(self, name):
+        def run_once():
+            kernel = SimKernel(RandomPolicy(seed=5), on_deadlock="stop")
+            history = HistoryDatabase(retain_full_trace=True)
+            spec = WorkloadSpec(processes=4, operations=8)
+            run = build_scenario(name, kernel, history, spec)
+            run.spawn_all(kernel)
+            kernel.run(until=200, max_steps=2_000_000)
+            kernel.raise_failures()
+            return [
+                (e.kind.value, e.pid, e.pname, e.flag)
+                for e in history.full_trace
+            ]
+
+        assert run_once() == run_once()
+
+
+class TestSpec:
+    def test_total_operations(self):
+        assert WorkloadSpec(processes=4, operations=25).total_operations == 100
