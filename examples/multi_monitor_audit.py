@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""One detection engine auditing several monitors at once.
+
+A dining-philosophers fork table, a shared printer allocator and a bounded
+buffer all run on the same kernel.  Instead of three ``FaultDetector``
+processes (three world-stops per checking interval), every monitor
+registers with a single :class:`DetectionEngine`: one batched checkpoint
+per interval snapshots and checks all three back to back, and the engine
+aggregates the findings per monitor.
+
+One philosopher misbehaves — it releases the printer it never requested —
+so the audit shows a real level-III fault attributed to the right monitor
+while the other monitors stay clean.
+
+The buffer records through a :class:`BoundedHistory` ring buffer, the
+production-style sink: if the engine ever fell behind, the buffer's window
+would drop oldest events (visibly, via the drop counters) instead of
+growing without bound.
+
+Run:  python examples/multi_monitor_audit.py
+"""
+
+from repro import (
+    BoundedBuffer,
+    BoundedHistory,
+    Delay,
+    DetectionEngine,
+    DetectorConfig,
+    ForkTable,
+    HistoryDatabase,
+    RandomPolicy,
+    SimKernel,
+    SingleResourceAllocator,
+    engine_process,
+    philosopher,
+)
+
+SEATS = 4
+
+
+def main() -> int:
+    kernel = SimKernel(RandomPolicy(seed=3), on_deadlock="stop")
+    table = ForkTable(kernel, SEATS, history=HistoryDatabase())
+    printer = SingleResourceAllocator(
+        kernel, history=HistoryDatabase(), name="printer"
+    )
+    buffer = BoundedBuffer(
+        kernel, capacity=3, history=BoundedHistory(capacity=256)
+    )
+
+    engine = DetectionEngine(
+        kernel, DetectorConfig(interval=0.5, tmax=30.0, tio=30.0, tlimit=30.0)
+    )
+    for target in (table, printer, buffer):
+        engine.register(target)
+
+    # Healthy load on all three monitors...
+    for seat in range(SEATS):
+        kernel.spawn(philosopher(table, seat, meals=4), f"phil-{seat}")
+
+    def printing_user(index):
+        for __ in range(3):
+            yield Delay(0.2 * (index + 1))
+            yield from printer.request()
+            yield Delay(0.1)
+            yield from printer.release()
+
+    for index in range(2):
+        kernel.spawn(printing_user(index), f"print-user-{index}")
+
+    def producer():
+        for item in range(10):
+            yield Delay(0.15)
+            yield from buffer.send(item)
+
+    def consumer():
+        for __ in range(10):
+            yield Delay(0.15)
+            yield from buffer.receive()
+
+    kernel.spawn(producer(), "producer")
+    kernel.spawn(consumer(), "consumer")
+
+    # ...plus one user-process bug: Release with no preceding Request.
+    def rude_philosopher():
+        yield Delay(1.0)
+        yield from printer.release()
+
+    kernel.spawn(rude_philosopher(), "rude")
+
+    kernel.spawn(engine_process(engine), "detection-engine")
+    kernel.run(until=20)
+    kernel.raise_failures()
+
+    print(f"engine: {len(engine.monitors)} monitors, "
+          f"{engine.checkpoints_run} batched checkpoints, "
+          f"{engine.atomic_sections} atomic sections\n")
+    for label, reports in engine.reports_by_monitor().items():
+        verdict = "clean" if not reports else f"{len(reports)} report(s)"
+        print(f"  {label:10s} {verdict}")
+        for report in reports:
+            print(f"      {report}")
+    print(f"\nimplicated fault classes: "
+          f"{sorted(fault.label for fault in engine.implicated_faults())}")
+    sink = buffer.history
+    print(f"buffer sink: {sink!r}")
+    return 0 if not engine.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,7 @@ from repro.apps import (
 from repro.detection import (
     CallingOrderChecker,
     DeadlockDetector,
+    DetectionEngine,
     DetectorConfig,
     FaultClass,
     FaultDetector,
@@ -67,6 +68,7 @@ from repro.detection import (
     check_full_trace,
     check_general_concurrency_control,
     detector_process,
+    engine_process,
 )
 from repro.errors import (
     DeclarationError,
@@ -78,7 +80,9 @@ from repro.errors import (
     SimulationDeadlock,
 )
 from repro.history import (
+    BoundedHistory,
     EventKind,
+    EventSink,
     HistoryDatabase,
     QueueEntry,
     SchedulingEvent,
@@ -158,7 +162,9 @@ __all__ = [
     "procedure",
     "MonitorMetrics",
     # history
+    "EventSink",
     "HistoryDatabase",
+    "BoundedHistory",
     "Segment",
     "SchedulingEvent",
     "SchedulingState",
@@ -173,6 +179,8 @@ __all__ = [
     "FaultDetector",
     "DetectorConfig",
     "detector_process",
+    "DetectionEngine",
+    "engine_process",
     "check_general_concurrency_control",
     "check_full_trace",
     "ResourceStateChecker",

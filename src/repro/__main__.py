@@ -8,8 +8,12 @@ Commands
 ``coverage [--seed N]``
     The robustness experiment: inject all 21 fault classes, print the
     per-class detection table (exit status 1 if any class is missed).
-``overhead [--backend sim|threads] [--repeats N]``
-    Regenerate Table 1 (overhead ratio vs checking interval).
+``overhead [--backend sim|threads] [--repeats N] [--engine]``
+    Regenerate Table 1 (overhead ratio vs checking interval); ``--engine``
+    checks through a shared DetectionEngine registration.
+``scaling [--backend sim|threads] [--counts N ...] [--quick]``
+    Engine scaling: batched checkpoints vs per-monitor detectors at
+    fleet sizes 1/4/16.
 ``check TRACE.jsonl --monitor {buffer,allocator} [--tmax T] ...``
     Offline FD-rule checking of a persisted JSONL trace (see
     :mod:`repro.history.serialize`).
@@ -89,7 +93,20 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     from repro.bench.overhead import main as overhead_main
 
     argv = ["--backend", args.backend, "--repeats", str(args.repeats)]
+    if args.engine:
+        argv.append("--engine")
     return overhead_main(argv)
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.bench.engine_scaling import main as scaling_main
+
+    argv = ["--backend", args.backend]
+    if args.counts:
+        argv += ["--counts"] + [str(count) for count in args.counts]
+    if args.quick:
+        argv.append("--quick")
+    return scaling_main(argv)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -205,7 +222,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--backend", choices=("sim", "threads"), default="threads"
     )
     overhead.add_argument("--repeats", type=int, default=3)
+    overhead.add_argument("--engine", action="store_true")
     overhead.set_defaults(func=_cmd_overhead)
+
+    scaling = subparsers.add_parser(
+        "scaling", help="engine scaling: batched vs per-monitor checkpoints"
+    )
+    scaling.add_argument("--backend", choices=("sim", "threads"), default="sim")
+    scaling.add_argument("--counts", type=int, nargs="*", default=None)
+    scaling.add_argument("--quick", action="store_true")
+    scaling.set_defaults(func=_cmd_scaling)
 
     check = subparsers.add_parser(
         "check", help="offline FD-rule check of a JSONL trace"

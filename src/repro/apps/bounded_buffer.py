@@ -28,7 +28,7 @@ import enum
 from collections import deque
 from typing import Any, Iterator, Optional
 
-from repro.history.database import HistoryDatabase
+from repro.history.sink import EventSink
 from repro.kernel.base import Kernel
 from repro.kernel.syscalls import Delay, Syscall
 from repro.monitor.classification import MonitorType
@@ -65,7 +65,7 @@ class BoundedBuffer(MonitorBase):
         kernel: Kernel,
         capacity: int,
         *,
-        history: Optional[HistoryDatabase] = None,
+        history: Optional[EventSink] = None,
         hooks: Optional[CoreHooks] = None,
         integrity_fault: BufferIntegrityFault = BufferIntegrityFault.NONE,
         service_time: float = 0.0,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Sequence
 
-from repro.history.database import HistoryDatabase
+from repro.history.sink import EventSink
 from repro.ids import Pid
 from repro.kernel.base import Kernel
 from repro.kernel.syscalls import Delay, Syscall
@@ -44,7 +44,7 @@ class ForkTable(MonitorBase):
         kernel: Kernel,
         seats: int = 5,
         *,
-        history: Optional[HistoryDatabase] = None,
+        history: Optional[EventSink] = None,
         hooks: Optional[CoreHooks] = None,
         name: str = "forktable",
     ) -> None:

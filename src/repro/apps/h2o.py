@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.history.database import HistoryDatabase
+from repro.history.sink import EventSink
 from repro.kernel.base import Kernel
 from repro.kernel.syscalls import Syscall
 from repro.monitor.classification import MonitorType
@@ -37,7 +37,7 @@ class WaterFactory(MonitorBase):
         self,
         kernel: Kernel,
         *,
-        history: Optional[HistoryDatabase] = None,
+        history: Optional[EventSink] = None,
         hooks: Optional[CoreHooks] = None,
         name: str = "water",
     ) -> None:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.history.database import HistoryDatabase
+from repro.history.sink import EventSink
 from repro.kernel.base import Kernel
 from repro.kernel.syscalls import Syscall
 from repro.monitor.classification import MonitorType
@@ -39,7 +39,7 @@ class ReadersWriters(MonitorBase):
         self,
         kernel: Kernel,
         *,
-        history: Optional[HistoryDatabase] = None,
+        history: Optional[EventSink] = None,
         hooks: Optional[CoreHooks] = None,
         name: str = "rwlock",
     ) -> None:

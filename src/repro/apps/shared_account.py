@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.history.database import HistoryDatabase
+from repro.history.sink import EventSink
 from repro.kernel.base import Kernel
 from repro.kernel.syscalls import Syscall
 from repro.monitor.classification import MonitorType
@@ -38,7 +38,7 @@ class SharedAccount(MonitorBase):
         kernel: Kernel,
         initial_balance: int = 0,
         *,
-        history: Optional[HistoryDatabase] = None,
+        history: Optional[EventSink] = None,
         hooks: Optional[CoreHooks] = None,
         name: str = "account",
     ) -> None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.history.database import HistoryDatabase
+from repro.history.sink import EventSink
 from repro.kernel.base import Kernel
 from repro.kernel.syscalls import Syscall
 from repro.monitor.classification import MonitorType
@@ -36,7 +36,7 @@ class BarberShop(MonitorBase):
         kernel: Kernel,
         chairs: int = 3,
         *,
-        history: Optional[HistoryDatabase] = None,
+        history: Optional[EventSink] = None,
         hooks: Optional[CoreHooks] = None,
         name: str = "barbershop",
     ) -> None:

@@ -7,10 +7,18 @@
 * :mod:`repro.bench.coverage` — experiment E2: the robustness result
   ("all injected faults are detected"), one row per taxonomy entry.  Run
   standalone with ``python -m repro.bench.coverage``.
+* :mod:`repro.bench.engine_scaling` — experiment E3: batched-engine
+  checkpoint cost versus per-monitor detectors at fleet sizes 1/4/16.
+  Run standalone with ``python -m repro.bench.engine_scaling``.
 * :mod:`repro.bench.tables` — plain-text table rendering shared by both.
 """
 
 from repro.bench.coverage import coverage_table, run_coverage
+from repro.bench.engine_scaling import (
+    ScalingRow,
+    measure_scaling,
+    scaling_table,
+)
 from repro.bench.overhead import OverheadRow, measure_overhead, overhead_table
 from repro.bench.tables import render_table
 
@@ -19,6 +27,9 @@ __all__ = [
     "measure_overhead",
     "overhead_table",
     "run_coverage",
+    "ScalingRow",
+    "measure_scaling",
+    "scaling_table",
     "coverage_table",
     "render_table",
 ]

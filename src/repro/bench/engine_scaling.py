@@ -1,0 +1,222 @@
+"""Experiment E3 — engine scaling: shared engine vs per-monitor detectors.
+
+The paper's architecture pays one suspend-the-world ("all other running
+processes are suspended") section per detector per checking interval.
+This benchmark quantifies what the batched
+:class:`~repro.detection.engine.DetectionEngine` buys: it drives the same
+multi-monitor fleet (round-robin over the three scenario types) twice —
+once with one ``detector_process`` per monitor, once with a single
+``engine_process`` over all of them — at fleet sizes 1, 4 and 16, and
+reports:
+
+* ``atomic_sections`` — how many atomic (world-stop) sections checking
+  entered.  Per-monitor detectors enter one per monitor per interval
+  (linear in fleet size); the engine enters exactly one per interval
+  (constant in fleet size) — the headline amortisation.
+* ``checking_seconds`` — wall-clock time inside checkpoints.  The rule
+  evaluation itself is the same work either way; the engine saves the
+  per-section entry/exit and timer overhead, which dominates at small
+  per-monitor cost.
+
+Both kernels are supported; the thread backend adds the real lock
+acquisition cost to every atomic section, which is where the linear
+term hurts most.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.bench.tables import render_table
+from repro.detection.detector import DetectorConfig, FaultDetector, detector_process
+from repro.detection.engine import DetectionEngine, engine_process
+from repro.kernel.policies import RandomPolicy
+from repro.kernel.sim import SimKernel
+from repro.kernel.threads import ThreadKernel
+from repro.workloads.scenarios import WorkloadSpec, build_fleet
+
+__all__ = [
+    "ScalingRow",
+    "measure_scaling",
+    "scaling_table",
+    "render_scaling_table",
+    "main",
+]
+
+#: Fleet sizes exercised by default (the acceptance grid).
+DEFAULT_COUNTS: tuple[int, ...] = (1, 4, 16)
+
+#: Short workload: scaling is about per-checkpoint cost, not trace length.
+SCALING_SPEC = WorkloadSpec(processes=4, operations=40, think_time=0.05)
+
+#: Generous bounds — the fleet is healthy; the sweeps' cost is the point.
+SCALING_CONFIG = DetectorConfig(interval=0.5, tmax=120.0, tio=120.0, tlimit=120.0)
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One (fleet size, mode) cell of the scaling comparison."""
+
+    monitors: int
+    mode: str  # "detectors" or "engine"
+    atomic_sections: int
+    checkpoints: int
+    checking_seconds: float
+    reports: int
+    events: int
+
+
+def _make_kernel(backend: str, seed: int):
+    if backend == "sim":
+        return SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
+    if backend == "threads":
+        return ThreadKernel(time_scale=0.002)
+    raise ValueError(f"unknown backend {backend!r}; use 'sim' or 'threads'")
+
+
+def measure_scaling(
+    monitors: int,
+    mode: str,
+    *,
+    backend: str = "sim",
+    spec: Optional[WorkloadSpec] = None,
+    config: Optional[DetectorConfig] = None,
+) -> ScalingRow:
+    """Run one fleet under one checking topology and collect the counters."""
+    if mode not in ("detectors", "engine"):
+        raise ValueError(f"unknown mode {mode!r}; use 'detectors' or 'engine'")
+    spec = spec or SCALING_SPEC
+    config = config or SCALING_CONFIG
+    kernel = _make_kernel(backend, spec.seed)
+    fleet = build_fleet(kernel, monitors, spec)
+    for index, run in enumerate(fleet):
+        run.spawn_all(kernel, prefix=f"m{index}-")
+
+    detectors: list[FaultDetector] = []
+    engine: Optional[DetectionEngine] = None
+    if mode == "detectors":
+        for run in fleet:
+            detector = FaultDetector(run.monitor, config)
+            detectors.append(detector)
+            kernel.spawn(detector_process(detector), f"detector-{run.name}")
+    else:
+        engine = DetectionEngine(kernel, config)
+        for run in fleet:
+            engine.register(run.monitor)
+        kernel.spawn(engine_process(engine), "detection-engine")
+
+    horizon = spec.operations * spec.think_time * 40 + 60
+    kernel.run(until=horizon, max_steps=50_000_000)
+    kernel.raise_failures()
+
+    events = sum(
+        run.monitor.monitor.history.total_recorded
+        for run in fleet
+        if run.monitor.monitor.history is not None
+    )
+    if mode == "detectors":
+        # Every FaultDetector checkpoint is its own atomic section.
+        sections = sum(d.engine.atomic_sections for d in detectors)
+        checkpoints = sum(d.checkpoints_run for d in detectors)
+        checking = sum(d.checking_seconds for d in detectors)
+        reports = sum(len(d.reports) for d in detectors)
+    else:
+        assert engine is not None
+        sections = engine.atomic_sections
+        checkpoints = engine.checkpoints_run
+        checking = engine.checking_seconds
+        reports = len(engine.reports)
+    return ScalingRow(
+        monitors=monitors,
+        mode=mode,
+        atomic_sections=sections,
+        checkpoints=checkpoints,
+        checking_seconds=checking,
+        reports=reports,
+        events=events,
+    )
+
+
+def scaling_table(
+    *,
+    counts: Sequence[int] = DEFAULT_COUNTS,
+    backend: str = "sim",
+    spec: Optional[WorkloadSpec] = None,
+    config: Optional[DetectorConfig] = None,
+) -> list[ScalingRow]:
+    """The full grid: every fleet size under both checking topologies."""
+    rows: list[ScalingRow] = []
+    for count in counts:
+        for mode in ("detectors", "engine"):
+            rows.append(
+                measure_scaling(
+                    count, mode, backend=backend, spec=spec, config=config
+                )
+            )
+    return rows
+
+
+def render_scaling_table(rows: Sequence[ScalingRow]) -> str:
+    headers = [
+        "monitors", "mode", "atomic sections", "checkpoints",
+        "checking (s)", "reports", "events",
+    ]
+    table_rows = [
+        [
+            str(row.monitors),
+            row.mode,
+            str(row.atomic_sections),
+            str(row.checkpoints),
+            f"{row.checking_seconds:.4f}",
+            str(row.reports),
+            str(row.events),
+        ]
+        for row in rows
+    ]
+    return render_table(
+        headers,
+        table_rows,
+        title="Engine scaling: per-monitor detectors vs shared engine",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=("sim", "threads"), default="sim")
+    parser.add_argument(
+        "--counts", type=int, nargs="*", default=list(DEFAULT_COUNTS)
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workload (CI smoke mode)",
+    )
+    args = parser.parse_args(argv)
+    spec = (
+        WorkloadSpec(processes=2, operations=10, think_time=0.05)
+        if args.quick
+        else None
+    )
+    rows = scaling_table(counts=args.counts, backend=args.backend, spec=spec)
+    print(render_scaling_table(rows))
+    # Make the amortisation claim auditable from the output alone.
+    by_mode: dict[str, dict[int, ScalingRow]] = {"detectors": {}, "engine": {}}
+    for row in rows:
+        by_mode[row.mode][row.monitors] = row
+    for count in sorted(by_mode["engine"]):
+        det = by_mode["detectors"].get(count)
+        eng = by_mode["engine"][count]
+        if det is None or eng.checkpoints == 0:
+            continue
+        print(
+            f"N={count}: engine ran {eng.atomic_sections / eng.checkpoints:.1f} "
+            f"atomic section(s) per interval vs {det.atomic_sections} total "
+            f"for per-monitor detectors"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

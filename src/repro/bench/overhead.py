@@ -26,10 +26,11 @@ import argparse
 import gc
 import statistics
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.bench.tables import render_table
 from repro.detection.detector import DetectorConfig, FaultDetector, detector_process
+from repro.detection.engine import DetectionEngine, engine_process
 from repro.history.database import HistoryDatabase
 from repro.kernel.policies import RandomPolicy
 from repro.kernel.sim import SimKernel
@@ -80,26 +81,35 @@ def _run_once(
     backend: str,
     spec: WorkloadSpec,
     interval: Optional[float],
+    *,
+    use_engine: bool = False,
 ) -> tuple[float, float, int, int]:
     """One workload execution.
 
     Returns (monitor-op seconds, checking seconds, events recorded,
     checkpoints run).  ``interval=None`` runs the plain construct (no
-    history, no detector) — the baseline.
+    history, no detector) — the baseline.  ``use_engine=True`` checks
+    through a shared :class:`DetectionEngine` registration instead of a
+    ``FaultDetector`` (the two are report-equivalent for one monitor; the
+    flag lets Table 1 be regenerated on the engine path).
     """
     kernel = _make_kernel(backend, spec.seed)
     history = None if interval is None else HistoryDatabase()
     run = build_scenario(scenario, kernel, history, spec)
-    detector: Optional[FaultDetector] = None
+    checker: Optional[Union[FaultDetector, DetectionEngine]] = None
     if interval is not None:
-        detector = FaultDetector(
-            run.monitor,
-            # Generous bounds: the workload is healthy; the sweeps are
-            # enabled because their cost is part of what Table 1 measures.
-            DetectorConfig(interval=interval, tmax=120.0, tio=120.0, tlimit=120.0),
+        # Generous bounds: the workload is healthy; the sweeps are
+        # enabled because their cost is part of what Table 1 measures.
+        config = DetectorConfig(
+            interval=interval, tmax=120.0, tio=120.0, tlimit=120.0
         )
+        if use_engine:
+            checker = DetectionEngine(kernel, config)
+            checker.register(run.monitor)
+        else:
+            checker = FaultDetector(run.monitor, config)
 
-    # Stop the detector once the last workload process finishes, so small
+    # Stop the checker once the last workload process finishes, so small
     # checking intervals are not charged for checkpoints over an idle
     # monitor after the workload has drained.
     remaining = {"count": len(run.bodies)}
@@ -107,14 +117,16 @@ def _run_once(
     def finishing(body):
         result = yield from body
         remaining["count"] -= 1
-        if remaining["count"] == 0 and detector is not None:
-            detector.stop()
+        if remaining["count"] == 0 and checker is not None:
+            checker.stop()
         return result
 
     for index, body in enumerate(run.bodies):
         kernel.spawn(finishing(body), f"{run.name}-{index}")
-    if detector is not None:
-        kernel.spawn(detector_process(detector), "detector")
+    if isinstance(checker, DetectionEngine):
+        kernel.spawn(engine_process(checker), "detection-engine")
+    elif checker is not None:
+        kernel.spawn(detector_process(checker), "detector")
     horizon = spec.operations * spec.think_time * 40 + 60
     # Collector pauses are the dominant noise source at millisecond op
     # timings; keep them out of the measured window.
@@ -128,9 +140,9 @@ def _run_once(
             gc.collect()
     kernel.raise_failures()
     monitor = run.monitor.monitor
-    checking = detector.checking_seconds if detector is not None else 0.0
+    checking = checker.checking_seconds if checker is not None else 0.0
     events = history.total_recorded if history is not None else 0
-    checkpoints = detector.checkpoints_run if detector is not None else 0
+    checkpoints = checker.checkpoints_run if checker is not None else 0
     return monitor.op_seconds, checking, events, checkpoints
 
 
@@ -141,6 +153,7 @@ def measure_overhead(
     backend: str = "sim",
     spec: Optional[WorkloadSpec] = None,
     repeats: int = 3,
+    use_engine: bool = False,
 ) -> OverheadRow:
     """Measure one Table-1 cell: scenario x checking interval.
 
@@ -154,7 +167,9 @@ def measure_overhead(
     for __ in range(repeats):
         base_ops, __c, __e, __k = _run_once(scenario, backend, spec, None)
         base_samples.append(base_ops)
-        ext_samples.append(_run_once(scenario, backend, spec, interval))
+        ext_samples.append(
+            _run_once(scenario, backend, spec, interval, use_engine=use_engine)
+        )
     base = min(base_samples)
     ext_ops = min(sample[0] for sample in ext_samples)
     checking = min(sample[1] for sample in ext_samples)
@@ -180,6 +195,7 @@ def overhead_table(
     backend: str = "sim",
     spec: Optional[WorkloadSpec] = None,
     repeats: int = 3,
+    use_engine: bool = False,
 ) -> list[OverheadRow]:
     """Regenerate the full Table-1 grid."""
     rows: list[OverheadRow] = []
@@ -192,6 +208,7 @@ def overhead_table(
                     backend=backend,
                     spec=spec,
                     repeats=repeats,
+                    use_engine=use_engine,
                 )
             )
     return rows
@@ -232,9 +249,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         nargs="*",
         default=list(PAPER_INTERVALS),
     )
+    parser.add_argument(
+        "--engine",
+        action="store_true",
+        help="check through a shared DetectionEngine registration instead "
+        "of a per-monitor FaultDetector",
+    )
     args = parser.parse_args(argv)
     rows = overhead_table(
-        intervals=args.intervals, backend=args.backend, repeats=args.repeats
+        intervals=args.intervals,
+        backend=args.backend,
+        repeats=args.repeats,
+        use_engine=args.engine,
     )
     print(render_overhead_table(rows))
     print()

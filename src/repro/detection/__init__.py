@@ -17,15 +17,25 @@ Contents:
 * :mod:`repro.detection.fd_rules` — the offline FD-rule checker over a
   complete retained trace (ground truth for the ablations and property
   tests).
-* :mod:`repro.detection.detector` — the orchestrating
-  :class:`~repro.detection.detector.FaultDetector`: periodic checkpointing,
-  real-time order checking for allocator monitors, report stream.
+* :mod:`repro.detection.engine` — the shared
+  :class:`~repro.detection.engine.DetectionEngine`: many monitors, one
+  batched checkpoint per interval inside a single atomic section, with
+  per-monitor report streams and engine-level aggregation.
+* :mod:`repro.detection.detector` — the single-monitor
+  :class:`~repro.detection.detector.FaultDetector` façade over the engine:
+  periodic checkpointing, real-time order checking for allocator monitors,
+  report stream.
 """
 
 from repro.detection.algorithm1 import check_general_concurrency_control
 from repro.detection.algorithm2 import ResourceStateChecker
 from repro.detection.algorithm3 import CallingOrderChecker
 from repro.detection.detector import DetectorConfig, FaultDetector, detector_process
+from repro.detection.engine import (
+    DetectionEngine,
+    RegisteredMonitor,
+    engine_process,
+)
 from repro.detection.faults import FaultClass, FaultLevel
 from repro.detection.fd_rules import check_full_trace
 from repro.detection.replay import ReplayMachine
@@ -52,6 +62,9 @@ __all__ = [
     "FaultDetector",
     "DetectorConfig",
     "detector_process",
+    "DetectionEngine",
+    "RegisteredMonitor",
+    "engine_process",
     "FaultStatistics",
     "DeadlockDetector",
     "ResourceWaitEdge",

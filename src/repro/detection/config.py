@@ -1,0 +1,41 @@
+"""Detection tunables shared by the engine and the single-monitor façade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["DetectorConfig"]
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Tunables of the detection machinery.
+
+    ``interval`` is the checking period ``T`` (Section 3.3: ``Tmax < T``
+    keeps periodic checking sound; ``T = 1`` event-time makes it real-time).
+    ``tmax`` bounds residence inside the monitor / on condition queues,
+    ``tio`` bounds entry-queue residence, ``tlimit`` bounds resource
+    holding.  Any timeout may be None to disable that sweep.
+    """
+
+    interval: float = 1.0
+    tmax: Optional[float] = 5.0
+    tio: Optional[float] = 10.0
+    tlimit: Optional[float] = 10.0
+    #: Drive Algorithm-3 Step 1 on every event (the paper's mandate for
+    #: allocator monitors).  False falls back to replaying the window's
+    #: events at each checkpoint instead.
+    realtime_orders: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(
+                f"checking interval must be positive, got {self.interval!r}"
+            )
+        for name in ("tmax", "tio", "tlimit"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(
+                    f"{name} must be None or non-negative, got {value!r}"
+                )

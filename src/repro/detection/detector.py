@@ -1,7 +1,9 @@
-"""The fault detector: periodic checking plus real-time order checking.
+"""The fault detector: a single-monitor façade over the detection engine.
 
-``FaultDetector`` wires the three algorithms to one monitor (Figure 1's
-"fault detection routine" box):
+``FaultDetector`` keeps the seed's one-monitor API (Figure 1's "fault
+detection routine" box) while the actual machinery lives in
+:class:`~repro.detection.engine.DetectionEngine`: constructing a detector
+creates a private engine and registers the one monitor with it.
 
 * **Periodic checking** — :meth:`FaultDetector.checkpoint` snapshots the
   actual scheduling state, cuts the history segment since the last
@@ -11,55 +13,41 @@
   realised as one ``kernel.atomic`` section.
 * **Real-time checking** — for allocator-type monitors (and any monitor
   with a declared call order) Algorithm-3's Step 1 is driven by a tap on
-  the history database, so level-III faults are reported on the very event
-  that commits them.
+  the event sink, so level-III faults are reported on the very event that
+  commits them.  :meth:`stop` detaches the tap.
 
 ``detector_process`` packages the periodic invocation as a kernel process:
 spawn it alongside the workload and it checkpoints every ``interval`` time
 units — the ``T`` whose choice the overhead experiment (Table 1) studies.
+
+Applications watching several monitors should register them all with one
+shared :class:`~repro.detection.engine.DetectionEngine` instead of running
+one ``FaultDetector`` each: the engine batches all checks into a single
+atomic section per interval.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from time import perf_counter
 from typing import Iterator, Optional, Union
 
-from repro.detection.algorithm1 import check_general_concurrency_control
-from repro.detection.algorithm2 import ResourceStateChecker
 from repro.detection.algorithm3 import CallingOrderChecker
+from repro.detection.config import DetectorConfig
+from repro.detection.engine import DetectionEngine, engine_process
 from repro.detection.reports import FaultReport
-from repro.history.database import HistoryDatabase
-from repro.history.events import SchedulingEvent
-from repro.kernel.syscalls import Delay, Syscall
+from repro.kernel.syscalls import Syscall
 from repro.monitor.construct import Monitor, MonitorBase
 
 __all__ = ["DetectorConfig", "FaultDetector", "detector_process"]
 
 
-@dataclass(frozen=True)
-class DetectorConfig:
-    """Tunables of the detection machinery.
-
-    ``interval`` is the checking period ``T`` (Section 3.3: ``Tmax < T``
-    keeps periodic checking sound; ``T = 1`` event-time makes it real-time).
-    ``tmax`` bounds residence inside the monitor / on condition queues,
-    ``tio`` bounds entry-queue residence, ``tlimit`` bounds resource
-    holding.  Any timeout may be None to disable that sweep.
-    """
-
-    interval: float = 1.0
-    tmax: Optional[float] = 5.0
-    tio: Optional[float] = 10.0
-    tlimit: Optional[float] = 10.0
-    #: Drive Algorithm-3 Step 1 on every event (the paper's mandate for
-    #: allocator monitors).  False falls back to replaying the window's
-    #: events at each checkpoint instead.
-    realtime_orders: bool = True
-
-
 class FaultDetector:
-    """Detection façade bound to one monitor."""
+    """Detection façade bound to one monitor.
+
+    A thin wrapper over a one-entry :class:`DetectionEngine`: the engine
+    owns the Algorithm-1/2/3 state, the real-time tap and the report
+    stream; this class preserves the original single-monitor surface
+    (``reports``, ``checkpoint``, ``checkpoints_run`` …).
+    """
 
     def __init__(
         self,
@@ -67,56 +55,37 @@ class FaultDetector:
         config: Optional[DetectorConfig] = None,
     ) -> None:
         monitor = target.monitor if isinstance(target, MonitorBase) else target
-        self._monitor = monitor
         self.config = config or DetectorConfig()
-        if monitor.history is None:
-            monitor.core.attach_history(HistoryDatabase())
-        history = monitor.history
-        assert history is not None
-        if not history.opened:
-            history.open(monitor.core.snapshot())
-        self._history = history
-        declaration = monitor.declaration
-        self._algorithm2: Optional[ResourceStateChecker] = None
-        if declaration.mtype.needs_resource_checking:
-            checker = ResourceStateChecker(declaration)
-            if checker.applicable:
-                self._algorithm2 = checker
-        self._algorithm3: Optional[CallingOrderChecker] = None
-        if declaration.mtype.needs_order_checking or declaration.call_order:
-            self._algorithm3 = CallingOrderChecker(declaration)
-            if self.config.realtime_orders:
-                history.subscribe(self._on_event)
-        self.reports: list[FaultReport] = []
-        self.checkpoints_run = 0
-        #: Accumulated wall-clock seconds spent inside checkpoints
-        #: (overhead accounting for the Table-1 experiment).
-        self.checking_seconds = 0.0
-        self._stopped = False
+        self._engine = DetectionEngine(monitor.kernel, self.config)
+        self._entry = self._engine.register(monitor, self.config)
+        self._history = self._entry.history
 
     # ---------------------------------------------------------------- plumbing
 
     @property
+    def engine(self) -> DetectionEngine:
+        """The underlying (private, one-monitor) detection engine."""
+        return self._engine
+
+    @property
     def monitor(self) -> Monitor:
-        return self._monitor
+        return self._entry.monitor
 
     @property
     def algorithm3(self) -> Optional[CallingOrderChecker]:
-        return self._algorithm3
+        return self._entry.algorithm3
 
     def stop(self) -> None:
-        """Ask a spawned ``detector_process`` to finish after its next wake."""
-        self._stopped = True
+        """Ask a spawned ``detector_process`` to finish after its next wake.
+
+        Also detaches the real-time Algorithm-3 tap from the event sink, so
+        a stopped detector no longer intercepts (or pays for) recording.
+        """
+        self._engine.stop()
 
     @property
     def stopped(self) -> bool:
-        return self._stopped
-
-    # ------------------------------------------------------------- real time
-
-    def _on_event(self, event: SchedulingEvent) -> None:
-        assert self._algorithm3 is not None
-        self.reports.extend(self._algorithm3.on_event(event))
+        return self._engine.stopped
 
     # -------------------------------------------------------------- periodic
 
@@ -128,47 +97,31 @@ class FaultDetector:
         are suspended and are resumed only after the checking has finished"
         (Section 4).
         """
-        started = perf_counter()
-        try:
-            new_reports = self._monitor.kernel.atomic(self._checkpoint_locked)
-        finally:
-            self.checking_seconds += perf_counter() - started
-        self.reports.extend(new_reports)
-        self.checkpoints_run += 1
-        return new_reports
+        return self._engine.checkpoint()
 
-    def _checkpoint_locked(self) -> list[FaultReport]:
-        snapshot = self._monitor.core.snapshot()
-        segment = self._history.cut(snapshot)
-        found = check_general_concurrency_control(
-            self._monitor.declaration,
-            segment,
-            tmax=self.config.tmax,
-            tio=self.config.tio,
-        )
-        if self._algorithm2 is not None:
-            found.extend(self._algorithm2.check_window(segment))
-        if self._algorithm3 is not None:
-            if not self.config.realtime_orders:
-                for event in segment.events:
-                    found.extend(self._algorithm3.on_event(event))
-            if self.config.tlimit is not None:
-                found.extend(
-                    self._algorithm3.periodic(snapshot.time, self.config.tlimit)
-                )
-        return found
+    @property
+    def checkpoints_run(self) -> int:
+        return self._engine.checkpoints_run
+
+    @property
+    def checking_seconds(self) -> float:
+        """Accumulated wall-clock seconds spent inside checkpoints
+        (overhead accounting for the Table-1 experiment)."""
+        return self._engine.checking_seconds
 
     # ------------------------------------------------------------- reporting
+
+    @property
+    def reports(self) -> list[FaultReport]:
+        """The monitor's report stream (live list, in detection order)."""
+        return self._entry.reports
 
     def reports_for_rule(self, rule) -> list[FaultReport]:
         return [report for report in self.reports if report.rule is rule]
 
     def implicated_faults(self) -> frozenset:
         """Union of suspected fault classes over all reports so far."""
-        suspects: set = set()
-        for report in self.reports:
-            suspects.update(report.suspected_faults)
-        return frozenset(suspects)
+        return self._engine.implicated_faults()
 
     @property
     def clean(self) -> bool:
@@ -189,11 +142,4 @@ def detector_process(
 
         kernel.spawn(detector_process(detector), name="detector")
     """
-    remaining = rounds
-    while remaining is None or remaining > 0:
-        yield Delay(detector.config.interval)
-        if detector.stopped:
-            return
-        detector.checkpoint()
-        if remaining is not None:
-            remaining -= 1
+    return engine_process(detector.engine, rounds=rounds)

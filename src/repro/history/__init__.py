@@ -9,14 +9,22 @@ The paper models a monitor's run-time behaviour as a finite sequence of
   Hoare/Mesa signalling disciplines),
 * :mod:`repro.history.states` — scheduling-state snapshots
   ``<EQ, CQ[], R#>`` augmented with the ``Running`` set (Section 3.3.1),
+* :mod:`repro.history.sink` — the :class:`EventSink` protocol separating
+  the data-gathering routines from the checking routines (Figure 1's
+  recording/checking seam), plus the :class:`Segment` checkpoint window,
 * :mod:`repro.history.database` — the history information database: an
   event log segmented by checkpoints, with the paper's pruning strategy
   ("only the states at the last checking time and the current checking time
   are recorded ... most of the information can be removed after being
-  used").
+  used"),
+* :mod:`repro.history.bounded` — :class:`BoundedHistory`, a fixed-capacity
+  ring-buffer sink with explicit drop accounting for long-running
+  workloads.
 """
 
-from repro.history.database import HistoryDatabase, Segment
+from repro.history.bounded import BoundedHistory
+from repro.history.database import HistoryDatabase
+from repro.history.sink import EventListener, EventSink, Segment
 from repro.history.serialize import (
     dump_trace,
     event_from_dict,
@@ -44,7 +52,10 @@ __all__ = [
     "signal_exit_event",
     "QueueEntry",
     "SchedulingState",
+    "EventListener",
+    "EventSink",
     "HistoryDatabase",
+    "BoundedHistory",
     "Segment",
     "dump_trace",
     "load_trace",

@@ -16,124 +16,57 @@ closes the segment — pairing the previous state snapshot, the accumulated
 events, and the new snapshot — and (by default) discards the events.  A
 ``retain_full_trace=True`` mode keeps everything for the offline FD-rule
 checker and for the A3 pruning ablation.
+
+``HistoryDatabase`` is the reference implementation of the
+:class:`~repro.history.sink.EventSink` protocol; the shared recording /
+tapping / checkpoint machinery lives on the base class, this module adds
+the unbounded open segment and the optional full-trace retention.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
-
-from repro.errors import CheckpointError, HistoryError
+from repro.errors import HistoryError
 from repro.history.events import SchedulingEvent
+from repro.history.sink import EventSink, Segment
 from repro.history.states import SchedulingState
 
 __all__ = ["Segment", "HistoryDatabase"]
 
 
-@dataclass(frozen=True)
-class Segment:
-    """Everything the checker needs for one checking interval.
-
-    ``previous`` is the state at the last checking time (``s_p`` in the
-    paper), ``events`` the scheduling event sequence ``L = l1 ... ln``
-    generated since then, and ``current`` the state at the current checking
-    time (``s_t``).
-    """
-
-    previous: SchedulingState
-    events: tuple[SchedulingEvent, ...]
-    current: SchedulingState
-
-    @property
-    def duration(self) -> float:
-        return self.current.time - self.previous.time
-
-    def __len__(self) -> int:
-        return len(self.events)
-
-
-class HistoryDatabase:
+class HistoryDatabase(EventSink):
     """Append-only event log with checkpoint-based pruning."""
 
     def __init__(self, *, retain_full_trace: bool = False) -> None:
+        super().__init__()
         self._open_events: list[SchedulingEvent] = []
-        self._last_state: Optional[SchedulingState] = None
         self._retain_full = retain_full_trace
         self._full_trace: list[SchedulingEvent] = []
         self._full_states: list[SchedulingState] = []
-        self._seq = 0
-        self._listeners: list[Callable[[SchedulingEvent], None]] = []
         # accounting for the pruning ablation (A3)
-        self._total_recorded = 0
         self._peak_live = 0
 
-    def subscribe(self, listener: Callable[[SchedulingEvent], None]) -> None:
-        """Register a real-time event tap.
+    # ---------------------------------------------------------- storage hooks
 
-        The detector uses this for the paper's real-time checking of
-        calling orders on allocator-type monitors: every recorded event is
-        pushed to the listener synchronously, inside the recording call.
-        """
-        self._listeners.append(listener)
-
-    # -------------------------------------------------------------- recording
-
-    def next_seq(self) -> int:
-        """Issue the next event sequence number (monitor-local total order)."""
-        seq = self._seq
-        self._seq += 1
-        return seq
-
-    def record(self, event: SchedulingEvent) -> None:
-        """Append one scheduling event (called by data-gathering routines)."""
+    def _append(self, event: SchedulingEvent) -> None:
         self._open_events.append(event)
-        self._total_recorded += 1
         if self._retain_full:
             self._full_trace.append(event)
         live = len(self._open_events)
         if live > self._peak_live:
             self._peak_live = live
-        for listener in self._listeners:
-            listener(event)
 
-    def open(self, initial_state: SchedulingState) -> None:
-        """Install the state snapshot that starts the first segment."""
-        if self._last_state is not None:
-            raise CheckpointError("history database already opened")
-        self._last_state = initial_state
-        if self._retain_full:
-            self._full_states.append(initial_state)
-
-    @property
-    def opened(self) -> bool:
-        return self._last_state is not None
-
-    # ------------------------------------------------------------ checkpoints
-
-    def cut(self, current_state: SchedulingState) -> Segment:
-        """Close the open segment at ``current_state`` and prune its events.
-
-        Returns the :class:`Segment` for the checker.  The events are
-        dropped from the live log (the paper's pruning); the new state
-        becomes the base of the next segment.
-        """
-        if self._last_state is None:
-            raise CheckpointError("cut() before open(): no base state installed")
-        if current_state.time < self._last_state.time:
-            raise CheckpointError(
-                f"checkpoint at t={current_state.time:g} precedes the last "
-                f"checkpoint at t={self._last_state.time:g}"
-            )
-        segment = Segment(
-            previous=self._last_state,
-            events=tuple(self._open_events),
-            current=current_state,
-        )
+    def _drain(self) -> tuple[SchedulingEvent, ...]:
+        events = tuple(self._open_events)
         self._open_events.clear()
-        self._last_state = current_state
+        return events
+
+    def _on_open(self, state: SchedulingState) -> None:
         if self._retain_full:
-            self._full_states.append(current_state)
-        return segment
+            self._full_states.append(state)
+
+    def _on_cut(self, state: SchedulingState) -> None:
+        if self._retain_full:
+            self._full_states.append(state)
 
     # ------------------------------------------------------------- inspection
 
@@ -143,8 +76,9 @@ class HistoryDatabase:
         return tuple(self._open_events)
 
     @property
-    def last_state(self) -> Optional[SchedulingState]:
-        return self._last_state
+    def live_events(self) -> int:
+        """Events currently held in memory in the open segment."""
+        return len(self._open_events)
 
     @property
     def full_trace(self) -> tuple[SchedulingEvent, ...]:
@@ -167,16 +101,6 @@ class HistoryDatabase:
         return tuple(self._full_states)
 
     @property
-    def total_recorded(self) -> int:
-        """Events ever recorded (survives pruning; ablation metric)."""
-        return self._total_recorded
-
-    @property
-    def live_events(self) -> int:
-        """Events currently held in memory in the open segment."""
-        return len(self._open_events)
-
-    @property
     def peak_live_events(self) -> int:
         """High-water mark of the open segment (ablation metric)."""
         return self._peak_live
@@ -184,5 +108,5 @@ class HistoryDatabase:
     def __repr__(self) -> str:
         return (
             f"HistoryDatabase(live={self.live_events}, "
-            f"total={self._total_recorded}, retain_full={self._retain_full})"
+            f"total={self.total_recorded}, retain_full={self._retain_full})"
         )

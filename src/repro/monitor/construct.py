@@ -20,7 +20,7 @@ from time import perf_counter
 from typing import Callable, Iterator, Optional
 
 from repro.errors import MonitorUsageError
-from repro.history.database import HistoryDatabase
+from repro.history.sink import EventSink
 from repro.history.states import SchedulingState
 from repro.ids import Cond, Pid, Pname
 from repro.kernel.base import Kernel
@@ -42,9 +42,9 @@ class Monitor:
     declaration:
         Static monitor specification (name, type, conditions, call order).
     history:
-        Attach a history database to enable the paper's extension (event
-        recording + snapshots).  ``None`` runs the plain construct — the
-        baseline of the overhead experiment.
+        Attach an event sink (e.g. a history database) to enable the
+        paper's extension (event recording + snapshots).  ``None`` runs the
+        plain construct — the baseline of the overhead experiment.
     hooks:
         Perturbation hooks for fault injection.
     resource_probe:
@@ -56,7 +56,7 @@ class Monitor:
         kernel: Kernel,
         declaration: MonitorDeclaration,
         *,
-        history: Optional[HistoryDatabase] = None,
+        history: Optional[EventSink] = None,
         hooks: Optional[CoreHooks] = None,
         resource_probe: Optional[Callable[[], int]] = None,
     ) -> None:
@@ -89,7 +89,7 @@ class Monitor:
         return self.core.declaration.name
 
     @property
-    def history(self) -> Optional[HistoryDatabase]:
+    def history(self) -> Optional[EventSink]:
         return self.core.history
 
     # ------------------------------------------------------------- primitives
@@ -209,7 +209,7 @@ class MonitorBase:
         self,
         kernel: Kernel,
         *,
-        history: Optional[HistoryDatabase] = None,
+        history: Optional[EventSink] = None,
         hooks: Optional[CoreHooks] = None,
     ) -> None:
         self._declaration = self.declare()
@@ -288,7 +288,7 @@ class MonitorBase:
         return self._declaration.name
 
     @property
-    def history(self) -> Optional[HistoryDatabase]:
+    def history(self) -> Optional[EventSink]:
         return self._monitor.history
 
     def wait(self, cond: Cond) -> Iterator[Syscall]:

@@ -13,9 +13,11 @@ Two cross-cutting concerns are threaded through every transition:
 
 * **Data gathering** (the paper's real-time recording routines): each
   transition emits a :class:`~repro.history.events.SchedulingEvent` into the
-  attached :class:`~repro.history.database.HistoryDatabase`.  A core with no
-  database attached is the paper's "monitor without the extension" baseline
-  used in the overhead experiment.
+  attached :class:`~repro.history.sink.EventSink` (typically a
+  :class:`~repro.history.database.HistoryDatabase`; any sink implementation
+  works — the core only speaks the protocol).  A core with no sink attached
+  is the paper's "monitor without the extension" baseline used in the
+  overhead experiment.
 * **Perturbation hooks** (:class:`~repro.monitor.hooks.CoreHooks`): every
   scheduling decision consults the hooks so the fault-injection campaigns
   can realise each taxonomy entry.  Injected misbehaviour changes *reality*
@@ -36,7 +38,7 @@ from repro.errors import (
     UnknownConditionError,
     UnknownProcedureError,
 )
-from repro.history.database import HistoryDatabase
+from repro.history.sink import EventSink
 from repro.history.events import (
     SchedulingEvent,
     enter_event,
@@ -79,8 +81,8 @@ class MonitorCore:
         Time source (the bound kernel's clock); queue entries are stamped
         with it so the checker can evaluate ``Timer(pid)``.
     history:
-        History database for event recording, or None to run bare (the
-        overhead baseline).
+        Event sink for recording (any :class:`EventSink`), or None to run
+        bare (the overhead baseline).
     hooks:
         Perturbation hooks; defaults to correct behaviour.
     resource_probe:
@@ -93,7 +95,7 @@ class MonitorCore:
         self,
         declaration: MonitorDeclaration,
         now: Callable[[], float],
-        history: Optional[HistoryDatabase] = None,
+        history: Optional[EventSink] = None,
         hooks: Optional[CoreHooks] = None,
         resource_probe: Optional[Callable[[], int]] = None,
     ) -> None:
@@ -120,11 +122,11 @@ class MonitorCore:
         self._hooks = hooks
 
     @property
-    def history(self) -> Optional[HistoryDatabase]:
+    def history(self) -> Optional[EventSink]:
         return self._history
 
-    def attach_history(self, history: HistoryDatabase) -> None:
-        """Attach the history database and install the initial snapshot."""
+    def attach_history(self, history: EventSink) -> None:
+        """Attach the event sink and install the initial snapshot."""
         self._history = history
         if not history.opened:
             history.open(self.snapshot())

@@ -13,6 +13,7 @@ from repro.workloads.scenarios import (
     Scenario,
     ScenarioRun,
     WorkloadSpec,
+    build_fleet,
     build_scenario,
 )
 
@@ -22,4 +23,5 @@ __all__ = [
     "ScenarioRun",
     "SCENARIOS",
     "build_scenario",
+    "build_fleet",
 ]

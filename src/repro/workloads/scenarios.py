@@ -17,17 +17,25 @@ runs identically on the simulation and the thread kernel.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, Sequence
 
 from repro.apps.bounded_buffer import BoundedBuffer
 from repro.apps.resource_allocator import SingleResourceAllocator
 from repro.apps.shared_account import SharedAccount
 from repro.history.database import HistoryDatabase
+from repro.history.sink import EventSink
 from repro.kernel.base import Kernel
 from repro.kernel.syscalls import Delay, Syscall
 from repro.monitor.construct import MonitorBase
 
-__all__ = ["WorkloadSpec", "ScenarioRun", "Scenario", "SCENARIOS", "build_scenario"]
+__all__ = [
+    "WorkloadSpec",
+    "ScenarioRun",
+    "Scenario",
+    "SCENARIOS",
+    "build_scenario",
+    "build_fleet",
+]
 
 
 @dataclass(frozen=True)
@@ -61,9 +69,9 @@ class ScenarioRun:
     bodies: list[Iterator[Syscall]]
     spec: WorkloadSpec
 
-    def spawn_all(self, kernel: Kernel) -> None:
+    def spawn_all(self, kernel: Kernel, *, prefix: str = "") -> None:
         for index, body in enumerate(self.bodies):
-            kernel.spawn(body, f"{self.name}-{index}")
+            kernel.spawn(body, f"{prefix}{self.name}-{index}")
 
 
 @dataclass(frozen=True)
@@ -72,7 +80,7 @@ class Scenario:
 
     name: str
     description: str
-    build: Callable[[Kernel, Optional[HistoryDatabase], WorkloadSpec], ScenarioRun]
+    build: Callable[[Kernel, Optional[EventSink], WorkloadSpec], ScenarioRun]
 
 
 # ---------------------------------------------------------------------------
@@ -81,7 +89,7 @@ class Scenario:
 
 
 def _build_coordinator(
-    kernel: Kernel, history: Optional[HistoryDatabase], spec: WorkloadSpec
+    kernel: Kernel, history: Optional[EventSink], spec: WorkloadSpec
 ) -> ScenarioRun:
     buffer = BoundedBuffer(
         kernel,
@@ -112,7 +120,7 @@ def _build_coordinator(
 
 
 def _build_allocator(
-    kernel: Kernel, history: Optional[HistoryDatabase], spec: WorkloadSpec
+    kernel: Kernel, history: Optional[EventSink], spec: WorkloadSpec
 ) -> ScenarioRun:
     allocator = SingleResourceAllocator(kernel, history=history)
 
@@ -133,7 +141,7 @@ def _build_allocator(
 
 
 def _build_manager(
-    kernel: Kernel, history: Optional[HistoryDatabase], spec: WorkloadSpec
+    kernel: Kernel, history: Optional[EventSink], spec: WorkloadSpec
 ) -> ScenarioRun:
     account = SharedAccount(kernel, initial_balance=0, history=history)
     half = max(1, spec.processes // 2)
@@ -178,7 +186,7 @@ SCENARIOS: dict[str, Scenario] = {
 def build_scenario(
     name: str,
     kernel: Kernel,
-    history: Optional[HistoryDatabase],
+    history: Optional[EventSink],
     spec: Optional[WorkloadSpec] = None,
 ) -> ScenarioRun:
     """Instantiate a named scenario on ``kernel``."""
@@ -189,3 +197,37 @@ def build_scenario(
             f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
         ) from None
     return scenario.build(kernel, history, spec or WorkloadSpec())
+
+
+def build_fleet(
+    kernel: Kernel,
+    count: int,
+    spec: Optional[WorkloadSpec] = None,
+    *,
+    names: Optional[Sequence[str]] = None,
+    sink_factory: Optional[Callable[[], Optional[EventSink]]] = None,
+) -> list[ScenarioRun]:
+    """Instantiate ``count`` independent monitored workloads on one kernel.
+
+    The multi-monitor driver behind the engine-scaling benchmark and the
+    shared :class:`~repro.detection.engine.DetectionEngine` examples: each
+    instance gets its own monitor and its own event sink (a fresh
+    :class:`HistoryDatabase` unless ``sink_factory`` supplies something
+    else, e.g. a :class:`~repro.history.bounded.BoundedHistory`), cycling
+    round-robin through ``names`` (all scenarios, by default).
+    """
+    if count <= 0:
+        raise ValueError(f"fleet size must be positive, got {count}")
+    chosen = tuple(names) if names else tuple(sorted(SCENARIOS))
+    for name in chosen:
+        if name not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+            )
+    factory = sink_factory or (lambda: HistoryDatabase())
+    return [
+        SCENARIOS[chosen[index % len(chosen)]].build(
+            kernel, factory(), spec or WorkloadSpec()
+        )
+        for index in range(count)
+    ]

@@ -1,0 +1,268 @@
+"""DetectionEngine: batching, equivalence with per-monitor detectors,
+façade backward compatibility, config validation, tap lifecycle."""
+
+import pytest
+
+from repro.apps import BoundedBuffer, SharedAccount, SingleResourceAllocator
+from repro.detection import (
+    DetectionEngine,
+    DetectorConfig,
+    FaultClass,
+    FaultDetector,
+    STRule,
+    detector_process,
+    engine_process,
+)
+from repro.history import BoundedHistory, HistoryDatabase
+from repro.injection import TriggeredHooks
+from repro.kernel import Delay, RandomPolicy, SimKernel
+
+
+def make_kernel(seed=0):
+    return SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
+
+
+def spawn_mixed_workload(kernel, monitors, *, buggy_release=False):
+    """Drive one buffer + one allocator + one account deterministically."""
+    buffer, allocator, account = monitors
+
+    def producer():
+        for item in range(8):
+            yield Delay(0.05)
+            yield from buffer.send(item)
+
+    def consumer():
+        for __ in range(8):
+            yield Delay(0.06)
+            yield from buffer.receive()
+
+    def alloc_user(i):
+        for __ in range(4):
+            yield Delay(0.07 * (i + 1))
+            yield from allocator.request()
+            yield Delay(0.05)
+            yield from allocator.release()
+
+    def banker():
+        for __ in range(6):
+            yield Delay(0.08)
+            yield from account.deposit(5)
+
+    kernel.spawn(producer())
+    kernel.spawn(consumer())
+    for i in range(2):
+        kernel.spawn(alloc_user(i))
+    kernel.spawn(banker())
+    if buggy_release:
+        def rude():
+            yield Delay(0.5)
+            yield from allocator.release()
+
+        kernel.spawn(rude())
+
+
+def build_monitors(kernel):
+    return (
+        BoundedBuffer(kernel, capacity=2, history=HistoryDatabase()),
+        SingleResourceAllocator(kernel, history=HistoryDatabase()),
+        SharedAccount(kernel, 100, history=HistoryDatabase()),
+    )
+
+
+def report_keys(reports):
+    return sorted((r.rule_id, r.detected_at, tuple(r.pids)) for r in reports)
+
+
+class TestBatching:
+    def test_one_atomic_section_per_interval_with_16_monitors(self):
+        kernel = make_kernel()
+        engine = DetectionEngine(kernel, DetectorConfig(interval=1.0))
+        for i in range(16):
+            engine.register(
+                SingleResourceAllocator(
+                    kernel, history=HistoryDatabase(), name=f"alloc{i}"
+                )
+            )
+        kernel.spawn(engine_process(engine, rounds=5))
+        kernel.run()
+        kernel.raise_failures()
+        assert engine.checkpoints_run == 5
+        # The acceptance property: one world-stop per interval, not 16.
+        assert engine.atomic_sections == 5
+        # ...while every monitor was still checked at every interval.
+        assert all(e.checkpoints_run == 5 for e in engine.entries)
+
+    def test_register_requires_same_kernel(self):
+        engine = DetectionEngine(make_kernel())
+        other = SingleResourceAllocator(make_kernel(), history=HistoryDatabase())
+        with pytest.raises(ValueError):
+            engine.register(other)
+
+    def test_duplicate_names_get_unique_labels(self):
+        kernel = make_kernel()
+        engine = DetectionEngine(kernel)
+        for __ in range(3):
+            engine.register(
+                SingleResourceAllocator(kernel, history=HistoryDatabase())
+            )
+        assert engine.labels == ("allocator", "allocator#2", "allocator#3")
+        assert set(engine.reports_by_monitor()) == set(engine.labels)
+
+    def test_unregister_removes_from_checkpoints_and_detaches(self):
+        kernel = make_kernel()
+        engine = DetectionEngine(kernel)
+        allocator = SingleResourceAllocator(kernel, history=HistoryDatabase())
+        entry = engine.register(allocator)
+        assert allocator.history.listener_count == 1
+        engine.unregister(allocator)
+        assert allocator.history.listener_count == 0
+        assert engine.entries == ()
+        with pytest.raises(KeyError):
+            engine.entry_for(entry.label)
+
+
+class TestEquivalence:
+    def test_engine_reports_match_independent_detectors(self):
+        """The batched checkpoint must find exactly what N detectors find."""
+        config = DetectorConfig(interval=0.5, tmax=30.0, tio=30.0, tlimit=30.0)
+
+        # Run A: one engine over three monitors.
+        kernel_a = make_kernel(seed=5)
+        monitors_a = build_monitors(kernel_a)
+        engine = DetectionEngine(kernel_a, config)
+        for target in monitors_a:
+            engine.register(target)
+        spawn_mixed_workload(kernel_a, monitors_a, buggy_release=True)
+        kernel_a.spawn(engine_process(engine), "engine")
+        kernel_a.run(until=10)
+        kernel_a.raise_failures()
+
+        # Run B: three independent detectors on an identically seeded kernel.
+        kernel_b = make_kernel(seed=5)
+        monitors_b = build_monitors(kernel_b)
+        detectors = [FaultDetector(m, config) for m in monitors_b]
+        spawn_mixed_workload(kernel_b, monitors_b, buggy_release=True)
+        for detector in detectors:
+            kernel_b.spawn(detector_process(detector), "detector")
+        kernel_b.run(until=10)
+        kernel_b.raise_failures()
+
+        by_monitor = engine.reports_by_monitor()
+        # The injected release-before-request is found by both topologies
+        # and attributed to the allocator.
+        assert any(
+            r.rule is STRule.RELEASE_REQUIRES_REQUEST
+            for r in by_monitor["allocator"]
+        )
+        assert report_keys(by_monitor["buffer"]) == report_keys(
+            detectors[0].reports
+        )
+        assert report_keys(by_monitor["allocator"]) == report_keys(
+            detectors[1].reports
+        )
+        assert report_keys(by_monitor["account"]) == report_keys(
+            detectors[2].reports
+        )
+        assert FaultClass.RELEASE_BEFORE_REQUEST in engine.implicated_faults()
+        assert not engine.clean
+
+    def test_clean_multi_monitor_run(self):
+        kernel = make_kernel(seed=2)
+        monitors = build_monitors(kernel)
+        engine = DetectionEngine(
+            kernel, DetectorConfig(interval=0.5, tmax=30.0, tio=30.0, tlimit=30.0)
+        )
+        for target in monitors:
+            engine.register(target)
+        spawn_mixed_workload(kernel, monitors)
+        kernel.spawn(engine_process(engine), "engine")
+        kernel.run(until=10)
+        kernel.raise_failures()
+        assert engine.clean
+        assert engine.implicated_faults() == frozenset()
+        assert all(not reports for reports in engine.reports_by_monitor().values())
+
+    def test_engine_works_with_bounded_history(self):
+        kernel = make_kernel()
+        allocator = SingleResourceAllocator(kernel, history=BoundedHistory(64))
+        engine = DetectionEngine(kernel, DetectorConfig(interval=0.5))
+        engine.register(allocator)
+
+        def user():
+            for __ in range(5):
+                yield Delay(0.1)
+                yield from allocator.request()
+                yield Delay(0.05)
+                yield from allocator.release()
+
+        kernel.spawn(user())
+        kernel.spawn(engine_process(engine, rounds=6))
+        kernel.run(until=10)
+        kernel.raise_failures()
+        assert engine.clean
+        assert engine.checkpoints_run == 6
+
+
+class TestFacadeCompatibility:
+    def test_detector_is_a_one_monitor_engine(self, kernel):
+        buffer = BoundedBuffer(kernel, capacity=2, history=HistoryDatabase())
+        detector = FaultDetector(buffer)
+        assert isinstance(detector.engine, DetectionEngine)
+        assert detector.engine.monitors == (buffer.monitor,)
+
+    def test_facade_reports_are_live(self, kernel):
+        allocator = SingleResourceAllocator(kernel, history=HistoryDatabase())
+        detector = FaultDetector(allocator)
+        reports = detector.reports  # grabbed before the fault fires
+
+        def buggy():
+            yield from allocator.release()
+
+        kernel.spawn(buggy())
+        kernel.run(until=1.0)
+        kernel.raise_failures()
+        assert reports  # the same list object observed the new reports
+        assert reports is detector.reports
+
+    def test_stop_detaches_realtime_tap(self, kernel):
+        allocator = SingleResourceAllocator(kernel, history=HistoryDatabase())
+        detector = FaultDetector(allocator)
+        assert allocator.history.listener_count == 1
+        detector.stop()
+        assert allocator.history.listener_count == 0
+        assert detector.stopped
+
+    def test_stopped_detector_no_longer_observes_events(self, kernel):
+        allocator = SingleResourceAllocator(kernel, history=HistoryDatabase())
+        detector = FaultDetector(allocator)
+        detector.stop()
+
+        def buggy():
+            yield from allocator.release()
+
+        kernel.spawn(buggy())
+        kernel.run(until=1.0)
+        kernel.raise_failures()
+        # Tap detached: the level-III fault is no longer reported live.
+        assert detector.reports == []
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(interval=0.0)
+        with pytest.raises(ValueError):
+            DetectorConfig(interval=-1.0)
+
+    @pytest.mark.parametrize("field", ["tmax", "tio", "tlimit"])
+    def test_rejects_negative_timeouts(self, field):
+        with pytest.raises(ValueError):
+            DetectorConfig(**{field: -0.5})
+
+    @pytest.mark.parametrize("field", ["tmax", "tio", "tlimit"])
+    def test_none_disables_a_sweep(self, field):
+        config = DetectorConfig(**{field: None})
+        assert getattr(config, field) is None
+
+    def test_defaults_are_valid(self):
+        DetectorConfig()

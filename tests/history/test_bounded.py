@@ -1,0 +1,142 @@
+"""BoundedHistory: ring-buffer capacity, drop accounting, sink protocol."""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.history import BoundedHistory, EventSink, HistoryDatabase
+from repro.history.events import enter_event
+from repro.history.states import SchedulingState
+from repro.kernel import Delay, RandomPolicy, SimKernel
+from repro.apps import BoundedBuffer
+
+
+def event(seq, pid=1, t=None):
+    return enter_event(seq, pid, "Send", t if t is not None else float(seq), flag=1)
+
+
+def state(t):
+    return SchedulingState(time=t, entry_queue=(), cond_queues={}, running=())
+
+
+class TestRingBuffer:
+    def test_is_an_event_sink(self):
+        assert isinstance(BoundedHistory(4), EventSink)
+        assert isinstance(HistoryDatabase(), EventSink)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedHistory(0)
+        with pytest.raises(ValueError):
+            BoundedHistory(-3)
+
+    def test_under_capacity_keeps_everything(self):
+        sink = BoundedHistory(8)
+        sink.open(state(0.0))
+        for seq in range(5):
+            sink.record(event(seq))
+        assert sink.live_events == 5
+        assert sink.dropped_events == 0
+        assert sink.total_recorded == 5
+        assert [e.seq for e in sink.pending_events] == list(range(5))
+
+    def test_saturation_drops_oldest_and_counts(self):
+        sink = BoundedHistory(4)
+        sink.open(state(0.0))
+        for seq in range(10):
+            sink.record(event(seq))
+        assert sink.live_events == 4
+        assert sink.dropped_events == 6
+        assert sink.pending_dropped == 6
+        assert sink.total_recorded == 10
+        # The survivors are the newest events, in order.
+        assert [e.seq for e in sink.pending_events] == [6, 7, 8, 9]
+
+    def test_cut_reports_window_drops_and_resets(self):
+        sink = BoundedHistory(3)
+        sink.open(state(0.0))
+        for seq in range(5):
+            sink.record(event(seq))
+        segment = sink.cut(state(10.0))
+        assert segment.dropped == 2
+        assert not segment.complete
+        assert len(segment) == 3
+        assert sink.live_events == 0
+        assert sink.pending_dropped == 0
+        assert sink.dropped_events == 2  # cumulative total survives the cut
+        # A clean follow-up window reports zero drops.
+        sink.record(event(5, t=11.0))
+        second = sink.cut(state(12.0))
+        assert second.dropped == 0
+        assert second.complete
+
+    def test_peak_never_exceeds_capacity(self):
+        sink = BoundedHistory(4)
+        sink.open(state(0.0))
+        for seq in range(100):
+            sink.record(event(seq))
+        assert sink.peak_live_events <= 4
+
+    def test_checkpoint_protocol_matches_database(self):
+        sink = BoundedHistory(16)
+        with pytest.raises(CheckpointError):
+            sink.cut(state(1.0))
+        sink.open(state(0.0))
+        with pytest.raises(CheckpointError):
+            sink.open(state(0.5))
+        with pytest.raises(CheckpointError):
+            sink.cut(state(-1.0))
+
+
+class TestListeners:
+    def test_subscribe_and_unsubscribe(self):
+        sink = BoundedHistory(4)
+        sink.open(state(0.0))
+        seen = []
+        sink.subscribe(seen.append)
+        sink.record(event(0))
+        assert len(seen) == 1
+        sink.unsubscribe(seen.append)
+        sink.record(event(1))
+        assert len(seen) == 1
+        assert sink.listener_count == 0
+
+    def test_unsubscribe_unknown_listener_is_noop(self):
+        sink = HistoryDatabase()
+        sink.unsubscribe(lambda e: None)  # must not raise
+
+    def test_listeners_see_dropped_events_in_real_time(self):
+        # Real-time taps fire on record, before any eviction matters.
+        sink = BoundedHistory(2)
+        sink.open(state(0.0))
+        seen = []
+        sink.subscribe(seen.append)
+        for seq in range(6):
+            sink.record(event(seq))
+        assert len(seen) == 6
+
+
+class TestUnderWorkload:
+    def test_live_events_bounded_under_stress(self):
+        """A saturating workload with no checkpoints stays within capacity."""
+        kernel = SimKernel(RandomPolicy(seed=0), on_deadlock="stop")
+        sink = BoundedHistory(32)
+        buffer = BoundedBuffer(kernel, capacity=2, history=sink)
+
+        def producer():
+            for item in range(60):
+                yield Delay(0.01)
+                yield from buffer.send(item)
+
+        def consumer():
+            for __ in range(60):
+                yield Delay(0.01)
+                yield from buffer.receive()
+
+        kernel.spawn(producer())
+        kernel.spawn(consumer())
+        kernel.run(until=30)
+        kernel.raise_failures()
+        assert sink.total_recorded > 32
+        assert sink.live_events <= 32
+        assert sink.dropped_events > 0
+        assert sink.dropped_events == sink.total_recorded - sink.live_events

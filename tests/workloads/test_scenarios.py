@@ -59,3 +59,55 @@ class TestEachScenario:
 class TestSpec:
     def test_total_operations(self):
         assert WorkloadSpec(processes=4, operations=25).total_operations == 100
+
+
+class TestFleet:
+    def test_builds_count_instances_round_robin(self):
+        from repro.workloads import build_fleet
+
+        kernel = SimKernel(RandomPolicy(seed=0), on_deadlock="stop")
+        fleet = build_fleet(kernel, 7, WorkloadSpec(processes=2, operations=2))
+        assert len(fleet) == 7
+        names = [run.name for run in fleet]
+        # all three scenario types are represented, cycling
+        assert names[:3] == sorted(SCENARIOS)
+        assert names[3:6] == sorted(SCENARIOS)
+        # every instance has its own monitor and its own sink
+        monitors = {id(run.monitor) for run in fleet}
+        sinks = {id(run.monitor.history) for run in fleet}
+        assert len(monitors) == len(sinks) == 7
+
+    def test_sink_factory_and_validation(self):
+        from repro.history import BoundedHistory
+        from repro.workloads import build_fleet
+
+        kernel = SimKernel(RandomPolicy(seed=0), on_deadlock="stop")
+        fleet = build_fleet(
+            kernel, 2, sink_factory=lambda: BoundedHistory(capacity=16)
+        )
+        assert all(isinstance(run.monitor.history, BoundedHistory) for run in fleet)
+        with pytest.raises(ValueError):
+            build_fleet(kernel, 0)
+        with pytest.raises(ValueError):
+            build_fleet(kernel, 2, names=["nope"])
+
+    def test_fleet_runs_under_one_engine(self):
+        from repro.detection import DetectionEngine, DetectorConfig, engine_process
+        from repro.workloads import build_fleet
+
+        kernel = SimKernel(RandomPolicy(seed=0), on_deadlock="stop")
+        spec = WorkloadSpec(processes=2, operations=4)
+        fleet = build_fleet(kernel, 4, spec)
+        engine = DetectionEngine(
+            kernel, DetectorConfig(interval=0.5, tmax=60.0, tio=60.0, tlimit=60.0)
+        )
+        for run in fleet:
+            engine.register(run.monitor)
+        for index, run in enumerate(fleet):
+            run.spawn_all(kernel, prefix=f"m{index}-")
+        kernel.spawn(engine_process(engine), "engine")
+        kernel.run(until=30, max_steps=2_000_000)
+        kernel.raise_failures()
+        assert engine.clean
+        assert engine.checkpoints_run > 0
+        assert engine.atomic_sections == engine.checkpoints_run
