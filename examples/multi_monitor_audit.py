@@ -17,6 +17,13 @@ production-style sink: if the engine ever fell behind, the buffer's window
 would drop oldest events (visibly, via the drop counters) instead of
 growing without bound.
 
+A fourth monitor misbehaves in a different way: its *checker* is broken
+(the rule evaluator raises for its first few checkpoints).  The engine's
+per-monitor circuit breaker quarantines it — the other monitors keep
+getting checked every interval — probes it after the cooldown, and
+re-admits it once the probe succeeds.  The printed quarantine lifecycle
+shows every breaker transition.
+
 Run:  python examples/multi_monitor_audit.py
 """
 
@@ -34,6 +41,7 @@ from repro import (
     engine_process,
     philosopher,
 )
+from repro.injection import sabotage_entry
 
 SEATS = 4
 
@@ -47,12 +55,27 @@ def main() -> int:
     buffer = BoundedBuffer(
         kernel, capacity=3, history=BoundedHistory(capacity=256)
     )
+    scanner = SingleResourceAllocator(
+        kernel, history=HistoryDatabase(), name="scanner"
+    )
 
     engine = DetectionEngine(
-        kernel, DetectorConfig(interval=0.5, tmax=30.0, tio=30.0, tlimit=30.0)
+        kernel,
+        DetectorConfig(
+            interval=0.5,
+            tmax=30.0,
+            tio=30.0,
+            tlimit=30.0,
+            # Tight quarantine so the breaker's full lifecycle fits the run.
+            breaker_failure_threshold=2,
+            breaker_cooldown=1.2,
+        ),
     )
     for target in (table, printer, buffer):
         engine.register(target)
+    # The scanner's *checker* is broken: its first three checks raise.
+    scanner_entry = engine.register(scanner)
+    sabotage_entry(scanner_entry, failures=3)
 
     # Healthy load on all three monitors...
     for seat in range(SEATS):
@@ -67,6 +90,15 @@ def main() -> int:
 
     for index in range(2):
         kernel.spawn(printing_user(index), f"print-user-{index}")
+
+    def scanning_user():
+        for __ in range(8):
+            yield Delay(0.4)
+            yield from scanner.request()
+            yield Delay(0.1)
+            yield from scanner.release()
+
+    kernel.spawn(scanning_user(), "scan-user")
 
     def producer():
         for item in range(10):
@@ -104,7 +136,23 @@ def main() -> int:
           f"{sorted(fault.label for fault in engine.implicated_faults())}")
     sink = buffer.history
     print(f"buffer sink: {sink!r}")
-    return 0 if not engine.clean else 1
+
+    print("\nquarantine lifecycle of the broken checker:")
+    breaker = scanner_entry.breaker
+    for time, state in breaker.transitions:
+        print(f"  t={time:5.2f}  -> {state.value}")
+    print(f"  {scanner_entry.quarantine_record().render()}")
+    lifecycle_ok = (
+        breaker.times_opened >= 1
+        and breaker.times_reclosed >= 1
+        and not scanner_entry.quarantined
+    )
+    print(
+        "  broken checker quarantined and re-admitted"
+        if lifecycle_ok
+        else "  UNEXPECTED: breaker lifecycle incomplete"
+    )
+    return 0 if (not engine.clean and lifecycle_ok) else 1
 
 
 if __name__ == "__main__":

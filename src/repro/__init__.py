@@ -53,7 +53,11 @@ from repro.apps import (
     philosopher,
 )
 from repro.detection import (
+    BreakerState,
     CallingOrderChecker,
+    CheckpointSupervisor,
+    CircuitBreaker,
+    Confidence,
     DeadlockDetector,
     DetectionEngine,
     DetectorConfig,
@@ -63,12 +67,14 @@ from repro.detection import (
     FaultReport,
     FaultStatistics,
     FDRule,
+    QuarantineRecord,
     ResourceStateChecker,
     STRule,
     check_full_trace,
     check_general_concurrency_control,
     detector_process,
     engine_process,
+    supervisor_process,
 )
 from repro.errors import (
     DeclarationError,
@@ -92,9 +98,12 @@ from repro.history import (
 from repro.injection import (
     CAMPAIGNS,
     CampaignOutcome,
+    ChaosCampaignResult,
+    ChaosConfig,
     TriggeredHooks,
     run_all_campaigns,
     run_campaign,
+    run_chaos_campaign,
 )
 from repro.kernel import (
     Block,
@@ -176,11 +185,17 @@ __all__ = [
     "FDRule",
     "STRule",
     "FaultReport",
+    "Confidence",
     "FaultDetector",
     "DetectorConfig",
     "detector_process",
     "DetectionEngine",
     "engine_process",
+    "BreakerState",
+    "CircuitBreaker",
+    "QuarantineRecord",
+    "CheckpointSupervisor",
+    "supervisor_process",
     "check_general_concurrency_control",
     "check_full_trace",
     "ResourceStateChecker",
@@ -197,6 +212,9 @@ __all__ = [
     "CAMPAIGNS",
     "run_campaign",
     "run_all_campaigns",
+    "ChaosConfig",
+    "ChaosCampaignResult",
+    "run_chaos_campaign",
     # recovery extensions
     "MonitorAssertion",
     "AssertionChecker",

@@ -8,12 +8,18 @@ Commands
 ``coverage [--seed N]``
     The robustness experiment: inject all 21 fault classes, print the
     per-class detection table (exit status 1 if any class is missed).
-``overhead [--backend sim|threads] [--repeats N] [--engine]``
+``overhead [--backend sim|threads] [--repeats N] [--engine] [--bounded C]``
     Regenerate Table 1 (overhead ratio vs checking interval); ``--engine``
-    checks through a shared DetectionEngine registration.
+    checks through a shared DetectionEngine registration, ``--bounded``
+    records through a capacity-C ring buffer and surfaces dropped events.
 ``scaling [--backend sim|threads] [--counts N ...] [--quick]``
     Engine scaling: batched checkpoints vs per-monitor detectors at
     fleet sizes 1/4/16.
+``chaos [--seed N] [--rounds N]``
+    Detector-resilience chaos campaign: a healthy workload with faults
+    injected into the detection pipeline itself (raising evaluators,
+    transient checkpoint failures, delays, event-drop bursts); exit
+    status 1 unless the supervised engine rides it out cleanly.
 ``check TRACE.jsonl --monitor {buffer,allocator} [--tmax T] ...``
     Offline FD-rule checking of a persisted JSONL trace (see
     :mod:`repro.history.serialize`).
@@ -95,6 +101,8 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     argv = ["--backend", args.backend, "--repeats", str(args.repeats)]
     if args.engine:
         argv.append("--engine")
+    if args.bounded is not None:
+        argv += ["--bounded", str(args.bounded)]
     return overhead_main(argv)
 
 
@@ -107,6 +115,14 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     if args.quick:
         argv.append("--quick")
     return scaling_main(argv)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.injection.chaos import run_chaos_campaign
+
+    result = run_chaos_campaign(seed=args.seed, rounds=args.rounds)
+    print(result.summary())
+    return 0 if result.passed else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -223,6 +239,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     overhead.add_argument("--repeats", type=int, default=3)
     overhead.add_argument("--engine", action="store_true")
+    overhead.add_argument("--bounded", type=int, default=None, metavar="CAPACITY")
     overhead.set_defaults(func=_cmd_overhead)
 
     scaling = subparsers.add_parser(
@@ -232,6 +249,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     scaling.add_argument("--counts", type=int, nargs="*", default=None)
     scaling.add_argument("--quick", action="store_true")
     scaling.set_defaults(func=_cmd_scaling)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="detector-resilience chaos campaign (sim kernel)"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--rounds", type=int, default=60)
+    chaos.set_defaults(func=_cmd_chaos)
 
     check = subparsers.add_parser(
         "check", help="offline FD-rule check of a JSONL trace"

@@ -66,6 +66,8 @@ class ScalingRow:
     checking_seconds: float
     reports: int
     events: int
+    #: Events the fleet's sinks discarded (0 for unbounded histories).
+    dropped: int = 0
 
 
 def _make_kernel(backend: str, seed: int):
@@ -116,6 +118,11 @@ def measure_scaling(
         for run in fleet
         if run.monitor.monitor.history is not None
     )
+    dropped = sum(
+        run.monitor.monitor.history.dropped_events
+        for run in fleet
+        if run.monitor.monitor.history is not None
+    )
     if mode == "detectors":
         # Every FaultDetector checkpoint is its own atomic section.
         sections = sum(d.engine.atomic_sections for d in detectors)
@@ -136,6 +143,7 @@ def measure_scaling(
         checking_seconds=checking,
         reports=reports,
         events=events,
+        dropped=dropped,
     )
 
 
@@ -161,7 +169,7 @@ def scaling_table(
 def render_scaling_table(rows: Sequence[ScalingRow]) -> str:
     headers = [
         "monitors", "mode", "atomic sections", "checkpoints",
-        "checking (s)", "reports", "events",
+        "checking (s)", "reports", "events", "dropped",
     ]
     table_rows = [
         [
@@ -172,6 +180,7 @@ def render_scaling_table(rows: Sequence[ScalingRow]) -> str:
             f"{row.checking_seconds:.4f}",
             str(row.reports),
             str(row.events),
+            str(row.dropped),
         ]
         for row in rows
     ]
@@ -215,6 +224,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"atomic section(s) per interval vs {det.atomic_sections} total "
             f"for per-monitor detectors"
         )
+    total_dropped = sum(row.dropped for row in rows)
+    total_events = sum(row.events for row in rows)
+    print(
+        f"history pressure: {total_dropped} of {total_events} recorded "
+        f"events dropped by the fleets' sinks"
+        + ("" if total_dropped == 0 else " (windows checked in degraded mode)")
+    )
     return 0
 
 

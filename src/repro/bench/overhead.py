@@ -31,6 +31,7 @@ from typing import Optional, Sequence, Union
 from repro.bench.tables import render_table
 from repro.detection.detector import DetectorConfig, FaultDetector, detector_process
 from repro.detection.engine import DetectionEngine, engine_process
+from repro.history.bounded import BoundedHistory
 from repro.history.database import HistoryDatabase
 from repro.kernel.policies import RandomPolicy
 from repro.kernel.sim import SimKernel
@@ -66,6 +67,8 @@ class OverheadRow:
     ratio: float
     events: int
     checkpoints: int
+    #: Events the sink discarded (nonzero only with ``--bounded``).
+    dropped: int = 0
 
 
 def _make_kernel(backend: str, seed: int):
@@ -83,18 +86,28 @@ def _run_once(
     interval: Optional[float],
     *,
     use_engine: bool = False,
-) -> tuple[float, float, int, int]:
+    bounded: Optional[int] = None,
+) -> tuple[float, float, int, int, int]:
     """One workload execution.
 
     Returns (monitor-op seconds, checking seconds, events recorded,
-    checkpoints run).  ``interval=None`` runs the plain construct (no
-    history, no detector) — the baseline.  ``use_engine=True`` checks
-    through a shared :class:`DetectionEngine` registration instead of a
-    ``FaultDetector`` (the two are report-equivalent for one monitor; the
-    flag lets Table 1 be regenerated on the engine path).
+    checkpoints run, events dropped).  ``interval=None`` runs the plain
+    construct (no history, no detector) — the baseline.
+    ``use_engine=True`` checks through a shared :class:`DetectionEngine`
+    registration instead of a ``FaultDetector`` (the two are
+    report-equivalent for one monitor; the flag lets Table 1 be
+    regenerated on the engine path).  ``bounded`` caps the recording sink
+    at that many live events (a :class:`BoundedHistory` ring buffer), so
+    the row also measures what drop-mode recording costs and sheds.
     """
     kernel = _make_kernel(backend, spec.seed)
-    history = None if interval is None else HistoryDatabase()
+    history: Optional[Union[HistoryDatabase, BoundedHistory]]
+    if interval is None:
+        history = None
+    elif bounded is not None:
+        history = BoundedHistory(capacity=bounded)
+    else:
+        history = HistoryDatabase()
     run = build_scenario(scenario, kernel, history, spec)
     checker: Optional[Union[FaultDetector, DetectionEngine]] = None
     if interval is not None:
@@ -143,7 +156,8 @@ def _run_once(
     checking = checker.checking_seconds if checker is not None else 0.0
     events = history.total_recorded if history is not None else 0
     checkpoints = checker.checkpoints_run if checker is not None else 0
-    return monitor.op_seconds, checking, events, checkpoints
+    dropped = history.dropped_events if history is not None else 0
+    return monitor.op_seconds, checking, events, checkpoints, dropped
 
 
 def measure_overhead(
@@ -154,6 +168,7 @@ def measure_overhead(
     spec: Optional[WorkloadSpec] = None,
     repeats: int = 3,
     use_engine: bool = False,
+    bounded: Optional[int] = None,
 ) -> OverheadRow:
     """Measure one Table-1 cell: scenario x checking interval.
 
@@ -163,18 +178,26 @@ def measure_overhead(
     """
     spec = spec or BENCH_SPEC
     base_samples: list[float] = []
-    ext_samples: list[tuple[float, float, int, int]] = []
+    ext_samples: list[tuple[float, float, int, int, int]] = []
     for __ in range(repeats):
-        base_ops, __c, __e, __k = _run_once(scenario, backend, spec, None)
+        base_ops, __c, __e, __k, __d = _run_once(scenario, backend, spec, None)
         base_samples.append(base_ops)
         ext_samples.append(
-            _run_once(scenario, backend, spec, interval, use_engine=use_engine)
+            _run_once(
+                scenario,
+                backend,
+                spec,
+                interval,
+                use_engine=use_engine,
+                bounded=bounded,
+            )
         )
     base = min(base_samples)
     ext_ops = min(sample[0] for sample in ext_samples)
     checking = min(sample[1] for sample in ext_samples)
     events = ext_samples[-1][2]
     checkpoints = ext_samples[-1][3]
+    dropped = ext_samples[-1][4]
     ratio = (ext_ops + checking) / base if base > 0 else float("nan")
     return OverheadRow(
         scenario=scenario,
@@ -185,6 +208,7 @@ def measure_overhead(
         ratio=ratio,
         events=events,
         checkpoints=checkpoints,
+        dropped=dropped,
     )
 
 
@@ -196,6 +220,7 @@ def overhead_table(
     spec: Optional[WorkloadSpec] = None,
     repeats: int = 3,
     use_engine: bool = False,
+    bounded: Optional[int] = None,
 ) -> list[OverheadRow]:
     """Regenerate the full Table-1 grid."""
     rows: list[OverheadRow] = []
@@ -209,6 +234,7 @@ def overhead_table(
                     spec=spec,
                     repeats=repeats,
                     use_engine=use_engine,
+                    bounded=bounded,
                 )
             )
     return rows
@@ -255,18 +281,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="check through a shared DetectionEngine registration instead "
         "of a per-monitor FaultDetector",
     )
+    parser.add_argument(
+        "--bounded",
+        type=int,
+        default=None,
+        metavar="CAPACITY",
+        help="record through a BoundedHistory ring buffer of this capacity "
+        "instead of the unbounded database (surfaces dropped events)",
+    )
     args = parser.parse_args(argv)
     rows = overhead_table(
         intervals=args.intervals,
         backend=args.backend,
         repeats=args.repeats,
         use_engine=args.engine,
+        bounded=args.bounded,
     )
     print(render_overhead_table(rows))
     print()
     detail_headers = [
         "scenario", "T", "base ops (s)", "ext ops (s)", "checking (s)",
-        "ratio", "events", "checkpoints",
+        "ratio", "events", "checkpoints", "dropped",
     ]
     detail_rows = [
         [
@@ -278,10 +313,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{row.ratio:.3f}",
             row.events,
             row.checkpoints,
+            row.dropped,
         ]
         for row in rows
     ]
     print(render_table(detail_headers, detail_rows, title="Details"))
+    total_dropped = sum(row.dropped for row in rows)
+    if total_dropped:
+        print(
+            f"\n{total_dropped} events dropped by the bounded sink across "
+            f"the grid; lossy windows were checked in degraded mode"
+        )
     return 0
 
 

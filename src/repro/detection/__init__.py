@@ -25,6 +25,11 @@ Contents:
   :class:`~repro.detection.detector.FaultDetector` façade over the engine:
   periodic checkpointing, real-time order checking for allocator monitors,
   report stream.
+* :mod:`repro.detection.supervision` — the detector's own fault tolerance:
+  per-monitor :class:`~repro.detection.supervision.CircuitBreaker`
+  quarantine, the :class:`~repro.detection.supervision.CheckpointSupervisor`
+  (checkpoint budget, retry with backoff, stall watchdog, snapshot/restore),
+  and :func:`~repro.detection.supervision.supervisor_process`.
 """
 
 from repro.detection.algorithm1 import check_general_concurrency_control
@@ -39,9 +44,17 @@ from repro.detection.engine import (
 from repro.detection.faults import FaultClass, FaultLevel
 from repro.detection.fd_rules import check_full_trace
 from repro.detection.replay import ReplayMachine
-from repro.detection.reports import FaultReport
-from repro.detection.rules import FDRule, STRule
+from repro.detection.reports import Confidence, FaultReport
+from repro.detection.rules import DROP_TOLERANT, FDRule, STRule, is_drop_tolerant
 from repro.detection.statistics import FaultStatistics
+from repro.detection.supervision import (
+    BreakerState,
+    CheckpointSupervisor,
+    CircuitBreaker,
+    QuarantineRecord,
+    SupervisorEvent,
+    supervisor_process,
+)
 from repro.detection.waitfor import (
     DeadlockDetector,
     ResourceWaitEdge,
@@ -53,6 +66,9 @@ __all__ = [
     "FaultLevel",
     "FDRule",
     "STRule",
+    "DROP_TOLERANT",
+    "is_drop_tolerant",
+    "Confidence",
     "FaultReport",
     "ReplayMachine",
     "check_general_concurrency_control",
@@ -69,4 +85,10 @@ __all__ = [
     "DeadlockDetector",
     "ResourceWaitEdge",
     "deadlock_process",
+    "BreakerState",
+    "CircuitBreaker",
+    "QuarantineRecord",
+    "SupervisorEvent",
+    "CheckpointSupervisor",
+    "supervisor_process",
 ]

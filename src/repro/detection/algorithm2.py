@@ -25,6 +25,7 @@ from repro.detection.reports import FaultReport
 from repro.detection.rules import STRule
 from repro.history.database import Segment
 from repro.history.events import EventKind, SchedulingEvent
+from repro.history.states import SchedulingState
 from repro.monitor.declaration import MonitorDeclaration
 from repro.monitor.semantics import Discipline
 
@@ -65,6 +66,8 @@ class ResourceStateChecker:
         #: Cumulative successful call counts over the whole execution.
         self.sends = 0
         self.receives = 0
+        #: Times the cumulative counters were re-based after a lossy window.
+        self.resyncs = 0
 
     @property
     def applicable(self) -> bool:
@@ -164,3 +167,22 @@ class ResourceStateChecker:
                 segment.current.time,
             )
         return reports
+
+    def resync(self, state: SchedulingState) -> None:
+        """Re-base the cumulative counters on a state snapshot.
+
+        The 7a invariant is cumulative, so a window whose sink dropped
+        Send/Receive completions leaves ``sends``/``receives`` permanently
+        out of step with the monitor's actual occupancy — every *later*,
+        perfectly complete window would then report ST-7a on a healthy
+        monitor.  The snapshot's Resource-No pins the counters' difference
+        (occupancy = ``Rmax - R#``), which is all the invariant consumes,
+        so after a lossy window the caller re-bases here and the checker
+        is trustworthy again from the next complete window on.
+        """
+        resource_no = state.resource_count
+        if resource_no is None:
+            return
+        occupancy = min(self._rmax, max(0, self._rmax - resource_no))
+        self.sends = self.receives + occupancy
+        self.resyncs += 1

@@ -17,6 +17,26 @@ class DetectorConfig:
     ``tmax`` bounds residence inside the monitor / on condition queues,
     ``tio`` bounds entry-queue residence, ``tlimit`` bounds resource
     holding.  Any timeout may be None to disable that sweep.
+
+    The supervision fields bound the *detector's own* failure modes (the
+    pipeline must degrade, not take the application down — see
+    :mod:`repro.detection.supervision`):
+
+    * ``checkpoint_budget`` — wall-clock seconds one batched checkpoint may
+      take before the supervisor counts a budget blow (None disables).
+    * ``checkpoint_retries`` / ``retry_backoff`` — how often a failed
+      checkpoint is retried, with exponential backoff starting at
+      ``retry_backoff`` virtual seconds.
+    * ``stall_timeout`` — virtual seconds without a completed checkpoint
+      before the stall watchdog flags the pipeline (None disables).
+    * ``monitor_check_budget`` — wall-clock seconds a *single* monitor's
+      share of the checkpoint may take; blowing it repeatedly trips that
+      monitor's circuit breaker (None disables).
+    * ``breaker_failure_threshold`` — consecutive per-monitor check
+      failures (exceptions or budget blows) before the monitor is
+      quarantined (its breaker opens).
+    * ``breaker_cooldown`` — virtual seconds a quarantined monitor sits out
+      before a half-open probe checkpoint is allowed.
     """
 
     interval: float = 1.0
@@ -27,6 +47,14 @@ class DetectorConfig:
     #: allocator monitors).  False falls back to replaying the window's
     #: events at each checkpoint instead.
     realtime_orders: bool = True
+    # ------------------------------------------------- supervision tunables
+    checkpoint_budget: Optional[float] = None
+    checkpoint_retries: int = 2
+    retry_backoff: float = 0.1
+    stall_timeout: Optional[float] = None
+    monitor_check_budget: Optional[float] = None
+    breaker_failure_threshold: int = 3
+    breaker_cooldown: float = 5.0
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -39,3 +67,26 @@ class DetectorConfig:
                 raise ValueError(
                     f"{name} must be None or non-negative, got {value!r}"
                 )
+        for name in ("checkpoint_budget", "stall_timeout", "monitor_check_budget"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(
+                    f"{name} must be None or positive, got {value!r}"
+                )
+        if self.checkpoint_retries < 0:
+            raise ValueError(
+                f"checkpoint_retries must be >= 0, got {self.checkpoint_retries!r}"
+            )
+        if self.retry_backoff <= 0:
+            raise ValueError(
+                f"retry_backoff must be positive, got {self.retry_backoff!r}"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise ValueError(
+                "breaker_failure_threshold must be >= 1, got "
+                f"{self.breaker_failure_threshold!r}"
+            )
+        if self.breaker_cooldown <= 0:
+            raise ValueError(
+                f"breaker_cooldown must be positive, got {self.breaker_cooldown!r}"
+            )

@@ -23,6 +23,7 @@ façade over this engine, so existing call sites keep working unchanged.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from time import perf_counter
 from typing import Iterator, Optional, Union
 
@@ -30,10 +31,13 @@ from repro.detection.algorithm1 import check_general_concurrency_control
 from repro.detection.algorithm2 import ResourceStateChecker
 from repro.detection.algorithm3 import CallingOrderChecker
 from repro.detection.config import DetectorConfig
-from repro.detection.reports import FaultReport
+from repro.detection.replay import sweep_timers
+from repro.detection.reports import Confidence, FaultReport
+from repro.detection.rules import STRule, is_drop_tolerant
+from repro.detection.supervision import CircuitBreaker, QuarantineRecord
 from repro.history.database import HistoryDatabase
 from repro.history.events import SchedulingEvent
-from repro.history.sink import EventSink
+from repro.history.sink import EventSink, Segment
 from repro.kernel.syscalls import Delay, Syscall
 from repro.monitor.construct import Monitor, MonitorBase
 
@@ -83,6 +87,18 @@ class RegisteredMonitor:
                 self._tapped = True
         self.reports: list[FaultReport] = []
         self.checkpoints_run = 0
+        #: Circuit breaker quarantining this monitor's checker when it
+        #: raises or repeatedly blows ``config.monitor_check_budget``.
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_failure_threshold,
+            cooldown=config.breaker_cooldown,
+        )
+        #: Checkpoints this monitor sat out while quarantined.
+        self.checkpoints_skipped = 0
+        #: Events the sink reported dropped inside windows this entry cut.
+        self.dropped_in_windows = 0
+        #: Windows evaluated in degraded mode (incomplete event sequence).
+        self.degraded_windows = 0
 
     # ------------------------------------------------------------- real time
 
@@ -110,6 +126,13 @@ class RegisteredMonitor:
         state, cut the history window, and evaluate Algorithm-1 (always),
         Algorithm-2 (communication coordinators) and Algorithm-3's replay
         and timer sweep (allocators).
+
+        When the sink dropped events inside the window
+        (``segment.dropped > 0``) the window cannot support the replay/
+        comparison rules: only drop-tolerant rules survive (see
+        :data:`repro.detection.rules.DROP_TOLERANT`) and their reports are
+        downgraded to :attr:`Confidence.DEGRADED` — a truncated trace must
+        degrade, not false-positive.
         """
         snapshot = self.monitor.core.snapshot()
         segment = self.history.cut(snapshot)
@@ -122,7 +145,10 @@ class RegisteredMonitor:
         if self.algorithm2 is not None:
             found.extend(self.algorithm2.check_window(segment))
         if self.algorithm3 is not None:
-            if not self.config.realtime_orders:
+            if not self.config.realtime_orders and segment.complete:
+                # Window replay of calling orders needs every event; on a
+                # lossy window the real-time tap (when on) already saw the
+                # true sequence, and the replay would start mid-pattern.
                 for event in segment.events:
                     found.extend(self.algorithm3.on_event(event))
             if self.config.tlimit is not None:
@@ -130,12 +156,79 @@ class RegisteredMonitor:
                     self.algorithm3.periodic(snapshot.time, self.config.tlimit)
                 )
         self.checkpoints_run += 1
+        if not segment.complete:
+            self.dropped_in_windows += segment.dropped
+            self.degraded_windows += 1
+            found = self._degrade(found, segment)
+            if self.algorithm2 is not None:
+                # The lossy window desynchronised Algorithm-2's cumulative
+                # counters; re-base them on the snapshot so later complete
+                # windows don't report ST-7a on a healthy monitor.
+                self.algorithm2.resync(segment.current)
         return found
+
+    def _degrade(
+        self, found: list[FaultReport], segment: Segment
+    ) -> list[FaultReport]:
+        """Keep only drop-tolerant findings, downgraded to DEGRADED.
+
+        The snapshot-witnessed mutual-exclusion violation (ST-3a with no
+        triggering event) is kept too: it reads the actual state directly
+        and needs no events at all — but the surrounding window is still
+        lossy, so it is downgraded like the timer sweeps.
+
+        ST-5/6 are re-derived from the current snapshot
+        (:func:`~repro.detection.replay.sweep_timers`): the replay sweep
+        covers only entries it reconstructed from surviving events, so on a
+        lossy window it can miss exactly the wedged process the timer rules
+        exist to catch.  The snapshot's queue entries carry their own
+        ``since`` timestamps, making the snapshot sweep exact without any
+        events.
+        """
+        kept: list[FaultReport] = []
+        for report in found:
+            if report.rule in (STRule.TMAX_EXCEEDED, STRule.TIO_EXCEEDED):
+                continue  # replaced by the snapshot sweep below
+            snapshot_witnessed = (
+                report.rule is STRule.ONE_INSIDE and report.event_seq is None
+            )
+            if is_drop_tolerant(report.rule) or snapshot_witnessed:
+                kept.append(replace(report, confidence=Confidence.DEGRADED))
+        kept.extend(
+            replace(report, confidence=Confidence.DEGRADED)
+            for report in sweep_timers(
+                segment.current,
+                self.monitor.name,
+                tmax=self.config.tmax,
+                tio=self.config.tio,
+                window_start=segment.previous.time,
+            )
+        )
+        return kept
+
+    @property
+    def quarantined(self) -> bool:
+        """True while this monitor's breaker is OPEN (checker sat out)."""
+        return self.breaker.quarantined
+
+    def quarantine_record(self) -> QuarantineRecord:
+        """One line of the engine's quarantine report for this monitor."""
+        return QuarantineRecord(
+            label=self.label,
+            state=self.breaker.state,
+            consecutive_failures=self.breaker.consecutive_failures,
+            times_opened=self.breaker.times_opened,
+            times_reclosed=self.breaker.times_reclosed,
+            checkpoints_skipped=self.checkpoints_skipped,
+            last_failure=self.breaker.last_failure,
+            opened_at=self.breaker.opened_at,
+        )
 
     def __repr__(self) -> str:
         return (
             f"RegisteredMonitor({self.label!r}, "
-            f"reports={len(self.reports)}, checkpoints={self.checkpoints_run})"
+            f"reports={len(self.reports)}, checkpoints={self.checkpoints_run}, "
+            f"breaker={self.breaker.state.value})"
         )
 
 
@@ -165,6 +258,9 @@ class DetectionEngine:
         #: Accumulated wall-clock seconds spent inside checkpoints
         #: (overhead accounting for the Table-1 experiment).
         self.checking_seconds = 0.0
+        #: Per-monitor check invocations that raised (absorbed by the
+        #: breaker instead of escaping the atomic section).
+        self.check_failures = 0
         self._stopped = False
 
     # ---------------------------------------------------------- registration
@@ -270,9 +366,31 @@ class DetectionEngine:
 
     def _checkpoint_locked(self) -> list[FaultReport]:
         self.atomic_sections += 1
+        now = self.kernel.now()
         found: list[FaultReport] = []
-        for entry in self._entries:
-            reports = entry.check()
+        for entry in list(self._entries):
+            if not entry.breaker.allow(now):
+                entry.checkpoints_skipped += 1
+                continue
+            started = perf_counter()
+            try:
+                reports = entry.check()
+            except Exception as exc:  # noqa: BLE001 — quarantine, not crash
+                # One broken evaluator must not poison the fleet's shared
+                # checkpoint: absorb, count, and let the breaker decide.
+                self.check_failures += 1
+                entry.breaker.record_failure(
+                    now, f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            elapsed = perf_counter() - started
+            budget = entry.config.monitor_check_budget
+            if budget is not None and elapsed > budget:
+                entry.breaker.record_failure(
+                    now, f"check took {elapsed:.4f}s > budget {budget:g}s"
+                )
+            else:
+                entry.breaker.record_success(now)
             entry.reports.extend(reports)
             found.extend(reports)
         return found
@@ -302,16 +420,75 @@ class DetectionEngine:
                 suspects.update(report.suspected_faults)
         return frozenset(suspects)
 
+    def reports_by_confidence(self) -> dict[Confidence, list[FaultReport]]:
+        """All reports split into confirmed vs degraded streams."""
+        split: dict[Confidence, list[FaultReport]] = {
+            confidence: [] for confidence in Confidence
+        }
+        for report in self.reports:
+            split[report.confidence].append(report)
+        return split
+
     @property
     def clean(self) -> bool:
         """True when no registered monitor has reported a violation."""
         return all(not entry.reports for entry in self._entries)
 
+    @property
+    def confirmed_clean(self) -> bool:
+        """True when no *confirmed* violation exists (degraded advisories
+        from lossy windows are tolerated)."""
+        return all(
+            report.confidence is not Confidence.CONFIRMED
+            for report in self.reports
+        )
+
+    # ------------------------------------------------------------ resilience
+
+    @property
+    def quarantined(self) -> tuple[RegisteredMonitor, ...]:
+        """Registered monitors currently sitting out checkpoints (OPEN)."""
+        return tuple(e for e in self._entries if e.quarantined)
+
+    def quarantine_report(self) -> list[QuarantineRecord]:
+        """Breaker status of every monitor whose breaker ever left CLOSED.
+
+        The explicit surface for "this monitor's checker is broken": one
+        record per monitor with a quarantine history, renderable for logs.
+        """
+        return [
+            entry.quarantine_record()
+            for entry in self._entries
+            if entry.breaker.transitions or entry.breaker.consecutive_failures
+        ]
+
+    @property
+    def dropped_events(self) -> int:
+        """Events dropped across all registered monitors' sinks.
+
+        Counts at the sink (total ever dropped), so lossy runs are visible
+        from the engine without digging into each ring buffer.
+        """
+        return sum(entry.history.dropped_events for entry in self._entries)
+
+    @property
+    def dropped_in_windows(self) -> int:
+        """Per-window drop counts accumulated over cut checking windows."""
+        return sum(entry.dropped_in_windows for entry in self._entries)
+
+    @property
+    def degraded_windows(self) -> int:
+        """Checking windows evaluated in degraded (lossy) mode."""
+        return sum(entry.degraded_windows for entry in self._entries)
+
     def __repr__(self) -> str:
         return (
             f"DetectionEngine(monitors={len(self._entries)}, "
             f"checkpoints={self.checkpoints_run}, "
-            f"reports={sum(len(e.reports) for e in self._entries)})"
+            f"reports={sum(len(e.reports) for e in self._entries)}, "
+            f"dropped_events={self.dropped_events}, "
+            f"degraded_windows={self.degraded_windows}, "
+            f"quarantined={len(self.quarantined)})"
         )
 
 

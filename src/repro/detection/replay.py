@@ -37,7 +37,70 @@ from repro.ids import Cond, Pid
 from repro.monitor.declaration import MonitorDeclaration
 from repro.monitor.semantics import Discipline
 
-__all__ = ["ReplayMachine"]
+__all__ = ["ReplayMachine", "sweep_timers"]
+
+
+def sweep_timers(
+    state: SchedulingState,
+    monitor: str,
+    *,
+    tmax: Optional[float] = None,
+    tio: Optional[float] = None,
+    window_start: Optional[float] = None,
+) -> list[FaultReport]:
+    """ST-Rule 5/6 timer sweep directly over a state snapshot.
+
+    The replay machine sweeps its *reconstructed* lists, which is exact on
+    a complete window but misses any process whose events were dropped by a
+    saturated sink.  The snapshot's queue entries carry their own ``since``
+    timestamps, so this sweep needs no events at all — it is what
+    degraded-mode checking uses on lossy windows (the reports are
+    downgraded by the caller).
+    """
+    now = state.time
+    reports: list[FaultReport] = []
+
+    def report(rule: STRule, message: str, pid: Pid) -> None:
+        reports.append(
+            FaultReport(
+                rule=rule,
+                message=message,
+                monitor=monitor,
+                detected_at=now,
+                pids=(pid,),
+                window_start=window_start,
+            )
+        )
+
+    if tmax is not None:
+        for entry in state.running:
+            if entry.timer(now) >= tmax:
+                report(
+                    STRule.TMAX_EXCEEDED,
+                    f"P{entry.pid} ({entry.pname}) has been inside the "
+                    f"monitor for {entry.timer(now):g} >= Tmax={tmax:g}",
+                    entry.pid,
+                )
+        for cond, queue in state.cond_queues.items():
+            for entry in queue:
+                if entry.timer(now) >= tmax:
+                    report(
+                        STRule.TMAX_EXCEEDED,
+                        f"P{entry.pid} has waited on condition {cond!r} "
+                        f"for {entry.timer(now):g} >= Tmax={tmax:g}",
+                        entry.pid,
+                    )
+    if tio is not None:
+        for entry in state.entry_queue:
+            if entry.timer(now) >= tio:
+                report(
+                    STRule.TIO_EXCEEDED,
+                    f"P{entry.pid} has sat on the entry queue for "
+                    f"{entry.timer(now):g} >= Tio={tio:g} (starved or "
+                    "lost)",
+                    entry.pid,
+                )
+    return reports
 
 
 class ReplayMachine:

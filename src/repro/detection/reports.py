@@ -17,9 +17,24 @@ from repro.detection.faults import FaultClass
 from repro.detection.rules import SUSPECTS, FDRule, STRule
 from repro.ids import Pid
 
-__all__ = ["FaultReport"]
+__all__ = ["Confidence", "FaultReport"]
 
 Rule = Union[FDRule, STRule]
+
+
+class Confidence(enum.Enum):
+    """How much the checking window backs the report.
+
+    ``CONFIRMED`` — the window was complete: every event since the last
+    checkpoint was available to the checker, so the violation is fully
+    witnessed.  ``DEGRADED`` — the window was lossy (the sink dropped
+    events, see :class:`~repro.history.sink.Segment.dropped`): only
+    drop-tolerant rules were evaluated and their findings are advisory.
+    Degraded reports must never trigger destructive recovery.
+    """
+
+    CONFIRMED = "confirmed"
+    DEGRADED = "degraded"
 
 
 @dataclass(frozen=True)
@@ -41,6 +56,14 @@ class FaultReport:
     event_seq: Optional[int] = None
     #: Start of the checking window in which the violation was found.
     window_start: Optional[float] = None
+    #: Whether the checking window fully backs the finding (CONFIRMED) or
+    #: the sink dropped events inside it (DEGRADED, advisory only).
+    confidence: Confidence = Confidence.CONFIRMED
+
+    @property
+    def degraded(self) -> bool:
+        """True when this report came from a lossy checking window."""
+        return self.confidence is Confidence.DEGRADED
 
     @property
     def suspected_faults(self) -> tuple[FaultClass, ...]:
@@ -57,9 +80,10 @@ class FaultReport:
     def render(self) -> str:
         """One-line rendering for logs and example output."""
         pids = ",".join(f"P{p}" for p in self.pids) or "-"
+        tag = " (degraded)" if self.degraded else ""
         return (
-            f"[{self.rule_id}] t={self.detected_at:g} monitor={self.monitor} "
-            f"pids={pids}: {self.message}"
+            f"[{self.rule_id}]{tag} t={self.detected_at:g} "
+            f"monitor={self.monitor} pids={pids}: {self.message}"
         )
 
     def __str__(self) -> str:

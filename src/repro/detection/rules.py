@@ -16,7 +16,7 @@ import enum
 
 from repro.detection.faults import FaultClass
 
-__all__ = ["FDRule", "STRule", "SUSPECTS"]
+__all__ = ["FDRule", "STRule", "SUSPECTS", "DROP_TOLERANT", "is_drop_tolerant"]
 
 
 class FDRule(enum.Enum):
@@ -100,6 +100,31 @@ class STRule(enum.Enum):
     #: extension — a circular wait across allocator monitors (wait-for
     #: graph cycle; see :mod:`repro.detection.waitfor`).
     WAIT_FOR_CYCLE = "ST-WF"
+
+
+#: Rules whose verdict survives a lossy checking window.  The replay/
+#: comparison rules (ST-1..ST-4, ST-R, ST-SG, the ST-7 resource ledger and
+#: the ST-PX window replay) reconstruct state from the *full* event
+#: sequence; with events missing, a divergence proves nothing — evaluating
+#: them on an incomplete window manufactures false positives.  The timer
+#: sweeps (ST-5, ST-6, ST-8c) and the wait-for-graph cycle check (ST-WF)
+#: read residence times and edges straight off snapshots: a dropped event
+#: can make them stale but their arithmetic stays well-defined, so they are
+#: still evaluated on incomplete windows — with their reports downgraded to
+#: ``Confidence.DEGRADED`` (see :mod:`repro.detection.reports`).
+DROP_TOLERANT: frozenset[STRule] = frozenset(
+    {
+        STRule.TMAX_EXCEEDED,
+        STRule.TIO_EXCEEDED,
+        STRule.REQUEST_NOT_RELEASED,
+        STRule.WAIT_FOR_CYCLE,
+    }
+)
+
+
+def is_drop_tolerant(rule: enum.Enum) -> bool:
+    """True when ``rule`` may be evaluated on an incomplete window."""
+    return rule in DROP_TOLERANT
 
 
 #: Which fault classes a violation of each rule implicates.  A report lists

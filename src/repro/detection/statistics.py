@@ -5,8 +5,9 @@ information about the frequency of each fault.  For example, if a
 particular kind of fault appears frequently we could use a variety of
 methods to reduce the incidence of it."  ``FaultStatistics`` aggregates a
 report stream into exactly that information: counts per rule, per
-implicated fault class, per monitor, and per taxonomy level, with a text
-rendering for operator consumption.
+implicated fault class, per monitor, per taxonomy level, and per
+confidence (CONFIRMED findings vs DEGRADED ones from lossy checkpoint
+windows), with a text rendering for operator consumption.
 """
 
 from __future__ import annotations
@@ -17,7 +18,7 @@ from typing import Iterable, Optional
 from repro._tables import render_table
 from repro.detection.detector import FaultDetector
 from repro.detection.faults import FaultClass, FaultLevel
-from repro.detection.reports import FaultReport
+from repro.detection.reports import Confidence, FaultReport
 
 __all__ = ["FaultStatistics"]
 
@@ -31,6 +32,9 @@ class FaultStatistics:
         self.by_fault: Counter[FaultClass] = Counter()
         self.by_monitor: Counter[str] = Counter()
         self.by_level: Counter[FaultLevel] = Counter()
+        self.by_confidence: Counter[Confidence] = Counter()
+        #: Per fault class: how many implications were confirmed vs degraded.
+        self.fault_confidence: dict[FaultClass, Counter[Confidence]] = {}
         self._first_at: Optional[float] = None
         self._last_at: Optional[float] = None
 
@@ -46,9 +50,13 @@ class FaultStatistics:
         self.total_reports += 1
         self.by_rule[report.rule_id] += 1
         self.by_monitor[report.monitor] += 1
+        self.by_confidence[report.confidence] += 1
         for fault in report.suspected_faults:
             self.by_fault[fault] += 1
             self.by_level[fault.level] += 1
+            self.fault_confidence.setdefault(fault, Counter())[
+                report.confidence
+            ] += 1
         if self._first_at is None or report.detected_at < self._first_at:
             self._first_at = report.detected_at
         if self._last_at is None or report.detected_at > self._last_at:
@@ -84,6 +92,18 @@ class FaultStatistics:
     def frequency(self, fault: FaultClass) -> int:
         return self.by_fault.get(fault, 0)
 
+    def confirmed(self, fault: FaultClass) -> int:
+        """Implications of ``fault`` from complete checkpoint windows."""
+        return self.fault_confidence.get(fault, Counter())[
+            Confidence.CONFIRMED
+        ]
+
+    def degraded(self, fault: FaultClass) -> int:
+        """Implications of ``fault`` from lossy (degraded-mode) windows."""
+        return self.fault_confidence.get(fault, Counter())[
+            Confidence.DEGRADED
+        ]
+
     @property
     def window(self) -> tuple[Optional[float], Optional[float]]:
         """(first, last) report timestamps."""
@@ -95,8 +115,11 @@ class FaultStatistics:
         """Multi-table text rendering (rules, fault classes, monitors)."""
         if not self.total_reports:
             return "no fault reports recorded"
+        confirmed = self.by_confidence[Confidence.CONFIRMED]
+        degraded = self.by_confidence[Confidence.DEGRADED]
         parts = [
-            f"{self.total_reports} reports between "
+            f"{self.total_reports} reports ({confirmed} confirmed, "
+            f"{degraded} degraded) between "
             f"t={self._first_at:g} and t={self._last_at:g}"
         ]
         parts.append(
@@ -108,9 +131,15 @@ class FaultStatistics:
         )
         parts.append(
             render_table(
-                ["fault class", "level", "implicated"],
+                ["fault class", "level", "implicated", "confirmed", "degraded"],
                 [
-                    (fault.label, fault.level.value, count)
+                    (
+                        fault.label,
+                        fault.level.value,
+                        count,
+                        self.confirmed(fault),
+                        self.degraded(fault),
+                    )
                     for fault, count in self.by_fault.most_common(top)
                 ],
                 title="\nby implicated fault class",

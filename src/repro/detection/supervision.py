@@ -1,0 +1,411 @@
+"""Supervision of the detection pipeline itself (degraded-mode operation).
+
+The paper's detector runs continuously beside the workload (Section 3.3's
+periodic checkpoints), which makes the detector's *own* failure modes part
+of the system's fault model: a rule evaluator that raises, a checkpoint
+that stalls, a history sink that saturates.  A run-time monitor is only
+trustworthy when those failure modes are bounded — the monitor must never
+take the monitored application down with it.
+
+Three mechanisms, all deterministic on the sim kernel:
+
+* :class:`CircuitBreaker` — per-monitor quarantine.  A registered monitor
+  whose ``check()`` raises (or repeatedly blows its per-monitor time
+  budget) transitions CLOSED → OPEN: it is skipped by subsequent batched
+  checkpoints so one broken evaluator cannot poison the fleet's shared
+  atomic section.  After ``breaker_cooldown`` virtual seconds the breaker
+  goes HALF_OPEN and the next checkpoint runs a single probe check; a
+  clean probe re-closes the breaker, a failing probe re-opens it.
+* :class:`CheckpointSupervisor` — wraps :meth:`DetectionEngine.checkpoint`
+  with a wall-clock budget, retry-with-exponential-backoff on transient
+  failures (``checkpoint_retries`` / ``retry_backoff``), and a stall
+  watchdog (``stall_timeout``).  :func:`supervisor_process` is the kernel
+  process that paces it — a drop-in replacement for ``engine_process``
+  whose checkpoints can fail without crashing the run.
+* **snapshot/restore** — :meth:`CheckpointSupervisor.snapshot_state` /
+  :meth:`restore_state` persist per-monitor breaker state, counters and
+  each sink's checkpoint base state (via :mod:`repro.history.serialize`),
+  so a supervisor restarted after a crash resumes its windows instead of
+  re-checking from a cold, divergent base.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Iterator, Optional
+
+from repro.detection.reports import FaultReport
+from repro.history.serialize import apply_sink_state, sink_state_to_dict
+from repro.kernel.syscalls import Delay, Syscall
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "QuarantineRecord",
+    "SupervisorEvent",
+    "CheckpointSupervisor",
+    "supervisor_process",
+]
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker lifecycle of one registered monitor's checker."""
+
+    #: Healthy: the monitor is checked at every batched checkpoint.
+    CLOSED = "closed"
+    #: Quarantined: the monitor is skipped until the cooldown elapses.
+    OPEN = "open"
+    #: Probing: the next checkpoint runs one trial check to decide.
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """CLOSED → OPEN → HALF_OPEN → CLOSED quarantine for one checker.
+
+    Time is the kernel's virtual clock, passed in by the caller, so the
+    whole lifecycle is deterministic under the sim kernel.  ``transitions``
+    records every state change as ``(time, new_state)`` for audits.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown: float = 5.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        #: How many times the breaker has opened (quarantine episodes).
+        self.times_opened = 0
+        #: How many times a half-open probe succeeded and re-closed it.
+        self.times_reclosed = 0
+        self.last_failure: Optional[str] = None
+        self.transitions: list[tuple[float, BreakerState]] = []
+
+    def _move(self, state: BreakerState, now: float) -> None:
+        self.state = state
+        self.transitions.append((now, state))
+
+    def allow(self, now: float) -> bool:
+        """May the monitor be checked at a checkpoint starting ``now``?"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.HALF_OPEN:
+            return True
+        assert self.opened_at is not None
+        if now - self.opened_at >= self.cooldown:
+            self._move(BreakerState.HALF_OPEN, now)
+            return True
+        return False
+
+    def record_success(self, now: float) -> None:
+        """A check completed cleanly; a half-open probe re-closes."""
+        if self.state is BreakerState.HALF_OPEN:
+            self.times_reclosed += 1
+            self._move(BreakerState.CLOSED, now)
+            self.opened_at = None
+        self.consecutive_failures = 0
+        self.last_failure = None
+
+    def record_failure(self, now: float, reason: str) -> None:
+        """A check raised or blew its budget; open when the threshold hits."""
+        self.last_failure = reason
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            # A failed probe goes straight back to quarantine.
+            self.times_opened += 1
+            self.opened_at = now
+            self._move(BreakerState.OPEN, now)
+            return
+        if (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.times_opened += 1
+            self.opened_at = now
+            self._move(BreakerState.OPEN, now)
+
+    @property
+    def quarantined(self) -> bool:
+        return self.state is BreakerState.OPEN
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.state.value}, "
+            f"failures={self.consecutive_failures}/{self.failure_threshold}, "
+            f"opened={self.times_opened}, reclosed={self.times_reclosed})"
+        )
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One line of the engine's quarantine report."""
+
+    label: str
+    state: BreakerState
+    consecutive_failures: int
+    times_opened: int
+    times_reclosed: int
+    checkpoints_skipped: int
+    last_failure: Optional[str]
+    opened_at: Optional[float]
+
+    def render(self) -> str:
+        tail = f" last_failure={self.last_failure}" if self.last_failure else ""
+        return (
+            f"{self.label}: {self.state.value} "
+            f"(opened x{self.times_opened}, reclosed x{self.times_reclosed}, "
+            f"skipped {self.checkpoints_skipped} checkpoint(s)){tail}"
+        )
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One entry of the supervisor's audit log."""
+
+    time: float
+    kind: str  # "failure" | "retry" | "gave-up" | "budget" | "stall"
+    detail: str = ""
+
+
+class CheckpointSupervisor:
+    """Wraps an engine's checkpoint with budget, retries and a watchdog.
+
+    Parameters default to the engine's :class:`DetectorConfig` supervision
+    fields; pass overrides for ad-hoc supervision.  The supervisor never
+    lets an exception out of :meth:`attempt` — detector failures are data
+    (counters and :class:`SupervisorEvent` entries), exactly like detected
+    faults are data and not exceptions.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        budget: Optional[float] = None,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+        stall_timeout: Optional[float] = None,
+    ) -> None:
+        config = engine.config
+        self.engine = engine
+        self.budget = config.checkpoint_budget if budget is None else budget
+        self.retries = config.checkpoint_retries if retries is None else retries
+        self.backoff = config.retry_backoff if backoff is None else backoff
+        self.stall_timeout = (
+            config.stall_timeout if stall_timeout is None else stall_timeout
+        )
+        self.checkpoints_completed = 0
+        #: Rounds in which every attempt (1 + retries) failed.
+        self.checkpoints_abandoned = 0
+        self.retries_performed = 0
+        self.budget_blows = 0
+        self.stalls_detected = 0
+        self.last_success_at: Optional[float] = None
+        #: When supervision began watching (reference before any success).
+        self._watch_since: Optional[float] = None
+        self._stall_flagged = False
+        self.events: list[SupervisorEvent] = []
+
+    # ----------------------------------------------------------- single try
+
+    def attempt(self) -> tuple[bool, list[FaultReport]]:
+        """One supervised checkpoint attempt.  Never raises.
+
+        Returns ``(completed, new_reports)``; on failure the exception is
+        recorded as a ``"failure"`` event and ``(False, [])`` comes back so
+        the caller (usually :func:`supervisor_process`) can back off and
+        retry.
+        """
+        now = self.engine.kernel.now()
+        started = perf_counter()
+        try:
+            reports = self.engine.checkpoint()
+        except Exception as exc:  # noqa: BLE001 — the whole point
+            self.events.append(
+                SupervisorEvent(now, "failure", f"{type(exc).__name__}: {exc}")
+            )
+            return False, []
+        elapsed = perf_counter() - started
+        if self.budget is not None and elapsed > self.budget:
+            self.budget_blows += 1
+            self.events.append(
+                SupervisorEvent(
+                    now,
+                    "budget",
+                    f"checkpoint took {elapsed:.4f}s > budget {self.budget:g}s",
+                )
+            )
+        self.checkpoints_completed += 1
+        self.last_success_at = self.engine.kernel.now()
+        self._stall_flagged = False
+        return True, reports
+
+    # ------------------------------------------------------------- watchdog
+
+    def check_stall(self) -> bool:
+        """Stall watchdog: has the pipeline gone too long without success?
+
+        Flags (and counts) at most once per stall episode; a completed
+        checkpoint re-arms the watchdog.
+        """
+        if self.stall_timeout is None:
+            return False
+        now = self.engine.kernel.now()
+        if self._watch_since is None:
+            self._watch_since = now
+        reference = (
+            self.last_success_at
+            if self.last_success_at is not None
+            else self._watch_since
+        )
+        if now - reference <= self.stall_timeout:
+            return self._stall_flagged
+        if not self._stall_flagged:
+            # Flag (and count) once per stall episode; success re-arms.
+            self._stall_flagged = True
+            self.stalls_detected += 1
+            self.events.append(
+                SupervisorEvent(
+                    now,
+                    "stall",
+                    f"no completed checkpoint for {now - reference:g} > "
+                    f"stall_timeout {self.stall_timeout:g}",
+                )
+            )
+        return True
+
+    @property
+    def stalled(self) -> bool:
+        """True while the current stall episode is unresolved."""
+        return self._stall_flagged
+
+    # ------------------------------------------------------ snapshot/restore
+
+    def snapshot_state(self) -> dict:
+        """JSON-compatible snapshot for restart recovery.
+
+        Captures, per registered monitor: the breaker lifecycle, the
+        checkpoint counters, and the event sink's base state + open window
+        (:func:`repro.history.serialize.sink_state_to_dict`), so a restarted
+        supervisor resumes checking windows where the crashed one stopped.
+        """
+        return {
+            "kind": "supervisor",
+            "checkpoints_completed": self.checkpoints_completed,
+            "checkpoints_abandoned": self.checkpoints_abandoned,
+            "monitors": {
+                entry.label: {
+                    "breaker_state": entry.breaker.state.value,
+                    "consecutive_failures": entry.breaker.consecutive_failures,
+                    "times_opened": entry.breaker.times_opened,
+                    "times_reclosed": entry.breaker.times_reclosed,
+                    "opened_at": entry.breaker.opened_at,
+                    "checkpoints_run": entry.checkpoints_run,
+                    "checkpoints_skipped": entry.checkpoints_skipped,
+                    "sink": sink_state_to_dict(entry.history),
+                }
+                for entry in self.engine.entries
+            },
+        }
+
+    def restore_state(self, snapshot: dict) -> list[str]:
+        """Re-apply a :meth:`snapshot_state` dict after a restart.
+
+        Monitors are matched by registration label; labels present in the
+        snapshot but not registered (or vice versa) are skipped.  Returns
+        the labels actually restored.
+        """
+        if snapshot.get("kind") != "supervisor":
+            raise ValueError(f"not a supervisor snapshot: {snapshot.get('kind')!r}")
+        self.checkpoints_completed = snapshot.get("checkpoints_completed", 0)
+        self.checkpoints_abandoned = snapshot.get("checkpoints_abandoned", 0)
+        restored: list[str] = []
+        saved = snapshot.get("monitors", {})
+        for entry in self.engine.entries:
+            record = saved.get(entry.label)
+            if record is None:
+                continue
+            breaker = entry.breaker
+            breaker.state = BreakerState(record["breaker_state"])
+            breaker.consecutive_failures = record["consecutive_failures"]
+            breaker.times_opened = record["times_opened"]
+            breaker.times_reclosed = record["times_reclosed"]
+            breaker.opened_at = record["opened_at"]
+            entry.checkpoints_run = record["checkpoints_run"]
+            entry.checkpoints_skipped = record["checkpoints_skipped"]
+            apply_sink_state(entry.history, record["sink"])
+            restored.append(entry.label)
+        return restored
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointSupervisor(completed={self.checkpoints_completed}, "
+            f"abandoned={self.checkpoints_abandoned}, "
+            f"retries={self.retries_performed}, stalls={self.stalls_detected})"
+        )
+
+
+def supervisor_process(
+    supervisor: CheckpointSupervisor,
+    *,
+    rounds: Optional[int] = None,
+    prelude: Optional[Callable[[], Iterator[Syscall]]] = None,
+) -> Iterator[Syscall]:
+    """Kernel process pacing a supervised engine.
+
+    A hardened drop-in for :func:`~repro.detection.engine.engine_process`:
+    every interval it runs one supervised checkpoint, retrying failed
+    attempts up to ``supervisor.retries`` times with exponential backoff
+    (``backoff``, ``2*backoff``, ``4*backoff``…, in virtual time) before
+    abandoning the round, then polls the stall watchdog.  ``prelude`` (used
+    by the chaos harness) is a generator factory spliced in before each
+    round's first attempt.
+    """
+    remaining = rounds
+    while remaining is None or remaining > 0:
+        yield Delay(supervisor.engine.config.interval)
+        if supervisor.engine.stopped:
+            return
+        if prelude is not None:
+            yield from prelude()
+        attempt = 0
+        while True:
+            completed, __ = supervisor.attempt()
+            if completed:
+                break
+            if attempt >= supervisor.retries:
+                supervisor.checkpoints_abandoned += 1
+                supervisor.events.append(
+                    SupervisorEvent(
+                        supervisor.engine.kernel.now(),
+                        "gave-up",
+                        f"abandoned after {attempt + 1} attempt(s)",
+                    )
+                )
+                break
+            delay = supervisor.backoff * (2**attempt)
+            attempt += 1
+            supervisor.retries_performed += 1
+            supervisor.events.append(
+                SupervisorEvent(
+                    supervisor.engine.kernel.now(),
+                    "retry",
+                    f"attempt {attempt} failed; backing off {delay:g}",
+                )
+            )
+            yield Delay(delay)
+        supervisor.check_stall()
+        if remaining is not None:
+            remaining -= 1

@@ -64,6 +64,26 @@ class BoundedHistory(EventSink):
         self._dropped_in_window = 0
         return dropped
 
+    # ------------------------------------------------------------- shedding
+
+    def force_drop(self, count: int) -> int:
+        """Evict up to ``count`` oldest events from the open window.
+
+        Load shedding under pressure (and the chaos harness's event-drop
+        bursts): the evictions are counted exactly like capacity evictions,
+        so the next ``cut`` reports an incomplete window and the detection
+        layer degrades instead of checking a silently truncated trace.
+        Returns the number of events actually evicted.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        evicted = min(count, len(self._buffer))
+        for __ in range(evicted):
+            self._buffer.popleft()
+        self._dropped_total += evicted
+        self._dropped_in_window += evicted
+        return evicted
+
     # ------------------------------------------------------------- inspection
 
     @property

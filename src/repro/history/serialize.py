@@ -25,6 +25,8 @@ __all__ = [
     "event_from_dict",
     "state_to_dict",
     "state_from_dict",
+    "sink_state_to_dict",
+    "apply_sink_state",
     "dump_trace",
     "load_trace",
 ]
@@ -113,6 +115,54 @@ def state_from_dict(record: dict) -> SchedulingState:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise HistoryError(f"malformed state record {record!r}: {exc}") from exc
+
+
+# ------------------------------------------------------------------- sinks
+
+
+def sink_state_to_dict(sink) -> dict:
+    """Snapshot an :class:`~repro.history.sink.EventSink`'s live state.
+
+    Captures everything a restarted checker needs to resume the sink's open
+    checking window: the base state of the window (the last checkpoint's
+    snapshot), the pending events, the sequence counter and the drop/total
+    accounting.  The checkpoint supervisor persists one of these per
+    registered monitor (see
+    :meth:`repro.detection.supervision.CheckpointSupervisor.snapshot_state`).
+    """
+    return {
+        "kind": "sink",
+        "seq": sink._seq,
+        "total_recorded": sink._total_recorded,
+        "last_state": (
+            None if sink.last_state is None else state_to_dict(sink.last_state)
+        ),
+        "pending": [event_to_dict(event) for event in sink.pending_events],
+        "dropped_events": sink.dropped_events,
+    }
+
+
+def apply_sink_state(sink, record: dict) -> None:
+    """Restore a :func:`sink_state_to_dict` snapshot into a (fresh) sink.
+
+    The sink's storage is rebuilt through its own ``_append`` hook, so a
+    bounded sink re-applies its capacity policy to the restored window.
+    Listeners are *not* invoked — restoration replays bookkeeping, not the
+    recording hot path.
+    """
+    if record.get("kind") != "sink":
+        raise HistoryError(f"not a sink record: {record!r}")
+    try:
+        sink._seq = record["seq"]
+        sink._total_recorded = record["total_recorded"]
+        last_state = record["last_state"]
+        sink._last_state = (
+            None if last_state is None else state_from_dict(last_state)
+        )
+        for raw in record["pending"]:
+            sink._append(event_from_dict(raw))
+    except (KeyError, TypeError) as exc:
+        raise HistoryError(f"malformed sink record: {exc}") from exc
 
 
 # ------------------------------------------------------------------- files

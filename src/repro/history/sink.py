@@ -200,6 +200,11 @@ class EventSink(abc.ABC):
         return self._last_state
 
     @property
+    def dropped_events(self) -> int:
+        """Total events this sink ever discarded (0 for unbounded sinks)."""
+        return 0
+
+    @property
     def total_recorded(self) -> int:
         """Events ever recorded (survives pruning; ablation metric)."""
         return self._total_recorded

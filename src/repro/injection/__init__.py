@@ -11,6 +11,11 @@ detected.  This package makes that experiment reproducible:
   (21 total): each builds a deterministic workload, injects exactly one
   fault, runs the detector, and scores whether any report implicates the
   injected fault class.
+* :mod:`repro.injection.chaos` — the inverse experiment: a *healthy*
+  workload with faults injected into the detection pipeline itself
+  (raising rule evaluators, transient checkpoint failures, delays,
+  event-drop bursts), asserting the supervised engine degrades instead of
+  crashing or false-positiving.
 """
 
 from repro.injection.campaigns import (
@@ -18,6 +23,15 @@ from repro.injection.campaigns import (
     CampaignOutcome,
     run_all_campaigns,
     run_campaign,
+)
+from repro.injection.chaos import (
+    ChaosCampaignResult,
+    ChaosConfig,
+    ChaosError,
+    ChaosInjector,
+    SabotagedCheck,
+    run_chaos_campaign,
+    sabotage_entry,
 )
 from repro.injection.hooks import TriggeredHooks
 
@@ -27,4 +41,11 @@ __all__ = [
     "CAMPAIGNS",
     "run_campaign",
     "run_all_campaigns",
+    "ChaosError",
+    "ChaosConfig",
+    "ChaosInjector",
+    "ChaosCampaignResult",
+    "SabotagedCheck",
+    "sabotage_entry",
+    "run_chaos_campaign",
 ]

@@ -1,0 +1,453 @@
+"""Chaos injection against the *detector's* environment (not the workload).
+
+The campaign machinery in :mod:`repro.injection.campaigns` injects faults
+into the monitored system and asserts the detector finds them.  This
+module inverts the direction: the workload is healthy, and the faults are
+injected into the detection pipeline itself —
+
+* **rule evaluators that raise** — one registered monitor's ``check()`` is
+  sabotaged to throw for its first N invocations, exercising the
+  per-monitor circuit breaker (CLOSED → OPEN → HALF_OPEN probe → CLOSED),
+* **transient checkpoint failures** — the engine's batched checkpoint
+  raises on a seeded subset of rounds (first attempt only), exercising the
+  supervisor's retry-with-backoff,
+* **delayed checkpoints** — seeded extra delays before a round's first
+  attempt, exercising the checkpoint pacing and stall watchdog,
+* **event-drop bursts** — seeded ``force_drop`` bursts against the fleet's
+  :class:`~repro.history.bounded.BoundedHistory` sinks, exercising
+  degraded-mode evaluation (incomplete windows must downgrade, never
+  false-positive).
+
+Everything is driven by one ``random.Random(seed)`` on the sim kernel, so
+a campaign is exactly reproducible: same seed, same injections, same
+counters.  :func:`run_chaos_campaign` is the acceptance harness — a
+campaign *passes* when the supervisor completes every round, nothing
+crashes the kernel, the healthy fleet stays CONFIRMED-clean, and the
+broken monitor's breaker both opens and re-closes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.apps.bounded_buffer import BoundedBuffer
+from repro.apps.resource_allocator import SingleResourceAllocator
+from repro.apps.shared_account import SharedAccount
+from repro.detection.config import DetectorConfig
+from repro.detection.engine import DetectionEngine, RegisteredMonitor
+from repro.detection.reports import Confidence, FaultReport
+from repro.detection.supervision import (
+    BreakerState,
+    CheckpointSupervisor,
+    supervisor_process,
+)
+from repro.errors import InjectionError
+from repro.history.bounded import BoundedHistory
+from repro.kernel.policies import RandomPolicy
+from repro.kernel.sim import SimKernel
+from repro.kernel.syscalls import Delay, Syscall
+
+__all__ = [
+    "ChaosError",
+    "ChaosConfig",
+    "SabotagedCheck",
+    "sabotage_entry",
+    "ChaosInjector",
+    "ChaosCampaignResult",
+    "run_chaos_campaign",
+]
+
+
+class ChaosError(InjectionError):
+    """The exception type every injected detector-environment fault raises."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Tunables of one chaos campaign (all draws from one seeded RNG)."""
+
+    seed: int = 0
+    #: Supervised checkpoint rounds to run.
+    rounds: int = 60
+    #: Checking interval of the supervised engine (virtual seconds).
+    interval: float = 0.25
+    #: Probability a round's first checkpoint attempt raises.
+    checkpoint_failure_rate: float = 0.2
+    #: Probability a round starts with an injected extra delay.
+    delay_rate: float = 0.25
+    #: Upper bound of an injected delay (virtual seconds).
+    max_delay: float = 0.3
+    #: Probability a round opens with an event-drop burst.
+    drop_burst_rate: float = 0.25
+    #: Events force-dropped from every bounded sink per burst.
+    burst_size: int = 6
+    #: How many times the sabotaged monitor's check raises before healing.
+    evaluator_failures: int = 3
+    #: Breaker tuning for the fleet (kept tight so the lifecycle completes
+    #: well inside the campaign).
+    breaker_failure_threshold: int = 2
+    breaker_cooldown: float = 0.6
+
+    def __post_init__(self) -> None:
+        for name in (
+            "rounds", "burst_size", "evaluator_failures",
+            "breaker_failure_threshold",
+        ):
+            if getattr(self, name) < 1:
+                raise InjectionError(
+                    f"{name} must be >= 1, got {getattr(self, name)!r}"
+                )
+        for name in ("interval", "breaker_cooldown"):
+            if getattr(self, name) <= 0.0:
+                raise InjectionError(
+                    f"{name} must be > 0, got {getattr(self, name)!r}"
+                )
+        if self.max_delay < 0.0:
+            raise InjectionError(
+                f"max_delay must be >= 0, got {self.max_delay!r}"
+            )
+        for name in ("checkpoint_failure_rate", "delay_rate", "drop_burst_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise InjectionError(
+                    f"{name} must be within [0, 1], got {value!r}"
+                )
+
+
+class SabotagedCheck:
+    """Wraps one registered monitor's ``check`` to raise N times, then heal.
+
+    Installed with :func:`sabotage_entry`; deterministic by construction
+    (the first ``failures`` invocations raise :class:`ChaosError`, every
+    later one delegates to the original check).  Because a quarantined
+    monitor is *skipped*, invocations only burn down while the breaker
+    actually lets the check run — which is exactly what makes the
+    OPEN → HALF_OPEN probe → OPEN → … → CLOSED lifecycle observable.
+    """
+
+    def __init__(self, entry: RegisteredMonitor, failures: int) -> None:
+        if failures < 1:
+            raise InjectionError(f"failures must be >= 1, got {failures}")
+        self._inner = entry.check
+        self.entry = entry
+        self.remaining = failures
+        self.raised = 0
+        entry.check = self  # type: ignore[method-assign]
+
+    def __call__(self) -> list[FaultReport]:
+        if self.remaining > 0:
+            self.remaining -= 1
+            self.raised += 1
+            raise ChaosError(
+                f"injected rule-evaluator failure in {self.entry.label!r} "
+                f"({self.remaining} left)"
+            )
+        return self._inner()
+
+    @property
+    def healed(self) -> bool:
+        return self.remaining == 0
+
+
+def sabotage_entry(entry: RegisteredMonitor, *, failures: int = 3) -> SabotagedCheck:
+    """Make ``entry``'s next ``failures`` checks raise; returns the wrapper."""
+    return SabotagedCheck(entry, failures)
+
+
+class ChaosInjector:
+    """Seeded source of detector-environment faults for one campaign.
+
+    ``arm`` wraps the engine's checkpoint so a round marked unlucky fails
+    its *first* attempt (the supervisor's retry then succeeds — transient,
+    as advertised).  ``round_prelude`` is spliced into
+    :func:`~repro.detection.supervision.supervisor_process` before each
+    round and performs the delay / drop-burst draws.
+    """
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.failures_injected = 0
+        self.delays_injected = 0
+        self.delay_seconds_injected = 0.0
+        self.bursts_injected = 0
+        self.events_dropped = 0
+        self._engine: Optional[DetectionEngine] = None
+        self._sinks: tuple[BoundedHistory, ...] = ()
+        self._fail_next_attempt = False
+
+    def arm(
+        self,
+        engine: DetectionEngine,
+        sinks: tuple[BoundedHistory, ...],
+    ) -> None:
+        """Attach to the engine and the fleet's bounded sinks."""
+        self._engine = engine
+        self._sinks = sinks
+        inner = engine.checkpoint
+
+        def flaky_checkpoint() -> list[FaultReport]:
+            if self._fail_next_attempt:
+                self._fail_next_attempt = False
+                self.failures_injected += 1
+                raise ChaosError("injected transient checkpoint failure")
+            return inner()
+
+        engine.checkpoint = flaky_checkpoint  # type: ignore[method-assign]
+
+    def round_prelude(self) -> Iterator[Syscall]:
+        """One round's worth of injections (generator, spliced before the
+        round's first checkpoint attempt)."""
+        if self._engine is None:
+            raise InjectionError("round_prelude() before arm()")
+        config = self.config
+        if self.rng.random() < config.delay_rate:
+            delay = self.rng.uniform(config.max_delay / 2, config.max_delay)
+            self.delays_injected += 1
+            self.delay_seconds_injected += delay
+            yield Delay(delay)
+        if self.rng.random() < config.drop_burst_rate:
+            self.bursts_injected += 1
+            for sink in self._sinks:
+                self.events_dropped += sink.force_drop(config.burst_size)
+        self._fail_next_attempt = (
+            self.rng.random() < config.checkpoint_failure_rate
+        )
+
+
+@dataclass(frozen=True)
+class ChaosCampaignResult:
+    """Everything :func:`run_chaos_campaign` observed, plus the verdict."""
+
+    config: ChaosConfig
+    #: Supervised rounds that completed a checkpoint (retries included).
+    checkpoints_completed: int
+    #: Rounds abandoned after exhausting retries (must be 0 to pass).
+    checkpoints_abandoned: int
+    retries_performed: int
+    stalls_detected: int
+    #: Injection tallies — the campaign must actually have injected things.
+    failures_injected: int
+    delays_injected: int
+    bursts_injected: int
+    events_dropped: int
+    evaluator_failures_raised: int
+    #: Detection outcome on the (fault-free) workload.
+    confirmed_reports: int
+    degraded_reports: int
+    degraded_windows: int
+    #: Breaker lifecycle of the sabotaged monitor.
+    breaker_opened: int
+    breaker_reclosed: int
+    breaker_final_state: BreakerState
+    broken_checkpoints_run: int
+    broken_checkpoints_skipped: int
+    #: Checkpoints run by each healthy monitor (fleet keeps checking).
+    healthy_checkpoints: tuple[int, ...]
+    #: Exceptions that escaped to the kernel (must be empty to pass).
+    kernel_failures: tuple[str, ...]
+    end_time: float
+
+    @property
+    def passed(self) -> bool:
+        """The acceptance predicate, in one place (see module docstring)."""
+        return (
+            not self.kernel_failures
+            and self.checkpoints_abandoned == 0
+            and self.checkpoints_completed >= self.config.rounds
+            and self.confirmed_reports == 0
+            and self.breaker_opened >= 1
+            and self.breaker_reclosed >= 1
+            and self.breaker_final_state is BreakerState.CLOSED
+            and all(
+                count == self.checkpoints_completed
+                for count in self.healthy_checkpoints
+            )
+            and self.failures_injected > 0
+            and self.delays_injected > 0
+            and self.events_dropped > 0
+        )
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return "\n".join(
+            [
+                f"chaos campaign (seed={self.config.seed}, "
+                f"rounds={self.config.rounds}): {verdict}",
+                f"  checkpoints: {self.checkpoints_completed} completed, "
+                f"{self.checkpoints_abandoned} abandoned, "
+                f"{self.retries_performed} retries, "
+                f"{self.stalls_detected} stalls flagged",
+                f"  injected: {self.failures_injected} checkpoint failures, "
+                f"{self.delays_injected} delays, {self.bursts_injected} "
+                f"drop bursts ({self.events_dropped} events), "
+                f"{self.evaluator_failures_raised} evaluator exceptions",
+                f"  reports: {self.confirmed_reports} confirmed / "
+                f"{self.degraded_reports} degraded "
+                f"({self.degraded_windows} degraded windows)",
+                f"  quarantine: opened x{self.breaker_opened}, re-closed "
+                f"x{self.breaker_reclosed}, final "
+                f"{self.breaker_final_state.value}; broken monitor checked "
+                f"{self.broken_checkpoints_run}, skipped "
+                f"{self.broken_checkpoints_skipped}",
+                f"  healthy fleet checkpoints: "
+                f"{list(self.healthy_checkpoints)}",
+            ]
+        )
+
+
+def _fleet_workload(
+    kernel: SimKernel,
+    buffer: BoundedBuffer,
+    allocator: SingleResourceAllocator,
+    account: SharedAccount,
+    broken: SingleResourceAllocator,
+    *,
+    operations: int,
+) -> None:
+    """Spawn a healthy, long-running workload over all four monitors."""
+
+    def producer() -> Iterator[Syscall]:
+        for item in range(operations):
+            yield Delay(0.11)
+            yield from buffer.send(item)
+
+    def consumer() -> Iterator[Syscall]:
+        for __ in range(operations):
+            yield Delay(0.12)
+            yield from buffer.receive()
+
+    def alloc_user(index: int, target: SingleResourceAllocator) -> Iterator[Syscall]:
+        for __ in range(operations):
+            yield Delay(0.13 + 0.04 * index)
+            yield from target.request()
+            yield Delay(0.05)
+            yield from target.release()
+
+    def banker() -> Iterator[Syscall]:
+        for __ in range(operations):
+            yield Delay(0.17)
+            yield from account.deposit(3)
+
+    kernel.spawn(producer(), "producer")
+    kernel.spawn(consumer(), "consumer")
+    for index in range(2):
+        kernel.spawn(alloc_user(index, allocator), f"alloc-user-{index}")
+    kernel.spawn(alloc_user(2, broken), "broken-user")
+    kernel.spawn(banker(), "banker")
+
+
+def run_chaos_campaign(
+    config: Optional[ChaosConfig] = None, **overrides
+) -> ChaosCampaignResult:
+    """Run one seeded chaos campaign on the sim kernel.
+
+    Builds a four-monitor fleet (buffer, allocator, account — all healthy —
+    plus one allocator whose *checker* is sabotaged), supervises the shared
+    engine through :func:`supervisor_process`, injects the full chaos menu,
+    and returns the deterministic :class:`ChaosCampaignResult`.
+
+    ``overrides`` are :class:`ChaosConfig` fields for ad-hoc runs:
+    ``run_chaos_campaign(seed=7, rounds=80)``.
+    """
+    if config is None:
+        config = ChaosConfig(**overrides)
+    elif overrides:
+        raise InjectionError("pass either a ChaosConfig or field overrides")
+
+    kernel = SimKernel(RandomPolicy(seed=config.seed), on_deadlock="stop")
+    buffer = BoundedBuffer(
+        kernel, capacity=3, history=BoundedHistory(capacity=96)
+    )
+    allocator = SingleResourceAllocator(
+        kernel, history=BoundedHistory(capacity=96), name="allocator"
+    )
+    account = SharedAccount(
+        kernel, 100, history=BoundedHistory(capacity=96)
+    )
+    broken = SingleResourceAllocator(
+        kernel, history=BoundedHistory(capacity=96), name="broken"
+    )
+
+    detector_config = DetectorConfig(
+        interval=config.interval,
+        # Generous behavioural bounds: the workload is healthy, and the
+        # campaign's claim is "no false positives", not timeout coverage.
+        tmax=60.0,
+        tio=60.0,
+        tlimit=60.0,
+        checkpoint_retries=3,
+        retry_backoff=0.02,
+        stall_timeout=8.0 * config.interval,
+        breaker_failure_threshold=config.breaker_failure_threshold,
+        breaker_cooldown=config.breaker_cooldown,
+    )
+    engine = DetectionEngine(kernel, detector_config)
+    healthy_entries = [
+        engine.register(target) for target in (buffer, allocator, account)
+    ]
+    broken_entry = engine.register(broken)
+    saboteur = sabotage_entry(
+        broken_entry, failures=config.evaluator_failures
+    )
+
+    injector = ChaosInjector(config)
+    sinks = tuple(
+        entry.history
+        for entry in (*healthy_entries, broken_entry)
+        if isinstance(entry.history, BoundedHistory)
+    )
+    injector.arm(engine, sinks)
+
+    supervisor = CheckpointSupervisor(engine)
+    _fleet_workload(
+        kernel,
+        buffer,
+        allocator,
+        account,
+        broken,
+        # Keep the workload busy for the whole campaign horizon.
+        operations=max(20, config.rounds),
+    )
+    kernel.spawn(
+        supervisor_process(
+            supervisor, rounds=config.rounds, prelude=injector.round_prelude
+        ),
+        "chaos-supervisor",
+    )
+
+    horizon = config.rounds * (config.interval + config.max_delay) + 30.0
+    result = kernel.run(until=horizon, max_steps=50_000_000)
+
+    by_confidence = engine.reports_by_confidence()
+    breaker = broken_entry.breaker
+    return ChaosCampaignResult(
+        config=config,
+        checkpoints_completed=supervisor.checkpoints_completed,
+        checkpoints_abandoned=supervisor.checkpoints_abandoned,
+        retries_performed=supervisor.retries_performed,
+        stalls_detected=supervisor.stalls_detected,
+        failures_injected=injector.failures_injected,
+        delays_injected=injector.delays_injected,
+        bursts_injected=injector.bursts_injected,
+        events_dropped=injector.events_dropped,
+        evaluator_failures_raised=saboteur.raised,
+        confirmed_reports=len(by_confidence[Confidence.CONFIRMED]),
+        degraded_reports=len(by_confidence[Confidence.DEGRADED]),
+        degraded_windows=engine.degraded_windows,
+        breaker_opened=breaker.times_opened,
+        breaker_reclosed=breaker.times_reclosed,
+        breaker_final_state=breaker.state,
+        broken_checkpoints_run=broken_entry.checkpoints_run,
+        broken_checkpoints_skipped=broken_entry.checkpoints_skipped,
+        healthy_checkpoints=tuple(
+            entry.checkpoints_run for entry in healthy_entries
+        ),
+        kernel_failures=tuple(
+            f"{type(exc).__name__}: {exc}"
+            for exc in kernel.failures().values()
+        ),
+        end_time=result.end_time,
+    )

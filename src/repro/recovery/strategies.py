@@ -8,7 +8,11 @@ offered to an ordered list of strategies; the first one that applies
 performs its action on the monitor.
 
 Shipped strategies (deliberately conservative — recovery must never make a
-healthy monitor worse):
+healthy monitor worse).  The *destructive* strategies additionally require
+:attr:`~repro.detection.reports.Confidence.CONFIRMED` reports: a finding
+downgraded to DEGRADED came out of a lossy checkpoint window and may be an
+artefact of the dropped events, so it can raise an alarm but must never
+expel a process or reset queues.
 
 * :class:`AlarmStrategy` — applies to everything; records an alarm and
   optionally calls a user callback.  The paper's minimum viable recovery.
@@ -27,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
 from repro.detection.detector import FaultDetector
-from repro.detection.reports import FaultReport
+from repro.detection.reports import Confidence, FaultReport
 from repro.detection.rules import STRule
 from repro.monitor.construct import Monitor
 
@@ -100,7 +104,11 @@ class ExpelStrategy(RecoveryStrategy):
     """
 
     def applies_to(self, report: FaultReport) -> bool:
-        return report.rule is STRule.TMAX_EXCEEDED and bool(report.pids)
+        return (
+            report.rule is STRule.TMAX_EXCEEDED
+            and bool(report.pids)
+            and report.confidence is Confidence.CONFIRMED
+        )
 
     def apply(self, monitor: Monitor, report: FaultReport) -> RecoveryRecord:
         expelled = []
@@ -132,7 +140,10 @@ class ResetQueuesStrategy(RecoveryStrategy):
     """
 
     def applies_to(self, report: FaultReport) -> bool:
-        return report.rule is STRule.RUNNING_MATCHES
+        return (
+            report.rule is STRule.RUNNING_MATCHES
+            and report.confidence is Confidence.CONFIRMED
+        )
 
     def apply(self, monitor: Monitor, report: FaultReport) -> RecoveryRecord:
         from repro.errors import UnknownProcessError

@@ -266,3 +266,74 @@ class TestConfigValidation:
 
     def test_defaults_are_valid(self):
         DetectorConfig()
+
+
+class TestEdgeCases:
+    """Degenerate lifecycles must not raise and must keep counters stable."""
+
+    @pytest.fixture
+    def kernel(self):
+        return make_kernel()
+
+    def test_checkpoint_with_zero_monitors(self, kernel):
+        engine = DetectionEngine(kernel, DetectorConfig(interval=1.0))
+        for __ in range(3):
+            assert engine.checkpoint() == []
+        assert engine.checkpoints_run == 3
+        assert engine.atomic_sections == 3
+        assert engine.reports == []
+        assert engine.clean
+
+    def test_unregister_between_checkpoints(self, kernel):
+        monitors = build_monitors(kernel)
+        buffer, allocator, __ = monitors
+        engine = DetectionEngine(kernel, DetectorConfig(interval=1.0))
+        for monitor in monitors:
+            engine.register(monitor)
+        spawn_mixed_workload(kernel, monitors)
+
+        kernel.run(until=0.5)
+        engine.checkpoint()
+        engine.unregister(allocator)
+        assert allocator.history.listener_count == 0
+        assert len(engine.entries) == 2
+
+        kernel.run(until=1.0)
+        engine.checkpoint()
+        kernel.run(until=2.5)
+        engine.checkpoint()
+        kernel.raise_failures()
+
+        assert engine.checkpoints_run == 3
+        assert engine.atomic_sections == 3
+        # Survivors kept checking after the fleet shrank.
+        assert engine.entry_for(buffer).checkpoints_run == 3
+
+    def test_unregister_unknown_monitor_raises(self, kernel):
+        monitors = build_monitors(kernel)
+        engine = DetectionEngine(kernel, DetectorConfig(interval=1.0))
+        engine.register(monitors[0])
+        with pytest.raises(ValueError):
+            engine.unregister(monitors[1])
+
+    def test_double_stop_is_idempotent(self, kernel):
+        monitors = build_monitors(kernel)
+        engine = DetectionEngine(kernel, DetectorConfig(interval=1.0))
+        for monitor in monitors:
+            engine.register(monitor)
+        engine.checkpoint()
+        engine.stop()
+        engine.stop()  # second stop: no exception, no double-detach blowup
+        assert engine.stopped
+        for monitor in monitors:
+            assert monitor.history.listener_count == 0
+        assert engine.checkpoints_run == 1
+        assert engine.atomic_sections == 1
+
+    def test_checkpoint_after_stop_still_counts(self, kernel):
+        """A manual checkpoint on a stopped engine stays well-defined."""
+        engine = DetectionEngine(kernel, DetectorConfig(interval=1.0))
+        engine.register(build_monitors(kernel)[0])
+        engine.stop()
+        assert engine.checkpoint() == []
+        assert engine.checkpoints_run == 1

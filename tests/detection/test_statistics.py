@@ -72,3 +72,56 @@ class TestFromDetectors:
         assert "by implicated fault class" in text
         assert "buffer" in text
         assert "ST-3a" in text
+
+
+class TestConfidenceSplit:
+    def degraded_report(self, rule, **kwargs):
+        import dataclasses
+
+        from repro.detection import Confidence
+
+        return dataclasses.replace(
+            report(rule, **kwargs), confidence=Confidence.DEGRADED
+        )
+
+    def test_by_confidence_counter(self):
+        from repro.detection import Confidence
+
+        stats = FaultStatistics()
+        stats.record(report(STRule.ONE_INSIDE))
+        stats.record(report(STRule.TIO_EXCEEDED))
+        stats.record(self.degraded_report(STRule.TMAX_EXCEEDED))
+        assert stats.by_confidence[Confidence.CONFIRMED] == 2
+        assert stats.by_confidence[Confidence.DEGRADED] == 1
+
+    def test_per_fault_class_split(self):
+        stats = FaultStatistics()
+        stats.record(report(STRule.TMAX_EXCEEDED))
+        stats.record(self.degraded_report(STRule.TMAX_EXCEEDED))
+        stats.record(self.degraded_report(STRule.TMAX_EXCEEDED))
+        assert stats.confirmed(FaultClass.TERMINATED_INSIDE) == 1
+        assert stats.degraded(FaultClass.TERMINATED_INSIDE) == 2
+        # A class never reported splits to zero on both sides.
+        assert stats.confirmed(FaultClass.RELEASE_BEFORE_REQUEST) == 0
+        assert stats.degraded(FaultClass.RELEASE_BEFORE_REQUEST) == 0
+
+    def test_render_header_shows_split(self):
+        stats = FaultStatistics()
+        stats.record(report(STRule.ONE_INSIDE))
+        stats.record(self.degraded_report(STRule.TMAX_EXCEEDED))
+        rendered = stats.render()
+        assert "(1 confirmed, 1 degraded)" in rendered
+        assert "confirmed" in rendered.splitlines()[2] or "confirmed" in rendered
+
+    def test_render_table_has_confidence_columns(self):
+        stats = FaultStatistics()
+        stats.record(report(STRule.TMAX_EXCEEDED))
+        stats.record(self.degraded_report(STRule.TMAX_EXCEEDED))
+        rendered = stats.render()
+        header_line = next(
+            line
+            for line in rendered.splitlines()
+            if "fault class" in line and "level" in line
+        )
+        assert "confirmed" in header_line
+        assert "degraded" in header_line

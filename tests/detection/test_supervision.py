@@ -1,0 +1,427 @@
+"""CheckpointSupervisor, CircuitBreaker quarantine, degraded-mode checking,
+supervisor snapshot/restore, and the supervision config fields."""
+
+import pytest
+
+from repro.apps import BoundedBuffer, SingleResourceAllocator
+from repro.detection import (
+    BreakerState,
+    CheckpointSupervisor,
+    CircuitBreaker,
+    Confidence,
+    DetectionEngine,
+    DetectorConfig,
+    DROP_TOLERANT,
+    STRule,
+    is_drop_tolerant,
+    supervisor_process,
+)
+from repro.history import BoundedHistory, HistoryDatabase
+from repro.injection import sabotage_entry
+from repro.kernel import Delay, RandomPolicy, SimKernel
+
+
+def make_kernel(seed=0):
+    return SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
+
+
+def spawn_buffer_load(kernel, buffer, items=10, *, pace=0.1):
+    def producer():
+        for item in range(items):
+            yield Delay(pace)
+            yield from buffer.send(item)
+
+    def consumer():
+        for __ in range(items):
+            yield Delay(pace)
+            yield from buffer.receive()
+
+    kernel.spawn(producer(), "producer")
+    kernel.spawn(consumer(), "consumer")
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold_and_not_before(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=5.0)
+        breaker.record_failure(1.0, "boom")
+        breaker.record_failure(2.0, "boom")
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(3.0, "boom")
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.quarantined
+        assert breaker.times_opened == 1
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=5.0)
+        breaker.record_failure(1.0, "boom")
+        breaker.record_success(2.0)
+        breaker.record_failure(3.0, "boom")
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_denies_during_cooldown_then_probes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2.0)
+        breaker.record_failure(1.0, "boom")
+        assert not breaker.allow(2.0)
+        assert not breaker.allow(2.9)
+        assert breaker.allow(3.0)  # cooldown over: HALF_OPEN probe
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_failed_probe_reopens_successful_probe_recloses(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2.0)
+        breaker.record_failure(0.0, "boom")
+        assert breaker.allow(2.0)
+        breaker.record_failure(2.0, "still broken")
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 2
+        assert breaker.allow(4.0)
+        breaker.record_success(4.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.times_reclosed == 1
+        assert not breaker.quarantined
+
+    def test_transitions_audit_trail(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0)
+        breaker.record_failure(1.0, "boom")
+        breaker.allow(2.0)
+        breaker.record_success(2.0)
+        assert [state for __, state in breaker.transitions] == [
+            BreakerState.OPEN,
+            BreakerState.HALF_OPEN,
+            BreakerState.CLOSED,
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0.0)
+
+
+class TestQuarantineInEngine:
+    def build(self, *, failures=2, threshold=2, cooldown=1.0):
+        kernel = make_kernel()
+        buffer = BoundedBuffer(kernel, capacity=3, history=HistoryDatabase())
+        broken = SingleResourceAllocator(
+            kernel, history=HistoryDatabase(), name="broken"
+        )
+        config = DetectorConfig(
+            interval=0.5,
+            tmax=60.0,
+            tio=60.0,
+            tlimit=60.0,
+            breaker_failure_threshold=threshold,
+            breaker_cooldown=cooldown,
+        )
+        engine = DetectionEngine(kernel, config)
+        healthy = engine.register(buffer)
+        entry = engine.register(broken)
+        sabotage_entry(entry, failures=failures)
+        spawn_buffer_load(kernel, buffer)
+        return kernel, engine, healthy, entry
+
+    def test_broken_monitor_quarantined_fleet_keeps_checking(self):
+        kernel, engine, healthy, entry = self.build()
+        supervisor = CheckpointSupervisor(engine)
+        kernel.spawn(supervisor_process(supervisor, rounds=12), "supervisor")
+        kernel.run(until=30)
+        kernel.raise_failures()
+        # Checkpoints keep completing even while one checker raises.
+        assert supervisor.checkpoints_completed == 12
+        assert supervisor.checkpoints_abandoned == 0
+        assert healthy.checkpoints_run == 12
+        # The broken entry opened, was skipped, probed, and re-closed.
+        assert entry.breaker.times_opened >= 1
+        assert entry.breaker.times_reclosed >= 1
+        assert entry.breaker.state is BreakerState.CLOSED
+        assert entry.checkpoints_skipped >= 1
+        assert entry.checkpoints_run < 12
+        assert engine.check_failures == 2
+
+    def test_failing_probe_extends_quarantine(self):
+        # 3 evaluator failures with threshold 2: open, failed probe
+        # re-opens, second probe heals.
+        kernel, engine, __, entry = self.build(failures=3)
+        supervisor = CheckpointSupervisor(engine)
+        kernel.spawn(supervisor_process(supervisor, rounds=14), "supervisor")
+        kernel.run(until=30)
+        kernel.raise_failures()
+        assert entry.breaker.times_opened == 2
+        assert entry.breaker.times_reclosed == 1
+        assert entry.breaker.state is BreakerState.CLOSED
+
+    def test_quarantine_report_lists_lifecycle(self):
+        kernel, engine, __, entry = self.build()
+        supervisor = CheckpointSupervisor(engine)
+        kernel.spawn(supervisor_process(supervisor, rounds=10), "supervisor")
+        kernel.run(until=30)
+        records = engine.quarantine_report()
+        assert [record.label for record in records] == [entry.label]
+        rendered = records[0].render()
+        assert "opened x" in rendered and entry.label in rendered
+        assert repr(engine).count("quarantined=0")  # back to closed
+
+    def test_engine_never_raises_out_of_checkpoint(self):
+        kernel, engine, __, ___ = self.build(failures=50, cooldown=100.0)
+        supervisor = CheckpointSupervisor(engine)
+        kernel.spawn(supervisor_process(supervisor, rounds=10), "supervisor")
+        kernel.run(until=30)
+        kernel.raise_failures()  # nothing escaped to the kernel
+        assert supervisor.checkpoints_completed == 10
+
+
+class TestSupervisorRetries:
+    def build_flaky(self, failing_attempts):
+        """Engine whose checkpoint fails for the first N attempts."""
+        kernel = make_kernel()
+        buffer = BoundedBuffer(kernel, capacity=3, history=HistoryDatabase())
+        config = DetectorConfig(
+            interval=0.5, tmax=60.0, tio=60.0, tlimit=60.0,
+            checkpoint_retries=2, retry_backoff=0.05,
+        )
+        engine = DetectionEngine(kernel, config)
+        engine.register(buffer)
+        inner = engine.checkpoint
+        state = {"left": failing_attempts}
+
+        def flaky():
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise RuntimeError("transient checkpoint failure")
+            return inner()
+
+        engine.checkpoint = flaky
+        spawn_buffer_load(kernel, buffer)
+        return kernel, engine
+
+    def test_transient_failure_retried_with_backoff(self):
+        kernel, engine = self.build_flaky(failing_attempts=1)
+        supervisor = CheckpointSupervisor(engine)
+        kernel.spawn(supervisor_process(supervisor, rounds=4), "supervisor")
+        kernel.run(until=20)
+        kernel.raise_failures()
+        assert supervisor.checkpoints_completed == 4
+        assert supervisor.checkpoints_abandoned == 0
+        assert supervisor.retries_performed == 1
+        kinds = [event.kind for event in supervisor.events]
+        assert "failure" in kinds and "retry" in kinds
+
+    def test_round_abandoned_after_exhausting_retries(self):
+        # retries=2 -> 3 attempts per round; 3 consecutive failures burn
+        # exactly one round, the next round completes.
+        kernel, engine = self.build_flaky(failing_attempts=3)
+        supervisor = CheckpointSupervisor(engine)
+        kernel.spawn(supervisor_process(supervisor, rounds=3), "supervisor")
+        kernel.run(until=20)
+        kernel.raise_failures()
+        assert supervisor.checkpoints_abandoned == 1
+        assert supervisor.checkpoints_completed == 2
+        assert any(event.kind == "gave-up" for event in supervisor.events)
+
+    def test_attempt_never_raises(self):
+        kernel, engine = self.build_flaky(failing_attempts=1)
+        supervisor = CheckpointSupervisor(engine)
+        completed, reports = supervisor.attempt()
+        assert (completed, reports) == (False, [])
+        completed, reports = supervisor.attempt()
+        assert completed is True
+
+
+class TestStallWatchdog:
+    def test_stall_flagged_once_per_episode_and_rearmed(self):
+        kernel = make_kernel()
+        buffer = BoundedBuffer(kernel, capacity=3, history=HistoryDatabase())
+        config = DetectorConfig(interval=0.5, stall_timeout=2.0)
+        engine = DetectionEngine(kernel, config)
+        engine.register(buffer)
+        supervisor = CheckpointSupervisor(engine)
+
+        def idle():
+            yield Delay(10.0)
+
+        kernel.spawn(idle(), "idle")
+        kernel.run(until=0.1)
+        assert supervisor.check_stall() is False
+        kernel.run(until=5.0)
+        # Past the timeout with no completed checkpoint: flagged once.
+        assert supervisor.check_stall() is True
+        assert supervisor.check_stall() is True
+        assert supervisor.stalls_detected == 1
+        assert supervisor.stalled
+        # A completed checkpoint re-arms the watchdog.
+        completed, __ = supervisor.attempt()
+        assert completed
+        assert not supervisor.stalled
+        assert supervisor.check_stall() is False
+
+    def test_disabled_without_timeout(self):
+        kernel = make_kernel()
+        buffer = BoundedBuffer(kernel, capacity=3, history=HistoryDatabase())
+        engine = DetectionEngine(kernel, DetectorConfig(interval=0.5))
+        engine.register(buffer)
+        supervisor = CheckpointSupervisor(engine)
+        assert supervisor.stall_timeout is None
+        assert supervisor.check_stall() is False
+
+
+class TestDegradedMode:
+    def build(self, capacity=4):
+        kernel = make_kernel()
+        buffer = BoundedBuffer(
+            kernel, capacity=3, history=BoundedHistory(capacity=capacity)
+        )
+        config = DetectorConfig(interval=2.0, tmax=60.0, tio=60.0, tlimit=60.0)
+        engine = DetectionEngine(kernel, config)
+        entry = engine.register(buffer)
+        spawn_buffer_load(kernel, buffer, items=12, pace=0.05)
+        return kernel, engine, entry
+
+    def test_lossy_window_yields_no_confirmed_reports(self):
+        kernel, engine, entry = self.build()
+        kernel.run(until=2.0)
+        reports = engine.checkpoint()
+        assert entry.dropped_in_windows > 0
+        assert entry.degraded_windows >= 1
+        assert all(r.confidence is Confidence.DEGRADED for r in reports)
+        assert all(is_drop_tolerant(r.rule) for r in engine.reports)
+        assert engine.confirmed_clean
+
+    def test_complete_window_stays_confirmed(self):
+        kernel, engine, entry = self.build(capacity=4096)
+        kernel.run(until=2.0)
+        engine.checkpoint()
+        assert entry.degraded_windows == 0
+        assert all(
+            r.confidence is Confidence.CONFIRMED for r in engine.reports
+        )
+
+    def test_later_complete_windows_confirmed_again(self):
+        # After a lossy window, Algorithm-2 re-bases its cumulative
+        # counters: the quiet tail of the run must not report ST-7a.
+        kernel, engine, entry = self.build()
+        kernel.run(until=2.0)
+        engine.checkpoint()
+        assert entry.degraded_windows >= 1
+        assert entry.algorithm2 is not None
+        assert entry.algorithm2.resyncs >= 1
+        kernel.run(until=10.0)  # workload drains; windows shrink
+        engine.checkpoint()
+        engine.checkpoint()
+        assert engine.confirmed_clean
+
+    def test_drop_tolerant_set_is_the_timer_and_snapshot_rules(self):
+        assert DROP_TOLERANT == frozenset(
+            {
+                STRule.TMAX_EXCEEDED,
+                STRule.TIO_EXCEEDED,
+                STRule.REQUEST_NOT_RELEASED,
+                STRule.WAIT_FOR_CYCLE,
+            }
+        )
+
+    def test_degraded_tmax_still_reported(self):
+        # A process wedged inside the monitor is witnessed by the timer
+        # sweep even on a lossy window — downgraded, not dropped.
+        kernel = make_kernel()
+        buffer = BoundedBuffer(
+            kernel, capacity=3, history=BoundedHistory(capacity=2)
+        )
+        config = DetectorConfig(interval=1.0, tmax=0.5, tio=60.0, tlimit=60.0)
+        engine = DetectionEngine(kernel, config)
+        entry = engine.register(buffer)
+
+        def wedged():
+            yield from buffer.monitor.enter("Send")
+            yield Delay(30.0)  # never exits
+
+        def knocker(index):
+            # Each produces an Enter event against the held monitor, so
+            # the capacity-2 window drops events and goes degraded.
+            yield Delay(0.2 * (index + 1))
+            yield from buffer.monitor.enter("Receive")
+
+        kernel.spawn(wedged(), "wedged")
+        for index in range(6):
+            kernel.spawn(knocker(index), f"knocker-{index}")
+        kernel.run(until=2.0)
+        reports = engine.checkpoint()
+        assert entry.degraded_windows == 1
+        tmax_reports = [
+            r for r in reports if r.rule is STRule.TMAX_EXCEEDED
+        ]
+        assert tmax_reports
+        assert all(r.confidence is Confidence.DEGRADED for r in tmax_reports)
+        assert all(r.degraded for r in tmax_reports)
+        assert "(degraded)" in tmax_reports[0].render()
+
+
+class TestSnapshotRestore:
+    def build(self):
+        kernel = make_kernel()
+        buffer = BoundedBuffer(
+            kernel, capacity=3, history=BoundedHistory(capacity=64)
+        )
+        config = DetectorConfig(interval=0.5, tmax=60.0, tio=60.0, tlimit=60.0)
+        engine = DetectionEngine(kernel, config)
+        entry = engine.register(buffer)
+        return kernel, buffer, engine, entry
+
+    def test_roundtrip_resumes_windows(self):
+        import json
+
+        kernel, buffer, engine, entry = self.build()
+        spawn_buffer_load(kernel, buffer, items=6, pace=0.1)
+        supervisor = CheckpointSupervisor(engine)
+        kernel.spawn(supervisor_process(supervisor, rounds=2), "supervisor")
+        kernel.run(until=1.2)
+        entry.breaker.record_failure(kernel.now(), "simulated")
+        snapshot = json.loads(json.dumps(supervisor.snapshot_state()))
+
+        # A "restarted" supervisor on a fresh engine over the same sinks.
+        engine2 = DetectionEngine(kernel, engine.config)
+        entry2 = engine2.register(buffer)
+        supervisor2 = CheckpointSupervisor(engine2)
+        restored = supervisor2.restore_state(snapshot)
+        assert restored == [entry2.label]
+        assert supervisor2.checkpoints_completed == 2
+        assert entry2.checkpoints_run == entry.checkpoints_run
+        assert (
+            entry2.breaker.consecutive_failures
+            == entry.breaker.consecutive_failures
+        )
+        # The restored engine keeps checking from the snapshot base.
+        kernel.run(until=3.0)
+        engine2.checkpoint()
+        assert engine2.confirmed_clean
+
+    def test_rejects_foreign_snapshot(self):
+        __, ___, engine, ____ = self.build()
+        supervisor = CheckpointSupervisor(engine)
+        with pytest.raises(ValueError):
+            supervisor.restore_state({"kind": "sink"})
+
+
+class TestSupervisionConfig:
+    def test_defaults_off(self):
+        config = DetectorConfig()
+        assert config.checkpoint_budget is None
+        assert config.stall_timeout is None
+        assert config.monitor_check_budget is None
+        assert config.checkpoint_retries == 2
+        assert config.breaker_failure_threshold == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"checkpoint_budget": 0.0},
+            {"checkpoint_budget": -1.0},
+            {"checkpoint_retries": -1},
+            {"retry_backoff": 0.0},
+            {"stall_timeout": -2.0},
+            {"monitor_check_budget": 0.0},
+            {"breaker_failure_threshold": 0},
+            {"breaker_cooldown": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            DetectorConfig(**kwargs)

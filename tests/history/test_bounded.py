@@ -140,3 +140,43 @@ class TestUnderWorkload:
         assert sink.live_events <= 32
         assert sink.dropped_events > 0
         assert sink.dropped_events == sink.total_recorded - sink.live_events
+
+
+class TestForceDrop:
+    """Chaos-harness load shedding: explicit evictions count like capacity
+    evictions, so lossy windows are reported honestly downstream."""
+
+    def test_evicts_oldest_first(self):
+        sink = BoundedHistory(8)
+        sink.open(state(0.0))
+        for seq in range(5):
+            sink.record(event(seq))
+        assert sink.force_drop(2) == 2
+        assert [e.seq for e in sink.pending_events] == [2, 3, 4]
+
+    def test_counts_toward_window_and_total(self):
+        sink = BoundedHistory(8)
+        sink.open(state(0.0))
+        for seq in range(5):
+            sink.record(event(seq))
+        sink.force_drop(3)
+        assert sink.pending_dropped == 3
+        assert sink.dropped_events == 3
+        segment = sink.cut(state(1.0))
+        assert segment.dropped == 3
+        assert not segment.complete
+
+    def test_returns_actual_evictions_when_short(self):
+        sink = BoundedHistory(8)
+        sink.open(state(0.0))
+        sink.record(event(0))
+        assert sink.force_drop(10) == 1
+        assert sink.live_events == 0
+        # Dropping from an empty window is a harmless no-op.
+        assert sink.force_drop(4) == 0
+        assert sink.dropped_events == 1
+
+    def test_rejects_negative_count(self):
+        sink = BoundedHistory(8)
+        with pytest.raises(ValueError):
+            sink.force_drop(-1)

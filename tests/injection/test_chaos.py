@@ -1,0 +1,123 @@
+"""Chaos-hardening acceptance: the supervised engine must survive a full
+seeded campaign of transient checkpoint failures, injected delays, history
+drop-bursts and a sabotaged evaluator — without crashing the kernel,
+without a single CONFIRMED report on the fault-free workload, and with the
+broken monitor's breaker completing a full quarantine lifecycle.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.detection import BreakerState, DetectionEngine, DetectorConfig
+from repro.errors import InjectionError
+from repro.history import HistoryDatabase
+from repro.injection import (
+    ChaosConfig,
+    ChaosError,
+    run_chaos_campaign,
+    sabotage_entry,
+)
+from repro.apps import SingleResourceAllocator
+from repro.kernel import RandomPolicy, SimKernel
+
+
+class TestCampaignAcceptance:
+    def test_default_campaign_passes(self):
+        result = run_chaos_campaign(seed=0, rounds=60)
+        assert result.passed, result.summary()
+
+    def test_fifty_consecutive_checkpoints_no_crash_no_confirmed(self):
+        result = run_chaos_campaign(seed=0, rounds=60)
+        assert result.checkpoints_completed >= 50
+        assert result.checkpoints_abandoned == 0
+        assert result.kernel_failures == ()
+        assert result.confirmed_reports == 0
+
+    def test_chaos_was_actually_injected(self):
+        result = run_chaos_campaign(seed=0, rounds=60)
+        assert result.failures_injected > 0
+        assert result.delays_injected > 0
+        assert result.events_dropped > 0
+        assert result.evaluator_failures_raised > 0
+        # Lossy windows really happened and were handled as degraded.
+        assert result.degraded_windows > 0
+
+    def test_breaker_lifecycle_completes(self):
+        result = run_chaos_campaign(seed=0, rounds=60)
+        assert result.breaker_opened >= 1
+        assert result.breaker_reclosed >= 1
+        assert result.breaker_final_state is BreakerState.CLOSED
+        # While quarantined, the broken monitor was skipped, not checked.
+        assert result.broken_checkpoints_skipped > 0
+        # The rest of the fleet never stopped checking.
+        assert all(
+            n == result.checkpoints_completed
+            for n in result.healthy_checkpoints
+        )
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_other_seeds_also_pass(self, seed):
+        result = run_chaos_campaign(seed=seed, rounds=60)
+        assert result.passed, result.summary()
+
+    def test_same_seed_is_reproducible(self):
+        first = run_chaos_campaign(seed=3, rounds=60)
+        second = run_chaos_campaign(seed=3, rounds=60)
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+    def test_summary_mentions_verdict(self):
+        result = run_chaos_campaign(seed=0, rounds=60)
+        assert "PASS" in result.summary()
+
+
+class TestChaosConfig:
+    def test_defaults_are_valid(self):
+        ChaosConfig()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("rounds", 0),
+            ("interval", 0.0),
+            ("checkpoint_failure_rate", 1.5),
+            ("delay_rate", -0.1),
+            ("drop_burst_rate", 2.0),
+            ("burst_size", 0),
+            ("evaluator_failures", 0),
+            ("breaker_failure_threshold", 0),
+            ("breaker_cooldown", 0.0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(InjectionError):
+            ChaosConfig(**{field: value})
+
+    def test_config_and_overrides_are_mutually_exclusive(self):
+        with pytest.raises(InjectionError):
+            run_chaos_campaign(ChaosConfig(), seed=1)
+
+
+class TestSabotage:
+    def _entry(self):
+        kernel = SimKernel(RandomPolicy(seed=0), on_deadlock="stop")
+        allocator = SingleResourceAllocator(
+            kernel, history=HistoryDatabase()
+        )
+        engine = DetectionEngine(kernel, DetectorConfig(interval=1.0))
+        return engine.register(allocator)
+
+    def test_raises_n_times_then_heals(self):
+        entry = self._entry()
+        wrapper = sabotage_entry(entry, failures=2)
+        for __ in range(2):
+            with pytest.raises(ChaosError):
+                entry.check()
+        assert wrapper.raised == 2
+        assert wrapper.healed
+        assert entry.check() == []  # delegates to the real checker again
+
+    def test_rejects_nonpositive_failure_count(self):
+        entry = self._entry()
+        with pytest.raises(InjectionError):
+            sabotage_entry(entry, failures=0)
