@@ -8,11 +8,11 @@ Commands
 ``coverage [--seed N]``
     The robustness experiment: inject all 21 fault classes, print the
     per-class detection table (exit status 1 if any class is missed).
-``overhead [--backend sim|threads] [--repeats N] [--engine] [--bounded C]``
+``overhead [--backend sim|threads] [--repeats N] [--engine] [--bounded C] [--json PATH]``
     Regenerate Table 1 (overhead ratio vs checking interval); ``--engine``
     checks through a shared DetectionEngine registration, ``--bounded``
     records through a capacity-C ring buffer and surfaces dropped events.
-``scaling [--backend sim|threads] [--counts N ...] [--quick]``
+``scaling [--backend sim|threads] [--counts N ...] [--quick] [--json PATH]``
     Engine scaling: batched checkpoints vs per-monitor detectors at
     fleet sizes 1/4/16.
 ``chaos [--seed N] [--rounds N]``
@@ -103,6 +103,8 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
         argv.append("--engine")
     if args.bounded is not None:
         argv += ["--bounded", str(args.bounded)]
+    if args.json is not None:
+        argv += ["--json", args.json]
     return overhead_main(argv)
 
 
@@ -114,6 +116,8 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         argv += ["--counts"] + [str(count) for count in args.counts]
     if args.quick:
         argv.append("--quick")
+    if args.json is not None:
+        argv += ["--json", args.json]
     return scaling_main(argv)
 
 
@@ -240,6 +244,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     overhead.add_argument("--repeats", type=int, default=3)
     overhead.add_argument("--engine", action="store_true")
     overhead.add_argument("--bounded", type=int, default=None, metavar="CAPACITY")
+    overhead.add_argument("--json", default=None, metavar="PATH")
     overhead.set_defaults(func=_cmd_overhead)
 
     scaling = subparsers.add_parser(
@@ -248,6 +253,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     scaling.add_argument("--backend", choices=("sim", "threads"), default="sim")
     scaling.add_argument("--counts", type=int, nargs="*", default=None)
     scaling.add_argument("--quick", action="store_true")
+    scaling.add_argument("--json", default=None, metavar="PATH")
     scaling.set_defaults(func=_cmd_scaling)
 
     chaos = subparsers.add_parser(

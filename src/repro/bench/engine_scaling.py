@@ -13,10 +13,15 @@ reports:
   entered.  Per-monitor detectors enter one per monitor per interval
   (linear in fleet size); the engine enters exactly one per interval
   (constant in fleet size) — the headline amortisation.
-* ``checking_seconds`` — wall-clock time inside checkpoints.  The rule
-  evaluation itself is the same work either way; the engine saves the
-  per-section entry/exit and timer overhead, which dominates at small
-  per-monitor cost.
+* ``worldstop_seconds`` vs ``evaluate_seconds`` — the two-phase split of
+  the old ``checking_seconds``: phase 1 (snapshot + cut inside the atomic
+  section) is the only part that stalls the workload, phase 2 (rule
+  evaluation over the frozen captures) runs off the critical path.  The
+  per-checkpoint world-stop max/mean makes the "O(snapshot) world-stop"
+  claim auditable from the output alone.
+
+``--json PATH`` writes the grid machine-readably so ``BENCH_*.json``
+trajectories can accumulate across runs.
 
 Both kernels are supported; the thread backend adds the real lock
 acquisition cost to every atomic section, which is where the linear
@@ -26,7 +31,8 @@ term hurts most.
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
 from typing import Optional, Sequence
 
 from repro.bench.tables import render_table
@@ -42,6 +48,7 @@ __all__ = [
     "measure_scaling",
     "scaling_table",
     "render_scaling_table",
+    "rows_to_json",
     "main",
 ]
 
@@ -64,10 +71,23 @@ class ScalingRow:
     atomic_sections: int
     checkpoints: int
     checking_seconds: float
+    #: Phase-1 wall clock: the only seconds the workload is actually stopped.
+    worldstop_seconds: float
+    #: Phase-2 wall clock: rule evaluation off the critical path.
+    evaluate_seconds: float
+    #: Longest single phase-1 section observed (per-checkpoint worst case).
+    worldstop_max: float
     reports: int
     events: int
     #: Events the fleet's sinks discarded (0 for unbounded histories).
     dropped: int = 0
+
+    @property
+    def worldstop_mean(self) -> float:
+        """Mean phase-1 world-stop per atomic section entered."""
+        if self.atomic_sections == 0:
+            return 0.0
+        return self.worldstop_seconds / self.atomic_sections
 
 
 def _make_kernel(backend: str, seed: int):
@@ -128,12 +148,20 @@ def measure_scaling(
         sections = sum(d.engine.atomic_sections for d in detectors)
         checkpoints = sum(d.checkpoints_run for d in detectors)
         checking = sum(d.checking_seconds for d in detectors)
+        worldstop = sum(d.worldstop_seconds for d in detectors)
+        evaluate = sum(d.evaluate_seconds for d in detectors)
+        worldstop_max = max(
+            (d.engine.worldstop_max for d in detectors), default=0.0
+        )
         reports = sum(len(d.reports) for d in detectors)
     else:
         assert engine is not None
         sections = engine.atomic_sections
         checkpoints = engine.checkpoints_run
         checking = engine.checking_seconds
+        worldstop = engine.worldstop_seconds
+        evaluate = engine.evaluate_seconds
+        worldstop_max = engine.worldstop_max
         reports = len(engine.reports)
     return ScalingRow(
         monitors=monitors,
@@ -141,6 +169,9 @@ def measure_scaling(
         atomic_sections=sections,
         checkpoints=checkpoints,
         checking_seconds=checking,
+        worldstop_seconds=worldstop,
+        evaluate_seconds=evaluate,
+        worldstop_max=worldstop_max,
         reports=reports,
         events=events,
         dropped=dropped,
@@ -169,7 +200,8 @@ def scaling_table(
 def render_scaling_table(rows: Sequence[ScalingRow]) -> str:
     headers = [
         "monitors", "mode", "atomic sections", "checkpoints",
-        "checking (s)", "reports", "events", "dropped",
+        "world-stop (s)", "stop max (s)", "evaluate (s)",
+        "reports", "events", "dropped",
     ]
     table_rows = [
         [
@@ -177,7 +209,9 @@ def render_scaling_table(rows: Sequence[ScalingRow]) -> str:
             row.mode,
             str(row.atomic_sections),
             str(row.checkpoints),
-            f"{row.checking_seconds:.4f}",
+            f"{row.worldstop_seconds:.4f}",
+            f"{row.worldstop_max:.5f}",
+            f"{row.evaluate_seconds:.4f}",
             str(row.reports),
             str(row.events),
             str(row.dropped),
@@ -191,6 +225,21 @@ def render_scaling_table(rows: Sequence[ScalingRow]) -> str:
     )
 
 
+def rows_to_json(rows: Sequence[ScalingRow], *, backend: str) -> dict:
+    """Machine-readable grid for ``--json`` (BENCH_*.json trajectories)."""
+    return {
+        "bench": "engine_scaling",
+        "backend": backend,
+        "rows": [
+            {
+                **asdict(row),
+                "worldstop_mean": row.worldstop_mean,
+            }
+            for row in rows
+        ],
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--backend", choices=("sim", "threads"), default="sim")
@@ -201,6 +250,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--quick",
         action="store_true",
         help="smaller workload (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the grid as JSON to PATH ('-' for stdout)",
     )
     args = parser.parse_args(argv)
     spec = (
@@ -224,6 +279,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"atomic section(s) per interval vs {det.atomic_sections} total "
             f"for per-monitor detectors"
         )
+        print(
+            f"N={count}: engine world-stop/checkpoint "
+            f"mean {eng.worldstop_mean * 1e6:.1f}us max "
+            f"{eng.worldstop_max * 1e6:.1f}us; "
+            f"{eng.evaluate_seconds:.4f}s of rule evaluation ran off the "
+            "critical path"
+        )
     total_dropped = sum(row.dropped for row in rows)
     total_events = sum(row.events for row in rows)
     print(
@@ -231,6 +293,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"events dropped by the fleets' sinks"
         + ("" if total_dropped == 0 else " (windows checked in degraded mode)")
     )
+    if args.json is not None:
+        payload = json.dumps(
+            rows_to_json(rows, backend=args.backend), indent=2
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"json written to {args.json}")
     return 0
 
 

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import argparse
 import gc
+import json
 import statistics
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional, Sequence, Union
 
 from repro.bench.tables import render_table
@@ -43,6 +44,7 @@ __all__ = [
     "measure_overhead",
     "overhead_table",
     "render_overhead_table",
+    "rows_to_json",
     "main",
 ]
 
@@ -69,6 +71,20 @@ class OverheadRow:
     checkpoints: int
     #: Events the sink discarded (nonzero only with ``--bounded``).
     dropped: int = 0
+    #: Phase-1 (atomic snapshot/cut) share of ``checking_seconds`` — the
+    #: only part the workload is actually stopped for.
+    worldstop_seconds: float = 0.0
+    #: Phase-2 (off-critical-path rule evaluation) share.
+    evaluate_seconds: float = 0.0
+    #: Longest single phase-1 section observed.
+    worldstop_max: float = 0.0
+
+    @property
+    def worldstop_mean(self) -> float:
+        """Mean phase-1 world-stop per checkpoint run."""
+        if self.checkpoints == 0:
+            return 0.0
+        return self.worldstop_seconds / self.checkpoints
 
 
 def _make_kernel(backend: str, seed: int):
@@ -87,11 +103,12 @@ def _run_once(
     *,
     use_engine: bool = False,
     bounded: Optional[int] = None,
-) -> tuple[float, float, int, int, int]:
+) -> tuple[float, float, int, int, int, float, float, float]:
     """One workload execution.
 
     Returns (monitor-op seconds, checking seconds, events recorded,
-    checkpoints run, events dropped).  ``interval=None`` runs the plain
+    checkpoints run, events dropped, world-stop seconds, evaluate
+    seconds, world-stop max).  ``interval=None`` runs the plain
     construct (no history, no detector) — the baseline.
     ``use_engine=True`` checks through a shared :class:`DetectionEngine`
     registration instead of a ``FaultDetector`` (the two are
@@ -153,11 +170,28 @@ def _run_once(
             gc.collect()
     kernel.raise_failures()
     monitor = run.monitor.monitor
-    checking = checker.checking_seconds if checker is not None else 0.0
+    engine = (
+        checker
+        if isinstance(checker, DetectionEngine)
+        else (checker.engine if checker is not None else None)
+    )
+    checking = engine.checking_seconds if engine is not None else 0.0
+    worldstop = engine.worldstop_seconds if engine is not None else 0.0
+    evaluate = engine.evaluate_seconds if engine is not None else 0.0
+    worldstop_max = engine.worldstop_max if engine is not None else 0.0
     events = history.total_recorded if history is not None else 0
     checkpoints = checker.checkpoints_run if checker is not None else 0
     dropped = history.dropped_events if history is not None else 0
-    return monitor.op_seconds, checking, events, checkpoints, dropped
+    return (
+        monitor.op_seconds,
+        checking,
+        events,
+        checkpoints,
+        dropped,
+        worldstop,
+        evaluate,
+        worldstop_max,
+    )
 
 
 def measure_overhead(
@@ -178,9 +212,9 @@ def measure_overhead(
     """
     spec = spec or BENCH_SPEC
     base_samples: list[float] = []
-    ext_samples: list[tuple[float, float, int, int, int]] = []
+    ext_samples: list[tuple[float, float, int, int, int, float, float, float]] = []
     for __ in range(repeats):
-        base_ops, __c, __e, __k, __d = _run_once(scenario, backend, spec, None)
+        base_ops = _run_once(scenario, backend, spec, None)[0]
         base_samples.append(base_ops)
         ext_samples.append(
             _run_once(
@@ -198,6 +232,9 @@ def measure_overhead(
     events = ext_samples[-1][2]
     checkpoints = ext_samples[-1][3]
     dropped = ext_samples[-1][4]
+    worldstop = min(sample[5] for sample in ext_samples)
+    evaluate = min(sample[6] for sample in ext_samples)
+    worldstop_max = min(sample[7] for sample in ext_samples)
     ratio = (ext_ops + checking) / base if base > 0 else float("nan")
     return OverheadRow(
         scenario=scenario,
@@ -209,6 +246,9 @@ def measure_overhead(
         events=events,
         checkpoints=checkpoints,
         dropped=dropped,
+        worldstop_seconds=worldstop,
+        evaluate_seconds=evaluate,
+        worldstop_max=worldstop_max,
     )
 
 
@@ -259,6 +299,21 @@ def render_overhead_table(rows: Sequence[OverheadRow]) -> str:
     )
 
 
+def rows_to_json(rows: Sequence[OverheadRow], *, backend: str) -> dict:
+    """Machine-readable grid for ``--json`` (BENCH_*.json trajectories)."""
+    return {
+        "bench": "overhead",
+        "backend": backend,
+        "rows": [
+            {
+                **asdict(row),
+                "worldstop_mean": row.worldstop_mean,
+            }
+            for row in rows
+        ],
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -289,6 +344,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="record through a BoundedHistory ring buffer of this capacity "
         "instead of the unbounded database (surfaces dropped events)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the grid as JSON to PATH ('-' for stdout)",
+    )
     args = parser.parse_args(argv)
     rows = overhead_table(
         intervals=args.intervals,
@@ -300,7 +361,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(render_overhead_table(rows))
     print()
     detail_headers = [
-        "scenario", "T", "base ops (s)", "ext ops (s)", "checking (s)",
+        "scenario", "T", "base ops (s)", "ext ops (s)",
+        "world-stop (s)", "stop max (s)", "evaluate (s)",
         "ratio", "events", "checkpoints", "dropped",
     ]
     detail_rows = [
@@ -309,7 +371,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{row.interval:g}",
             f"{row.base_seconds:.4f}",
             f"{row.extended_seconds:.4f}",
-            f"{row.checking_seconds:.4f}",
+            f"{row.worldstop_seconds:.4f}",
+            f"{row.worldstop_max:.5f}",
+            f"{row.evaluate_seconds:.4f}",
             f"{row.ratio:.3f}",
             row.events,
             row.checkpoints,
@@ -324,6 +388,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"\n{total_dropped} events dropped by the bounded sink across "
             f"the grid; lossy windows were checked in degraded mode"
         )
+    if args.json is not None:
+        payload = json.dumps(
+            rows_to_json(rows, backend=args.backend), indent=2
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"json written to {args.json}")
     return 0
 
 

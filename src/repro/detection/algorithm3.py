@@ -19,7 +19,7 @@ Two mechanisms run side by side:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.detection.reports import FaultReport
 from repro.detection.rules import STRule
@@ -28,7 +28,40 @@ from repro.ids import Pid
 from repro.monitor.declaration import MonitorDeclaration
 from repro.pathexpr.automaton import OrderAutomaton, compile_order
 
-__all__ = ["CallingOrderChecker"]
+__all__ = ["CallingOrderChecker", "sweep_request_list"]
+
+
+def sweep_request_list(
+    request_list: Sequence[tuple[Pid, float]],
+    monitor: str,
+    now: float,
+    tlimit: float,
+) -> list[FaultReport]:
+    """Step 2 as a pure function over a frozen Request-List.
+
+    The two-phase engine snapshots ``request_list`` inside the phase-1
+    atomic section (so the sweep sees the list as it stood at the
+    checkpoint, even though evaluation happens later, while the real-time
+    tap keeps mutating the live checker) and evaluates this sweep off the
+    critical path.  :meth:`CallingOrderChecker.periodic` delegates here.
+    """
+    reports: list[FaultReport] = []
+    for pid, since in request_list:
+        if now - since >= tlimit:
+            reports.append(
+                FaultReport(
+                    rule=STRule.REQUEST_NOT_RELEASED,
+                    message=(
+                        f"P{pid} has held (or awaited) the resource for "
+                        f"{now - since:g} >= Tlimit={tlimit:g} without "
+                        "releasing it"
+                    ),
+                    monitor=monitor,
+                    detected_at=now,
+                    pids=(pid,),
+                )
+            )
+    return reports
 
 
 class CallingOrderChecker:
@@ -116,23 +149,9 @@ class CallingOrderChecker:
 
     def periodic(self, now: float, tlimit: float) -> list[FaultReport]:
         """Step 2: sweep the Request-List for entries older than Tlimit."""
-        reports: list[FaultReport] = []
-        for pid, since in self.request_list:
-            if now - since >= tlimit:
-                reports.append(
-                    FaultReport(
-                        rule=STRule.REQUEST_NOT_RELEASED,
-                        message=(
-                            f"P{pid} has held (or awaited) the resource for "
-                            f"{now - since:g} >= Tlimit={tlimit:g} without "
-                            "releasing it"
-                        ),
-                        monitor=self._declaration.name,
-                        detected_at=now,
-                        pids=(pid,),
-                    )
-                )
-        return reports
+        return sweep_request_list(
+            self.request_list, self._declaration.name, now, tlimit
+        )
 
     # ----------------------------------------------------------------- helpers
 

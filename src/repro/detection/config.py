@@ -37,6 +37,23 @@ class DetectorConfig:
       quarantined (its breaker opens).
     * ``breaker_cooldown`` — virtual seconds a quarantined monitor sits out
       before a half-open probe checkpoint is allowed.
+
+    The adaptive-interval fields drive the engine's per-monitor capture
+    schedule (two-phase checkpoints skip idle monitors in phase 1):
+
+    * ``adaptive_intervals`` — enable the per-monitor ``next_due`` schedule.
+      Off by default: every registered monitor is captured at every engine
+      interval, which keeps report streams bit-identical to the paper's
+      fixed-period checking.
+    * ``min_interval`` / ``max_interval`` — bounds of the adaptive schedule
+      (defaults: ``interval`` and ``8 * interval``).  A busy monitor is
+      captured every ``min_interval``; a fully idle one every
+      ``max_interval`` — so timer sweeps still run, just less often.
+    * ``ewma_alpha`` — smoothing factor of the per-monitor event-rate EWMA
+      (1.0 = last window only).
+    * ``adaptive_target_events`` — the schedule aims for roughly this many
+      events per checking window: next interval =
+      ``target / ewma_rate`` clamped to the bounds.
     """
 
     interval: float = 1.0
@@ -55,6 +72,24 @@ class DetectorConfig:
     monitor_check_budget: Optional[float] = None
     breaker_failure_threshold: int = 3
     breaker_cooldown: float = 5.0
+    # ---------------------------------------------- adaptive-interval tunables
+    adaptive_intervals: bool = False
+    min_interval: Optional[float] = None
+    max_interval: Optional[float] = None
+    ewma_alpha: float = 0.5
+    adaptive_target_events: float = 8.0
+
+    @property
+    def effective_min_interval(self) -> float:
+        """Floor of the adaptive capture schedule (defaults to ``interval``)."""
+        return self.interval if self.min_interval is None else self.min_interval
+
+    @property
+    def effective_max_interval(self) -> float:
+        """Ceiling of the adaptive capture schedule (default ``8 * interval``)."""
+        if self.max_interval is not None:
+            return self.max_interval
+        return max(8.0 * self.interval, self.effective_min_interval)
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -89,4 +124,24 @@ class DetectorConfig:
         if self.breaker_cooldown <= 0:
             raise ValueError(
                 f"breaker_cooldown must be positive, got {self.breaker_cooldown!r}"
+            )
+        for name in ("min_interval", "max_interval"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(
+                    f"{name} must be None or positive, got {value!r}"
+                )
+        if self.effective_min_interval > self.effective_max_interval:
+            raise ValueError(
+                f"min_interval {self.effective_min_interval!r} exceeds "
+                f"max_interval {self.effective_max_interval!r}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(
+                f"ewma_alpha must be within (0, 1], got {self.ewma_alpha!r}"
+            )
+        if self.adaptive_target_events <= 0:
+            raise ValueError(
+                "adaptive_target_events must be positive, got "
+                f"{self.adaptive_target_events!r}"
             )

@@ -8,9 +8,11 @@ creates a private engine and registers the one monitor with it.
 * **Periodic checking** — :meth:`FaultDetector.checkpoint` snapshots the
   actual scheduling state, cuts the history segment since the last
   checkpoint, and runs Algorithm-1 (always), Algorithm-2 (communication
-  coordinators) and Algorithm-3's Step-2 timer sweep (allocators).  Per the
-  paper, the whole checkpoint runs with every other process suspended —
-  realised as one ``kernel.atomic`` section.
+  coordinators) and Algorithm-3's Step-2 timer sweep (allocators).  The
+  paper suspends every other process for the whole check; the engine
+  narrows that to a two-phase checkpoint — only the snapshot/cut runs
+  inside the ``kernel.atomic`` section, rule evaluation happens after it
+  over the frozen capture (see :mod:`repro.detection.engine`).
 * **Real-time checking** — for allocator-type monitors (and any monitor
   with a declared call order) Algorithm-3's Step 1 is driven by a tap on
   the event sink, so level-III faults are reported on the very event that
@@ -92,10 +94,11 @@ class FaultDetector:
     def checkpoint(self) -> list[FaultReport]:
         """Run one periodic check; returns (and retains) the new reports.
 
-        The snapshot, the history cut and the rule evaluation execute as a
-        single atomic section: "upon detection, all other running processes
-        are suspended and are resumed only after the checking has finished"
-        (Section 4).
+        Two phases: the snapshot and the history cut execute as a single
+        atomic section (the paper's "all other running processes are
+        suspended", Section 4, shrunk to its capture step); rule
+        evaluation then runs over the frozen capture with the workload
+        resumed.
         """
         return self._engine.checkpoint()
 
@@ -105,9 +108,21 @@ class FaultDetector:
 
     @property
     def checking_seconds(self) -> float:
-        """Accumulated wall-clock seconds spent inside checkpoints
+        """Accumulated wall-clock seconds spent checking, both phases
         (overhead accounting for the Table-1 experiment)."""
         return self._engine.checking_seconds
+
+    @property
+    def worldstop_seconds(self) -> float:
+        """Wall-clock seconds inside phase-1 atomic sections (the part of
+        :attr:`checking_seconds` that actually stalls the workload)."""
+        return self._engine.worldstop_seconds
+
+    @property
+    def evaluate_seconds(self) -> float:
+        """Wall-clock seconds of phase-2 rule evaluation (off the world
+        stop; the workload runs concurrently)."""
+        return self._engine.evaluate_seconds
 
     # ------------------------------------------------------------- reporting
 

@@ -7,15 +7,37 @@ has finished", Section 4).  With N monitored monitors that is N world
 stops per checking interval — the suspend/resume cost grows linearly in
 the number of detectors even when each individual check is cheap.
 
-:class:`DetectionEngine` amortises that cost.  Many monitors register with
-one engine (each keeping its own Algorithm-1/2/3 state, timeouts and
-report stream), and every checking interval the engine runs **one batched
-checkpoint**: a single ``kernel.atomic`` section that snapshots and checks
-every registered monitor back to back.  The per-interval suspend-the-world
-cost becomes one section regardless of monitor count, while the checking
-work inside the section is exactly the sum of the per-monitor checks — so
-the engine's reports are event-for-event identical to N independent
-detectors run on the same trace.
+:class:`DetectionEngine` amortises that cost twice over.  Many monitors
+register with one engine (each keeping its own Algorithm-1/2/3 state,
+timeouts and report stream), and every checking interval the engine runs
+one **two-phase checkpoint**:
+
+* **Phase 1 — capture** (inside a single ``kernel.atomic`` section): for
+  every due, non-quarantined monitor, snapshot the actual scheduling
+  state and cut the history window, enqueueing an immutable
+  :class:`CheckpointCapture` per monitor.  This is all the world-stop
+  pays for: O(snapshot + cut) per monitor, no rule evaluation.
+* **Phase 2 — evaluate** (outside the atomic section, workload running):
+  drain the capture queue in registration order and run Algorithm-1,
+  Algorithm-2's window check, Algorithm-3's replay/timer sweep and the
+  degraded-mode path over each frozen capture.
+
+Because every input a rule evaluator reads (the snapshot, the cut
+segment, the frozen Request-List) is captured atomically in phase 1, the
+reports are event-for-event identical to evaluating inside the section —
+same rules, pids, timestamps and confidences, in the same order — while
+the suspend-the-world window shrinks from O(rule evaluation) to
+O(snapshot).  A checker that throws in phase 2 still trips its circuit
+breaker; ``monitor_check_budget`` now times phase-2 evaluation.
+
+On top of the captures, **adaptive per-monitor intervals**
+(``DetectorConfig.adaptive_intervals``) let idle monitors sit out
+phase 1: an EWMA of each monitor's event rate (from its segment sizes)
+schedules a per-monitor ``next_due`` within the config's min/max bounds.
+Skips are drop-safe: a monitor whose
+:class:`~repro.history.bounded.BoundedHistory` is at risk of evicting
+events before ``next_due`` is captured immediately — a skipped interval
+must never silently lose a window.
 
 :class:`~repro.detection.detector.FaultDetector` remains the one-monitor
 façade over this engine, so existing call sites keep working unchanged.
@@ -23,25 +45,32 @@ façade over this engine, so existing call sites keep working unchanged.
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Iterator, Optional, Union
 
 from repro.detection.algorithm1 import check_general_concurrency_control
 from repro.detection.algorithm2 import ResourceStateChecker
-from repro.detection.algorithm3 import CallingOrderChecker
+from repro.detection.algorithm3 import CallingOrderChecker, sweep_request_list
 from repro.detection.config import DetectorConfig
 from repro.detection.replay import sweep_timers
 from repro.detection.reports import Confidence, FaultReport
-from repro.detection.rules import STRule, is_drop_tolerant
+from repro.detection.rules import degrade_to_drop_tolerant
 from repro.detection.supervision import CircuitBreaker, QuarantineRecord
 from repro.history.database import HistoryDatabase
 from repro.history.events import SchedulingEvent
 from repro.history.sink import EventSink, Segment
+from repro.history.states import SchedulingState
+from repro.ids import Pid
 from repro.kernel.syscalls import Delay, Syscall
 from repro.monitor.construct import Monitor, MonitorBase
 
-__all__ = ["RegisteredMonitor", "DetectionEngine", "engine_process"]
+__all__ = [
+    "CheckpointCapture",
+    "RegisteredMonitor",
+    "DetectionEngine",
+    "engine_process",
+]
 
 MonitorLike = Union[Monitor, MonitorBase]
 
@@ -50,15 +79,38 @@ def _unwrap(target: MonitorLike) -> Monitor:
     return target.monitor if isinstance(target, MonitorBase) else target
 
 
+@dataclass(frozen=True)
+class CheckpointCapture:
+    """One monitor's phase-1 capture: everything phase 2 needs, frozen.
+
+    Produced inside the atomic section by :meth:`RegisteredMonitor.capture`
+    and consumed outside it by :meth:`RegisteredMonitor.evaluate`.  All
+    fields are immutable snapshots, so evaluation never races the
+    still-running workload: ``snapshot`` is the scheduling state at the
+    checkpoint, ``segment`` the cut history window, ``request_list`` the
+    Algorithm-3 Request-List as it stood at the checkpoint (None when the
+    monitor has no order checker), and ``taken_at`` the kernel's virtual
+    time of the capture — the timestamp breaker decisions and timer sweeps
+    are anchored to.
+    """
+
+    entry: "RegisteredMonitor"
+    snapshot: SchedulingState
+    segment: Segment
+    request_list: Optional[tuple[tuple[Pid, float], ...]]
+    taken_at: float
+
+
 class RegisteredMonitor:
     """Per-monitor detection state held by the engine.
 
     Owns what the seed's ``FaultDetector`` owned for one monitor: the
     attached event sink, the Algorithm-2/3 checker instances selected from
     the declaration, the real-time Algorithm-3 tap, and the monitor's
-    report stream.  :meth:`check` runs one checkpoint's worth of checking
-    for this monitor — the engine calls it for every registration inside a
-    single atomic section.
+    report stream.  One checkpoint's worth of checking is split in two:
+    :meth:`capture` (phase 1, inside the engine's atomic section) freezes
+    the snapshot and history window; :meth:`evaluate` (phase 2, outside
+    the section) runs the rules over the frozen capture.
     """
 
     def __init__(self, monitor: Monitor, config: DetectorConfig, label: str) -> None:
@@ -99,6 +151,18 @@ class RegisteredMonitor:
         self.dropped_in_windows = 0
         #: Windows evaluated in degraded mode (incomplete event sequence).
         self.degraded_windows = 0
+        # ------------------------------------------------- adaptive schedule
+        #: EWMA of this monitor's event rate (events / virtual second).
+        self.event_rate = 0.0
+        self._rate_primed = False
+        #: Virtual time of the next mandatory capture (None = never scheduled;
+        #: the first checkpoint always captures).
+        self.next_due: Optional[float] = None
+        #: Phase-1 rounds skipped because the monitor was not yet due.
+        self.intervals_skipped = 0
+        #: Captures taken *before* ``next_due`` because skipping risked
+        #: evicting events from a bounded sink (drop-safety overrides).
+        self.forced_captures = 0
 
     # ------------------------------------------------------------- real time
 
@@ -117,25 +181,109 @@ class RegisteredMonitor:
         """True while the real-time order tap is attached to the sink."""
         return self._tapped
 
-    # -------------------------------------------------------------- checking
+    # ----------------------------------------------------- adaptive schedule
 
-    def check(self) -> list[FaultReport]:
-        """One monitor's share of a batched checkpoint.
+    def due(self, now: float) -> bool:
+        """Must this monitor be captured at a phase 1 starting ``now``?
 
-        Must run inside the engine's atomic section: snapshot the actual
-        state, cut the history window, and evaluate Algorithm-1 (always),
-        Algorithm-2 (communication coordinators) and Algorithm-3's replay
-        and timer sweep (allocators).
+        Always true with adaptive intervals off (every monitor, every
+        interval — the paper's fixed-period checking) and for the first
+        checkpoint.  Otherwise a monitor is due when its ``next_due`` has
+        arrived, or early when skipping is not drop-safe: a bounded sink
+        already holding a lossy window, or predicted to evict events
+        before ``next_due``, is cut *now* rather than silently losing part
+        of the window to ring-buffer eviction.
+        """
+        if not self.config.adaptive_intervals or self.next_due is None:
+            return True
+        if now >= self.next_due - 1e-12:
+            return True
+        if self._eviction_risk(now):
+            self.forced_captures += 1
+            return True
+        return False
+
+    def _eviction_risk(self, now: float) -> bool:
+        capacity = getattr(self.history, "capacity", None)
+        if capacity is None:
+            return False  # unbounded sink: a skip can never drop events
+        if getattr(self.history, "pending_dropped", 0) > 0:
+            return True  # window already lossy: cut before it loses more
+        assert self.next_due is not None
+        predicted = self.event_rate * (self.next_due - now)
+        # 2x headroom: the EWMA underestimates bursts by construction.
+        return self.history.live_events + 2.0 * predicted >= capacity
+
+    def _reschedule(self, segment: Segment, now: float) -> None:
+        """Fold one cut window into the EWMA and pick the next due time."""
+        config = self.config
+        if not config.adaptive_intervals:
+            return
+        duration = segment.duration
+        if duration > 0:
+            rate = len(segment) / duration
+            if self._rate_primed:
+                alpha = config.ewma_alpha
+                self.event_rate = alpha * rate + (1.0 - alpha) * self.event_rate
+            else:
+                self.event_rate = rate
+                self._rate_primed = True
+        lo = config.effective_min_interval
+        hi = config.effective_max_interval
+        if self.event_rate <= 0.0:
+            interval = hi
+        else:
+            interval = min(
+                max(config.adaptive_target_events / self.event_rate, lo), hi
+            )
+        self.next_due = now + interval
+
+    # ------------------------------------------------------ phase 1: capture
+
+    def capture(self, now: float) -> CheckpointCapture:
+        """Phase 1: freeze this monitor's checkpoint inputs.
+
+        Must run inside the engine's atomic section.  Snapshots the actual
+        state, cuts the history window, freezes the Algorithm-3
+        Request-List (the real-time tap keeps mutating the live list once
+        the section ends) and advances the adaptive schedule.  No rule
+        runs here — this is the entirety of the monitor's world-stop cost.
+        """
+        snapshot = self.monitor.core.snapshot()
+        segment = self.history.cut(snapshot)
+        request_list = (
+            tuple(self.algorithm3.request_list)
+            if self.algorithm3 is not None
+            else None
+        )
+        self._reschedule(segment, now)
+        return CheckpointCapture(
+            entry=self,
+            snapshot=snapshot,
+            segment=segment,
+            request_list=request_list,
+            taken_at=now,
+        )
+
+    # ----------------------------------------------------- phase 2: evaluate
+
+    def evaluate(self, capture: CheckpointCapture) -> list[FaultReport]:
+        """Phase 2: run every rule over one frozen capture.
+
+        Runs *outside* the atomic section — the workload is live again —
+        which is safe because the capture is immutable and the mutable
+        checker state touched here (Algorithm-2 counters, Algorithm-3
+        replay state when the real-time tap is off) is only ever advanced
+        by checkpoints, which the engine serialises.
 
         When the sink dropped events inside the window
         (``segment.dropped > 0``) the window cannot support the replay/
         comparison rules: only drop-tolerant rules survive (see
-        :data:`repro.detection.rules.DROP_TOLERANT`) and their reports are
-        downgraded to :attr:`Confidence.DEGRADED` — a truncated trace must
-        degrade, not false-positive.
+        :func:`repro.detection.rules.degrade_to_drop_tolerant`) and their
+        reports are downgraded to :attr:`Confidence.DEGRADED` — a
+        truncated trace must degrade, not false-positive.
         """
-        snapshot = self.monitor.core.snapshot()
-        segment = self.history.cut(snapshot)
+        snapshot, segment = capture.snapshot, capture.segment
         found = check_general_concurrency_control(
             self.monitor.declaration,
             segment,
@@ -152,9 +300,27 @@ class RegisteredMonitor:
                 for event in segment.events:
                     found.extend(self.algorithm3.on_event(event))
             if self.config.tlimit is not None:
-                found.extend(
-                    self.algorithm3.periodic(snapshot.time, self.config.tlimit)
-                )
+                if self.config.realtime_orders:
+                    # Tap mode: sweep the Request-List frozen in phase 1 —
+                    # consistent with the snapshot even though the live
+                    # list has moved on since the section ended.
+                    assert capture.request_list is not None
+                    found.extend(
+                        sweep_request_list(
+                            capture.request_list,
+                            self.monitor.name,
+                            snapshot.time,
+                            self.config.tlimit,
+                        )
+                    )
+                else:
+                    # Replay mode: the sweep must see the list as the
+                    # replay above just rebuilt it.
+                    found.extend(
+                        self.algorithm3.periodic(
+                            snapshot.time, self.config.tlimit
+                        )
+                    )
         self.checkpoints_run += 1
         if not segment.complete:
             self.dropped_in_windows += segment.dropped
@@ -167,33 +333,32 @@ class RegisteredMonitor:
                 self.algorithm2.resync(segment.current)
         return found
 
+    def check(self) -> list[FaultReport]:
+        """Capture and evaluate in one call (single-phase convenience).
+
+        Equivalent to one engine checkpoint for this monitor alone; kept
+        for direct callers and tests.  Goes through the instance's
+        ``evaluate`` attribute so wrappers installed on it (the chaos
+        harness's sabotage) apply here too.
+        """
+        return self.evaluate(self.capture(self.monitor.kernel.now()))
+
     def _degrade(
         self, found: list[FaultReport], segment: Segment
     ) -> list[FaultReport]:
         """Keep only drop-tolerant findings, downgraded to DEGRADED.
 
-        The snapshot-witnessed mutual-exclusion violation (ST-3a with no
-        triggering event) is kept too: it reads the actual state directly
-        and needs no events at all — but the surrounding window is still
-        lossy, so it is downgraded like the timer sweeps.
-
-        ST-5/6 are re-derived from the current snapshot
+        The filter itself is the pure
+        :func:`~repro.detection.rules.degrade_to_drop_tolerant`; ST-5/6
+        are then re-derived from the current snapshot
         (:func:`~repro.detection.replay.sweep_timers`): the replay sweep
-        covers only entries it reconstructed from surviving events, so on a
-        lossy window it can miss exactly the wedged process the timer rules
-        exist to catch.  The snapshot's queue entries carry their own
-        ``since`` timestamps, making the snapshot sweep exact without any
-        events.
+        covers only entries it reconstructed from surviving events, so on
+        a lossy window it can miss exactly the wedged process the timer
+        rules exist to catch.  The snapshot's queue entries carry their
+        own ``since`` timestamps, making the snapshot sweep exact without
+        any events.
         """
-        kept: list[FaultReport] = []
-        for report in found:
-            if report.rule in (STRule.TMAX_EXCEEDED, STRule.TIO_EXCEEDED):
-                continue  # replaced by the snapshot sweep below
-            snapshot_witnessed = (
-                report.rule is STRule.ONE_INSIDE and report.event_seq is None
-            )
-            if is_drop_tolerant(report.rule) or snapshot_witnessed:
-                kept.append(replace(report, confidence=Confidence.DEGRADED))
+        kept = degrade_to_drop_tolerant(found)
         kept.extend(
             replace(report, confidence=Confidence.DEGRADED)
             for report in sweep_timers(
@@ -228,6 +393,7 @@ class RegisteredMonitor:
         return (
             f"RegisteredMonitor({self.label!r}, "
             f"reports={len(self.reports)}, checkpoints={self.checkpoints_run}, "
+            f"skipped={self.intervals_skipped}, "
             f"breaker={self.breaker.state.value})"
         )
 
@@ -239,7 +405,7 @@ class DetectionEngine:
     ----------
     kernel:
         The execution substrate all registered monitors must live on (the
-        batched checkpoint is one ``kernel.atomic`` section).
+        phase-1 capture sweep is one ``kernel.atomic`` section).
     config:
         Default :class:`DetectorConfig` applied to registrations that do
         not bring their own; its ``interval`` paces :func:`engine_process`.
@@ -250,16 +416,28 @@ class DetectionEngine:
         self.config = config or DetectorConfig()
         self._entries: list[RegisteredMonitor] = []
         self._by_label: dict[str, RegisteredMonitor] = {}
+        #: Captures taken in phase 1 but not yet evaluated.  ``checkpoint``
+        #: drains it immediately; it is a queue (not a local) so a future
+        #: sharded engine can capture and evaluate on different cadences.
+        self._pending_captures: list[CheckpointCapture] = []
         self.checkpoints_run = 0
         #: Number of ``kernel.atomic`` sections entered for checking — one
         #: per checkpoint regardless of how many monitors are registered.
         #: (The per-monitor baseline pays one section per monitor instead.)
         self.atomic_sections = 0
-        #: Accumulated wall-clock seconds spent inside checkpoints
-        #: (overhead accounting for the Table-1 experiment).
-        self.checking_seconds = 0.0
-        #: Per-monitor check invocations that raised (absorbed by the
-        #: breaker instead of escaping the atomic section).
+        #: Phase-1 captures taken (snapshot + cut inside the section).
+        self.captures_taken = 0
+        #: Phase-2 evaluations completed (rules run over a capture).
+        self.evaluations_run = 0
+        #: Wall-clock seconds inside phase-1 atomic sections — the actual
+        #: suspend-the-world cost.
+        self.worldstop_seconds = 0.0
+        #: Longest single phase-1 section (per-checkpoint world-stop max).
+        self.worldstop_max = 0.0
+        #: Wall-clock seconds spent in phase-2 evaluation (workload live).
+        self.evaluate_seconds = 0.0
+        #: Per-monitor evaluations that raised (absorbed by the breaker
+        #: instead of escaping the checkpoint).
         self.check_failures = 0
         self._stopped = False
 
@@ -307,6 +485,11 @@ class DetectionEngine:
         entry.detach()
         self._entries.remove(entry)
         del self._by_label[entry.label]
+        self._pending_captures = [
+            capture
+            for capture in self._pending_captures
+            if capture.entry is not entry
+        ]
 
     @property
     def entries(self) -> tuple[RegisteredMonitor, ...]:
@@ -349,51 +532,117 @@ class DetectionEngine:
     # --------------------------------------------------------------- checking
 
     def checkpoint(self) -> list[FaultReport]:
-        """Run one batched periodic check over every registered monitor.
+        """Run one two-phase periodic check over every registered monitor.
 
-        All snapshots, history cuts and rule evaluations execute inside a
-        *single* atomic section — the engine's whole point: the
-        suspend-the-world cost is paid once per interval, not once per
-        monitor.  Returns the new reports (also retained per monitor).
+        Phase 1 (one atomic section) snapshots and cuts every due monitor;
+        phase 2 evaluates the captures with the workload running again.
+        The suspend-the-world cost is paid once per interval and covers
+        only the snapshot/cut sweep.  Returns the new reports (also
+        retained per monitor).
         """
-        started = perf_counter()
-        try:
-            new_reports = self.kernel.atomic(self._checkpoint_locked)
-        finally:
-            self.checking_seconds += perf_counter() - started
+        self.capture_phase()
+        new_reports = self.evaluate_phase()
         self.checkpoints_run += 1
         return new_reports
 
-    def _checkpoint_locked(self) -> list[FaultReport]:
+    def capture_phase(self) -> int:
+        """Phase 1: one atomic section enqueueing a capture per due monitor.
+
+        Returns the number of captures taken.  Breaker gating and adaptive
+        skips happen here — a quarantined or not-yet-due monitor is not
+        snapshotted at all.
+        """
+        started = perf_counter()
+        try:
+            taken = self.kernel.atomic(self._capture_locked)
+        finally:
+            elapsed = perf_counter() - started
+            self.worldstop_seconds += elapsed
+            if elapsed > self.worldstop_max:
+                self.worldstop_max = elapsed
+        return taken
+
+    def _capture_locked(self) -> int:
         self.atomic_sections += 1
         now = self.kernel.now()
-        found: list[FaultReport] = []
+        taken = 0
         for entry in list(self._entries):
             if not entry.breaker.allow(now):
                 entry.checkpoints_skipped += 1
                 continue
-            started = perf_counter()
+            if not entry.due(now):
+                entry.intervals_skipped += 1
+                continue
             try:
-                reports = entry.check()
+                capture = entry.capture(now)
             except Exception as exc:  # noqa: BLE001 — quarantine, not crash
-                # One broken evaluator must not poison the fleet's shared
-                # checkpoint: absorb, count, and let the breaker decide.
+                # A snapshot/cut that raises must not poison the fleet's
+                # shared section: absorb, count, let the breaker decide.
                 self.check_failures += 1
                 entry.breaker.record_failure(
                     now, f"{type(exc).__name__}: {exc}"
                 )
                 continue
-            elapsed = perf_counter() - started
-            budget = entry.config.monitor_check_budget
-            if budget is not None and elapsed > budget:
-                entry.breaker.record_failure(
-                    now, f"check took {elapsed:.4f}s > budget {budget:g}s"
-                )
-            else:
-                entry.breaker.record_success(now)
-            entry.reports.extend(reports)
-            found.extend(reports)
+            self._pending_captures.append(capture)
+            self.captures_taken += 1
+            taken += 1
+        return taken
+
+    def evaluate_phase(self) -> list[FaultReport]:
+        """Phase 2: drain the capture queue, running rules off the world-stop.
+
+        Evaluates in capture (registration) order, so the merged report
+        stream is ordered exactly as the old single-phase checkpoint's.
+        One broken evaluator cannot poison the rest of the drain: an
+        exception is absorbed, counted, and fed to that monitor's breaker
+        — which therefore opens on phase-2 throws exactly as it did when
+        evaluation ran inside the section.
+        """
+        started = perf_counter()
+        found: list[FaultReport] = []
+        try:
+            captures, self._pending_captures = self._pending_captures, []
+            for capture in captures:
+                entry = capture.entry
+                check_started = perf_counter()
+                try:
+                    reports = entry.evaluate(capture)
+                except Exception as exc:  # noqa: BLE001 — quarantine, not crash
+                    self.check_failures += 1
+                    entry.breaker.record_failure(
+                        capture.taken_at, f"{type(exc).__name__}: {exc}"
+                    )
+                    continue
+                elapsed = perf_counter() - check_started
+                budget = entry.config.monitor_check_budget
+                if budget is not None and elapsed > budget:
+                    entry.breaker.record_failure(
+                        capture.taken_at,
+                        f"evaluation took {elapsed:.4f}s > budget {budget:g}s",
+                    )
+                else:
+                    entry.breaker.record_success(capture.taken_at)
+                self.evaluations_run += 1
+                entry.reports.extend(reports)
+                found.extend(reports)
+        finally:
+            self.evaluate_seconds += perf_counter() - started
         return found
+
+    @property
+    def pending_captures(self) -> int:
+        """Captures taken in phase 1 and not yet evaluated."""
+        return len(self._pending_captures)
+
+    @property
+    def checking_seconds(self) -> float:
+        """Total wall-clock checking cost: world-stop plus evaluation.
+
+        The pre-split counter, kept as the sum so Table-1 overhead ratios
+        still charge the detector for *all* its CPU time — but only
+        :attr:`worldstop_seconds` of it stalls the workload.
+        """
+        return self.worldstop_seconds + self.evaluate_seconds
 
     # ------------------------------------------------------------- reporting
 
@@ -481,10 +730,24 @@ class DetectionEngine:
         """Checking windows evaluated in degraded (lossy) mode."""
         return sum(entry.degraded_windows for entry in self._entries)
 
+    @property
+    def intervals_skipped(self) -> int:
+        """Adaptive-schedule skips across all registered monitors."""
+        return sum(entry.intervals_skipped for entry in self._entries)
+
+    @property
+    def forced_captures(self) -> int:
+        """Drop-safety captures taken before ``next_due`` (all monitors)."""
+        return sum(entry.forced_captures for entry in self._entries)
+
     def __repr__(self) -> str:
         return (
             f"DetectionEngine(monitors={len(self._entries)}, "
             f"checkpoints={self.checkpoints_run}, "
+            f"atomic_sections={self.atomic_sections}, "
+            f"captures_taken={self.captures_taken}, "
+            f"evaluations_run={self.evaluations_run}, "
+            f"intervals_skipped={self.intervals_skipped}, "
             f"reports={sum(len(e.reports) for e in self._entries)}, "
             f"dropped_events={self.dropped_events}, "
             f"degraded_windows={self.degraded_windows}, "
@@ -500,7 +763,7 @@ def engine_process(
     """Kernel process body invoking the engine every ``config.interval``.
 
     One process replaces N ``detector_process`` instances: every interval
-    it runs one batched checkpoint over all registered monitors.  Runs
+    it runs one two-phase checkpoint over all registered monitors.  Runs
     ``rounds`` checkpoints (forever when None) or until
     :meth:`DetectionEngine.stop` is called::
 

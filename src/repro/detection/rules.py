@@ -16,7 +16,14 @@ import enum
 
 from repro.detection.faults import FaultClass
 
-__all__ = ["FDRule", "STRule", "SUSPECTS", "DROP_TOLERANT", "is_drop_tolerant"]
+__all__ = [
+    "FDRule",
+    "STRule",
+    "SUSPECTS",
+    "DROP_TOLERANT",
+    "is_drop_tolerant",
+    "degrade_to_drop_tolerant",
+]
 
 
 class FDRule(enum.Enum):
@@ -125,6 +132,37 @@ DROP_TOLERANT: frozenset[STRule] = frozenset(
 def is_drop_tolerant(rule: enum.Enum) -> bool:
     """True when ``rule`` may be evaluated on an incomplete window."""
     return rule in DROP_TOLERANT
+
+
+def degrade_to_drop_tolerant(reports):
+    """Pure degraded-mode filter for one lossy window's findings.
+
+    Keeps only the reports whose rules survive an incomplete event
+    sequence — the drop-tolerant set above, plus the snapshot-witnessed
+    mutual-exclusion violation (ST-3a with no triggering event: it reads
+    the actual state directly and needs no events at all) — each
+    downgraded to ``Confidence.DEGRADED``.  The timer-sweep rules ST-5/6
+    are dropped entirely: the caller re-derives them exactly from the
+    state snapshot (:func:`repro.detection.replay.sweep_timers`), which a
+    truncated replay cannot.
+
+    Operating on plain report lists (no checker state), this runs in the
+    engine's phase 2, off the world-stop critical path.
+    """
+    from dataclasses import replace
+
+    from repro.detection.reports import Confidence
+
+    kept = []
+    for report in reports:
+        if report.rule in (STRule.TMAX_EXCEEDED, STRule.TIO_EXCEEDED):
+            continue  # replaced by the caller's snapshot sweep
+        snapshot_witnessed = (
+            report.rule is STRule.ONE_INSIDE and report.event_seq is None
+        )
+        if is_drop_tolerant(report.rule) or snapshot_witnessed:
+            kept.append(replace(report, confidence=Confidence.DEGRADED))
+    return kept
 
 
 #: Which fault classes a violation of each rule implicates.  A report lists

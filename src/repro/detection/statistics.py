@@ -35,6 +35,11 @@ class FaultStatistics:
         self.by_confidence: Counter[Confidence] = Counter()
         #: Per fault class: how many implications were confirmed vs degraded.
         self.fault_confidence: dict[FaultClass, Counter[Confidence]] = {}
+        #: Two-phase pipeline counters of the source engine (when built via
+        #: :meth:`from_engine`): checkpoints_run, atomic_sections,
+        #: captures_taken, evaluations_run, intervals_skipped, plus the
+        #: worldstop/evaluate wall-clock split.
+        self.engine_counters: dict[str, float] = {}
         self._first_at: Optional[float] = None
         self._last_at: Optional[float] = None
 
@@ -79,6 +84,27 @@ class FaultStatistics:
         stats = cls()
         for detector in detectors:
             stats.record_all(detector.reports)
+        return stats
+
+    @classmethod
+    def from_engine(cls, engine) -> "FaultStatistics":
+        """Aggregate a :class:`DetectionEngine`'s reports and counters.
+
+        Besides the report stream this picks up the engine's two-phase
+        pipeline counters, so one object carries both "what was found" and
+        "what the finding cost" — the split the benches report.
+        """
+        stats = cls()
+        stats.record_all(engine.reports)
+        stats.engine_counters = {
+            "checkpoints_run": engine.checkpoints_run,
+            "atomic_sections": engine.atomic_sections,
+            "captures_taken": engine.captures_taken,
+            "evaluations_run": engine.evaluations_run,
+            "intervals_skipped": engine.intervals_skipped,
+            "worldstop_seconds": engine.worldstop_seconds,
+            "evaluate_seconds": engine.evaluate_seconds,
+        }
         return stats
 
     # --------------------------------------------------------------- queries
@@ -152,6 +178,18 @@ class FaultStatistics:
                 title="\nby monitor",
             )
         )
+        if self.engine_counters:
+            counters = self.engine_counters
+            parts.append(
+                "\nengine: "
+                f"{counters['checkpoints_run']:g} checkpoints, "
+                f"{counters['atomic_sections']:g} atomic sections, "
+                f"{counters['captures_taken']:g} captures, "
+                f"{counters['evaluations_run']:g} evaluations, "
+                f"{counters['intervals_skipped']:g} skipped; "
+                f"world-stop {counters['worldstop_seconds']:.4f}s, "
+                f"evaluate {counters['evaluate_seconds']:.4f}s"
+            )
         return "\n".join(parts)
 
     def __repr__(self) -> str:

@@ -10,22 +10,28 @@ take the monitored application down with it.
 Three mechanisms, all deterministic on the sim kernel:
 
 * :class:`CircuitBreaker` — per-monitor quarantine.  A registered monitor
-  whose ``check()`` raises (or repeatedly blows its per-monitor time
-  budget) transitions CLOSED → OPEN: it is skipped by subsequent batched
-  checkpoints so one broken evaluator cannot poison the fleet's shared
-  atomic section.  After ``breaker_cooldown`` virtual seconds the breaker
-  goes HALF_OPEN and the next checkpoint runs a single probe check; a
-  clean probe re-closes the breaker, a failing probe re-opens it.
+  whose evaluator raises (in either phase of the two-phase checkpoint —
+  a phase-2 throw off the critical path still opens the breaker) or
+  repeatedly blows its per-monitor time budget transitions
+  CLOSED → OPEN: it is skipped by subsequent batched checkpoints so one
+  broken evaluator cannot poison the fleet's shared pipeline.  The
+  per-monitor budget (``monitor_check_budget``) times the phase-2
+  evaluation — only snapshot/cut time counts as world-stop.  After
+  ``breaker_cooldown`` virtual seconds the breaker goes HALF_OPEN and the
+  next checkpoint runs a single probe check; a clean probe re-closes the
+  breaker, a failing probe re-opens it.
 * :class:`CheckpointSupervisor` — wraps :meth:`DetectionEngine.checkpoint`
-  with a wall-clock budget, retry-with-exponential-backoff on transient
-  failures (``checkpoint_retries`` / ``retry_backoff``), and a stall
-  watchdog (``stall_timeout``).  :func:`supervisor_process` is the kernel
-  process that paces it — a drop-in replacement for ``engine_process``
-  whose checkpoints can fail without crashing the run.
+  (both phases: capture and evaluation) with a wall-clock budget,
+  retry-with-exponential-backoff on transient failures
+  (``checkpoint_retries`` / ``retry_backoff``), and a stall watchdog
+  (``stall_timeout``).  :func:`supervisor_process` is the kernel process
+  that paces it — a drop-in replacement for ``engine_process`` whose
+  checkpoints can fail without crashing the run.
 * **snapshot/restore** — :meth:`CheckpointSupervisor.snapshot_state` /
-  :meth:`restore_state` persist per-monitor breaker state, counters and
-  each sink's checkpoint base state (via :mod:`repro.history.serialize`),
-  so a supervisor restarted after a crash resumes its windows instead of
+  :meth:`restore_state` persist per-monitor breaker state, counters, the
+  adaptive capture schedule (event-rate EWMA and ``next_due``) and each
+  sink's checkpoint base state (via :mod:`repro.history.serialize`), so a
+  supervisor restarted after a crash resumes its windows instead of
   re-checking from a cold, divergent base.
 """
 
@@ -314,6 +320,9 @@ class CheckpointSupervisor:
                     "opened_at": entry.breaker.opened_at,
                     "checkpoints_run": entry.checkpoints_run,
                     "checkpoints_skipped": entry.checkpoints_skipped,
+                    "event_rate": entry.event_rate,
+                    "next_due": entry.next_due,
+                    "intervals_skipped": entry.intervals_skipped,
                     "sink": sink_state_to_dict(entry.history),
                 }
                 for entry in self.engine.entries
@@ -345,6 +354,11 @@ class CheckpointSupervisor:
             breaker.opened_at = record["opened_at"]
             entry.checkpoints_run = record["checkpoints_run"]
             entry.checkpoints_skipped = record["checkpoints_skipped"]
+            # Adaptive-schedule fields are absent from pre-split snapshots.
+            entry.event_rate = record.get("event_rate", 0.0)
+            entry._rate_primed = entry.event_rate > 0.0
+            entry.next_due = record.get("next_due")
+            entry.intervals_skipped = record.get("intervals_skipped", 0)
             apply_sink_state(entry.history, record["sink"])
             restored.append(entry.label)
         return restored

@@ -117,26 +117,30 @@ class ChaosConfig:
 
 
 class SabotagedCheck:
-    """Wraps one registered monitor's ``check`` to raise N times, then heal.
+    """Wraps one registered monitor's ``evaluate`` to raise N times, then heal.
 
     Installed with :func:`sabotage_entry`; deterministic by construction
     (the first ``failures`` invocations raise :class:`ChaosError`, every
-    later one delegates to the original check).  Because a quarantined
-    monitor is *skipped*, invocations only burn down while the breaker
-    actually lets the check run — which is exactly what makes the
+    later one delegates to the original evaluator).  Wrapping ``evaluate``
+    sabotages the *phase-2* rule evaluation of the two-phase checkpoint —
+    the phase-1 snapshot/cut still succeeds, so this exercises exactly the
+    "checker throws off the critical path, breaker must still open" seam.
+    ``entry.check()`` goes through the same wrapper.  Because a
+    quarantined monitor is *skipped*, invocations only burn down while the
+    breaker actually lets the check run — which is exactly what makes the
     OPEN → HALF_OPEN probe → OPEN → … → CLOSED lifecycle observable.
     """
 
     def __init__(self, entry: RegisteredMonitor, failures: int) -> None:
         if failures < 1:
             raise InjectionError(f"failures must be >= 1, got {failures}")
-        self._inner = entry.check
+        self._inner = entry.evaluate
         self.entry = entry
         self.remaining = failures
         self.raised = 0
-        entry.check = self  # type: ignore[method-assign]
+        entry.evaluate = self  # type: ignore[method-assign]
 
-    def __call__(self) -> list[FaultReport]:
+    def __call__(self, capture) -> list[FaultReport]:
         if self.remaining > 0:
             self.remaining -= 1
             self.raised += 1
@@ -144,7 +148,7 @@ class SabotagedCheck:
                 f"injected rule-evaluator failure in {self.entry.label!r} "
                 f"({self.remaining} left)"
             )
-        return self._inner()
+        return self._inner(capture)
 
     @property
     def healed(self) -> bool:
