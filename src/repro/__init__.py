@@ -61,6 +61,8 @@ from repro.detection import (
     DeadlockDetector,
     DetectionEngine,
     DetectorConfig,
+    DurableEngine,
+    RecoverySummary,
     FaultClass,
     FaultDetector,
     FaultLevel,
@@ -73,6 +75,7 @@ from repro.detection import (
     check_full_trace,
     check_general_concurrency_control,
     detector_process,
+    report_key,
     engine_process,
     supervisor_process,
 )
@@ -87,6 +90,7 @@ from repro.errors import (
 )
 from repro.history import (
     BoundedHistory,
+    WriteAheadLog,
     EventKind,
     EventSink,
     HistoryDatabase,
@@ -100,10 +104,14 @@ from repro.injection import (
     CampaignOutcome,
     ChaosCampaignResult,
     ChaosConfig,
+    CrashPoint,
+    CrashRecoveryConfig,
+    CrashRecoveryResult,
     TriggeredHooks,
     run_all_campaigns,
     run_campaign,
     run_chaos_campaign,
+    run_crash_recovery_campaign,
 )
 from repro.kernel import (
     Block,
@@ -174,6 +182,7 @@ __all__ = [
     "EventSink",
     "HistoryDatabase",
     "BoundedHistory",
+    "WriteAheadLog",
     "Segment",
     "SchedulingEvent",
     "SchedulingState",
@@ -190,6 +199,9 @@ __all__ = [
     "DetectorConfig",
     "detector_process",
     "DetectionEngine",
+    "DurableEngine",
+    "RecoverySummary",
+    "report_key",
     "engine_process",
     "BreakerState",
     "CircuitBreaker",
@@ -215,6 +227,10 @@ __all__ = [
     "ChaosConfig",
     "ChaosCampaignResult",
     "run_chaos_campaign",
+    "CrashPoint",
+    "CrashRecoveryConfig",
+    "CrashRecoveryResult",
+    "run_crash_recovery_campaign",
     # recovery extensions
     "MonitorAssertion",
     "AssertionChecker",

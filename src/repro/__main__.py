@@ -8,10 +8,12 @@ Commands
 ``coverage [--seed N]``
     The robustness experiment: inject all 21 fault classes, print the
     per-class detection table (exit status 1 if any class is missed).
-``overhead [--backend sim|threads] [--repeats N] [--engine] [--bounded C] [--json PATH]``
+``overhead [--backend sim|threads] [--repeats N] [--engine] [--bounded C] [--wal] [--json PATH]``
     Regenerate Table 1 (overhead ratio vs checking interval); ``--engine``
     checks through a shared DetectionEngine registration, ``--bounded``
-    records through a capacity-C ring buffer and surfaces dropped events.
+    records through a capacity-C ring buffer and surfaces dropped events,
+    ``--wal`` instead measures write-ahead-log recording overhead
+    (events/sec and bytes/event per fsync policy vs the in-memory sink).
 ``scaling [--backend sim|threads] [--counts N ...] [--quick] [--json PATH]``
     Engine scaling: batched checkpoints vs per-monitor detectors at
     fleet sizes 1/4/16.
@@ -20,6 +22,11 @@ Commands
     injected into the detection pipeline itself (raising evaluators,
     transient checkpoint failures, delays, event-drop bursts); exit
     status 1 unless the supervised engine rides it out cleanly.
+``crash-recovery [--seed N] [--rounds N] [--crashes N] [--backend sim|threads] [--fsync P] [--points P ...]``
+    Crash-durability campaign: kill a WAL-backed DurableEngine at seeded
+    crash points, restart and recover it, and compare the delivered fault
+    set against an uninterrupted golden run; exit status 1 unless the
+    sets match with zero duplicates.
 ``check TRACE.jsonl --monitor {buffer,allocator} [--tmax T] ...``
     Offline FD-rule checking of a persisted JSONL trace (see
     :mod:`repro.history.serialize`).
@@ -103,6 +110,8 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
         argv.append("--engine")
     if args.bounded is not None:
         argv += ["--bounded", str(args.bounded)]
+    if args.wal:
+        argv.append("--wal")
     if args.json is not None:
         argv += ["--json", args.json]
     return overhead_main(argv)
@@ -125,6 +134,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.injection.chaos import run_chaos_campaign
 
     result = run_chaos_campaign(seed=args.seed, rounds=args.rounds)
+    print(result.summary())
+    return 0 if result.passed else 1
+
+
+def _cmd_crash_recovery(args: argparse.Namespace) -> int:
+    from repro.injection.chaos import CrashPoint, run_crash_recovery_campaign
+
+    points = (
+        tuple(CrashPoint(value) for value in args.points)
+        if args.points
+        else None
+    )
+    result = run_crash_recovery_campaign(
+        seed=args.seed,
+        rounds=args.rounds,
+        crashes=args.crashes,
+        backend=args.backend,
+        fsync=args.fsync,
+        crash_points=points,
+    )
     print(result.summary())
     return 0 if result.passed else 1
 
@@ -244,6 +273,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     overhead.add_argument("--repeats", type=int, default=3)
     overhead.add_argument("--engine", action="store_true")
     overhead.add_argument("--bounded", type=int, default=None, metavar="CAPACITY")
+    overhead.add_argument(
+        "--wal",
+        action="store_true",
+        help="measure WAL recording overhead per fsync policy instead",
+    )
     overhead.add_argument("--json", default=None, metavar="PATH")
     overhead.set_defaults(func=_cmd_overhead)
 
@@ -262,6 +296,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--rounds", type=int, default=60)
     chaos.set_defaults(func=_cmd_chaos)
+
+    crash = subparsers.add_parser(
+        "crash-recovery",
+        help="crash-durability campaign: kill, restart, recover, compare",
+    )
+    crash.add_argument("--seed", type=int, default=0)
+    crash.add_argument("--rounds", type=int, default=40)
+    crash.add_argument("--crashes", type=int, default=4)
+    crash.add_argument(
+        "--backend", choices=("sim", "threads"), default="sim"
+    )
+    crash.add_argument(
+        "--fsync", choices=("always", "interval", "never"), default="interval"
+    )
+    crash.add_argument(
+        "--points",
+        nargs="*",
+        default=None,
+        metavar="POINT",
+        choices=(
+            "mid-capture", "mid-evaluate",
+            "mid-snapshot-write", "mid-wal-append",
+        ),
+        help="crash points to sample from (default: all four)",
+    )
+    crash.set_defaults(func=_cmd_crash_recovery)
 
     check = subparsers.add_parser(
         "check", help="offline FD-rule check of a JSONL trace"

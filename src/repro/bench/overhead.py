@@ -25,8 +25,11 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import shutil
 import statistics
+import tempfile
 from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.bench.tables import render_table
@@ -34,6 +37,7 @@ from repro.detection.detector import DetectorConfig, FaultDetector, detector_pro
 from repro.detection.engine import DetectionEngine, engine_process
 from repro.history.bounded import BoundedHistory
 from repro.history.database import HistoryDatabase
+from repro.history.wal import FSYNC_POLICIES, WriteAheadLog
 from repro.kernel.policies import RandomPolicy
 from repro.kernel.sim import SimKernel
 from repro.kernel.threads import ThreadKernel
@@ -45,6 +49,11 @@ __all__ = [
     "overhead_table",
     "render_overhead_table",
     "rows_to_json",
+    "WalOverheadRow",
+    "measure_wal_overhead",
+    "wal_overhead_table",
+    "render_wal_table",
+    "wal_rows_to_json",
     "main",
 ]
 
@@ -314,6 +323,218 @@ def rows_to_json(rows: Sequence[OverheadRow], *, backend: str) -> dict:
     }
 
 
+# ------------------------------------------------------------ WAL overhead
+
+
+@dataclass(frozen=True)
+class WalOverheadRow:
+    """One recording-sink measurement: scenario x sink policy.
+
+    ``policy`` is ``"memory"`` (the in-memory :class:`HistoryDatabase`
+    baseline) or a WAL fsync policy (``always`` / ``interval`` /
+    ``never``).  ``ratio_vs_memory`` is what durability costs the
+    monitor-operation path — the CI perf-smoke asserts the ``never``
+    policy stays under 2x.
+    """
+
+    scenario: str
+    policy: str
+    op_seconds: float
+    events: int
+    events_per_second: float
+    bytes_written: int
+    bytes_per_event: float
+    fsyncs: int
+    segments: int
+    ratio_vs_memory: float
+
+
+def _run_wal_once(
+    scenario: str,
+    backend: str,
+    spec: WorkloadSpec,
+    interval: float,
+    policy: Optional[str],
+) -> tuple[float, int, int, int, int]:
+    """One workload run against one recording sink.
+
+    Returns (monitor-op seconds, events recorded, WAL bytes written, WAL
+    fsyncs, WAL segments).  ``policy=None`` records into the in-memory
+    :class:`HistoryDatabase` — the baseline the WAL rows are divided by.
+    The engine runs at ``interval`` in both cases so the WAL's cut-time
+    flush work is part of what gets measured.
+    """
+    kernel = _make_kernel(backend, spec.seed)
+    wal_dir: Optional[Path] = None
+    history: Union[HistoryDatabase, WriteAheadLog]
+    if policy is None:
+        history = HistoryDatabase()
+    else:
+        wal_dir = Path(tempfile.mkdtemp(prefix="repro-wal-bench-"))
+        history = WriteAheadLog(wal_dir, fsync=policy)
+    try:
+        run = build_scenario(scenario, kernel, history, spec)
+        config = DetectorConfig(
+            interval=interval, tmax=120.0, tio=120.0, tlimit=120.0
+        )
+        engine = DetectionEngine(kernel, config)
+        engine.register(run.monitor)
+        remaining = {"count": len(run.bodies)}
+
+        def finishing(body):
+            result = yield from body
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                engine.stop()
+            return result
+
+        for index, body in enumerate(run.bodies):
+            kernel.spawn(finishing(body), f"{run.name}-{index}")
+        kernel.spawn(engine_process(engine), "detection-engine")
+        horizon = spec.operations * spec.think_time * 40 + 60
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            kernel.run(until=horizon, max_steps=20_000_000)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect()
+        kernel.raise_failures()
+        ops = run.monitor.monitor.op_seconds
+        events = history.total_recorded
+        if isinstance(history, WriteAheadLog):
+            history.flush(sync=False)
+            stats = (
+                history.bytes_written,
+                history.fsyncs,
+                history.segment_count,
+            )
+            history.close()
+        else:
+            stats = (0, 0, 0)
+        return (ops, events) + stats
+    finally:
+        if wal_dir is not None:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
+
+def measure_wal_overhead(
+    scenario: str,
+    *,
+    backend: str = "sim",
+    spec: Optional[WorkloadSpec] = None,
+    interval: float = 1.0,
+    repeats: int = 3,
+    policies: Sequence[str] = FSYNC_POLICIES,
+) -> list[WalOverheadRow]:
+    """Measure WAL recording cost per fsync policy against in-memory.
+
+    Returns one row per policy plus the leading ``memory`` baseline row;
+    timings are the minimum over ``repeats`` runs (noise only adds).
+    """
+    spec = spec or BENCH_SPEC
+    rows: list[WalOverheadRow] = []
+    base_ops = float("inf")
+    for policy in (None, *policies):
+        samples = [
+            _run_wal_once(scenario, backend, spec, interval, policy)
+            for __ in range(repeats)
+        ]
+        ops = min(sample[0] for sample in samples)
+        events, bytes_written, fsyncs, segments = samples[-1][1:]
+        if policy is None:
+            base_ops = ops
+        rows.append(
+            WalOverheadRow(
+                scenario=scenario,
+                policy=policy or "memory",
+                op_seconds=ops,
+                events=events,
+                events_per_second=events / ops if ops > 0 else float("nan"),
+                bytes_written=bytes_written,
+                bytes_per_event=(
+                    bytes_written / events if events else 0.0
+                ),
+                fsyncs=fsyncs,
+                segments=segments,
+                ratio_vs_memory=(
+                    ops / base_ops if base_ops > 0 else float("nan")
+                ),
+            )
+        )
+    return rows
+
+
+def wal_overhead_table(
+    *,
+    scenarios: Sequence[str] = PAPER_SCENARIOS,
+    backend: str = "sim",
+    spec: Optional[WorkloadSpec] = None,
+    interval: float = 1.0,
+    repeats: int = 3,
+) -> list[WalOverheadRow]:
+    """WAL grid: every scenario x (memory + the three fsync policies)."""
+    rows: list[WalOverheadRow] = []
+    for scenario in scenarios:
+        rows.extend(
+            measure_wal_overhead(
+                scenario,
+                backend=backend,
+                spec=spec,
+                interval=interval,
+                repeats=repeats,
+            )
+        )
+    return rows
+
+
+def render_wal_table(rows: Sequence[WalOverheadRow]) -> str:
+    headers = [
+        "scenario", "sink", "ops (s)", "events", "events/s",
+        "bytes", "bytes/event", "fsyncs", "segments", "vs memory",
+    ]
+    table_rows = [
+        [
+            row.scenario,
+            row.policy,
+            f"{row.op_seconds:.4f}",
+            row.events,
+            f"{row.events_per_second:,.0f}",
+            row.bytes_written,
+            f"{row.bytes_per_event:.1f}",
+            row.fsyncs,
+            row.segments,
+            f"{row.ratio_vs_memory:.3f}x",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        headers,
+        table_rows,
+        title="WAL recording overhead vs in-memory history",
+    )
+
+
+def wal_rows_to_json(rows: Sequence[WalOverheadRow], *, backend: str) -> dict:
+    """Machine-readable WAL grid, durability counters included per row."""
+    return {
+        "bench": "overhead-wal",
+        "backend": backend,
+        "rows": [
+            {
+                **asdict(row),
+                "durability_counters": {
+                    "wal_bytes_written": row.bytes_written,
+                    "wal_fsyncs": row.fsyncs,
+                    "wal_segments": row.segments,
+                },
+            }
+            for row in rows
+        ],
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -350,9 +571,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="also write the grid as JSON to PATH ('-' for stdout)",
     )
+    parser.add_argument(
+        "--wal",
+        action="store_true",
+        help="measure WAL recording overhead instead of Table 1: "
+        "events/sec and bytes/event for each fsync policy "
+        "(always/interval/never) against the in-memory sink",
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="*",
+        default=list(PAPER_SCENARIOS),
+        help="monitor scenarios to measure (default: all three)",
+    )
     args = parser.parse_args(argv)
+    if args.wal:
+        interval = args.intervals[0] if args.intervals else 1.0
+        wal_rows = wal_overhead_table(
+            scenarios=args.scenarios,
+            backend=args.backend,
+            interval=interval,
+            repeats=args.repeats,
+        )
+        print(render_wal_table(wal_rows))
+        if args.json is not None:
+            payload = json.dumps(
+                wal_rows_to_json(wal_rows, backend=args.backend), indent=2
+            )
+            if args.json == "-":
+                print(payload)
+            else:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+                print(f"json written to {args.json}")
+        return 0
     rows = overhead_table(
         intervals=args.intervals,
+        scenarios=args.scenarios,
         backend=args.backend,
         repeats=args.repeats,
         use_engine=args.engine,

@@ -30,12 +30,26 @@ Contents:
   quarantine, the :class:`~repro.detection.supervision.CheckpointSupervisor`
   (checkpoint budget, retry with backoff, stall watchdog, snapshot/restore),
   and :func:`~repro.detection.supervision.supervisor_process`.
+* :mod:`repro.detection.durability` — crash durability: the
+  :class:`~repro.detection.durability.DurableEngine` wrapper persisting
+  WAL-backed histories, atomic state snapshots and an exactly-once report
+  journal, with :meth:`~repro.detection.durability.DurableEngine.recover`
+  rebuilding a restarted detector to the crashed one's fault set.
 """
 
 from repro.detection.algorithm1 import check_general_concurrency_control
 from repro.detection.algorithm2 import ResourceStateChecker
 from repro.detection.algorithm3 import CallingOrderChecker
 from repro.detection.detector import DetectorConfig, FaultDetector, detector_process
+from repro.detection.durability import (
+    DurableEngine,
+    RecoverySummary,
+    ReportJournal,
+    SnapshotStore,
+    report_from_dict,
+    report_key,
+    report_to_dict,
+)
 from repro.detection.engine import (
     DetectionEngine,
     RegisteredMonitor,
@@ -91,4 +105,11 @@ __all__ = [
     "SupervisorEvent",
     "CheckpointSupervisor",
     "supervisor_process",
+    "DurableEngine",
+    "RecoverySummary",
+    "ReportJournal",
+    "SnapshotStore",
+    "report_key",
+    "report_to_dict",
+    "report_from_dict",
 ]

@@ -1,0 +1,675 @@
+"""Crash-durable detection: snapshots, a report journal, and recovery.
+
+The paper assumes the fault detection routine outlives the computation it
+watches; everything in our pipeline — open checking windows, Algorithm-2
+counters, the Algorithm-3 Request-List, breaker state, pending reports —
+lives in process memory and dies with the detector.  This module closes
+that gap with three durable artefacts under one root directory:
+
+* ``wal/<label>/`` — one :class:`~repro.history.wal.WriteAheadLog` per
+  registered monitor (attached by :meth:`DurableEngine.register`), so the
+  Section 3.1 history database itself survives,
+* ``snapshots/`` — numbered, checksummed engine-state snapshots written
+  atomically (temp file, fsync, rename) after every checkpoint's phase-2
+  evaluation; a corrupt latest snapshot falls back to the previous one,
+* ``reports.jsonl`` — the **report journal**: every fault report is
+  journaled *before* it is surfaced, keyed by :func:`report_key`, giving
+  exactly-once delivery across restarts — a recovered detector re-derives
+  the reports of the interrupted window and the journal deduplicates the
+  re-derivations.
+
+Snapshots are written *after* evaluation and journaling deliberately: a
+crash anywhere inside a checkpoint then recovers from the previous
+snapshot, replays the WAL past its offsets, re-runs the interrupted
+checkpoint, and the journal absorbs every re-derived report.  A snapshot
+taken between capture and evaluation would instead advance the sink's
+base state past a window whose reports were never produced — losing them.
+
+:meth:`DurableEngine.recover` is the restart path: load the journal, load
+the latest valid snapshot (building on
+:meth:`~repro.detection.supervision.CheckpointSupervisor.restore_state`,
+which rejects a mismatched monitor fleet), replay WAL events past the
+snapshot's per-sink offsets — re-driving the real-time Algorithm-3 tap —
+and surface only reports the journal has not seen.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Callable, Optional, Union
+
+from repro.detection.config import DetectorConfig
+from repro.detection.engine import DetectionEngine, RegisteredMonitor
+from repro.detection.reports import Confidence, FaultReport
+from repro.detection.rules import FDRule, STRule
+from repro.detection.supervision import CheckpointSupervisor
+from repro.errors import RecoveryError
+from repro.history.wal import WriteAheadLog
+
+__all__ = [
+    "report_key",
+    "report_to_dict",
+    "report_from_dict",
+    "ReportJournal",
+    "SnapshotStore",
+    "RecoverySummary",
+    "DurableEngine",
+]
+
+
+# ----------------------------------------------------------------- reports
+
+
+def _rule_from_id(value: str):
+    for enum_type in (STRule, FDRule):
+        try:
+            return enum_type(value)
+        except ValueError:
+            continue
+    raise RecoveryError(f"unknown rule id {value!r} in journaled report")
+
+
+def report_key(report: FaultReport) -> str:
+    """Stable identity of one fault report across process restarts.
+
+    Everything that makes the finding *the same finding* — rule, monitor,
+    implicated pids, triggering event, window and timestamps — and nothing
+    presentation-only (the message).  Floats are keyed by ``repr`` so the
+    key survives JSON round-trips bit-for-bit.
+    """
+    return "|".join(
+        (
+            report.rule_id,
+            report.monitor,
+            repr(report.detected_at),
+            ",".join(str(pid) for pid in report.pids),
+            repr(report.event_seq),
+            repr(report.window_start),
+            report.confidence.value,
+        )
+    )
+
+
+def report_to_dict(report: FaultReport) -> dict:
+    """One fault report as a JSON-compatible journal record."""
+    return {
+        "kind": "report",
+        "rule": report.rule_id,
+        "message": report.message,
+        "monitor": report.monitor,
+        "detected_at": report.detected_at,
+        "pids": list(report.pids),
+        "event_seq": report.event_seq,
+        "window_start": report.window_start,
+        "confidence": report.confidence.value,
+    }
+
+
+def report_from_dict(record: dict) -> FaultReport:
+    if record.get("kind") != "report":
+        raise RecoveryError(f"not a report record: {record!r}")
+    try:
+        return FaultReport(
+            rule=_rule_from_id(record["rule"]),
+            message=record["message"],
+            monitor=record["monitor"],
+            detected_at=record["detected_at"],
+            pids=tuple(record["pids"]),
+            event_seq=record["event_seq"],
+            window_start=record["window_start"],
+            confidence=Confidence(record["confidence"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RecoveryError(f"malformed report record: {exc}") from exc
+
+
+class ReportJournal:
+    """Append-only JSONL journal giving exactly-once report delivery.
+
+    ``admit`` is the single gate every surfaced report passes through:
+    a report whose :func:`report_key` the journal already holds is
+    rejected (it was delivered by a previous incarnation of the process),
+    otherwise it is appended — and flushed — *before* the caller may show
+    it to anyone.  Reopening tolerates a torn final line exactly like the
+    WAL: the interrupted append never surfaced its report, so dropping it
+    loses nothing.
+    """
+
+    def __init__(self, path: Union[str, Path], *, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self.reports: list[FaultReport] = []
+        self.seen: set[str] = set()
+        self.journaled = 0
+        self.deduplicated = 0
+        self.torn_tails_truncated = 0
+        if self.path.exists():
+            self._load_existing()
+        self._handle: Optional[IO[str]] = open(  # noqa: SIM115 — long-lived
+            self.path, "a", buffering=1, encoding="utf-8"
+        )
+
+    def _load_existing(self) -> None:
+        raw = self.path.read_bytes()
+        good = len(raw)
+        if raw and not raw.endswith(b"\n"):
+            good = raw.rfind(b"\n") + 1
+        lines = raw[:good].decode("utf-8").splitlines()
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if number == len(lines):
+                    good = raw.find(line.encode("utf-8"))
+                    break
+                raise RecoveryError(
+                    f"{self.path.name} line {number}: corrupt journal: {exc}"
+                ) from exc
+            report = report_from_dict(record)
+            self.reports.append(report)
+            self.seen.add(report_key(report))
+        if good < len(raw):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good)
+            self.torn_tails_truncated += 1
+
+    def admit(self, report: FaultReport) -> bool:
+        """Journal one report; False when it was already delivered."""
+        key = report_key(report)
+        if key in self.seen:
+            self.deduplicated += 1
+            return False
+        assert self._handle is not None, "admit to a closed journal"
+        self._handle.write(json.dumps(report_to_dict(report)) + "\n")
+        if self._fsync:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        self.seen.add(key)
+        self.reports.append(report)
+        self.journaled += 1
+        return True
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ReportJournal({str(self.path)!r}, reports={len(self.reports)}, "
+            f"journaled={self.journaled}, deduplicated={self.deduplicated})"
+        )
+
+
+# --------------------------------------------------------------- snapshots
+
+
+class SnapshotStore:
+    """Numbered, checksummed, atomically-written state snapshots.
+
+    ``write`` serialises the payload, wraps it with a sha256 checksum,
+    writes a temp file in the same directory, fsyncs it, and renames it
+    into place — a reader (or a restarted process) sees either the old
+    snapshot or the complete new one, never a torn middle.  ``load_latest``
+    walks snapshots newest-first and falls back past any that fail the
+    checksum or do not parse (counted in ``corrupt_skipped``).
+    """
+
+    def __init__(self, directory: Union[str, Path], *, keep: int = 4) -> None:
+        if keep < 1:
+            raise RecoveryError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.written = 0
+        self.corrupt_skipped = 0
+        #: Crash-injection hook: called between the temp write and the
+        #: rename, i.e. at the exact instant where dying leaves the old
+        #: snapshot in place.  None outside chaos campaigns.
+        self.before_rename: Optional[Callable[[], None]] = None
+        existing = self.paths()
+        self._next_index = (
+            int(existing[-1].stem.split("-")[-1]) + 1 if existing else 1
+        )
+
+    def paths(self) -> list[Path]:
+        """All snapshot files, oldest first."""
+        return sorted(self.directory.glob("snapshot-*.json"))
+
+    @staticmethod
+    def _checksum(payload: dict) -> str:
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def write(self, payload: dict) -> Path:
+        path = self.directory / f"snapshot-{self._next_index:06d}.json"
+        body = {
+            "kind": "engine-snapshot",
+            "checksum": self._checksum(payload),
+            "payload": payload,
+        }
+        temp = path.with_name(path.name + ".tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(body, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if self.before_rename is not None:
+            self.before_rename()
+        os.replace(temp, path)
+        self._next_index += 1
+        self.written += 1
+        for stale in self.paths()[: -self.keep]:
+            stale.unlink(missing_ok=True)
+        return path
+
+    def load_latest(self) -> Optional[tuple[dict, Path]]:
+        """Newest snapshot that passes its checksum, or None.
+
+        Corrupt or truncated candidates are skipped (and counted), so a
+        snapshot torn by a crash — or rotted on disk — silently falls back
+        to the previous consistent one instead of failing recovery.
+        """
+        for path in reversed(self.paths()):
+            try:
+                body = json.loads(path.read_text(encoding="utf-8"))
+                payload = body["payload"]
+                intact = (
+                    body.get("kind") == "engine-snapshot"
+                    and body.get("checksum") == self._checksum(payload)
+                )
+            except (ValueError, KeyError, TypeError, OSError):
+                intact = False
+                payload = None
+            if intact:
+                return payload, path
+            self.corrupt_skipped += 1
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotStore({str(self.directory)!r}, "
+            f"snapshots={len(self.paths())}, written={self.written}, "
+            f"corrupt_skipped={self.corrupt_skipped})"
+        )
+
+
+# ----------------------------------------------------------- durable engine
+
+
+@dataclass(frozen=True)
+class RecoverySummary:
+    """What one :meth:`DurableEngine.recover` call did."""
+
+    #: Snapshot the state was restored from (None = cold start).
+    snapshot_path: Optional[str]
+    #: Corrupt snapshots skipped while finding a valid one.
+    snapshot_fallbacks: int
+    #: Durable WAL events replayed past the snapshot offsets.
+    events_replayed: int
+    #: Previously delivered reports reloaded from the journal.
+    reports_restored: int
+    #: Reports newly produced by the replayed real-time tap.
+    reports_recovered: int
+    #: Replay re-derivations the journal rejected as already delivered.
+    reports_deduplicated: int
+
+    def render(self) -> str:
+        source = self.snapshot_path or "cold start (no snapshot)"
+        return (
+            f"recovered from {source} "
+            f"(+{self.snapshot_fallbacks} corrupt skipped): "
+            f"{self.events_replayed} events replayed, "
+            f"{self.reports_restored} reports restored, "
+            f"{self.reports_recovered} recovered, "
+            f"{self.reports_deduplicated} deduplicated"
+        )
+
+
+class DurableEngine:
+    """Crash-durability wrapper around one :class:`DetectionEngine`.
+
+    Registration goes through :meth:`register`, which attaches a fresh
+    :class:`~repro.history.wal.WriteAheadLog` under ``root/wal/<label>``
+    to each monitor (replacing any previously attached sink — events
+    recorded before registration are only as durable as that sink was).
+    :meth:`checkpoint` replaces ``engine.checkpoint`` as the thing a
+    pacing process calls: it runs the two-phase checkpoint, journals the
+    new reports, then writes a state snapshot.  After assembling the
+    fleet, call :meth:`baseline` once so a crash before the first
+    checkpoint still finds a snapshot of the true initial state.
+
+    ``durable.reports`` — not ``engine.reports`` — is the canonical
+    delivered-report stream: it is rebuilt from the journal on recovery,
+    while the in-memory engine only carries what the current incarnation
+    derived.  Attribute access falls through to the wrapped engine, so
+    counters, ``stopped``, statistics helpers and
+    :class:`~repro.detection.supervision.CheckpointSupervisor` pacing all
+    work against the durable wrapper unchanged.
+    """
+
+    def __init__(
+        self,
+        engine: DetectionEngine,
+        root: Union[str, Path],
+        *,
+        fsync: str = "interval",
+        fsync_every: int = 32,
+        segment_bytes: int = 1 << 20,
+        keep_snapshots: int = 4,
+    ) -> None:
+        self.engine = engine
+        self.root = Path(root)
+        self.fsync = fsync
+        self.fsync_every = fsync_every
+        self.segment_bytes = segment_bytes
+        self.snapshots = SnapshotStore(
+            self.root / "snapshots", keep=keep_snapshots
+        )
+        self.journal = ReportJournal(
+            self.root / "reports.jsonl", fsync=(fsync == "always")
+        )
+        #: The durable delivered-report stream (journal-backed).
+        self.reports: list[FaultReport] = list(self.journal.reports)
+        #: Times :meth:`recover` ran in this process.
+        self.recoveries = 0
+        #: Re-derived reports the journal rejected (exactly-once at work).
+        self.reports_deduplicated = 0
+        #: Supervisor used for its snapshot/restore of per-monitor state;
+        #: also usable to pace this wrapper (it sees ``self.checkpoint``).
+        self.supervisor = CheckpointSupervisor(self)
+        self._consumed: dict[str, int] = {}
+
+    def __getattr__(self, name: str):
+        try:
+            engine = object.__getattribute__(self, "engine")
+        except AttributeError:
+            raise AttributeError(name) from None
+        return getattr(engine, name)
+
+    # ---------------------------------------------------------- registration
+
+    def register(
+        self,
+        target,
+        config: Optional[DetectorConfig] = None,
+        *,
+        label: Optional[str] = None,
+    ) -> RegisteredMonitor:
+        """Register a monitor with a fresh WAL sink under the root dir.
+
+        The WAL directory is keyed by the same unique label the engine
+        will assign, so re-registering the fleet after a restart (same
+        order, same labels) reopens each monitor's own log.
+        """
+        monitor = getattr(target, "monitor", target)
+        base = label or monitor.name
+        unique, suffix = base, 2
+        while unique in self.engine.labels:
+            unique = f"{base}#{suffix}"
+            suffix += 1
+        old = monitor.history
+        if isinstance(old, WriteAheadLog):
+            old.close()
+        wal = WriteAheadLog(
+            self.root / "wal" / unique.replace("/", "_"),
+            fsync=self.fsync,
+            fsync_every=self.fsync_every,
+            segment_bytes=self.segment_bytes,
+        )
+        monitor.core.attach_history(wal)
+        entry = self.engine.register(monitor, config, label=unique)
+        self._consumed[entry.label] = len(entry.reports)
+        return entry
+
+    def _wal_entries(self) -> list[tuple[RegisteredMonitor, WriteAheadLog]]:
+        return [
+            (entry, entry.history)
+            for entry in self.engine.entries
+            if isinstance(entry.history, WriteAheadLog)
+        ]
+
+    # -------------------------------------------------------------- checking
+
+    def baseline(self) -> Path:
+        """Persist the initial snapshot (call once after registration)."""
+        return self._write_snapshot()
+
+    def checkpoint(self) -> list[FaultReport]:
+        """One durable checkpoint: evaluate, journal, snapshot.
+
+        Returns only reports the journal had not delivered before — after
+        a recovery, the re-run of an interrupted checkpoint re-derives the
+        same findings and returns an empty list instead of duplicates.
+        """
+        self.engine.checkpoint()
+        fresh = self._admit_new_reports()
+        self._write_snapshot()
+        return fresh
+
+    def _admit_new_reports(self) -> list[FaultReport]:
+        """Offer every not-yet-journaled engine report to the journal.
+
+        Scans each entry's stream past a per-label consumed watermark, so
+        reports from the real-time Algorithm-3 tap (which land between
+        checkpoints) are journaled too, at the next checkpoint boundary.
+        """
+        fresh: list[FaultReport] = []
+        for entry in self.engine.entries:
+            consumed = self._consumed.get(entry.label, 0)
+            pending = entry.reports[consumed:]
+            self._consumed[entry.label] = len(entry.reports)
+            for report in pending:
+                if self.journal.admit(report):
+                    self.reports.append(report)
+                    fresh.append(report)
+                else:
+                    self.reports_deduplicated += 1
+        return fresh
+
+    # ------------------------------------------------------------- snapshots
+
+    def _snapshot_payload(self) -> dict:
+        checkers: dict[str, dict] = {}
+        for entry in self.engine.entries:
+            record: dict = {"algorithm2": None, "algorithm3": None}
+            if entry.algorithm2 is not None:
+                record["algorithm2"] = {
+                    "sends": entry.algorithm2.sends,
+                    "receives": entry.algorithm2.receives,
+                    "resyncs": entry.algorithm2.resyncs,
+                }
+            if entry.algorithm3 is not None:
+                record["algorithm3"] = {
+                    "request_list": [
+                        [pid, since]
+                        for pid, since in entry.algorithm3.request_list
+                    ],
+                    "dfa_state": {
+                        str(pid): state
+                        for pid, state in entry.algorithm3._dfa_state.items()
+                    },
+                }
+            record["counters"] = {
+                "dropped_in_windows": entry.dropped_in_windows,
+                "degraded_windows": entry.degraded_windows,
+                "forced_captures": entry.forced_captures,
+            }
+            checkers[entry.label] = record
+        engine = self.engine
+        return {
+            "kind": "durable-engine",
+            "supervisor": self.supervisor.snapshot_state(),
+            "checkers": checkers,
+            "engine": {
+                "checkpoints_run": engine.checkpoints_run,
+                "atomic_sections": engine.atomic_sections,
+                "captures_taken": engine.captures_taken,
+                "evaluations_run": engine.evaluations_run,
+                "check_failures": engine.check_failures,
+            },
+        }
+
+    def _write_snapshot(self) -> Path:
+        # The WAL must be at least as new as the offsets the snapshot
+        # records, or replay would start past events it never saw.
+        for __, wal in self._wal_entries():
+            wal.flush(sync=self.fsync != "never")
+        return self.snapshots.write(self._snapshot_payload())
+
+    def _restore_payload(self, payload: dict) -> None:
+        if payload.get("kind") != "durable-engine":
+            raise RecoveryError(
+                f"not a durable-engine snapshot: {payload.get('kind')!r}"
+            )
+        self.supervisor.restore_state(payload["supervisor"])
+        checkers = payload.get("checkers", {})
+        for entry in self.engine.entries:
+            record = checkers.get(entry.label)
+            if record is None:
+                continue
+            algo2 = record.get("algorithm2")
+            if algo2 and entry.algorithm2 is not None:
+                entry.algorithm2.sends = algo2["sends"]
+                entry.algorithm2.receives = algo2["receives"]
+                entry.algorithm2.resyncs = algo2["resyncs"]
+            algo3 = record.get("algorithm3")
+            if algo3 and entry.algorithm3 is not None:
+                entry.algorithm3.request_list = [
+                    (pid, since) for pid, since in algo3["request_list"]
+                ]
+                # JSON stringifies the pid keys; Pid is an int.
+                entry.algorithm3._dfa_state = {
+                    int(pid): state
+                    for pid, state in algo3["dfa_state"].items()
+                }
+            counters = record.get("counters", {})
+            entry.dropped_in_windows = counters.get("dropped_in_windows", 0)
+            entry.degraded_windows = counters.get("degraded_windows", 0)
+            entry.forced_captures = counters.get("forced_captures", 0)
+        engine_counters = payload.get("engine", {})
+        for name in (
+            "checkpoints_run",
+            "atomic_sections",
+            "captures_taken",
+            "evaluations_run",
+            "check_failures",
+        ):
+            setattr(self.engine, name, engine_counters.get(name, 0))
+
+    # -------------------------------------------------------------- recovery
+
+    def recover(self) -> RecoverySummary:
+        """Resume detection after a restart (call before running).
+
+        Protocol: rebuild the fleet exactly as before the crash (same
+        monitors, same registration order and labels, via
+        :meth:`register`), then call this once.  It restores the latest
+        valid snapshot into the engine, replays each WAL's events past the
+        snapshot's per-sink offsets into the open windows — re-driving the
+        real-time Algorithm-3 check over them — and surfaces only reports
+        the journal never delivered.  Without any snapshot (a crash before
+        :meth:`baseline`) the whole WAL replays against the attach-time
+        base state.
+        """
+        self.reports = list(self.journal.reports)
+        restored = len(self.reports)
+        loaded = self.snapshots.load_latest()
+        snapshot_path: Optional[str] = None
+        watermarks: dict[str, int] = {}
+        if loaded is not None:
+            payload, path = loaded
+            snapshot_path = str(path)
+            monitors = payload.get("supervisor", {}).get("monitors", {})
+            watermarks = {
+                label: record.get("sink", {}).get("seq", 0)
+                for label, record in monitors.items()
+            }
+            with contextlib.ExitStack() as stack:
+                for __, wal in self._wal_entries():
+                    stack.enter_context(wal.replaying())
+                self._restore_payload(payload)
+        events_replayed = 0
+        recovered = 0
+        deduplicated = 0
+        for entry, wal in self._wal_entries():
+            watermark = watermarks.get(entry.label, 0)
+            for event in wal.iter_durable_events():
+                if event.seq < watermark:
+                    continue
+                wal.restore_event(event)
+                events_replayed += 1
+                if entry.tapped and entry.algorithm3 is not None:
+                    for report in entry.algorithm3.on_event(event):
+                        entry.reports.append(report)
+                        if self.journal.admit(report):
+                            self.reports.append(report)
+                            recovered += 1
+                        else:
+                            deduplicated += 1
+            self._consumed[entry.label] = len(entry.reports)
+        self.reports_deduplicated += deduplicated
+        self.recoveries += 1
+        return RecoverySummary(
+            snapshot_path=snapshot_path,
+            snapshot_fallbacks=self.snapshots.corrupt_skipped,
+            events_replayed=events_replayed,
+            reports_restored=restored,
+            reports_recovered=recovered,
+            reports_deduplicated=deduplicated,
+        )
+
+    # -------------------------------------------------------------- lifecycle
+
+    def stop(self) -> None:
+        """Stop the wrapped engine and flush every durable artefact."""
+        self.engine.stop()
+        self.flush()
+
+    def flush(self) -> None:
+        for __, wal in self._wal_entries():
+            wal.flush(sync=self.fsync == "always")
+
+    def close(self) -> None:
+        """Close WAL and journal handles (a crashed process never does)."""
+        for __, wal in self._wal_entries():
+            wal.close()
+        self.journal.close()
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def durability_counters(self) -> dict[str, int]:
+        """The durability cost/benefit counters, bench- and stats-facing."""
+        wal_bytes = 0
+        wal_fsyncs = 0
+        for __, wal in self._wal_entries():
+            wal_bytes += wal.bytes_written
+            wal_fsyncs += wal.fsyncs
+        return {
+            "wal_bytes_written": wal_bytes,
+            "wal_fsyncs": wal_fsyncs,
+            "snapshots_written": self.snapshots.written,
+            "recoveries": self.recoveries,
+            "reports_deduplicated": self.reports_deduplicated,
+        }
+
+    def __repr__(self) -> str:
+        counters = self.durability_counters
+        return (
+            f"DurableEngine(root={str(self.root)!r}, fsync={self.fsync!r}, "
+            f"monitors={len(self.engine.entries)}, "
+            f"reports={len(self.reports)}, "
+            f"wal_bytes_written={counters['wal_bytes_written']}, "
+            f"wal_fsyncs={counters['wal_fsyncs']}, "
+            f"snapshots_written={counters['snapshots_written']}, "
+            f"recoveries={counters['recoveries']}, "
+            f"reports_deduplicated={counters['reports_deduplicated']})"
+        )

@@ -105,6 +105,11 @@ class FaultStatistics:
             "worldstop_seconds": engine.worldstop_seconds,
             "evaluate_seconds": engine.evaluate_seconds,
         }
+        # A DurableEngine (or anything else wearing durability counters)
+        # additionally reports its WAL/snapshot/recovery accounting.
+        durability = getattr(engine, "durability_counters", None)
+        if durability:
+            stats.engine_counters.update(durability)
         return stats
 
     # --------------------------------------------------------------- queries
@@ -190,6 +195,15 @@ class FaultStatistics:
                 f"world-stop {counters['worldstop_seconds']:.4f}s, "
                 f"evaluate {counters['evaluate_seconds']:.4f}s"
             )
+            if "wal_bytes_written" in counters:
+                parts.append(
+                    "durability: "
+                    f"{counters['wal_bytes_written']:g} WAL bytes, "
+                    f"{counters['wal_fsyncs']:g} fsyncs, "
+                    f"{counters['snapshots_written']:g} snapshots, "
+                    f"{counters['recoveries']:g} recoveries, "
+                    f"{counters['reports_deduplicated']:g} deduplicated"
+                )
         return "\n".join(parts)
 
     def __repr__(self) -> str:

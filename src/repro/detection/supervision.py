@@ -43,6 +43,7 @@ from time import perf_counter
 from typing import Callable, Iterator, Optional
 
 from repro.detection.reports import FaultReport
+from repro.errors import RecoveryError
 from repro.history.serialize import apply_sink_state, sink_state_to_dict
 from repro.kernel.syscalls import Delay, Syscall
 
@@ -332,16 +333,28 @@ class CheckpointSupervisor:
     def restore_state(self, snapshot: dict) -> list[str]:
         """Re-apply a :meth:`snapshot_state` dict after a restart.
 
-        Monitors are matched by registration label; labels present in the
-        snapshot but not registered (or vice versa) are skipped.  Returns
-        the labels actually restored.
+        Monitors are matched by registration label.  The snapshot's label
+        set must equal the registered fleet's: restoring a snapshot from a
+        different fleet would silently leave some monitors on cold state
+        and others on restored state — an inconsistent cut — so a mismatch
+        raises :class:`~repro.errors.RecoveryError` instead.  Returns the
+        labels restored.
         """
         if snapshot.get("kind") != "supervisor":
             raise ValueError(f"not a supervisor snapshot: {snapshot.get('kind')!r}")
+        saved = snapshot.get("monitors", {})
+        live_labels = {entry.label for entry in self.engine.entries}
+        if set(saved) != live_labels:
+            missing = sorted(live_labels - set(saved))
+            extra = sorted(set(saved) - live_labels)
+            raise RecoveryError(
+                "snapshot does not match the registered monitor fleet: "
+                f"snapshot lacks {missing or 'nothing'}, snapshot has "
+                f"unregistered {extra or 'nothing'}"
+            )
         self.checkpoints_completed = snapshot.get("checkpoints_completed", 0)
         self.checkpoints_abandoned = snapshot.get("checkpoints_abandoned", 0)
         restored: list[str] = []
-        saved = snapshot.get("monitors", {})
         for entry in self.engine.entries:
             record = saved.get(entry.label)
             if record is None:

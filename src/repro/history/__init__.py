@@ -19,7 +19,11 @@ The paper models a monitor's run-time behaviour as a finite sequence of
   used"),
 * :mod:`repro.history.bounded` — :class:`BoundedHistory`, a fixed-capacity
   ring-buffer sink with explicit drop accounting for long-running
-  workloads.
+  workloads,
+* :mod:`repro.history.wal` — :class:`WriteAheadLog`, a crash-durable
+  JSONL sink (segment rotation, fsync policies, torn-tail-tolerant
+  replay) backing the restart-recovery layer in
+  :mod:`repro.detection.durability`.
 """
 
 from repro.history.bounded import BoundedHistory
@@ -42,6 +46,7 @@ from repro.history.events import (
     wait_event,
 )
 from repro.history.states import QueueEntry, SchedulingState
+from repro.history.wal import FSYNC_POLICIES, WriteAheadLog
 
 __all__ = [
     "EventKind",
@@ -56,6 +61,8 @@ __all__ = [
     "EventSink",
     "HistoryDatabase",
     "BoundedHistory",
+    "WriteAheadLog",
+    "FSYNC_POLICIES",
     "Segment",
     "dump_trace",
     "load_trace",

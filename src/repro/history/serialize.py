@@ -139,6 +139,7 @@ def sink_state_to_dict(sink) -> dict:
         ),
         "pending": [event_to_dict(event) for event in sink.pending_events],
         "dropped_events": sink.dropped_events,
+        "pending_dropped": getattr(sink, "pending_dropped", 0),
     }
 
 
@@ -161,6 +162,14 @@ def apply_sink_state(sink, record: dict) -> None:
         )
         for raw in record["pending"]:
             sink._append(event_from_dict(raw))
+        if hasattr(sink, "_dropped_total"):
+            # Bounded sinks: restore the drop accounting *after* the replay
+            # above (replaying into a smaller buffer may itself evict and
+            # count; the snapshot's totals are authoritative), so the next
+            # cut's ``Segment.dropped`` matches what the crashed sink would
+            # have reported.
+            sink._dropped_total = record.get("dropped_events", 0)
+            sink._dropped_in_window = record.get("pending_dropped", 0)
     except (KeyError, TypeError) as exc:
         raise HistoryError(f"malformed sink record: {exc}") from exc
 

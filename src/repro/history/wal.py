@@ -1,0 +1,376 @@
+"""Write-ahead logging for the history information database.
+
+The paper's Section 3.1 history database is the audit trail every FD-Rule
+is evaluated against — and in the in-memory sinks it dies with the
+process.  :class:`WriteAheadLog` is an :class:`~repro.history.sink.EventSink`
+that keeps the usual in-memory open window *and* appends every recorded
+event to an on-disk JSONL segment (one :func:`~repro.history.serialize
+.event_to_dict` object per line) before the recording call returns, so a
+restarted detector can rebuild the window it lost
+(see :mod:`repro.detection.durability`).
+
+Durability model
+----------------
+The crash model is **process death**, not power loss: segment files are
+opened line-buffered, so every complete line is in the OS page cache the
+moment ``record`` returns and survives the process dying at any later
+instant.  ``os.fsync`` hardening against machine crashes is the ``fsync``
+policy:
+
+* ``"always"`` — fsync after every appended event (safest, slowest),
+* ``"interval"`` — fsync every ``fsync_every`` appends and at every
+  checkpoint cut (bounded loss window, the default),
+* ``"never"`` — never fsync and block-buffer writes (fastest; a crash
+  may lose the buffered tail, which replay's torn-tail handling absorbs).
+
+Segments rotate once the active file passes ``segment_bytes``; replay
+(:meth:`iter_durable_events`) walks all segments in order.  A torn final
+line — the signature of dying mid-append — is tolerated: it is physically
+truncated away when the log is reopened and silently skipped during
+replay.  A torn line anywhere *else* is corruption and raises
+:class:`~repro.errors.HistoryError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator, Optional, Union
+
+from repro.errors import HistoryError
+from repro.history.events import SchedulingEvent
+from repro.history.serialize import event_from_dict, event_to_dict
+from repro.history.sink import EventSink
+from repro.history.states import SchedulingState
+
+__all__ = ["FSYNC_POLICIES", "WriteAheadLog"]
+
+#: Valid values of the ``fsync`` policy parameter.
+FSYNC_POLICIES = ("always", "interval", "never")
+
+_SEGMENT_PREFIX = "segment-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+#: Memoised JSON string encodings — event kinds, process names and
+#: condition names repeat constantly, and the append path is the
+#: monitor-operation hot path the overhead bench measures.
+_ESCAPED: dict[str, str] = {}
+
+
+def _escape(value: str) -> str:
+    cached = _ESCAPED.get(value)
+    if cached is None:
+        cached = _ESCAPED[value] = json.dumps(value)
+    return cached
+
+
+def _event_line(event: SchedulingEvent) -> str:
+    """``event_to_dict`` + compact ``json.dumps``, hand-fused.
+
+    Produces byte-identical JSON to
+    ``json.dumps(event_to_dict(event), separators=(",", ":"))`` (floats
+    via ``repr``, exactly as the json encoder emits them; pure ASCII, so
+    ``len`` is the byte length) without building the intermediate dict.
+    """
+    head = (
+        f'{{"kind":"event","event":{_escape(event.kind.value)},'
+        f'"seq":{event.seq},"pid":{event.pid},'
+        f'"pname":{_escape(event.pname)},"time":{event.time!r},'
+        f'"flag":{event.flag}'
+    )
+    if event.cond is not None:
+        return head + f',"cond":{_escape(event.cond)}}}\n'
+    return head + "}\n"
+
+
+class WriteAheadLog(EventSink):
+    """Append-only JSONL event sink with crash recovery support.
+
+    Parameters
+    ----------
+    directory:
+        Where segment files live; created if missing.  Reopening a
+        directory with existing segments resumes appending to the last
+        one (after truncating any torn tail) and continues its sequence
+        numbering.
+    fsync:
+        One of :data:`FSYNC_POLICIES` (see the module docstring).
+    fsync_every:
+        Appends between fsyncs under the ``"interval"`` policy.
+    segment_bytes:
+        Rotation threshold: an append that finds the active segment at or
+        past this size starts a new segment first.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        fsync: str = "interval",
+        fsync_every: int = 32,
+        segment_bytes: int = 1 << 20,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise HistoryError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if fsync_every < 1:
+            raise HistoryError(f"fsync_every must be >= 1, got {fsync_every}")
+        if segment_bytes < 1:
+            raise HistoryError(
+                f"segment_bytes must be >= 1, got {segment_bytes}"
+            )
+        super().__init__()
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_policy = fsync
+        self.fsync_every = fsync_every
+        self.segment_bytes = segment_bytes
+        self._open_window: list[SchedulingEvent] = []
+        self._replaying = False
+        self._appends_since_fsync = 0
+        #: Bytes appended to segment files by this process (not file size).
+        self.bytes_written = 0
+        #: ``os.fsync`` calls issued by this process.
+        self.fsyncs = 0
+        #: Segment rotations performed by this process.
+        self.segments_rotated = 0
+        #: Torn final lines truncated away when the log was (re)opened.
+        self.torn_tails_truncated = 0
+        segments = self.segment_paths()
+        if segments:
+            self._truncate_torn_tail(segments[-1])
+            self._seq = self._scan_highest_seq(segments) + 1
+            active = segments[-1]
+        else:
+            active = self._segment_path(1)
+        self._active_path = active
+        self._handle: Optional[IO[str]] = self._open_handle(active)
+        self._active_size = active.stat().st_size
+
+    def _open_handle(self, path: Path) -> IO[str]:
+        # Line buffering keeps every complete append OS-visible (the crash
+        # model is process death, not power loss); the "never" policy trades
+        # that away for block buffering and raw append speed.
+        buffering = -1 if self.fsync_policy == "never" else 1
+        return open(  # noqa: SIM115 — long-lived
+            path, "a", buffering=buffering, encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------ file layout
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def _segment_path(self, index: int) -> Path:
+        return self._directory / f"{_SEGMENT_PREFIX}{index:06d}{_SEGMENT_SUFFIX}"
+
+    def segment_paths(self) -> list[Path]:
+        """All segment files, oldest first."""
+        return sorted(
+            self._directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}")
+        )
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.segment_paths())
+
+    # --------------------------------------------------------- torn-tail scan
+
+    def _truncate_torn_tail(self, path: Path) -> None:
+        """Physically drop a partial or unparseable final line.
+
+        Dying mid-append leaves either a line without its newline or (under
+        interleaved writers, which we do not support but defend against) a
+        final line that is not valid JSON.  Either way the durable prefix
+        up to the last good line is what the log resumes from.
+        """
+        raw = path.read_bytes()
+        good = len(raw)
+        if raw and not raw.endswith(b"\n"):
+            good = raw.rfind(b"\n") + 1
+        else:
+            # Complete final line: keep it only if it parses.
+            body = raw[:good]
+            last_start = body.rfind(b"\n", 0, good - 1) + 1 if body else 0
+            if body:
+                try:
+                    json.loads(body[last_start:good].decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    good = last_start
+        if good == len(raw):
+            return
+        with open(path, "r+b") as handle:
+            handle.truncate(good)
+        self.torn_tails_truncated += 1
+
+    def _scan_highest_seq(self, segments: list[Path]) -> int:
+        """Highest event seq already durable (−1 when the log is empty)."""
+        for path in reversed(segments):
+            highest = -1
+            for record in self._iter_segment(path, final=path is segments[-1]):
+                if record.get("seq", -1) > highest:
+                    highest = record["seq"]
+            if highest >= 0:
+                return highest
+        return -1
+
+    # ---------------------------------------------------------- storage hooks
+
+    def _append(self, event: SchedulingEvent) -> None:
+        self._open_window.append(event)
+        if self._replaying:
+            # Restoration replays events that are already durable on disk;
+            # re-appending them would duplicate the physical log.
+            return
+        assert self._handle is not None, "append to a closed WAL"
+        if self._active_size >= self.segment_bytes:
+            self._rotate()
+        line = _event_line(event)
+        self._handle.write(line)
+        self._active_size += len(line)
+        self.bytes_written += len(line)
+        if self.fsync_policy == "always":
+            self._fsync()
+        elif self.fsync_policy == "interval":
+            self._appends_since_fsync += 1
+            if self._appends_since_fsync >= self.fsync_every:
+                self._fsync()
+
+    def _drain(self) -> tuple[SchedulingEvent, ...]:
+        events = tuple(self._open_window)
+        self._open_window.clear()
+        return events
+
+    def _on_cut(self, state: SchedulingState) -> None:
+        # A checkpoint boundary is a durability boundary: under the
+        # "interval" policy the cut flushes whatever the append counter
+        # had not yet synced.
+        if self.fsync_policy == "interval" and self._appends_since_fsync:
+            self._fsync()
+
+    def _fsync(self) -> None:
+        assert self._handle is not None
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.fsyncs += 1
+        self._appends_since_fsync = 0
+
+    def _rotate(self) -> None:
+        assert self._handle is not None
+        if self.fsync_policy != "never":
+            self._fsync()
+        self._handle.close()
+        index = len(self.segment_paths()) + 1
+        self._active_path = self._segment_path(index)
+        self._handle = self._open_handle(self._active_path)
+        self._active_size = 0
+        self.segments_rotated += 1
+
+    # -------------------------------------------------------------- recovery
+
+    @contextmanager
+    def replaying(self) -> Iterator[None]:
+        """Context in which ``_append`` skips the disk write.
+
+        Recovery restores a snapshot's pending window through
+        :func:`repro.history.serialize.apply_sink_state`, whose events are
+        already durable in this very log; inside this context they land in
+        the in-memory window only.
+        """
+        self._replaying = True
+        try:
+            yield
+        finally:
+            self._replaying = False
+
+    def restore_event(self, event: SchedulingEvent) -> None:
+        """Re-admit one already-durable event into the open window.
+
+        Used by WAL replay after a restart: bumps the sequence counter and
+        total-recorded accounting like ``record`` would, but neither writes
+        to disk nor invokes real-time listeners (the event already happened;
+        the Algorithm-3 tap is replayed explicitly by the recovery layer).
+        """
+        self._open_window.append(event)
+        self._total_recorded += 1
+        if event.seq >= self._seq:
+            self._seq = event.seq + 1
+
+    def _iter_segment(self, path: Path, *, final: bool) -> Iterator[dict]:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if final and number == len(lines):
+                    return  # torn tail: the write died mid-line
+                raise HistoryError(
+                    f"{path.name} line {number}: corrupt WAL record: {exc}"
+                ) from exc
+            yield record
+
+    def iter_durable_events(self) -> Iterator[SchedulingEvent]:
+        """Replay every durable event, oldest first (torn-tail tolerant)."""
+        if self._handle is not None:
+            self._handle.flush()
+        segments = self.segment_paths()
+        for path in segments:
+            for record in self._iter_segment(path, final=path is segments[-1]):
+                yield event_from_dict(record)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def flush(self, *, sync: bool = False) -> None:
+        if self._handle is None:
+            return
+        if sync:
+            self._fsync()
+        else:
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Close the active segment handle (idempotent)."""
+        if self._handle is None:
+            return
+        self._handle.close()
+        self._handle = None
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def pending_events(self) -> tuple[SchedulingEvent, ...]:
+        return tuple(self._open_window)
+
+    # ----------------------------------------------------------------- chaos
+
+    def simulate_torn_append(self) -> None:
+        """Write a partial (newline-less) junk line and flush it.
+
+        Crash injection's ``MID_WAL_APPEND`` point: emulates the process
+        dying halfway through an append, leaving the torn tail that reopen
+        must truncate.  No real event is lost — the junk never carried one.
+        """
+        assert self._handle is not None, "torn append on a closed WAL"
+        junk = '{"kind": "event", "event": "Enter", "seq"'
+        self._handle.write(junk)
+        self._handle.flush()
+        self._active_size += len(junk)
+        self.bytes_written += len(junk)
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({str(self._directory)!r}, "
+            f"fsync={self.fsync_policy!r}, segments={self.segment_count}, "
+            f"live={self.live_events}, bytes={self.bytes_written}, "
+            f"fsyncs={self.fsyncs}, torn={self.torn_tails_truncated})"
+        )

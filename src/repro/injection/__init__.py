@@ -15,7 +15,10 @@ detected.  This package makes that experiment reproducible:
   workload with faults injected into the detection pipeline itself
   (raising rule evaluators, transient checkpoint failures, delays,
   event-drop bursts), asserting the supervised engine degrades instead of
-  crashing or false-positiving.
+  crashing or false-positiving — plus the crash-durability campaign
+  (:func:`~repro.injection.chaos.run_crash_recovery_campaign`) that kills
+  and restarts a :class:`~repro.detection.durability.DurableEngine` at
+  seeded :class:`~repro.injection.chaos.CrashPoint`\\ s.
 """
 
 from repro.injection.campaigns import (
@@ -29,8 +32,13 @@ from repro.injection.chaos import (
     ChaosConfig,
     ChaosError,
     ChaosInjector,
+    CrashPoint,
+    CrashRecoveryConfig,
+    CrashRecoveryResult,
     SabotagedCheck,
+    SimulatedCrash,
     run_chaos_campaign,
+    run_crash_recovery_campaign,
     sabotage_entry,
 )
 from repro.injection.hooks import TriggeredHooks
@@ -48,4 +56,9 @@ __all__ = [
     "SabotagedCheck",
     "sabotage_entry",
     "run_chaos_campaign",
+    "CrashPoint",
+    "SimulatedCrash",
+    "CrashRecoveryConfig",
+    "CrashRecoveryResult",
+    "run_crash_recovery_campaign",
 ]

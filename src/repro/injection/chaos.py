@@ -24,18 +24,32 @@ counters.  :func:`run_chaos_campaign` is the acceptance harness — a
 campaign *passes* when the supervisor completes every round, nothing
 crashes the kernel, the healthy fleet stays CONFIRMED-clean, and the
 broken monitor's breaker both opens and re-closes.
+
+**Crash injection** (:func:`run_crash_recovery_campaign`) extends the menu
+from "the detector misbehaves" to "the detector *dies*": seeded rounds
+kill a :class:`~repro.detection.durability.DurableEngine` at one of four
+:class:`CrashPoint`\\ s — mid-capture, mid-evaluate, mid-snapshot-write,
+mid-WAL-append — then rebuild it from its durable root and
+:meth:`~repro.detection.durability.DurableEngine.recover`.  The campaign
+passes when the recovered run's delivered fault set equals an
+uninterrupted golden run's, with zero duplicate reports.
 """
 
 from __future__ import annotations
 
+import enum
 import random
+import shutil
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterator, Optional
 
 from repro.apps.bounded_buffer import BoundedBuffer
 from repro.apps.resource_allocator import SingleResourceAllocator
 from repro.apps.shared_account import SharedAccount
 from repro.detection.config import DetectorConfig
+from repro.detection.durability import DurableEngine, report_key
 from repro.detection.engine import DetectionEngine, RegisteredMonitor
 from repro.detection.reports import Confidence, FaultReport
 from repro.detection.supervision import (
@@ -45,9 +59,12 @@ from repro.detection.supervision import (
 )
 from repro.errors import InjectionError
 from repro.history.bounded import BoundedHistory
+from repro.history.wal import WriteAheadLog
 from repro.kernel.policies import RandomPolicy
 from repro.kernel.sim import SimKernel
+from repro.kernel.threads import ThreadKernel
 from repro.kernel.syscalls import Delay, Syscall
+from repro.monitor.construct import MonitorBase
 
 __all__ = [
     "ChaosError",
@@ -57,6 +74,11 @@ __all__ = [
     "ChaosInjector",
     "ChaosCampaignResult",
     "run_chaos_campaign",
+    "CrashPoint",
+    "SimulatedCrash",
+    "CrashRecoveryConfig",
+    "CrashRecoveryResult",
+    "run_crash_recovery_campaign",
 ]
 
 
@@ -454,4 +476,492 @@ def run_chaos_campaign(
             for exc in kernel.failures().values()
         ),
         end_time=result.end_time,
+    )
+
+
+# ------------------------------------------------------------ crash injection
+
+
+class CrashPoint(enum.Enum):
+    """Where inside a durable checkpoint the simulated crash strikes."""
+
+    #: Die partway through the phase-1 capture sweep: some monitors' sinks
+    #: are cut, others are not, and nothing was snapshotted.
+    MID_CAPTURE = "mid-capture"
+    #: Die partway through the phase-2 drain: some captures evaluated (and
+    #: their reports produced in memory), the rest lost un-evaluated.
+    MID_EVALUATE = "mid-evaluate"
+    #: Die after the snapshot temp file is written but before the rename:
+    #: the previous snapshot stays the latest.
+    MID_SNAPSHOT_WRITE = "mid-snapshot-write"
+    #: Die halfway through a WAL append, leaving a torn final line.
+    MID_WAL_APPEND = "mid-wal-append"
+
+
+class SimulatedCrash(ChaosError):
+    """Raised at a :class:`CrashPoint` to kill the detector incarnation."""
+
+
+@dataclass(frozen=True)
+class CrashRecoveryConfig:
+    """Tunables of one crash/restart campaign."""
+
+    seed: int = 0
+    #: Checkpoint rounds the driver runs (golden and crashed alike).
+    rounds: int = 40
+    #: Checking interval (virtual seconds).
+    interval: float = 0.25
+    #: Crashes injected over the run (each at a seeded round and point).
+    crashes: int = 4
+    #: ``"sim"`` (strict report equality, timestamps included) or
+    #: ``"threads"`` (relaxed: rule/monitor/pids — wall-clock timestamps
+    #: are not reproducible across two real-time runs).
+    backend: str = "sim"
+    #: WAL fsync policy of the durable engine under test.
+    fsync: str = "interval"
+    #: Crash points to sample from (None = all four).
+    crash_points: Optional[tuple[CrashPoint, ...]] = None
+    #: Operations per workload process.
+    operations: int = 30
+    #: Root directory for the two durable roots (None = fresh temp dir,
+    #: removed afterwards).
+    root: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.rounds < 4:
+            raise InjectionError(f"rounds must be >= 4, got {self.rounds}")
+        if not 1 <= self.crashes <= self.rounds - 2:
+            raise InjectionError(
+                f"crashes must be within [1, rounds - 2], got {self.crashes}"
+            )
+        if self.interval <= 0:
+            raise InjectionError(
+                f"interval must be > 0, got {self.interval!r}"
+            )
+        if self.backend not in ("sim", "threads"):
+            raise InjectionError(
+                f"backend must be 'sim' or 'threads', got {self.backend!r}"
+            )
+        if self.operations < 1:
+            raise InjectionError(
+                f"operations must be >= 1, got {self.operations}"
+            )
+        if self.crash_points is not None and not self.crash_points:
+            raise InjectionError("crash_points must not be empty")
+
+    @property
+    def strict(self) -> bool:
+        """Strict (timestamped) report comparison — sim backend only."""
+        return self.backend == "sim"
+
+
+def _relaxed_key(report: FaultReport) -> str:
+    """Backend-portable report identity: rule, monitor, implicated pids."""
+    pids = ",".join(str(pid) for pid in report.pids)
+    return f"{report.rule_id}|{report.monitor}|{pids}"
+
+
+def _comparison_keys(reports, strict: bool) -> tuple[str, ...]:
+    """Keys compared between the golden and the recovered run.
+
+    Sim runs replay deterministically, so every report compares, with its
+    timestamp.  Thread runs cannot reproduce wall-clock timing: only
+    event-triggered reports (``event_seq`` set) are deterministic there —
+    checkpoint-derived timer sweeps (ST-5/ST-8c) fire once per interval a
+    condition persists, and scheduling jitter changes how many intervals
+    that is.  Exactly-once delivery is still enforced for *all* reports on
+    both backends via strict-key uniqueness of the recovered stream.
+    """
+    if strict:
+        return tuple(report_key(report) for report in reports)
+    return tuple(
+        _relaxed_key(report)
+        for report in reports
+        if report.event_seq is not None
+    )
+
+
+class _CrashContext:
+    """One run's durable engine plus the kill/rebuild machinery."""
+
+    def __init__(
+        self,
+        kernel,
+        root: Path,
+        targets: list[tuple[MonitorBase, str]],
+        detector_config: DetectorConfig,
+        *,
+        fsync: str,
+        rng: random.Random,
+    ) -> None:
+        self.kernel = kernel
+        self.root = root
+        self.targets = targets
+        self.detector_config = detector_config
+        self.fsync = fsync
+        self.rng = rng
+        self.crashes: list[tuple[int, str]] = []
+        self.recoveries = 0
+        self.events_replayed = 0
+        self.torn_tails = 0
+        self.snapshot_fallbacks = 0
+        self.durable = self._build()
+        self.durable.baseline()
+
+    def _build(self) -> DurableEngine:
+        engine = DetectionEngine(self.kernel, self.detector_config)
+        durable = DurableEngine(engine, self.root, fsync=self.fsync)
+        for target, label in self.targets:
+            durable.register(target, label=label)
+        return durable
+
+    def wals(self) -> list[WriteAheadLog]:
+        return [wal for __, wal in self.durable._wal_entries()]
+
+    def trigger(self, point: CrashPoint) -> None:
+        """Arm (or immediately take) one crash at ``point``.
+
+        ``MID_WAL_APPEND`` dies on the spot, leaving a torn tail on one
+        seeded sink.  The other points install one-shot wrappers that blow
+        up partway through the next checkpoint.
+        """
+        engine = self.durable.engine
+        if point is CrashPoint.MID_WAL_APPEND:
+            self.rng.choice(self.wals()).simulate_torn_append()
+            raise SimulatedCrash("died mid-WAL-append (torn tail left)")
+        if point is CrashPoint.MID_SNAPSHOT_WRITE:
+            store = self.durable.snapshots
+
+            def die_before_rename() -> None:
+                store.before_rename = None
+                raise SimulatedCrash("died mid-snapshot-write (temp only)")
+
+            store.before_rename = die_before_rename
+            return
+        if point is CrashPoint.MID_CAPTURE:
+            original = engine.capture_phase
+
+            def crashing_capture() -> int:
+                entries = engine._entries
+                keep = self.rng.randrange(len(entries) + 1) if entries else 0
+                engine._entries = entries[:keep]
+                try:
+                    original()
+                finally:
+                    engine._entries = entries
+                raise SimulatedCrash(
+                    f"died mid-capture ({keep}/{len(entries)} cut)"
+                )
+
+            engine.capture_phase = crashing_capture  # type: ignore[method-assign]
+            return
+        assert point is CrashPoint.MID_EVALUATE
+        original_evaluate = engine.evaluate_phase
+
+        def crashing_evaluate() -> list[FaultReport]:
+            pending = engine._pending_captures
+            keep = self.rng.randrange(len(pending) + 1) if pending else 0
+            engine._pending_captures = pending[:keep]
+            original_evaluate()
+            raise SimulatedCrash(
+                f"died mid-evaluate ({keep}/{len(pending)} evaluated)"
+            )
+
+        engine.evaluate_phase = crashing_evaluate  # type: ignore[method-assign]
+
+    def rebuild(self) -> None:
+        """The restart: fresh engine over the same durable root, recover."""
+        self.durable.close()
+        self.durable = self._build()
+        summary = self.durable.recover()
+        self.recoveries += 1
+        self.events_replayed += summary.events_replayed
+        self.torn_tails += sum(
+            wal.torn_tails_truncated for wal in self.wals()
+        )
+        self.snapshot_fallbacks = self.durable.snapshots.corrupt_skipped
+
+
+def _crash_driver(
+    context: _CrashContext, config: CrashRecoveryConfig, plan: dict
+) -> Iterator[Syscall]:
+    """Kernel process pacing the durable checkpoints and taking the kills.
+
+    A crashed round is *re-run after recovery at the same virtual time* —
+    the restarted detector's first act is to redo the interrupted
+    checkpoint, whose re-derived reports the journal deduplicates.
+    """
+    for round_index in range(config.rounds):
+        yield Delay(config.interval)
+        point = plan.get(round_index)
+        while True:
+            try:
+                if point is not None:
+                    pending, point = point, None
+                    context.trigger(pending)
+                context.durable.checkpoint()
+                break
+            except SimulatedCrash as crash:
+                context.crashes.append((round_index, str(crash)))
+                context.rebuild()
+    context.durable.flush()
+
+
+def _spawn_crash_workload(
+    kernel,
+    buffer: BoundedBuffer,
+    allocator: SingleResourceAllocator,
+    config: CrashRecoveryConfig,
+) -> None:
+    """A workload with deterministic faults on both sides of every crash.
+
+    The misuser produces two real-time violations (Release without Request
+    — ST-8b/ST-PX — once early, once via the rogue "rescuer"), a duplicate
+    Request (ST-8a) mid-run, and then holds the resource long enough that
+    the periodic Request-List sweep reports ST-8c at several checkpoints —
+    so the campaign exercises both event-triggered and checkpoint-derived
+    reports across restarts.
+    """
+    span = config.rounds * config.interval
+    phase = span * 0.45
+
+    def producer() -> Iterator[Syscall]:
+        for item in range(config.operations):
+            yield Delay(0.11)
+            yield from buffer.send(item)
+
+    def consumer() -> Iterator[Syscall]:
+        for __ in range(config.operations):
+            yield Delay(0.12)
+            yield from buffer.receive()
+
+    def good_user() -> Iterator[Syscall]:
+        for __ in range(config.operations):
+            yield Delay(0.21)
+            yield from allocator.request()
+            yield Delay(0.03)
+            yield from allocator.release()
+
+    def misuser() -> Iterator[Syscall]:
+        yield Delay(0.35)
+        yield from allocator.release()  # ST-8b + ST-PX (no Request)
+        yield Delay(phase)
+        yield from allocator.request()  # legitimate
+        yield Delay(0.07)
+        yield from allocator.request()  # ST-8a duplicate; blocks on itself
+        # ...until the rescuer's rogue release wakes it.  Hold a little
+        # longer so the Tlimit sweep sees the aged Request-List entry.
+        yield Delay(3.1 * config.interval)
+        yield from allocator.release()
+
+    def rescuer() -> Iterator[Syscall]:
+        # A second rogue release (ST-8b) that also un-wedges the misuser.
+        yield Delay(0.35 + phase + 0.6)
+        yield from allocator.release()
+
+    kernel.spawn(producer(), "producer")
+    kernel.spawn(consumer(), "consumer")
+    kernel.spawn(good_user(), "good-user")
+    kernel.spawn(misuser(), "misuser")
+    kernel.spawn(rescuer(), "rescuer")
+
+
+@dataclass(frozen=True)
+class _CrashRunOutcome:
+    keys: tuple[str, ...]
+    strict_keys: tuple[str, ...]
+    reports: int
+    crashes: tuple[tuple[int, str], ...]
+    recoveries: int
+    events_replayed: int
+    torn_tails: int
+    snapshot_fallbacks: int
+    durability_counters: dict
+    kernel_failures: tuple[str, ...]
+    end_time: float
+
+
+def _run_crash_instance(
+    config: CrashRecoveryConfig, root: Path, plan: dict
+) -> _CrashRunOutcome:
+    """One full kernel run (golden when ``plan`` is empty)."""
+    if config.backend == "sim":
+        kernel = SimKernel(RandomPolicy(seed=config.seed), on_deadlock="stop")
+    else:
+        kernel = ThreadKernel(time_scale=0.002)
+    buffer = BoundedBuffer(kernel, capacity=3)
+    allocator = SingleResourceAllocator(kernel, name="allocator")
+    detector_config = DetectorConfig(
+        interval=config.interval,
+        tmax=60.0,
+        tio=60.0,
+        # Small enough that the misuser's long hold trips the periodic
+        # ST-8c sweep; large enough that a brief good-user wait does not.
+        tlimit=2.0 * config.interval,
+    )
+    rng = random.Random((config.seed << 8) ^ 0xC4A54)
+    context = _CrashContext(
+        kernel,
+        root,
+        [(buffer, "buffer"), (allocator, "allocator")],
+        detector_config,
+        fsync=config.fsync,
+        rng=rng,
+    )
+    _spawn_crash_workload(kernel, buffer, allocator, config)
+    kernel.spawn(_crash_driver(context, config, plan), "crash-driver")
+    horizon = config.rounds * config.interval + 30.0
+    result = kernel.run(until=horizon, max_steps=50_000_000)
+    context.durable.close()
+    return _CrashRunOutcome(
+        keys=_comparison_keys(context.durable.reports, config.strict),
+        strict_keys=tuple(
+            report_key(report) for report in context.durable.reports
+        ),
+        reports=len(context.durable.reports),
+        crashes=tuple(context.crashes),
+        recoveries=context.recoveries,
+        events_replayed=context.events_replayed,
+        torn_tails=context.torn_tails,
+        snapshot_fallbacks=context.snapshot_fallbacks,
+        durability_counters=context.durable.durability_counters,
+        kernel_failures=tuple(
+            f"{type(exc).__name__}: {exc}"
+            for exc in kernel.failures().values()
+        ),
+        end_time=result.end_time,
+    )
+
+
+@dataclass(frozen=True)
+class CrashRecoveryResult:
+    """Golden-vs-recovered comparison of one crash campaign."""
+
+    config: CrashRecoveryConfig
+    #: ``(round, description)`` of every injected crash.
+    crashes_injected: tuple[tuple[int, str], ...]
+    recoveries: int
+    events_replayed: int
+    torn_tails_truncated: int
+    snapshot_fallbacks: int
+    golden_reports: int
+    recovered_reports: int
+    #: Golden keys the recovered run never delivered (must be empty).
+    missing_keys: tuple[str, ...]
+    #: Recovered keys absent from the golden run (must be empty).
+    extra_keys: tuple[str, ...]
+    #: Strict report keys the recovered run delivered more than once
+    #: (must be empty — this is the exactly-once claim).
+    duplicate_keys: tuple[str, ...]
+    durability_counters: dict
+    kernel_failures: tuple[str, ...]
+    end_time: float
+
+    @property
+    def passed(self) -> bool:
+        return (
+            not self.kernel_failures
+            and len(self.crashes_injected) == self.config.crashes
+            and self.recoveries == self.config.crashes
+            and self.golden_reports > 0
+            and not self.missing_keys
+            and not self.extra_keys
+            and not self.duplicate_keys
+        )
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        mode = "strict" if self.config.strict else "relaxed"
+        lines = [
+            f"crash-recovery campaign (seed={self.config.seed}, "
+            f"backend={self.config.backend}, rounds={self.config.rounds}, "
+            f"crashes={self.config.crashes}, fsync={self.config.fsync}): "
+            f"{verdict}",
+            f"  crashes: "
+            + (
+                "; ".join(
+                    f"round {index}: {desc}"
+                    for index, desc in self.crashes_injected
+                )
+                or "none"
+            ),
+            f"  recovery: {self.recoveries} recoveries, "
+            f"{self.events_replayed} WAL events replayed, "
+            f"{self.torn_tails_truncated} torn tails truncated, "
+            f"{self.snapshot_fallbacks} corrupt snapshots skipped",
+            f"  reports ({mode} keys): golden {self.golden_reports}, "
+            f"recovered {self.recovered_reports}; "
+            f"missing {len(self.missing_keys)}, extra {len(self.extra_keys)}, "
+            f"duplicated {len(self.duplicate_keys)}",
+            f"  durability: {self.durability_counters}",
+        ]
+        if self.kernel_failures:
+            lines.append(f"  kernel failures: {list(self.kernel_failures)}")
+        return "\n".join(lines)
+
+
+def run_crash_recovery_campaign(
+    config: Optional[CrashRecoveryConfig] = None, **overrides
+) -> CrashRecoveryResult:
+    """Kill the detector N times and prove recovery changed nothing.
+
+    Runs the same seeded workload twice: a *golden* run whose durable
+    checkpoints are never interrupted, and a *crashed* run where seeded
+    rounds die at seeded :class:`CrashPoint`\\ s and restart through
+    :meth:`~repro.detection.durability.DurableEngine.recover`.  Passes
+    when both runs deliver the same fault set with zero duplicates (see
+    :attr:`CrashRecoveryResult.passed`).
+
+    ``overrides`` are :class:`CrashRecoveryConfig` fields:
+    ``run_crash_recovery_campaign(seed=7, crashes=2, backend="threads")``.
+    """
+    if config is None:
+        config = CrashRecoveryConfig(**overrides)
+    elif overrides:
+        raise InjectionError(
+            "pass either a CrashRecoveryConfig or field overrides"
+        )
+
+    planner = random.Random(config.seed)
+    candidate_rounds = list(range(1, config.rounds - 1))
+    rounds = sorted(planner.sample(candidate_rounds, config.crashes))
+    points = (
+        list(config.crash_points)
+        if config.crash_points is not None
+        else list(CrashPoint)
+    )
+    plan = {index: planner.choice(points) for index in rounds}
+
+    base = Path(config.root) if config.root else Path(tempfile.mkdtemp())
+    cleanup = config.root is None
+    try:
+        golden = _run_crash_instance(config, base / "golden", {})
+        crashed = _run_crash_instance(config, base / "crashed", plan)
+    finally:
+        if cleanup:
+            shutil.rmtree(base, ignore_errors=True)
+
+    golden_keys = set(golden.keys)
+    recovered_keys = set(crashed.keys)
+    from collections import Counter
+
+    strict_counts = Counter(crashed.strict_keys)
+    duplicates = tuple(
+        sorted(key for key, count in strict_counts.items() if count > 1)
+    )
+    return CrashRecoveryResult(
+        config=config,
+        crashes_injected=crashed.crashes,
+        recoveries=crashed.recoveries,
+        events_replayed=crashed.events_replayed,
+        torn_tails_truncated=crashed.torn_tails,
+        snapshot_fallbacks=crashed.snapshot_fallbacks,
+        golden_reports=golden.reports,
+        recovered_reports=crashed.reports,
+        missing_keys=tuple(sorted(golden_keys - recovered_keys)),
+        extra_keys=tuple(sorted(recovered_keys - golden_keys)),
+        duplicate_keys=duplicates,
+        durability_counters=crashed.durability_counters,
+        kernel_failures=golden.kernel_failures + crashed.kernel_failures,
+        end_time=crashed.end_time,
     )

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
 from repro.detection.detector import FaultDetector
+from repro.detection.durability import report_key
 from repro.detection.reports import Confidence, FaultReport
 from repro.detection.rules import STRule
 from repro.monitor.construct import Monitor
@@ -191,6 +192,11 @@ class RecoverySupervisor:
         self._detector = detector
         self._strategies = list(strategies)
         self.records: list[RecoveryRecord] = []
+        #: Report keys already acted on.  A restarted detector replays its
+        #: journal (see :mod:`repro.detection.durability`) — re-offering a
+        #: report whose action was already applied must be a no-op, not a
+        #: second expulsion.
+        self.handled: set[str] = set()
 
     @property
     def detector(self) -> FaultDetector:
@@ -204,7 +210,21 @@ class RecoverySupervisor:
         return new_reports
 
     def recover(self, report: FaultReport) -> RecoveryRecord:
-        """Offer one report to the strategies; first applicable one wins."""
+        """Offer one report to the strategies; first applicable one wins.
+
+        Idempotent per report: a report already recovered from (matched by
+        its stable :func:`~repro.detection.durability.report_key`) is not
+        offered to the strategies again — crash/restart replay of the
+        report journal must not re-apply destructive actions.
+        """
+        key = report_key(report)
+        if key in self.handled:
+            record = RecoveryRecord(
+                report, RecoveryAction.NONE, "already recovered (replay)"
+            )
+            self.records.append(record)
+            return record
+        self.handled.add(key)
         for strategy in self._strategies:
             if strategy.applies_to(report):
                 record = strategy.apply(self._detector.monitor, report)

@@ -1,0 +1,251 @@
+"""Durability layer: report journal, snapshot store, DurableEngine recovery."""
+
+import json
+
+import pytest
+
+from repro.apps import SingleResourceAllocator
+from repro.detection import (
+    Confidence,
+    DetectionEngine,
+    DetectorConfig,
+    DurableEngine,
+    FaultReport,
+    ReportJournal,
+    SnapshotStore,
+    STRule,
+    report_from_dict,
+    report_key,
+    report_to_dict,
+)
+from repro.errors import RecoveryError
+from repro.kernel import Delay, RandomPolicy, SimKernel
+
+
+def sample_report(detected_at=1.5, rule=STRule.RELEASE_REQUIRES_REQUEST):
+    return FaultReport(
+        rule=rule,
+        message="Release without a matching Request",
+        monitor="allocator",
+        detected_at=detected_at,
+        pids=(3,),
+        event_seq=12,
+        window_start=1.0,
+        confidence=Confidence.CONFIRMED,
+    )
+
+
+class TestReportCodec:
+    def test_round_trip(self):
+        report = sample_report()
+        assert report_from_dict(report_to_dict(report)) == report
+
+    def test_key_is_stable_and_discriminating(self):
+        report = sample_report()
+        assert report_key(report) == report_key(sample_report())
+        assert report_key(report) != report_key(sample_report(detected_at=2.0))
+        assert report_key(report) != report_key(
+            sample_report(rule=STRule.NO_DUPLICATE_REQUEST)
+        )
+
+
+class TestReportJournal:
+    def test_admit_then_dedup(self, tmp_path):
+        journal = ReportJournal(tmp_path / "durable.reports")
+        report = sample_report()
+        assert journal.admit(report) is True
+        assert journal.admit(report) is False
+        assert journal.journaled == 1
+        assert journal.deduplicated == 1
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "durable.reports"
+        journal = ReportJournal(path)
+        journal.admit(sample_report())
+        journal.close()
+        reopened = ReportJournal(path)
+        assert len(reopened.reports) == 1
+        # The restarted process re-deriving the same report is rejected.
+        assert reopened.admit(sample_report()) is False
+
+    def test_torn_final_line_truncated(self, tmp_path):
+        path = tmp_path / "durable.reports"
+        journal = ReportJournal(path)
+        journal.admit(sample_report())
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"rule": "ST-8b", "monit')
+        reopened = ReportJournal(path)
+        assert reopened.torn_tails_truncated == 1
+        assert len(reopened.reports) == 1
+        # The interrupted append never surfaced; admitting it again works.
+        assert reopened.admit(sample_report(detected_at=9.0)) is True
+
+
+class TestSnapshotStore:
+    def test_write_and_load_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write({"round": 1})
+        store.write({"round": 2})
+        payload, path = store.load_latest()
+        assert payload == {"round": 2}
+        assert path.name == "snapshot-000002.json"
+
+    def test_corrupt_latest_falls_back(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write({"round": 1})
+        newest = store.write({"round": 2})
+        newest.write_text('{"kind": "engine-snapshot", "chec', encoding="utf-8")
+        payload, path = store.load_latest()
+        assert payload == {"round": 1}
+        assert store.corrupt_skipped == 1
+
+    def test_checksum_mismatch_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        newest = store.write({"round": 1})
+        body = json.loads(newest.read_text(encoding="utf-8"))
+        body["payload"]["round"] = 99  # tamper without re-checksumming
+        newest.write_text(json.dumps(body), encoding="utf-8")
+        assert store.load_latest() is None
+        assert store.corrupt_skipped == 1
+
+    def test_prunes_beyond_keep(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        for round_index in range(5):
+            store.write({"round": round_index})
+        assert len(store.paths()) == 2
+        payload, __ = store.load_latest()
+        assert payload == {"round": 4}
+
+    def test_crash_before_rename_keeps_previous(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write({"round": 1})
+
+        def boom():
+            store.before_rename = None
+            raise RuntimeError("crash")
+
+        store.before_rename = boom
+        with pytest.raises(RuntimeError):
+            store.write({"round": 2})
+        payload, __ = store.load_latest()
+        assert payload == {"round": 1}
+
+
+# ------------------------------------------------------------ durable engine
+
+
+def build_durable(root, *, seed=3, fsync="interval"):
+    kernel = SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
+    allocator = SingleResourceAllocator(kernel, name="allocator")
+    engine = DetectionEngine(
+        kernel, DetectorConfig(interval=0.25, tmax=60.0, tio=60.0, tlimit=60.0)
+    )
+    durable = DurableEngine(engine, root, fsync=fsync)
+    durable.register(allocator, label="allocator")
+    return kernel, allocator, durable
+
+
+def run_with_misuse(root, *, rounds=4):
+    """A run whose rogue release produces real-time reports, checkpointed."""
+    kernel, allocator, durable = build_durable(root)
+    durable.baseline()
+
+    def misuser():
+        yield Delay(0.1)
+        yield from allocator.release()  # ST-8b + ST-PX
+        yield Delay(0.2)
+        yield from allocator.request()
+        yield Delay(0.05)
+        yield from allocator.release()
+
+    def driver():
+        for __ in range(rounds):
+            yield Delay(0.25)
+            durable.checkpoint()
+
+    kernel.spawn(misuser(), "misuser")
+    kernel.spawn(driver(), "driver")
+    kernel.run(until=rounds * 0.25 + 5)
+    kernel.raise_failures()
+    return durable
+
+
+class TestDurableEngine:
+    def test_checkpoint_surfaces_each_report_once(self, tmp_path):
+        durable = run_with_misuse(tmp_path)
+        assert len(durable.reports) >= 2  # ST-8b and ST-PX at least
+        keys = [report_key(report) for report in durable.reports]
+        assert len(keys) == len(set(keys))
+        assert durable.journal.deduplicated == 0
+        durable.close()
+
+    def test_recover_restores_the_report_stream(self, tmp_path):
+        crashed = run_with_misuse(tmp_path)
+        expected = [report_key(report) for report in crashed.reports]
+        crashed.close()  # the "crash": state lives only in tmp_path now
+        __, __, rebuilt = build_durable(tmp_path)
+        summary = rebuilt.recover()
+        assert summary.reports_restored == len(expected)
+        assert [report_key(r) for r in rebuilt.reports] == expected
+        assert rebuilt.durability_counters["recoveries"] == 1
+        rebuilt.close()
+
+    def test_recover_on_fresh_root_is_empty(self, tmp_path):
+        __, __, durable = build_durable(tmp_path)
+        summary = durable.recover()
+        assert summary.snapshot_path is None
+        assert summary.reports_restored == 0
+        assert durable.reports == []
+        durable.close()
+
+    def test_recover_rejects_mismatched_fleet(self, tmp_path):
+        crashed = run_with_misuse(tmp_path)
+        crashed.close()
+        kernel = SimKernel(RandomPolicy(seed=3), on_deadlock="stop")
+        allocator = SingleResourceAllocator(kernel, name="allocator")
+        engine = DetectionEngine(kernel, DetectorConfig(interval=0.25))
+        rebuilt = DurableEngine(engine, tmp_path)
+        rebuilt.register(allocator, label="somebody-else")
+        with pytest.raises(RecoveryError):
+            rebuilt.recover()
+        rebuilt.close()
+
+    def test_recover_falls_back_past_corrupt_snapshot(self, tmp_path):
+        crashed = run_with_misuse(tmp_path)
+        expected = [report_key(report) for report in crashed.reports]
+        crashed.close()
+        newest = crashed.snapshots.paths()[-1]
+        newest.write_text("garbage", encoding="utf-8")
+        __, __, rebuilt = build_durable(tmp_path)
+        summary = rebuilt.recover()
+        assert summary.snapshot_fallbacks >= 1
+        # The journal, not the snapshot, owns delivery: still exactly once.
+        assert [report_key(r) for r in rebuilt.reports] == expected
+        rebuilt.close()
+
+    def test_counters_and_repr(self, tmp_path):
+        durable = run_with_misuse(tmp_path)
+        counters = durable.durability_counters
+        for name in (
+            "wal_bytes_written",
+            "wal_fsyncs",
+            "snapshots_written",
+            "recoveries",
+            "reports_deduplicated",
+        ):
+            assert name in counters
+        assert counters["wal_bytes_written"] > 0
+        assert counters["snapshots_written"] > 0
+        text = repr(durable)
+        assert "wal_bytes" in text and "recoveries" in text
+        durable.close()
+
+    def test_statistics_pick_up_durability_counters(self, tmp_path):
+        from repro.detection import FaultStatistics
+
+        durable = run_with_misuse(tmp_path)
+        stats = FaultStatistics.from_engine(durable)
+        assert stats.engine_counters["wal_bytes_written"] > 0
+        assert "durability:" in stats.render()
+        durable.close()

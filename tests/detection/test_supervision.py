@@ -399,6 +399,37 @@ class TestSnapshotRestore:
         with pytest.raises(ValueError):
             supervisor.restore_state({"kind": "sink"})
 
+    def test_rejects_mismatched_monitor_fleet(self):
+        from repro.errors import RecoveryError
+
+        kernel, buffer, engine, entry = self.build()
+        supervisor = CheckpointSupervisor(engine)
+        engine.checkpoint()
+        snapshot = supervisor.snapshot_state()
+
+        # Restarted engine registers a *different* fleet: restoring the
+        # snapshot silently onto the wrong monitors must be refused.
+        engine2 = DetectionEngine(kernel, engine.config)
+        engine2.register(buffer, label="renamed")
+        supervisor2 = CheckpointSupervisor(engine2)
+        with pytest.raises(RecoveryError) as excinfo:
+            supervisor2.restore_state(snapshot)
+        message = str(excinfo.value)
+        assert entry.label in message and "renamed" in message
+
+    def test_rejects_partial_fleet(self):
+        from repro.errors import RecoveryError
+
+        kernel, buffer, engine, ____ = self.build()
+        supervisor = CheckpointSupervisor(engine)
+        engine.checkpoint()
+        snapshot = supervisor.snapshot_state()
+
+        engine2 = DetectionEngine(kernel, engine.config)
+        supervisor2 = CheckpointSupervisor(engine2)  # nothing registered
+        with pytest.raises(RecoveryError):
+            supervisor2.restore_state(snapshot)
+
 
 class TestSupervisionConfig:
     def test_defaults_off(self):

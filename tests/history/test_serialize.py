@@ -178,3 +178,88 @@ class TestEndToEnd:
         assert events == history.full_trace
         reports = check_full_trace(buffer.declaration, events)
         assert reports == []
+
+
+class TestSinkStateRoundTrip:
+    """sink_state_to_dict / apply_sink_state, including drop accounting."""
+
+    @staticmethod
+    def _state(t):
+        return SchedulingState(
+            time=t, entry_queue=(), cond_queues={}, running=()
+        )
+
+    def _saturated_bounded(self, capacity=4, recorded=10):
+        from repro.history import BoundedHistory
+
+        sink = BoundedHistory(capacity)
+        sink.open(self._state(0.0))
+        for seq in range(recorded):
+            sink.record(enter_event(seq, 1, "Send", float(seq), 1))
+        return sink
+
+    def test_bounded_drop_accounting_round_trips(self):
+        from repro.history import BoundedHistory
+        from repro.history.serialize import (
+            apply_sink_state,
+            sink_state_to_dict,
+        )
+
+        sink = self._saturated_bounded(capacity=4, recorded=10)
+        assert sink.pending_dropped == 6
+        record = sink_state_to_dict(sink)
+        assert record["pending_dropped"] == 6
+
+        restored = BoundedHistory(4)
+        restored.open(self._state(0.0))
+        apply_sink_state(restored, record)
+        assert restored.total_recorded == sink.total_recorded
+        assert restored.dropped_events == sink.dropped_events
+        assert restored.pending_dropped == sink.pending_dropped
+        assert restored.pending_events == sink.pending_events
+        # The restored sink's next cut reports the same window losses the
+        # crashed sink would have: degraded-mode confidence survives a
+        # restart instead of silently resetting to "complete".
+        original_cut = sink.cut(self._state(20.0))
+        restored_cut = restored.cut(self._state(20.0))
+        assert restored_cut.dropped == original_cut.dropped
+        assert restored_cut.complete == original_cut.complete
+
+    def test_restore_into_smaller_buffer_keeps_authoritative_totals(self):
+        from repro.history import BoundedHistory
+        from repro.history.serialize import (
+            apply_sink_state,
+            sink_state_to_dict,
+        )
+
+        sink = self._saturated_bounded(capacity=8, recorded=6)
+        assert sink.dropped_events == 0
+        record = sink_state_to_dict(sink)
+        # Replaying 6 pending events into capacity 2 evicts 4 of them —
+        # but those evictions happened during *restoration*, not in the
+        # monitored run; the snapshot's accounting is authoritative.
+        restored = BoundedHistory(2)
+        restored.open(self._state(0.0))
+        apply_sink_state(restored, record)
+        assert restored.dropped_events == 0
+        assert restored.pending_dropped == 0
+        assert restored.live_events == 2
+
+    def test_unbounded_sink_round_trips(self):
+        from repro.history import HistoryDatabase
+        from repro.history.serialize import (
+            apply_sink_state,
+            sink_state_to_dict,
+        )
+
+        sink = HistoryDatabase()
+        sink.open(self._state(0.0))
+        for seq in range(5):
+            sink.record(enter_event(seq, 2, "Receive", float(seq), 1))
+        record = sink_state_to_dict(sink)
+        restored = HistoryDatabase()
+        restored.open(self._state(0.0))
+        apply_sink_state(restored, record)
+        assert restored.pending_events == sink.pending_events
+        assert restored.total_recorded == sink.total_recorded
+        assert restored.dropped_events == 0

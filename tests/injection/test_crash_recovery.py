@@ -1,0 +1,79 @@
+"""Crash-recovery campaign: kill the detector, restart, compare fault sets."""
+
+import pytest
+
+from repro.errors import InjectionError
+from repro.injection import (
+    CrashPoint,
+    CrashRecoveryConfig,
+    run_crash_recovery_campaign,
+)
+
+
+class TestConfigValidation:
+    def test_rejects_too_many_crashes(self):
+        with pytest.raises(InjectionError):
+            CrashRecoveryConfig(rounds=10, crashes=9)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(InjectionError):
+            CrashRecoveryConfig(backend="processes")
+
+    def test_rejects_empty_crash_points(self):
+        with pytest.raises(InjectionError):
+            CrashRecoveryConfig(crash_points=())
+
+    def test_config_or_overrides_not_both(self):
+        with pytest.raises(InjectionError):
+            run_crash_recovery_campaign(CrashRecoveryConfig(), seed=1)
+
+
+class TestSimCampaign:
+    def test_default_campaign_passes_strict(self):
+        result = run_crash_recovery_campaign(
+            seed=0, rounds=30, crashes=3, backend="sim"
+        )
+        assert result.passed, result.summary()
+        assert result.golden_reports > 0
+        assert result.recovered_reports == result.golden_reports
+        assert result.missing_keys == ()
+        assert result.extra_keys == ()
+        assert result.duplicate_keys == ()
+        assert result.recoveries == 3
+
+    def test_each_crash_point_recovers(self):
+        # One campaign per point, so a regression names its culprit.
+        for point in CrashPoint:
+            result = run_crash_recovery_campaign(
+                seed=11,
+                rounds=20,
+                crashes=2,
+                backend="sim",
+                crash_points=(point,),
+            )
+            assert result.passed, f"{point.value}:\n{result.summary()}"
+
+    def test_torn_tails_are_truncated_on_recovery(self):
+        result = run_crash_recovery_campaign(
+            seed=2,
+            rounds=20,
+            crashes=2,
+            backend="sim",
+            crash_points=(CrashPoint.MID_WAL_APPEND,),
+        )
+        assert result.passed, result.summary()
+        assert result.torn_tails_truncated == 2
+
+    def test_summary_renders(self):
+        result = run_crash_recovery_campaign(seed=1, rounds=16, crashes=1)
+        text = result.summary()
+        assert "crash-recovery campaign" in text
+        assert ("PASS" in text) == result.passed
+
+
+class TestThreadCampaign:
+    def test_relaxed_comparison_passes_on_threads(self):
+        result = run_crash_recovery_campaign(
+            seed=0, rounds=20, crashes=2, backend="threads", operations=10
+        )
+        assert result.passed, result.summary()

@@ -1,0 +1,84 @@
+"""Crash/restart idempotence of destructive recovery actions.
+
+A restarted detector replays its report journal (see
+:mod:`repro.detection.durability`), so every report a dead incarnation
+already recovered from is offered to the :class:`RecoverySupervisor`
+again.  Destructive strategies (expel, queue reset) must not fire twice
+for the same report — the first incarnation already acted.
+"""
+
+from repro.detection import report_key
+from repro.kernel import SimKernel, RandomPolicy
+from repro.recovery.strategies import (
+    AlarmStrategy,
+    ExpelStrategy,
+    RecoveryAction,
+    RecoverySupervisor,
+    ResetQueuesStrategy,
+)
+from tests.recovery.test_strategies import wedged_monitor_scenario
+
+
+def run_wedged(kernel):
+    buffer, detector, sent = wedged_monitor_scenario(kernel)
+    supervisor = RecoverySupervisor(
+        detector, [ExpelStrategy(), ResetQueuesStrategy(), AlarmStrategy()]
+    )
+    kernel.run(until=4.0)
+    reports = supervisor.checkpoint_and_recover()
+    return buffer, detector, supervisor, reports
+
+
+class TestReplayIdempotence:
+    def test_same_report_is_not_recovered_twice(self, kernel):
+        __, __, supervisor, reports = run_wedged(kernel)
+        destructive = [
+            record
+            for record in supervisor.records
+            if record.action is RecoveryAction.EXPELLED
+        ]
+        assert destructive, "scenario must trigger at least one expulsion"
+        before = len(destructive)
+        # The restart: the journal replays every already-handled report.
+        for report in reports:
+            record = supervisor.recover(report)
+            assert record.action is RecoveryAction.NONE
+            assert "already recovered" in record.detail
+        after = [
+            record
+            for record in supervisor.records
+            if record.action is RecoveryAction.EXPELLED
+        ]
+        assert len(after) == before
+
+    def test_fresh_supervisor_seeded_from_journal_keys(self, kernel):
+        """A restarted process rebuilds ``handled`` from the journal."""
+        __, detector, supervisor, reports = run_wedged(kernel)
+        restarted = RecoverySupervisor(
+            detector, [ExpelStrategy(), AlarmStrategy()]
+        )
+        restarted.handled.update(report_key(report) for report in reports)
+        for report in reports:
+            record = restarted.recover(report)
+            assert record.action is RecoveryAction.NONE
+        assert not [
+            record
+            for record in restarted.records
+            if record.action is RecoveryAction.EXPELLED
+        ]
+
+    def test_distinct_reports_still_recovered(self, kernel):
+        """Idempotence keys on the report, not the monitor or rule."""
+        __, __, supervisor, reports = run_wedged(kernel)
+        handled_before = set(supervisor.handled)
+        fresh_kernel = SimKernel(RandomPolicy(seed=1), on_deadlock="stop")
+        __, __, second_supervisor, second_reports = run_wedged(fresh_kernel)
+        assert second_reports
+        # Same fault class, different run/time — different keys, so the
+        # second supervisor acts on them normally.
+        assert {report_key(r) for r in second_reports}.isdisjoint(
+            handled_before
+        ) or any(
+            record.action is not RecoveryAction.NONE
+            for record in second_supervisor.records
+        )
