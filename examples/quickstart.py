@@ -3,7 +3,7 @@
 
 Builds the paper's running example — a communication-coordinator monitor
 (bounded buffer with Send/Receive) — on the deterministic simulation
-kernel, attaches the fault detector, runs a clean producer/consumer
+kernel, attaches a DetectionSession, runs a clean producer/consumer
 workload, and then shows what happens when a mutual-exclusion fault is
 injected into the very same workload.
 
@@ -12,14 +12,13 @@ Run:  python examples/quickstart.py
 
 from repro import (
     BoundedBuffer,
+    DetectionSession,
     DetectorConfig,
     Delay,
-    FaultDetector,
     HistoryDatabase,
     RandomPolicy,
     SimKernel,
     TriggeredHooks,
-    detector_process,
 )
 
 
@@ -37,7 +36,7 @@ def consumer(buffer, items, received):
 
 
 def run(hooks=None):
-    """One workload execution; returns (buffer, detector, received)."""
+    """One workload execution; returns (buffer, session, received)."""
     kernel = SimKernel(RandomPolicy(seed=7), on_deadlock="stop")
     history = HistoryDatabase(retain_full_trace=True)
     buffer = BoundedBuffer(
@@ -49,28 +48,29 @@ def run(hooks=None):
     )
     if hooks is not None:
         hooks.core = buffer.monitor.core
-    detector = FaultDetector(
-        buffer,
-        DetectorConfig(interval=0.5, tmax=10.0, tio=10.0),
+    session = DetectionSession(
+        kernel,
+        monitors=[buffer],
+        config=DetectorConfig(interval=0.5, tmax=10.0, tio=10.0),
     )
     received = []
     kernel.spawn(producer(buffer, 25), "producer")
     kernel.spawn(consumer(buffer, 25, received), "consumer")
-    kernel.spawn(detector_process(detector), "detector")
+    session.start()
     kernel.run(until=20)
     kernel.raise_failures()
-    return buffer, detector, received
+    return buffer, session, received
 
 
 def main():
     print("=== clean run " + "=" * 50)
-    buffer, detector, received = run()
+    buffer, session, received = run()
     print(f"items transferred : {len(received)} (in order: "
           f"{received == sorted(received)})")
     print(f"events recorded   : {buffer.history.total_recorded}")
-    print(f"checkpoints run   : {detector.checkpoints_run}")
-    print(f"fault reports     : {len(detector.reports)}  "
-          f"(detector.clean = {detector.clean})")
+    print(f"checkpoints run   : {session.checkpoints_run}")
+    print(f"fault reports     : {len(session.reports)}  "
+          f"(session.clean = {session.clean})")
     print()
     print("first recorded scheduling events:")
     for event in buffer.history.full_trace[:6]:
@@ -84,15 +84,15 @@ def main():
     # On its second opportunity, a contended Enter is admitted although the
     # monitor is occupied (taxonomy fault I.a.1).
     hooks = TriggeredHooks("enter_despite_owner", fire_at=2)
-    buffer, detector, __ = run(hooks)
+    buffer, session, __ = run(hooks)
     print(f"perturbation fired : {hooks.fired} time(s) on pids "
           f"{hooks.affected}")
-    print(f"fault reports      : {len(detector.reports)}")
-    for report in detector.reports[:4]:
+    print(f"fault reports      : {len(session.reports)}")
+    for report in session.reports[:4]:
         print(f"   {report}")
     print()
     suspects = sorted(
-        {fault.label for fault in detector.implicated_faults()}
+        {fault.label for fault in session.implicated_faults()}
     )
     print(f"implicated fault classes: {suspects}")
 

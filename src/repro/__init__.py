@@ -12,12 +12,13 @@ for wall-clock measurements).
 Quickstart::
 
     from repro import (SimKernel, RandomPolicy, Delay, HistoryDatabase,
-                       BoundedBuffer, FaultDetector, DetectorConfig,
-                       detector_process)
+                       BoundedBuffer, DetectionSession, DetectorConfig)
 
     kernel = SimKernel(RandomPolicy(seed=1))
     buffer = BoundedBuffer(kernel, capacity=4, history=HistoryDatabase())
-    detector = FaultDetector(buffer, DetectorConfig(interval=0.5))
+    session = DetectionSession(
+        kernel, monitors=[buffer], config=DetectorConfig(interval=0.5)
+    )
 
     def producer():
         for item in range(100):
@@ -31,9 +32,13 @@ Quickstart::
 
     kernel.spawn(producer())
     kernel.spawn(consumer())
-    kernel.spawn(detector_process(detector))
+    session.start()
     kernel.run(until=60)
-    assert detector.clean
+    assert session.clean
+
+Scaling out is a keyword argument — ``DetectionSession(kernel,
+monitors=fleet, shards=4, durable_dir="state/")`` partitions the fleet
+across four staggered engine shards with per-shard crash durability.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
@@ -59,9 +64,17 @@ from repro.detection import (
     CircuitBreaker,
     Confidence,
     DeadlockDetector,
+    DetectionCluster,
     DetectionEngine,
+    DetectionSession,
     DetectorConfig,
     DurableEngine,
+    LabelSharding,
+    RateBalancedSharding,
+    RoundRobinSharding,
+    ShardPolicy,
+    make_shard_policy,
+    shard_process,
     RecoverySummary,
     FaultClass,
     FaultDetector,
@@ -199,6 +212,14 @@ __all__ = [
     "DetectorConfig",
     "detector_process",
     "DetectionEngine",
+    "DetectionCluster",
+    "DetectionSession",
+    "ShardPolicy",
+    "RoundRobinSharding",
+    "RateBalancedSharding",
+    "LabelSharding",
+    "make_shard_policy",
+    "shard_process",
     "DurableEngine",
     "RecoverySummary",
     "report_key",

@@ -2,27 +2,28 @@
 
 Commands
 --------
-``demo``
-    Run the quickstart workload (clean + injected fault) and print the
-    detector's findings.
-``coverage [--seed N]``
+``demo [--seed N] [--json PATH]``
+    Run the quickstart workload (clean + injected fault) through a
+    :class:`repro.DetectionSession` and print the findings.
+``coverage [--seed N] [--json PATH]``
     The robustness experiment: inject all 21 fault classes, print the
     per-class detection table (exit status 1 if any class is missed).
-``overhead [--backend sim|threads] [--repeats N] [--engine] [--bounded C] [--wal] [--json PATH]``
+``overhead [--backend sim|threads] [--seed N] [--repeats N] [--engine] [--bounded C] [--wal] [--json PATH]``
     Regenerate Table 1 (overhead ratio vs checking interval); ``--engine``
     checks through a shared DetectionEngine registration, ``--bounded``
     records through a capacity-C ring buffer and surfaces dropped events,
     ``--wal`` instead measures write-ahead-log recording overhead
     (events/sec and bytes/event per fsync policy vs the in-memory sink).
-``scaling [--backend sim|threads] [--counts N ...] [--quick] [--json PATH]``
+``scaling [--backend sim|threads] [--seed N] [--counts N ...] [--shards N ...] [--quick] [--json PATH]``
     Engine scaling: batched checkpoints vs per-monitor detectors at
-    fleet sizes 1/4/16.
-``chaos [--seed N] [--rounds N]``
+    fleet sizes 1/4/16; ``--shards`` compares staggered
+    DetectionCluster shard counts instead (per-shard world-stop detail).
+``chaos [--seed N] [--rounds N] [--json PATH]``
     Detector-resilience chaos campaign: a healthy workload with faults
     injected into the detection pipeline itself (raising evaluators,
     transient checkpoint failures, delays, event-drop bursts); exit
     status 1 unless the supervised engine rides it out cleanly.
-``crash-recovery [--seed N] [--rounds N] [--crashes N] [--backend sim|threads] [--fsync P] [--points P ...]``
+``crash-recovery [--seed N] [--rounds N] [--crashes N] [--backend sim|threads] [--fsync P] [--points P ...] [--json PATH]``
     Crash-durability campaign: kill a WAL-backed DurableEngine at seeded
     crash points, restart and recover it, and compare the delivered fault
     set against an uninterrupted golden run; exit status 1 unless the
@@ -30,8 +31,14 @@ Commands
 ``check TRACE.jsonl --monitor {buffer,allocator} [--tmax T] ...``
     Offline FD-rule checking of a persisted JSONL trace (see
     :mod:`repro.history.serialize`).
-``selftest``
+``selftest [--seed N] [--json PATH]``
     One fast end-to-end sanity pass (clean run + one injected fault).
+
+Every randomised subcommand takes ``--seed``, and every result-producing
+subcommand takes ``--json PATH`` ('-' for stdout) emitting one stable
+top-level schema: ``{"command": ..., "seed": ..., "results": {...}}``.
+(``check`` and ``faults`` are deterministic lookups with no measurement
+payload, so they take neither.)
 """
 
 from __future__ import annotations
@@ -43,17 +50,38 @@ from typing import Optional, Sequence
 __all__ = ["main"]
 
 
+def _emit_json(args: argparse.Namespace, results: dict) -> None:
+    """Write the uniform ``{"command", "seed", "results"}`` envelope."""
+    import json
+
+    if getattr(args, "json", None) is None:
+        return
+    payload = json.dumps(
+        {
+            "command": args.command,
+            "seed": getattr(args, "seed", None),
+            "results": results,
+        },
+        indent=2,
+    )
+    if args.json == "-":
+        print(payload)
+    else:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"json written to {args.json}")
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import (
         BoundedBuffer,
         Delay,
+        DetectionSession,
         DetectorConfig,
-        FaultDetector,
         HistoryDatabase,
         RandomPolicy,
         SimKernel,
         TriggeredHooks,
-        detector_process,
     )
 
     def run(hooks=None):
@@ -67,7 +95,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         )
         if hooks is not None:
             hooks.core = buffer.monitor.core
-        detector = FaultDetector(buffer, DetectorConfig(interval=0.5))
+        session = DetectionSession(
+            kernel, monitors=[buffer], config=DetectorConfig(interval=0.5)
+        )
 
         def producer():
             for item in range(25):
@@ -81,31 +111,48 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
         kernel.spawn(producer())
         kernel.spawn(consumer())
-        kernel.spawn(detector_process(detector))
+        session.start()
         kernel.run(until=20)
         kernel.raise_failures()
-        return detector
+        return session
 
-    detector = run()
-    print(f"clean run   : {len(detector.reports)} reports "
-          f"(clean={detector.clean})")
-    detector = run(TriggeredHooks("enter_despite_owner", fire_at=2))
-    print(f"faulty run  : {len(detector.reports)} reports")
-    for report in detector.reports[:3]:
+    clean = run()
+    print(f"clean run   : {len(clean.reports)} reports "
+          f"(clean={clean.clean})")
+    faulty = run(TriggeredHooks("enter_despite_owner", fire_at=2))
+    print(f"faulty run  : {len(faulty.reports)} reports")
+    for report in faulty.reports[:3]:
         print(f"   {report}")
+    _emit_json(
+        args,
+        {
+            "clean_run": {"reports": len(clean.reports), "clean": clean.clean},
+            "faulty_run": {
+                "reports": len(faulty.reports),
+                "rules": sorted(
+                    {report.rule_id for report in faulty.reports}
+                ),
+            },
+        },
+    )
     return 0
 
 
 def _cmd_coverage(args: argparse.Namespace) -> int:
     from repro.bench.coverage import main as coverage_main
 
-    return coverage_main(["--seed", str(args.seed)])
+    argv = ["--seed", str(args.seed)]
+    if args.json is not None:
+        argv += ["--json", args.json]
+    return coverage_main(argv)
 
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
     from repro.bench.overhead import main as overhead_main
 
     argv = ["--backend", args.backend, "--repeats", str(args.repeats)]
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
     if args.engine:
         argv.append("--engine")
     if args.bounded is not None:
@@ -121,8 +168,12 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.bench.engine_scaling import main as scaling_main
 
     argv = ["--backend", args.backend]
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
     if args.counts:
         argv += ["--counts"] + [str(count) for count in args.counts]
+    if args.shards:
+        argv += ["--shards"] + [str(count) for count in args.shards]
     if args.quick:
         argv.append("--quick")
     if args.json is not None:
@@ -135,6 +186,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     result = run_chaos_campaign(seed=args.seed, rounds=args.rounds)
     print(result.summary())
+    _emit_json(
+        args, {"passed": result.passed, "summary": result.summary()}
+    )
     return 0 if result.passed else 1
 
 
@@ -155,6 +209,9 @@ def _cmd_crash_recovery(args: argparse.Namespace) -> int:
         crash_points=points,
     )
     print(result.summary())
+    _emit_json(
+        args, {"passed": result.passed, "summary": result.summary()}
+    )
     return 0 if result.passed else 1
 
 
@@ -239,10 +296,22 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     from repro.detection import FaultClass
     from repro.injection import run_campaign
 
-    demo = argparse.Namespace(seed=0)
+    seed = getattr(args, "seed", 0)
+    demo = argparse.Namespace(seed=seed, json=None, command="demo")
     status = _cmd_demo(demo)
-    outcome = run_campaign(FaultClass.RELEASE_BEFORE_REQUEST, seed=0)
+    outcome = run_campaign(FaultClass.RELEASE_BEFORE_REQUEST, seed=seed)
     print(f"campaign III.a: detected={outcome.detected}")
+    _emit_json(
+        args,
+        {
+            "demo_status": status,
+            "campaign": {
+                "fault": "III.a",
+                "detected": outcome.detected,
+                "rules": list(outcome.rules),
+            },
+        },
+    )
     return 0 if status == 0 and outcome.detected else 1
 
 
@@ -256,12 +325,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     demo = subparsers.add_parser("demo", help="quickstart demo")
     demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--json", default=None, metavar="PATH")
     demo.set_defaults(func=_cmd_demo)
 
     coverage = subparsers.add_parser(
         "coverage", help="robustness experiment (21 fault campaigns)"
     )
     coverage.add_argument("--seed", type=int, default=0)
+    coverage.add_argument("--json", default=None, metavar="PATH")
     coverage.set_defaults(func=_cmd_coverage)
 
     overhead = subparsers.add_parser(
@@ -270,6 +341,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     overhead.add_argument(
         "--backend", choices=("sim", "threads"), default="threads"
     )
+    overhead.add_argument("--seed", type=int, default=None)
     overhead.add_argument("--repeats", type=int, default=3)
     overhead.add_argument("--engine", action="store_true")
     overhead.add_argument("--bounded", type=int, default=None, metavar="CAPACITY")
@@ -285,7 +357,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scaling", help="engine scaling: batched vs per-monitor checkpoints"
     )
     scaling.add_argument("--backend", choices=("sim", "threads"), default="sim")
+    scaling.add_argument("--seed", type=int, default=None)
     scaling.add_argument("--counts", type=int, nargs="*", default=None)
+    scaling.add_argument(
+        "--shards",
+        type=int,
+        nargs="*",
+        default=None,
+        metavar="N",
+        help="compare staggered DetectionCluster shard counts instead",
+    )
     scaling.add_argument("--quick", action="store_true")
     scaling.add_argument("--json", default=None, metavar="PATH")
     scaling.set_defaults(func=_cmd_scaling)
@@ -295,6 +376,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--rounds", type=int, default=60)
+    chaos.add_argument("--json", default=None, metavar="PATH")
     chaos.set_defaults(func=_cmd_chaos)
 
     crash = subparsers.add_parser(
@@ -321,6 +403,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
         help="crash points to sample from (default: all four)",
     )
+    crash.add_argument("--json", default=None, metavar="PATH")
     crash.set_defaults(func=_cmd_crash_recovery)
 
     check = subparsers.add_parser(
@@ -342,6 +425,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     faults.set_defaults(func=_cmd_faults)
 
     selftest = subparsers.add_parser("selftest", help="fast sanity pass")
+    selftest.add_argument("--seed", type=int, default=0)
+    selftest.add_argument("--json", default=None, metavar="PATH")
     selftest.set_defaults(func=_cmd_selftest)
 
     args = parser.parse_args(argv)

@@ -32,10 +32,11 @@ from __future__ import annotations
 
 import argparse
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Optional, Sequence
 
 from repro.bench.tables import render_table
+from repro.detection.cluster import DetectionCluster
 from repro.detection.detector import DetectorConfig, FaultDetector, detector_process
 from repro.detection.engine import DetectionEngine, engine_process
 from repro.kernel.policies import RandomPolicy
@@ -67,7 +68,7 @@ class ScalingRow:
     """One (fleet size, mode) cell of the scaling comparison."""
 
     monitors: int
-    mode: str  # "detectors" or "engine"
+    mode: str  # "detectors", "engine" or "cluster"
     atomic_sections: int
     checkpoints: int
     checking_seconds: float
@@ -81,6 +82,10 @@ class ScalingRow:
     events: int
     #: Events the fleet's sinks discarded (0 for unbounded histories).
     dropped: int = 0
+    #: Engine shards the fleet was partitioned across (1 unless "cluster").
+    shards: int = 1
+    #: Per-shard accounting dicts (cluster mode only; empty otherwise).
+    per_shard: tuple = ()
 
     @property
     def worldstop_mean(self) -> float:
@@ -105,10 +110,13 @@ def measure_scaling(
     backend: str = "sim",
     spec: Optional[WorkloadSpec] = None,
     config: Optional[DetectorConfig] = None,
+    shards: int = 1,
 ) -> ScalingRow:
     """Run one fleet under one checking topology and collect the counters."""
-    if mode not in ("detectors", "engine"):
-        raise ValueError(f"unknown mode {mode!r}; use 'detectors' or 'engine'")
+    if mode not in ("detectors", "engine", "cluster"):
+        raise ValueError(
+            f"unknown mode {mode!r}; use 'detectors', 'engine' or 'cluster'"
+        )
     spec = spec or SCALING_SPEC
     config = config or SCALING_CONFIG
     kernel = _make_kernel(backend, spec.seed)
@@ -118,11 +126,17 @@ def measure_scaling(
 
     detectors: list[FaultDetector] = []
     engine: Optional[DetectionEngine] = None
+    cluster: Optional[DetectionCluster] = None
     if mode == "detectors":
         for run in fleet:
             detector = FaultDetector(run.monitor, config)
             detectors.append(detector)
             kernel.spawn(detector_process(detector), f"detector-{run.name}")
+    elif mode == "cluster":
+        cluster = DetectionCluster(kernel, config, shards=shards)
+        for run in fleet:
+            cluster.register(run.monitor, group=run.shard_label)
+        cluster.spawn_processes()
     else:
         engine = DetectionEngine(kernel, config)
         for run in fleet:
@@ -132,6 +146,10 @@ def measure_scaling(
     horizon = spec.operations * spec.think_time * 40 + 60
     kernel.run(until=horizon, max_steps=50_000_000)
     kernel.raise_failures()
+    if cluster is not None:
+        # Await offloaded evaluations and close the worker pool before
+        # reading the counters.
+        cluster.stop()
 
     events = sum(
         run.monitor.monitor.history.total_recorded
@@ -143,6 +161,7 @@ def measure_scaling(
         for run in fleet
         if run.monitor.monitor.history is not None
     )
+    per_shard: tuple = ()
     if mode == "detectors":
         # Every FaultDetector checkpoint is its own atomic section.
         sections = sum(d.engine.atomic_sections for d in detectors)
@@ -154,6 +173,16 @@ def measure_scaling(
             (d.engine.worldstop_max for d in detectors), default=0.0
         )
         reports = sum(len(d.reports) for d in detectors)
+    elif mode == "cluster":
+        assert cluster is not None
+        sections = cluster.atomic_sections
+        checkpoints = cluster.checkpoints_run
+        checking = cluster.checking_seconds
+        worldstop = cluster.worldstop_seconds
+        evaluate = cluster.evaluate_seconds
+        worldstop_max = cluster.worldstop_max
+        reports = len(cluster.reports)
+        per_shard = tuple(cluster.shard_stats())
     else:
         assert engine is not None
         sections = engine.atomic_sections
@@ -175,6 +204,8 @@ def measure_scaling(
         reports=reports,
         events=events,
         dropped=dropped,
+        shards=shards if mode == "cluster" else 1,
+        per_shard=per_shard,
     )
 
 
@@ -184,22 +215,42 @@ def scaling_table(
     backend: str = "sim",
     spec: Optional[WorkloadSpec] = None,
     config: Optional[DetectorConfig] = None,
+    shards: Optional[Sequence[int]] = None,
 ) -> list[ScalingRow]:
-    """The full grid: every fleet size under both checking topologies."""
+    """The full grid: every fleet size under both checking topologies.
+
+    With ``shards`` (a sequence of shard counts), the grid is the sharded
+    comparison instead: one ``cluster`` row per (fleet size, shard count),
+    so staggered N-shard world-stops can be read against the 1-shard
+    baseline directly.
+    """
     rows: list[ScalingRow] = []
     for count in counts:
-        for mode in ("detectors", "engine"):
-            rows.append(
-                measure_scaling(
-                    count, mode, backend=backend, spec=spec, config=config
+        if shards:
+            for shard_count in shards:
+                rows.append(
+                    measure_scaling(
+                        count,
+                        "cluster",
+                        backend=backend,
+                        spec=spec,
+                        config=config,
+                        shards=shard_count,
+                    )
                 )
-            )
+        else:
+            for mode in ("detectors", "engine"):
+                rows.append(
+                    measure_scaling(
+                        count, mode, backend=backend, spec=spec, config=config
+                    )
+                )
     return rows
 
 
 def render_scaling_table(rows: Sequence[ScalingRow]) -> str:
     headers = [
-        "monitors", "mode", "atomic sections", "checkpoints",
+        "monitors", "mode", "shards", "atomic sections", "checkpoints",
         "world-stop (s)", "stop max (s)", "evaluate (s)",
         "reports", "events", "dropped",
     ]
@@ -207,6 +258,7 @@ def render_scaling_table(rows: Sequence[ScalingRow]) -> str:
         [
             str(row.monitors),
             row.mode,
+            str(row.shards),
             str(row.atomic_sections),
             str(row.checkpoints),
             f"{row.worldstop_seconds:.4f}",
@@ -247,6 +299,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--counts", type=int, nargs="*", default=list(DEFAULT_COUNTS)
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="*",
+        default=None,
+        metavar="N",
+        help="compare sharded clusters instead: one cluster row per "
+        "(fleet size, shard count), e.g. --shards 1 4",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="workload RNG seed"
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="smaller workload (CI smoke mode)",
@@ -261,31 +325,66 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     spec = (
         WorkloadSpec(processes=2, operations=10, think_time=0.05)
         if args.quick
-        else None
+        else SCALING_SPEC
     )
-    rows = scaling_table(counts=args.counts, backend=args.backend, spec=spec)
+    if args.seed is not None:
+        spec = replace(spec, seed=args.seed)
+    rows = scaling_table(
+        counts=args.counts, backend=args.backend, spec=spec, shards=args.shards
+    )
     print(render_scaling_table(rows))
-    # Make the amortisation claim auditable from the output alone.
-    by_mode: dict[str, dict[int, ScalingRow]] = {"detectors": {}, "engine": {}}
-    for row in rows:
-        by_mode[row.mode][row.monitors] = row
-    for count in sorted(by_mode["engine"]):
-        det = by_mode["detectors"].get(count)
-        eng = by_mode["engine"][count]
-        if det is None or eng.checkpoints == 0:
-            continue
-        print(
-            f"N={count}: engine ran {eng.atomic_sections / eng.checkpoints:.1f} "
-            f"atomic section(s) per interval vs {det.atomic_sections} total "
-            f"for per-monitor detectors"
-        )
-        print(
-            f"N={count}: engine world-stop/checkpoint "
-            f"mean {eng.worldstop_mean * 1e6:.1f}us max "
-            f"{eng.worldstop_max * 1e6:.1f}us; "
-            f"{eng.evaluate_seconds:.4f}s of rule evaluation ran off the "
-            "critical path"
-        )
+    if args.shards:
+        # Make the stagger claim auditable: per-shard detail plus the
+        # N-shard vs 1-shard worst-case world-stop comparison.
+        for row in rows:
+            for stat in row.per_shard:
+                print(
+                    f"N={row.monitors} shards={row.shards} "
+                    f"shard {stat['shard']}: {stat['monitors']} monitors, "
+                    f"offset {stat['offset']:g}, "
+                    f"{stat['checkpoints']} checkpoints, "
+                    f"stop max {stat['worldstop_max'] * 1e6:.1f}us, "
+                    f"evaluate {stat['evaluate_seconds']:.4f}s"
+                )
+        baselines = {
+            row.monitors: row for row in rows if row.shards == 1
+        }
+        for row in rows:
+            base = baselines.get(row.monitors)
+            if row.shards == 1 or base is None:
+                continue
+            verdict = "<" if row.worldstop_max < base.worldstop_max else ">="
+            print(
+                f"N={row.monitors}: max world-stop with {row.shards} shards "
+                f"{row.worldstop_max * 1e6:.1f}us {verdict} 1-shard baseline "
+                f"{base.worldstop_max * 1e6:.1f}us"
+            )
+    else:
+        # Make the amortisation claim auditable from the output alone.
+        by_mode: dict[str, dict[int, ScalingRow]] = {
+            "detectors": {},
+            "engine": {},
+        }
+        for row in rows:
+            by_mode[row.mode][row.monitors] = row
+        for count in sorted(by_mode["engine"]):
+            det = by_mode["detectors"].get(count)
+            eng = by_mode["engine"][count]
+            if det is None or eng.checkpoints == 0:
+                continue
+            print(
+                f"N={count}: engine ran "
+                f"{eng.atomic_sections / eng.checkpoints:.1f} "
+                f"atomic section(s) per interval vs {det.atomic_sections} "
+                "total for per-monitor detectors"
+            )
+            print(
+                f"N={count}: engine world-stop/checkpoint "
+                f"mean {eng.worldstop_mean * 1e6:.1f}us max "
+                f"{eng.worldstop_max * 1e6:.1f}us; "
+                f"{eng.evaluate_seconds:.4f}s of rule evaluation ran off the "
+                "critical path"
+            )
     total_dropped = sum(row.dropped for row in rows)
     total_events = sum(row.events for row in rows)
     print(
@@ -294,9 +393,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         + ("" if total_dropped == 0 else " (windows checked in degraded mode)")
     )
     if args.json is not None:
-        payload = json.dumps(
-            rows_to_json(rows, backend=args.backend), indent=2
-        )
+        envelope = {
+            "command": "scaling",
+            "seed": spec.seed,
+            "results": rows_to_json(rows, backend=args.backend),
+        }
+        payload = json.dumps(envelope, indent=2)
         if args.json == "-":
             print(payload)
         else:

@@ -28,7 +28,7 @@ import json
 import shutil
 import statistics
 import tempfile
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
@@ -546,6 +546,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--seed", type=int, default=None, help="workload RNG seed"
+    )
+    parser.add_argument(
         "--intervals",
         type=float,
         nargs="*",
@@ -585,18 +588,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="monitor scenarios to measure (default: all three)",
     )
     args = parser.parse_args(argv)
+    spec = BENCH_SPEC
+    if args.seed is not None:
+        spec = replace(spec, seed=args.seed)
     if args.wal:
         interval = args.intervals[0] if args.intervals else 1.0
         wal_rows = wal_overhead_table(
             scenarios=args.scenarios,
             backend=args.backend,
+            spec=spec,
             interval=interval,
             repeats=args.repeats,
         )
         print(render_wal_table(wal_rows))
         if args.json is not None:
             payload = json.dumps(
-                wal_rows_to_json(wal_rows, backend=args.backend), indent=2
+                {
+                    "command": "overhead",
+                    "seed": spec.seed,
+                    "results": wal_rows_to_json(
+                        wal_rows, backend=args.backend
+                    ),
+                },
+                indent=2,
             )
             if args.json == "-":
                 print(payload)
@@ -609,6 +623,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         intervals=args.intervals,
         scenarios=args.scenarios,
         backend=args.backend,
+        spec=spec,
         repeats=args.repeats,
         use_engine=args.engine,
         bounded=args.bounded,
@@ -645,7 +660,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.json is not None:
         payload = json.dumps(
-            rows_to_json(rows, backend=args.backend), indent=2
+            {
+                "command": "overhead",
+                "seed": spec.seed,
+                "results": rows_to_json(rows, backend=args.backend),
+            },
+            indent=2,
         )
         if args.json == "-":
             print(payload)

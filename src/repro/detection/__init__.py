@@ -35,7 +35,25 @@ Contents:
   WAL-backed histories, atomic state snapshots and an exactly-once report
   journal, with :meth:`~repro.detection.durability.DurableEngine.recover`
   rebuilding a restarted detector to the crashed one's fault set.
+* :mod:`repro.detection.cluster` — horizontal scale-out: the
+  :class:`~repro.detection.cluster.DetectionCluster` partitioning the
+  fleet across N engine shards (pluggable
+  :class:`~repro.detection.cluster.ShardPolicy`) with staggered capture
+  schedules and, on the thread kernel, pooled phase-2 evaluation.
+* :mod:`repro.detection.session` — the one public front door:
+  :class:`~repro.detection.session.DetectionSession` wiring
+  engine/cluster, supervision and durability behind a single constructor.
 """
+
+from repro.detection.cluster import (
+    DetectionCluster,
+    LabelSharding,
+    RateBalancedSharding,
+    RoundRobinSharding,
+    ShardPolicy,
+    make_shard_policy,
+    shard_process,
+)
 
 from repro.detection.algorithm1 import check_general_concurrency_control
 from repro.detection.algorithm2 import ResourceStateChecker
@@ -60,6 +78,7 @@ from repro.detection.fd_rules import check_full_trace
 from repro.detection.replay import ReplayMachine
 from repro.detection.reports import Confidence, FaultReport
 from repro.detection.rules import DROP_TOLERANT, FDRule, STRule, is_drop_tolerant
+from repro.detection.session import DetectionSession
 from repro.detection.statistics import FaultStatistics
 from repro.detection.supervision import (
     BreakerState,
@@ -95,6 +114,14 @@ __all__ = [
     "DetectionEngine",
     "RegisteredMonitor",
     "engine_process",
+    "DetectionCluster",
+    "DetectionSession",
+    "ShardPolicy",
+    "RoundRobinSharding",
+    "RateBalancedSharding",
+    "LabelSharding",
+    "make_shard_policy",
+    "shard_process",
     "FaultStatistics",
     "DeadlockDetector",
     "ResourceWaitEdge",

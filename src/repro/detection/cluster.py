@@ -1,0 +1,907 @@
+"""Sharded detection: many engines, staggered world-stops, one surface.
+
+One :class:`~repro.detection.engine.DetectionEngine` already amortises the
+paper's per-detector suspend-the-world cost into a single two-phase
+checkpoint per interval — but the whole fleet still funnels through one
+engine object with one schedule, so at large fleet sizes every phase-1
+sweep stops the world for O(fleet) snapshot+cut work at once.
+:class:`DetectionCluster` is the next scaling lever named in ROADMAP:
+partition the registered monitors across N engine *shards* so that
+
+* each phase-1 atomic section only sweeps its own shard's monitors
+  (world-stop per section shrinks from O(fleet) to O(fleet / N)),
+* shard capture schedules are **staggered** — shard ``k`` fires at offset
+  ``interval * k / N`` within the checking period, recomputed over the
+  non-empty shards whenever a monitor registers or unregisters, so
+  phase-1 sections never pile onto the same instant,
+* on the thread kernel, phase-2 evaluation runs in a per-shard **worker
+  pool**: evaluation of shard A overlaps capture of shard B, while each
+  shard's single worker still serialises its own checker-state mutation.
+
+Which monitor lands on which shard is a pluggable :class:`ShardPolicy`:
+round-robin (:class:`RoundRobinSharding`), lowest event-rate EWMA load
+(:class:`RateBalancedSharding`), or explicit label groups
+(:class:`LabelSharding`, fed by ``build_fleet`` shard labels).
+
+The cluster exposes the same reporting surface as a single engine
+(``reports``, ``reports_by_monitor``, ``implicated_faults``, ``clean``,
+``confirmed_clean`` …) by merging the shard streams into one
+deterministic order — virtual detection time, then shard id, then
+cluster registration order — and composes with the existing layers:
+per-shard :class:`~repro.detection.supervision.CheckpointSupervisor` and
+breaker state, per-shard WAL + snapshot durability
+(:class:`~repro.detection.durability.DurableEngine` under
+``root/shard-<k>``, with :meth:`DetectionCluster.recover` restoring every
+shard and re-merging their report journals), and chaos campaigns that
+crash one shard while the others keep detecting.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import queue
+import threading
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Sequence, Union
+
+from repro.detection.config import DetectorConfig
+from repro.detection.durability import DurableEngine, RecoverySummary
+from repro.detection.engine import (
+    DetectionEngine,
+    MonitorLike,
+    RegisteredMonitor,
+    _unwrap,
+)
+from repro.detection.reports import Confidence, FaultReport
+from repro.detection.supervision import (
+    CheckpointSupervisor,
+    QuarantineRecord,
+    SupervisorEvent,
+)
+from repro.history.sink import merge_event_streams
+from repro.kernel.syscalls import Delay, Syscall
+from repro.kernel.threads import ThreadKernel
+from repro.monitor.construct import Monitor
+
+__all__ = [
+    "ShardPolicy",
+    "RoundRobinSharding",
+    "RateBalancedSharding",
+    "LabelSharding",
+    "make_shard_policy",
+    "ClusterShard",
+    "DetectionCluster",
+    "shard_process",
+]
+
+
+# ------------------------------------------------------------ shard policies
+
+
+class ShardPolicy(abc.ABC):
+    """Chooses the shard a newly registered monitor lands on."""
+
+    #: The :attr:`DetectorConfig.shard_policy` spelling of this policy.
+    name: str = "?"
+
+    @abc.abstractmethod
+    def assign(
+        self,
+        cluster: "DetectionCluster",
+        monitor: Monitor,
+        label: str,
+        group: Optional[str],
+    ) -> int:
+        """Return the shard index (``0 <= index < cluster.shard_count``)."""
+
+
+class RoundRobinSharding(ShardPolicy):
+    """Registration order modulo shard count — the fixed, oblivious default."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def assign(self, cluster, monitor, label, group) -> int:
+        index = self._next % cluster.shard_count
+        self._next += 1
+        return index
+
+
+class RateBalancedSharding(ShardPolicy):
+    """Greedy lowest-load placement by summed event-rate EWMA.
+
+    Each registered monitor carries an EWMA of its event rate (the same
+    one the adaptive capture schedule uses); a new monitor goes to the
+    shard whose entries currently sum to the lowest rate, tie-broken by
+    fewest entries, then lowest shard id — so a hot monitor does not pile
+    onto a shard already sweeping hot ones.
+    """
+
+    name = "rate"
+
+    def assign(self, cluster, monitor, label, group) -> int:
+        def load(shard: "ClusterShard") -> tuple[float, int, int]:
+            entries = shard.engine.entries
+            return (
+                sum(entry.event_rate for entry in entries),
+                len(entries),
+                shard.index,
+            )
+
+        return min(cluster.shards, key=load).index
+
+
+class LabelSharding(ShardPolicy):
+    """Explicit label groups: every monitor of one group shares a shard.
+
+    ``groups`` maps a group name to a shard index; unseen groups are
+    assigned in first-seen order modulo the shard count, so related
+    monitors (``build_fleet`` tags each scenario instance with its
+    scenario name as ``shard_label``) stay co-located without
+    pre-declaring the universe of groups.  A monitor registered without a
+    group falls back to its label as its own group.
+    """
+
+    name = "label"
+
+    def __init__(self, groups: Optional[dict[str, int]] = None) -> None:
+        self.groups: dict[str, int] = dict(groups or {})
+
+    def assign(self, cluster, monitor, label, group) -> int:
+        key = group if group is not None else label
+        if key not in self.groups:
+            taken = len(self.groups)
+            self.groups[key] = taken % cluster.shard_count
+        index = self.groups[key]
+        if not 0 <= index < cluster.shard_count:
+            raise ValueError(
+                f"label group {key!r} maps to shard {index}, but the "
+                f"cluster has {cluster.shard_count} shard(s)"
+            )
+        return index
+
+
+_POLICY_FACTORIES: dict[str, Callable[[], ShardPolicy]] = {
+    RoundRobinSharding.name: RoundRobinSharding,
+    RateBalancedSharding.name: RateBalancedSharding,
+    LabelSharding.name: LabelSharding,
+}
+
+
+def make_shard_policy(name: str) -> ShardPolicy:
+    """Instantiate a policy from its :attr:`DetectorConfig.shard_policy` name."""
+    try:
+        return _POLICY_FACTORIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown shard policy {name!r}; choose from "
+            f"{sorted(_POLICY_FACTORIES)}"
+        ) from None
+
+
+# ------------------------------------------------------------- worker pool
+
+
+class _ShardWorkerPool:
+    """One evaluation worker per shard (thread-kernel phase-2 offload).
+
+    Each shard owns exactly one worker thread draining its own queue, so
+    per-shard checker state (Algorithm-2 counters, replay state) is still
+    mutated by a single thread — while different shards evaluate and
+    capture concurrently.
+    """
+
+    def __init__(self, shard_count: int) -> None:
+        self._queues: list[queue.Queue] = [
+            queue.Queue() for __ in range(shard_count)
+        ]
+        self.jobs_run = 0
+        #: Exceptions that escaped a job (engine-level bugs; checker
+        #: failures are already absorbed by the breakers inside the job).
+        self.errors: list[Exception] = []
+        self._threads: list[threading.Thread] = []
+        for index, jobs in enumerate(self._queues):
+            thread = threading.Thread(
+                target=self._run,
+                args=(jobs,),
+                name=f"shard-evaluate-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _run(self, jobs: queue.Queue) -> None:
+        while True:
+            job = jobs.get()
+            try:
+                if job is None:
+                    return
+                try:
+                    job()
+                    self.jobs_run += 1
+                except Exception as exc:  # noqa: BLE001 — surfaced via errors
+                    self.errors.append(exc)
+            finally:
+                jobs.task_done()
+
+    def submit(self, shard_index: int, job: Callable[[], object]) -> None:
+        self._queues[shard_index].put(job)
+
+    def drain(self) -> None:
+        """Block until every submitted evaluation has finished."""
+        for jobs in self._queues:
+            jobs.join()
+
+    def close(self) -> None:
+        for jobs in self._queues:
+            jobs.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+
+# ------------------------------------------------------------------ shards
+
+
+class ClusterShard:
+    """One shard: an engine, its durability wrapper, supervisor, schedule.
+
+    Exposes enough of the engine surface (``config``, ``kernel``,
+    ``entries``, ``stopped``, :meth:`checkpoint`) that a
+    :class:`~repro.detection.supervision.CheckpointSupervisor` can pace it
+    directly — supervised shard checkpoints go through the shard, which
+    routes evaluation to the cluster's worker pool when one is active.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        engine: DetectionEngine,
+        target: Union[DetectionEngine, DurableEngine],
+    ) -> None:
+        self.index = index
+        #: The raw engine (phase split, counters, entries).
+        self.engine = engine
+        #: What a full checkpoint is invoked on — the engine itself, or
+        #: its :class:`DurableEngine` wrapper when the cluster is durable.
+        self.target = target
+        #: Stagger offset of this shard's capture schedule within the
+        #: checking interval (maintained by the cluster's rebalance).
+        self.offset = 0.0
+        #: Installed by the cluster when thread-kernel evaluation runs in
+        #: the worker pool; None = evaluate inline.
+        self.pool: Optional[_ShardWorkerPool] = None
+        self.supervisor = CheckpointSupervisor(self)
+
+    # Surface the supervisor and pacing processes expect of an "engine".
+
+    @property
+    def config(self) -> DetectorConfig:
+        return self.engine.config
+
+    @property
+    def kernel(self):
+        return self.engine.kernel
+
+    @property
+    def entries(self) -> tuple[RegisteredMonitor, ...]:
+        return self.engine.entries
+
+    @property
+    def stopped(self) -> bool:
+        return self.engine.stopped
+
+    @property
+    def durable(self) -> bool:
+        return isinstance(self.target, DurableEngine)
+
+    def checkpoint(self) -> list[FaultReport]:
+        """One shard checkpoint, pool-aware.
+
+        Inline (sim kernel, or pool disabled): delegate to the target —
+        the plain two-phase checkpoint, or the durable
+        evaluate+journal+snapshot.  Pooled (thread kernel): run only
+        phase 1 here and hand phase 2 to this shard's worker, so the
+        pacing process is free to start the next shard's capture while
+        this one evaluates.  Pooled checkpoints return ``[]``; their
+        reports surface on the entries once the worker finishes (await
+        with :meth:`DetectionCluster.drain`).
+        """
+        if self.pool is None:
+            return self.target.checkpoint()
+        self.engine.capture_phase()
+        self.pool.submit(self.index, self._evaluate_offloaded)
+        return []
+
+    def _evaluate_offloaded(self) -> list[FaultReport]:
+        reports = self.engine.evaluate_phase()
+        self.engine.checkpoints_run += 1
+        if isinstance(self.target, DurableEngine):
+            self.target._admit_new_reports()
+            self.target._write_snapshot()
+        return reports
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterShard({self.index}, monitors={len(self.engine.entries)}, "
+            f"offset={self.offset:g}, checkpoints={self.engine.checkpoints_run}, "
+            f"durable={self.durable})"
+        )
+
+
+# ----------------------------------------------------------------- cluster
+
+
+class DetectionCluster:
+    """N staggered :class:`DetectionEngine` shards behind one engine surface.
+
+    Parameters
+    ----------
+    kernel:
+        The substrate every registered monitor (and every shard's atomic
+        capture section) lives on.
+    config:
+        Default :class:`DetectorConfig`; ``config.shards`` /
+        ``config.shard_policy`` / ``config.stagger`` seed the cluster
+        shape unless overridden by the keyword arguments.
+    shards:
+        Number of engine shards (default ``config.shards``).
+    policy:
+        A :class:`ShardPolicy` instance (default: built from
+        ``config.shard_policy``).
+    durable_root:
+        When set, each shard is wrapped in a
+        :class:`~repro.detection.durability.DurableEngine` rooted at
+        ``durable_root/shard-<k>`` — per-shard WAL, snapshots and report
+        journal, restored together by :meth:`recover`.
+    evaluate_in_workers:
+        Run phase-2 evaluation in a per-shard worker pool.  Default
+        (None): on for :class:`~repro.kernel.threads.ThreadKernel`, off
+        for the deterministic sim kernel.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        config: Optional[DetectorConfig] = None,
+        *,
+        shards: Optional[int] = None,
+        policy: Optional[ShardPolicy] = None,
+        durable_root: Optional[Union[str, Path]] = None,
+        fsync: str = "interval",
+        evaluate_in_workers: Optional[bool] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.config = config or DetectorConfig()
+        count = self.config.shards if shards is None else shards
+        if count < 1:
+            raise ValueError(f"shard count must be >= 1, got {count}")
+        self.policy = policy or make_shard_policy(self.config.shard_policy)
+        self.durable_root = Path(durable_root) if durable_root else None
+        if evaluate_in_workers is None:
+            evaluate_in_workers = isinstance(kernel, ThreadKernel)
+        self._pool: Optional[_ShardWorkerPool] = (
+            _ShardWorkerPool(count) if evaluate_in_workers else None
+        )
+        self._shards: list[ClusterShard] = []
+        for index in range(count):
+            engine = DetectionEngine(kernel, self.config)
+            target: Union[DetectionEngine, DurableEngine] = engine
+            if self.durable_root is not None:
+                target = DurableEngine(
+                    engine, self.durable_root / f"shard-{index}", fsync=fsync
+                )
+            shard = ClusterShard(index, engine, target)
+            shard.pool = self._pool
+            self._shards.append(shard)
+        #: Cluster-wide registration order: ``(entry, shard index)``.
+        self._order: list[tuple[RegisteredMonitor, int]] = []
+        self._labels: set[str] = set()
+        self._stopped = False
+
+    # ------------------------------------------------------------------ shape
+
+    @property
+    def shards(self) -> tuple[ClusterShard, ...]:
+        return tuple(self._shards)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def engines(self) -> tuple[DetectionEngine, ...]:
+        return tuple(shard.engine for shard in self._shards)
+
+    def shard_of(self, target: Union[MonitorLike, RegisteredMonitor, str]) -> int:
+        """The shard index a registered monitor was placed on."""
+        entry = self._find(target)
+        for candidate, index in self._order:
+            if candidate is entry:
+                return index
+        raise KeyError(f"{target!r} is not registered with this cluster")
+
+    # ---------------------------------------------------------- registration
+
+    def _unique_label(self, base: str) -> str:
+        unique, suffix = base, 2
+        while unique in self._labels:
+            unique = f"{base}#{suffix}"
+            suffix += 1
+        return unique
+
+    def register(
+        self,
+        target: MonitorLike,
+        config: Optional[DetectorConfig] = None,
+        *,
+        label: Optional[str] = None,
+        group: Optional[str] = None,
+        shard: Optional[int] = None,
+    ) -> RegisteredMonitor:
+        """Place a monitor on a shard and register it there.
+
+        ``label`` keys the monitor in :meth:`reports_by_monitor`
+        (cluster-wide unique, ``#2``-suffixed like the engine's).
+        ``group`` feeds :class:`LabelSharding` (ignored by the oblivious
+        policies); ``shard`` pins the placement explicitly, bypassing the
+        policy.  Registration rebalances the stagger offsets over the
+        non-empty shards.
+        """
+        monitor = _unwrap(target)
+        unique = self._unique_label(label or monitor.name)
+        if shard is None:
+            index = self.policy.assign(self, monitor, unique, group)
+        else:
+            index = shard
+        if not 0 <= index < self.shard_count:
+            raise ValueError(
+                f"shard index {index} out of range for "
+                f"{self.shard_count} shard(s)"
+            )
+        entry = self._shards[index].target.register(
+            monitor, config, label=unique
+        )
+        self._labels.add(entry.label)
+        self._order.append((entry, index))
+        self._rebalance()
+        return entry
+
+    def _find(
+        self, target: Union[MonitorLike, RegisteredMonitor, str]
+    ) -> RegisteredMonitor:
+        if isinstance(target, RegisteredMonitor):
+            return target
+        if isinstance(target, str):
+            for entry, __ in self._order:
+                if entry.label == target:
+                    return entry
+            raise KeyError(f"label {target!r} is not registered")
+        monitor = _unwrap(target)
+        for entry, __ in self._order:
+            if entry.monitor is monitor:
+                return entry
+        raise KeyError(f"monitor {monitor.name!r} is not registered")
+
+    def unregister(
+        self, target: Union[MonitorLike, RegisteredMonitor, str]
+    ) -> None:
+        """Drop a monitor from its shard and rebalance the stagger.
+
+        Goes through :meth:`DetectionEngine.unregister`, which closes out
+        the monitor's quarantine record when its breaker has history.
+        """
+        entry = self._find(target)
+        index = self.shard_of(entry)
+        self._shards[index].engine.unregister(entry)
+        self._labels.discard(entry.label)
+        self._order = [
+            (candidate, shard_index)
+            for candidate, shard_index in self._order
+            if candidate is not entry
+        ]
+        self._rebalance()
+
+    @property
+    def entries(self) -> tuple[RegisteredMonitor, ...]:
+        """Registered monitors in cluster registration order."""
+        return tuple(entry for entry, __ in self._order)
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(entry.label for entry, __ in self._order)
+
+    # --------------------------------------------------------------- stagger
+
+    def _rebalance(self) -> None:
+        """Spread offsets ``interval * k / N`` over the non-empty shards.
+
+        Empty shards pace nothing, so the stagger divides the interval
+        among the shards that actually capture — registering the first
+        monitor on a previously empty shard re-spaces everyone.
+        """
+        if not self.config.stagger:
+            for shard in self._shards:
+                shard.offset = 0.0
+            return
+        active = [shard for shard in self._shards if shard.engine.entries]
+        for shard in self._shards:
+            shard.offset = 0.0
+        for position, shard in enumerate(active):
+            shard.offset = self.config.interval * position / len(active)
+
+    @property
+    def offsets(self) -> tuple[float, ...]:
+        """Current stagger offsets, indexed by shard."""
+        return tuple(shard.offset for shard in self._shards)
+
+    # -------------------------------------------------------------- checking
+
+    def checkpoint(self) -> list[FaultReport]:
+        """Run one checkpoint on every shard, in shard order.
+
+        The manual (non-paced) surface, mirroring
+        :meth:`DetectionEngine.checkpoint`.  With a worker pool active the
+        evaluations are awaited before returning, so the reports below are
+        complete.
+        """
+        found: list[FaultReport] = []
+        for shard in self._shards:
+            found.extend(shard.checkpoint())
+        self.drain()
+        return found
+
+    def drain(self) -> None:
+        """Wait for every offloaded phase-2 evaluation to finish."""
+        if self._pool is not None:
+            self._pool.drain()
+
+    def spawn_processes(
+        self,
+        *,
+        rounds: Optional[int] = None,
+        supervised: bool = False,
+        name_prefix: str = "detection-shard",
+    ) -> list:
+        """Spawn one staggered pacing process per shard on the kernel."""
+        return [
+            self.kernel.spawn(
+                shard_process(
+                    self, shard.index, rounds=rounds, supervised=supervised
+                ),
+                f"{name_prefix}-{shard.index}",
+            )
+            for shard in self._shards
+        ]
+
+    # ------------------------------------------------------------- lifecycle
+
+    def stop(self) -> None:
+        """Stop every shard, drain pending evaluations, close the pool."""
+        self._stopped = True
+        for shard in self._shards:
+            shard.target.stop()
+        if self._pool is not None:
+            self._pool.drain()
+            self._pool.close()
+            self._pool = None
+            for shard in self._shards:
+                shard.pool = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    # ------------------------------------------------------------ durability
+
+    def baseline(self) -> None:
+        """Persist each durable shard's initial snapshot (post-assembly)."""
+        for shard in self._shards:
+            if isinstance(shard.target, DurableEngine):
+                shard.target.baseline()
+
+    def recover(self) -> list[RecoverySummary]:
+        """Restore every durable shard after a restart, in shard order.
+
+        Rebuild the fleet first, exactly as before the crash (same
+        monitors, same labels, same shard placement — pin with
+        ``register(..., shard=...)`` when the policy is stateful), then
+        call this once.  The per-shard journals re-merge through
+        :attr:`delivered_reports`.
+        """
+        summaries: list[RecoverySummary] = []
+        for shard in self._shards:
+            if isinstance(shard.target, DurableEngine):
+                summaries.append(shard.target.recover())
+        return summaries
+
+    def close(self) -> None:
+        """Close durable handles and the worker pool (crash simulators)."""
+        for shard in self._shards:
+            if isinstance(shard.target, DurableEngine):
+                shard.target.close()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    @property
+    def durability_counters(self) -> dict[str, int]:
+        """Summed durability accounting across durable shards."""
+        totals: dict[str, int] = {}
+        for shard in self._shards:
+            if isinstance(shard.target, DurableEngine):
+                for key, value in shard.target.durability_counters.items():
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # ------------------------------------------------------------- reporting
+
+    def _merge(
+        self, streams: Sequence[tuple[int, int, Sequence[FaultReport]]]
+    ) -> list[FaultReport]:
+        """Deterministic fan-in: (virtual time, shard id, registration order)."""
+        keyed = [
+            ((report.detected_at, shard_index, order, position), report)
+            for shard_index, order, stream in streams
+            for position, report in enumerate(stream)
+        ]
+        keyed.sort(key=lambda pair: pair[0])
+        return [report for __, report in keyed]
+
+    @property
+    def reports(self) -> list[FaultReport]:
+        """All shards' reports, merged into one deterministic order."""
+        return self._merge(
+            [
+                (shard_index, order, entry.reports)
+                for order, (entry, shard_index) in enumerate(self._order)
+            ]
+        )
+
+    @property
+    def delivered_reports(self) -> list[FaultReport]:
+        """The durable delivered stream, re-merged across shard journals.
+
+        Falls back to :attr:`reports` for a non-durable cluster.  After
+        :meth:`recover`, this is the exactly-once stream the journals
+        back; in-memory ``reports`` only carries what the current
+        incarnation derived.
+        """
+        if self.durable_root is None:
+            return self.reports
+        keyed = []
+        for shard in self._shards:
+            if not isinstance(shard.target, DurableEngine):
+                continue
+            for position, report in enumerate(shard.target.reports):
+                keyed.append(
+                    ((report.detected_at, shard.index, position), report)
+                )
+        keyed.sort(key=lambda pair: pair[0])
+        return [report for __, report in keyed]
+
+    def reports_by_monitor(self) -> dict[str, list[FaultReport]]:
+        """Per-monitor streams keyed by label, cluster registration order."""
+        return {entry.label: list(entry.reports) for entry, __ in self._order}
+
+    def reports_for_rule(self, rule) -> list[FaultReport]:
+        return [report for report in self.reports if report.rule is rule]
+
+    def implicated_faults(self) -> frozenset:
+        suspects: set = set()
+        for entry, __ in self._order:
+            for report in entry.reports:
+                suspects.update(report.suspected_faults)
+        return frozenset(suspects)
+
+    def reports_by_confidence(self) -> dict[Confidence, list[FaultReport]]:
+        split: dict[Confidence, list[FaultReport]] = {
+            confidence: [] for confidence in Confidence
+        }
+        for report in self.reports:
+            split[report.confidence].append(report)
+        return split
+
+    @property
+    def clean(self) -> bool:
+        return all(not entry.reports for entry, __ in self._order)
+
+    @property
+    def confirmed_clean(self) -> bool:
+        return all(
+            report.confidence is not Confidence.CONFIRMED
+            for report in self.reports
+        )
+
+    @property
+    def merged_events(self):
+        """Fan-in of every registered sink's open window, one timeline."""
+        return merge_event_streams(
+            [entry.history.pending_events for entry, __ in self._order]
+        )
+
+    # ------------------------------------------------------------ resilience
+
+    @property
+    def quarantined(self) -> tuple[RegisteredMonitor, ...]:
+        return tuple(
+            entry for entry, __ in self._order if entry.quarantined
+        )
+
+    def quarantine_report(self) -> list[QuarantineRecord]:
+        """Quarantine records across shards (live and retired), shard order."""
+        records: list[QuarantineRecord] = []
+        for shard in self._shards:
+            records.extend(shard.engine.quarantine_report())
+        return records
+
+    def supervisor_events(self) -> list[tuple[int, SupervisorEvent]]:
+        """Every shard supervisor's audit log, tagged with its shard id."""
+        return [
+            (shard.index, event)
+            for shard in self._shards
+            for event in shard.supervisor.events
+        ]
+
+    # -------------------------------------------------------------- counters
+
+    def _sum(self, name: str) -> float:
+        return sum(getattr(shard.engine, name) for shard in self._shards)
+
+    @property
+    def checkpoints_run(self) -> int:
+        return int(self._sum("checkpoints_run"))
+
+    @property
+    def atomic_sections(self) -> int:
+        return int(self._sum("atomic_sections"))
+
+    @property
+    def captures_taken(self) -> int:
+        return int(self._sum("captures_taken"))
+
+    @property
+    def evaluations_run(self) -> int:
+        return int(self._sum("evaluations_run"))
+
+    @property
+    def check_failures(self) -> int:
+        return int(self._sum("check_failures"))
+
+    @property
+    def worldstop_seconds(self) -> float:
+        return self._sum("worldstop_seconds")
+
+    @property
+    def worldstop_max(self) -> float:
+        """Longest single phase-1 section across all shards — the cluster's
+        worst per-checkpoint stall, the figure the sharding gate bounds."""
+        return max(
+            (shard.engine.worldstop_max for shard in self._shards),
+            default=0.0,
+        )
+
+    @property
+    def evaluate_seconds(self) -> float:
+        return self._sum("evaluate_seconds")
+
+    @property
+    def checking_seconds(self) -> float:
+        return self.worldstop_seconds + self.evaluate_seconds
+
+    @property
+    def dropped_events(self) -> int:
+        return sum(entry.history.dropped_events for entry, __ in self._order)
+
+    @property
+    def degraded_windows(self) -> int:
+        return int(self._sum("degraded_windows"))
+
+    @property
+    def intervals_skipped(self) -> int:
+        return int(self._sum("intervals_skipped"))
+
+    @property
+    def forced_captures(self) -> int:
+        return int(self._sum("forced_captures"))
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard accounting: the bench/CLI ``--shards`` detail rows."""
+        return [
+            {
+                "shard": shard.index,
+                "monitors": len(shard.engine.entries),
+                "offset": shard.offset,
+                "checkpoints": shard.engine.checkpoints_run,
+                "atomic_sections": shard.engine.atomic_sections,
+                "captures_taken": shard.engine.captures_taken,
+                "evaluations_run": shard.engine.evaluations_run,
+                "worldstop_seconds": shard.engine.worldstop_seconds,
+                "worldstop_max": shard.engine.worldstop_max,
+                "evaluate_seconds": shard.engine.evaluate_seconds,
+                "reports": sum(
+                    len(entry.reports) for entry in shard.engine.entries
+                ),
+                "stalls": shard.supervisor.stalls_detected,
+            }
+            for shard in self._shards
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"DetectionCluster(shards={self.shard_count}, "
+            f"monitors={len(self._order)}, policy={self.policy.name!r}, "
+            f"checkpoints={self.checkpoints_run}, "
+            f"worldstop_max={self.worldstop_max:.6f}, "
+            f"durable={self.durable_root is not None}, "
+            f"pooled={self._pool is not None})"
+        )
+
+
+# ------------------------------------------------------------------ pacing
+
+
+def shard_process(
+    cluster: DetectionCluster,
+    index: int,
+    *,
+    rounds: Optional[int] = None,
+    supervised: bool = False,
+) -> Iterator[Syscall]:
+    """Kernel process pacing one shard on its staggered schedule.
+
+    Every round it sleeps to the shard's next slot — ``offset + k *
+    interval`` for the smallest ``k`` strictly in the future, re-reading
+    the offset each round so a rebalance (register/unregister) takes
+    effect at the next wake — then runs one shard checkpoint.
+    ``supervised`` routes the checkpoint through the shard's
+    :class:`~repro.detection.supervision.CheckpointSupervisor` with
+    retry/backoff and the stall watchdog, like ``supervisor_process``.
+    """
+    shard = cluster.shards[index]
+    supervisor = shard.supervisor
+    remaining = rounds
+    while remaining is None or remaining > 0:
+        now = cluster.kernel.now()
+        interval = shard.config.interval
+        step = math.floor((now - shard.offset) / interval + 1e-9) + 1
+        target = shard.offset + step * interval
+        yield Delay(max(0.0, target - now))
+        if cluster.stopped or shard.engine.stopped:
+            return
+        if supervised:
+            attempt = 0
+            while True:
+                completed, __ = supervisor.attempt()
+                if completed:
+                    break
+                if attempt >= supervisor.retries:
+                    supervisor.checkpoints_abandoned += 1
+                    supervisor.events.append(
+                        SupervisorEvent(
+                            cluster.kernel.now(),
+                            "gave-up",
+                            f"shard {index} abandoned after "
+                            f"{attempt + 1} attempt(s)",
+                        )
+                    )
+                    break
+                backoff = supervisor.backoff * (2**attempt)
+                attempt += 1
+                supervisor.retries_performed += 1
+                supervisor.events.append(
+                    SupervisorEvent(
+                        cluster.kernel.now(),
+                        "retry",
+                        f"shard {index} attempt {attempt} failed; "
+                        f"backing off {backoff:g}",
+                    )
+                )
+                yield Delay(backoff)
+            supervisor.check_stall()
+        else:
+            shard.checkpoint()
+        if remaining is not None:
+            remaining -= 1

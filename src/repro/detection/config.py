@@ -54,6 +54,23 @@ class DetectorConfig:
     * ``adaptive_target_events`` — the schedule aims for roughly this many
       events per checking window: next interval =
       ``target / ewma_rate`` clamped to the bounds.
+
+    The sharding fields shape a :class:`~repro.detection.cluster.DetectionCluster`
+    (ignored by a plain single engine):
+
+    * ``shards`` — number of engine shards the registered fleet is
+      partitioned across (1 = a single engine, no partitioning).
+    * ``shard_policy`` — which :class:`~repro.detection.cluster.ShardPolicy`
+      places new registrations: ``"round-robin"``, ``"rate"`` (event-rate
+      EWMA balance) or ``"label"`` (explicit label groups).
+    * ``stagger`` — offset each shard's capture schedule by
+      ``interval * k / N`` so phase-1 world-stops never coincide; off, all
+      shards fire at the same instants (useful for apples-to-apples
+      measurements).
+
+    Rather than memorising the kwarg sprawl, start from a
+    :meth:`preset` — ``DetectorConfig.preset("bounded", interval=0.5)`` —
+    and override what differs.
     """
 
     interval: float = 1.0
@@ -78,6 +95,53 @@ class DetectorConfig:
     max_interval: Optional[float] = None
     ewma_alpha: float = 0.5
     adaptive_target_events: float = 8.0
+    # --------------------------------------------------- sharding tunables
+    shards: int = 1
+    shard_policy: str = "round-robin"
+    stagger: bool = True
+
+    #: Named starting points for common deployments (see :meth:`preset`).
+    _PRESETS = {
+        # The paper's setup: fixed-period checking, nothing bounded.
+        "paper": {},
+        # Production-shaped: every detector failure mode bounded.
+        "bounded": {
+            "checkpoint_budget": 0.5,
+            "checkpoint_retries": 2,
+            "retry_backoff": 0.1,
+            "stall_timeout": 10.0,
+            "monitor_check_budget": 0.25,
+        },
+        # Idle monitors captured less often (per-monitor EWMA schedule).
+        "adaptive": {
+            "adaptive_intervals": True,
+        },
+        # Crash-durable pipelines: patient retries + a stall watchdog.
+        "durable": {
+            "checkpoint_retries": 3,
+            "retry_backoff": 0.1,
+            "stall_timeout": 15.0,
+        },
+    }
+
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "DetectorConfig":
+        """A named configuration baseline, with optional field overrides.
+
+        ``preset("paper")`` is the default config; ``"bounded"`` turns on
+        every supervision bound; ``"adaptive"`` enables the per-monitor
+        capture schedule; ``"durable"`` suits WAL-backed pipelines.
+        Overrides win over the preset: ``preset("bounded", shards=4)``.
+        """
+        try:
+            base = dict(cls._PRESETS[name])
+        except KeyError:
+            raise ValueError(
+                f"unknown preset {name!r}; choose from "
+                f"{sorted(cls._PRESETS)}"
+            ) from None
+        base.update(overrides)
+        return cls(**base)
 
     @property
     def effective_min_interval(self) -> float:
@@ -144,4 +208,11 @@ class DetectorConfig:
             raise ValueError(
                 "adaptive_target_events must be positive, got "
                 f"{self.adaptive_target_events!r}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards!r}")
+        if self.shard_policy not in ("round-robin", "rate", "label"):
+            raise ValueError(
+                f"shard_policy must be one of 'round-robin', 'rate', "
+                f"'label'; got {self.shard_policy!r}"
             )

@@ -22,14 +22,22 @@ creates a private engine and registers the one monitor with it.
 spawn it alongside the workload and it checkpoints every ``interval`` time
 units — the ``T`` whose choice the overhead experiment (Table 1) studies.
 
-Applications watching several monitors should register them all with one
-shared :class:`~repro.detection.engine.DetectionEngine` instead of running
-one ``FaultDetector`` each: the engine batches all checks into a single
-atomic section per interval.
+.. deprecated::
+    ``FaultDetector`` and ``detector_process`` are deprecated shims.  New
+    code should construct a :class:`repro.DetectionSession` — one
+    constructor that wires the engine (or a sharded cluster), supervision
+    and durability, for any number of monitors::
+
+        session = DetectionSession(kernel, monitors=[monitor])
+        session.start()
+
+    Both shims emit a :class:`DeprecationWarning` (once per process) and
+    will be removed after the migration window.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator, Optional, Union
 
 from repro.detection.algorithm3 import CallingOrderChecker
@@ -41,9 +49,25 @@ from repro.monitor.construct import Monitor, MonitorBase
 
 __all__ = ["DetectorConfig", "FaultDetector", "detector_process"]
 
+#: Deprecations already announced this process (warn once, not per call).
+_warned: set[str] = set()
+
+
+def _warn_deprecated(name: str) -> None:
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(
+        f"{name} is deprecated; construct a repro.DetectionSession("
+        "kernel, monitors=[...]) and call session.start() instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
 
 class FaultDetector:
-    """Detection façade bound to one monitor.
+    """Detection façade bound to one monitor.  **Deprecated** — use
+    :class:`repro.DetectionSession`.
 
     A thin wrapper over a one-entry :class:`DetectionEngine`: the engine
     owns the Algorithm-1/2/3 state, the real-time tap and the report
@@ -56,6 +80,7 @@ class FaultDetector:
         target: Union[Monitor, MonitorBase],
         config: Optional[DetectorConfig] = None,
     ) -> None:
+        _warn_deprecated("FaultDetector")
         monitor = target.monitor if isinstance(target, MonitorBase) else target
         self.config = config or DetectorConfig()
         self._engine = DetectionEngine(monitor.kernel, self.config)
@@ -157,4 +182,5 @@ def detector_process(
 
         kernel.spawn(detector_process(detector), name="detector")
     """
+    _warn_deprecated("detector_process")
     return engine_process(detector.engine, rounds=rounds)

@@ -439,6 +439,10 @@ class DetectionEngine:
         #: Per-monitor evaluations that raised (absorbed by the breaker
         #: instead of escaping the checkpoint).
         self.check_failures = 0
+        #: Final quarantine records of unregistered monitors whose breaker
+        #: had history — without this, unregistering closed the book on a
+        #: quarantine episode and the audit lost it.
+        self.retired_quarantines: list[QuarantineRecord] = []
         self._stopped = False
 
     # ---------------------------------------------------------- registration
@@ -482,6 +486,10 @@ class DetectionEngine:
             if not matches:
                 raise ValueError(f"monitor {monitor.name!r} is not registered")
             entry = matches[0]
+        if entry.breaker.transitions or entry.breaker.consecutive_failures:
+            # Close out the quarantine record so the audit keeps the
+            # episode instead of leaking it out of accounting.
+            self.retired_quarantines.append(entry.quarantine_record())
         entry.detach()
         self._entries.remove(entry)
         del self._by_label[entry.label]
@@ -704,12 +712,15 @@ class DetectionEngine:
 
         The explicit surface for "this monitor's checker is broken": one
         record per monitor with a quarantine history, renderable for logs.
+        Includes the closed-out records of since-unregistered monitors so
+        an episode survives its monitor leaving the fleet.
         """
-        return [
+        live = [
             entry.quarantine_record()
             for entry in self._entries
             if entry.breaker.transitions or entry.breaker.consecutive_failures
         ]
+        return live + list(self.retired_quarantines)
 
     @property
     def dropped_events(self) -> int:

@@ -1,0 +1,215 @@
+"""One constructor for the whole detection stack: :class:`DetectionSession`.
+
+The public API had accreted four entry points with inconsistent assembly
+steps — ``FaultDetector`` (one monitor, private engine),
+``DetectionEngine`` (fleet, hand-spawned ``engine_process``),
+``DurableEngine`` (wrap the engine, remember to ``baseline()``), and
+``supervisor_process`` (build a ``CheckpointSupervisor`` first).  A
+session is the one front door::
+
+    session = DetectionSession(kernel, monitors=[alloc, coord])
+    session.start()
+    kernel.run(until=30.0)
+    session.stop()
+    for report in session.reports:
+        print(report.render())
+
+Scaling out and hardening are keyword arguments, not different APIs::
+
+    session = DetectionSession(
+        kernel,
+        monitors=fleet,
+        config=DetectorConfig.preset("bounded", interval=0.5),
+        shards=4,                  # staggered DetectionCluster
+        durable_dir="state/",      # per-shard WAL + snapshots
+    )
+
+Internally every session is a :class:`~repro.detection.cluster.DetectionCluster`
+(a 1-shard cluster *is* a single engine plus supervision), so the
+reporting surface, durability controls and per-shard accounting are
+uniform regardless of scale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.detection.cluster import DetectionCluster, ShardPolicy
+from repro.detection.config import DetectorConfig
+from repro.detection.durability import RecoverySummary
+from repro.detection.engine import MonitorLike, RegisteredMonitor
+from repro.detection.reports import FaultReport
+from repro.detection.statistics import FaultStatistics
+
+__all__ = ["DetectionSession"]
+
+
+class DetectionSession:
+    """The detection stack — engine/cluster, supervision, durability — as
+    one object with one constructor.
+
+    Parameters
+    ----------
+    kernel:
+        The substrate the monitors live on.
+    monitors:
+        Monitors to register up front (more can join via :meth:`register`).
+    config:
+        :class:`DetectorConfig` (default: ``DetectorConfig.preset("paper")``).
+    shards:
+        Number of engine shards (default ``config.shards``); capture
+        schedules are staggered across them per ``config.stagger``.
+    durable_dir:
+        When set, every shard gets a WAL + snapshot + report journal under
+        ``durable_dir/shard-<k>`` and :meth:`recover` restores a restarted
+        session from them.
+    policy:
+        Optional :class:`~repro.detection.cluster.ShardPolicy` override
+        (default: built from ``config.shard_policy``).
+    supervised:
+        Pace checkpoints through each shard's
+        :class:`~repro.detection.supervision.CheckpointSupervisor`
+        (retry/backoff/stall watchdog) instead of raw checkpoints.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        monitors: Sequence[MonitorLike] = (),
+        *,
+        config: Optional[DetectorConfig] = None,
+        shards: Optional[int] = None,
+        durable_dir: Optional[Union[str, Path]] = None,
+        policy: Optional[ShardPolicy] = None,
+        supervised: bool = True,
+        fsync: str = "interval",
+    ) -> None:
+        self.config = config or DetectorConfig()
+        self.cluster = DetectionCluster(
+            kernel,
+            self.config,
+            shards=shards,
+            policy=policy,
+            durable_root=durable_dir,
+            fsync=fsync,
+        )
+        self.supervised = supervised
+        self._pids: list = []
+        for monitor in monitors:
+            self.register(monitor)
+
+    # ------------------------------------------------------------------ fleet
+
+    @property
+    def kernel(self):
+        return self.cluster.kernel
+
+    @property
+    def durable(self) -> bool:
+        return self.cluster.durable_root is not None
+
+    def register(
+        self,
+        target: MonitorLike,
+        config: Optional[DetectorConfig] = None,
+        *,
+        label: Optional[str] = None,
+        group: Optional[str] = None,
+        shard: Optional[int] = None,
+    ) -> RegisteredMonitor:
+        """Add a monitor (see :meth:`DetectionCluster.register`)."""
+        return self.cluster.register(
+            target, config, label=label, group=group, shard=shard
+        )
+
+    def unregister(self, target) -> None:
+        self.cluster.unregister(target)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self, *, rounds: Optional[int] = None) -> list:
+        """Spawn the per-shard pacing processes; returns their pids.
+
+        For a durable session this first persists the post-assembly
+        baseline snapshots, so a crash before the first checkpoint still
+        recovers to a consistent (empty-window) state.
+        """
+        if self.started:
+            raise RuntimeError("session already started")
+        if self.durable:
+            self.cluster.baseline()
+        self._pids = self.cluster.spawn_processes(
+            rounds=rounds, supervised=self.supervised
+        )
+        return list(self._pids)
+
+    @property
+    def started(self) -> bool:
+        return bool(self._pids)
+
+    def checkpoint(self) -> list[FaultReport]:
+        """One manual checkpoint across every shard (evaluations awaited)."""
+        return self.cluster.checkpoint()
+
+    def drain(self) -> None:
+        """Wait for offloaded phase-2 evaluations (thread kernel)."""
+        self.cluster.drain()
+
+    def stop(self) -> None:
+        """Stop all shards, drain the worker pool, flush durable state."""
+        self.cluster.stop()
+
+    @property
+    def stopped(self) -> bool:
+        return self.cluster.stopped
+
+    # ------------------------------------------------------------- durability
+
+    def recover(self) -> list[RecoverySummary]:
+        """Restore a restarted durable session (see
+        :meth:`DetectionCluster.recover`): rebuild the same fleet first,
+        then call this once before :meth:`start`."""
+        return self.cluster.recover()
+
+    # -------------------------------------------------------------- reporting
+    # The session's own surface mirrors the engine's; everything else
+    # (counters, shard_stats, quarantine_report, …) passes through.
+
+    @property
+    def reports(self) -> list[FaultReport]:
+        return self.cluster.reports
+
+    def reports_by_monitor(self) -> dict[str, list[FaultReport]]:
+        return self.cluster.reports_by_monitor()
+
+    def reports_for_rule(self, rule) -> list[FaultReport]:
+        return self.cluster.reports_for_rule(rule)
+
+    def implicated_faults(self) -> frozenset:
+        return self.cluster.implicated_faults()
+
+    @property
+    def clean(self) -> bool:
+        return self.cluster.clean
+
+    @property
+    def confirmed_clean(self) -> bool:
+        return self.cluster.confirmed_clean
+
+    def statistics(self) -> FaultStatistics:
+        """Frequency statistics over the merged report stream."""
+        return FaultStatistics.from_engine(self.cluster)
+
+    def __getattr__(self, name: str):
+        # Everything not overridden falls through to the cluster, so the
+        # session is a drop-in for code written against engine surfaces.
+        return getattr(self.cluster, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"DetectionSession(shards={self.cluster.shard_count}, "
+            f"monitors={len(self.cluster.entries)}, "
+            f"supervised={self.supervised}, durable={self.durable}, "
+            f"started={self.started}, reports={len(self.reports)})"
+        )

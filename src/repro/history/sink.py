@@ -25,13 +25,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.errors import CheckpointError
 from repro.history.events import SchedulingEvent
 from repro.history.states import SchedulingState
 
-__all__ = ["EventListener", "EventSink", "Segment"]
+__all__ = ["EventListener", "EventSink", "Segment", "merge_event_streams"]
 
 #: A real-time event tap: called synchronously inside ``record``.
 EventListener = Callable[[SchedulingEvent], None]
@@ -208,3 +208,23 @@ class EventSink(abc.ABC):
     def total_recorded(self) -> int:
         """Events ever recorded (survives pruning; ablation metric)."""
         return self._total_recorded
+
+
+def merge_event_streams(
+    streams: "Sequence[Sequence[SchedulingEvent]]",
+) -> tuple[SchedulingEvent, ...]:
+    """Fan several sinks' event streams into one deterministic timeline.
+
+    A sharded detection cluster records into one sink per monitor; audits
+    and debugging want the fleet's history as a single sequence.  Events
+    are ordered by recording time, then per-sink sequence number, then
+    stream position (ties broken by the order the streams were passed in),
+    so the merge is total and independent of dict/iteration order.
+    """
+    keyed = [
+        (event.time, event.seq, index, position, event)
+        for index, stream in enumerate(streams)
+        for position, event in enumerate(stream)
+    ]
+    keyed.sort(key=lambda item: item[:4])
+    return tuple(item[4] for item in keyed)

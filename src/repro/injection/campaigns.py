@@ -28,7 +28,8 @@ from typing import Callable, Iterator, Optional
 
 from repro.apps.bounded_buffer import BoundedBuffer, BufferIntegrityFault
 from repro.apps.resource_allocator import SingleResourceAllocator
-from repro.detection.detector import DetectorConfig, FaultDetector, detector_process
+from repro.detection.config import DetectorConfig
+from repro.detection.session import DetectionSession
 from repro.detection.faults import FaultClass
 from repro.detection.reports import FaultReport
 from repro.errors import UnknownCampaignError
@@ -123,8 +124,10 @@ def _buffer_outcome(
     )
     if hooks is not None:
         hooks.core = buffer.monitor.core
-    detector = FaultDetector(
-        buffer, config or DetectorConfig(interval=0.5, tmax=3.0, tio=6.0)
+    session = DetectionSession(
+        kernel,
+        monitors=[buffer],
+        config=config or DetectorConfig(interval=0.5, tmax=3.0, tio=6.0),
     )
     for __ in range(producers):
         kernel.spawn(_producer(buffer, items, produce_delay), "producer")
@@ -132,7 +135,7 @@ def _buffer_outcome(
         kernel.spawn(_consumer(buffer, items, consume_delay), "consumer")
     if extra_body is not None:
         kernel.spawn(extra_body(kernel, buffer), "saboteur")
-    kernel.spawn(detector_process(detector), "detector")
+    session.start()
     result = kernel.run(until=until)
     if activation is not None:
         activated = activation()
@@ -140,7 +143,7 @@ def _buffer_outcome(
         activated = hooks.fired > 0
     else:
         activated = True
-    return _outcome(fault, activated, detector, result.end_time, history)
+    return _outcome(fault, activated, session, result.end_time, history)
 
 
 def _allocator_outcome(
@@ -157,9 +160,11 @@ def _allocator_outcome(
     kernel = SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
     history = HistoryDatabase()
     allocator = SingleResourceAllocator(kernel, history=history)
-    detector = FaultDetector(
-        allocator,
-        config or DetectorConfig(interval=0.5, tmax=4.0, tio=8.0, tlimit=4.0),
+    session = DetectionSession(
+        kernel,
+        monitors=[allocator],
+        config=config
+        or DetectorConfig(interval=0.5, tmax=4.0, tio=8.0, tlimit=4.0),
     )
 
     def honest(index: int) -> Iterator[Syscall]:
@@ -173,19 +178,19 @@ def _allocator_outcome(
         kernel.spawn(honest(index), f"user-{index}")
     for body in buggy_bodies(kernel, allocator):
         kernel.spawn(body, "buggy-user")
-    kernel.spawn(detector_process(detector), "detector")
+    session.start()
     result = kernel.run(until=until)
-    return _outcome(fault, True, detector, result.end_time, history)
+    return _outcome(fault, True, session, result.end_time, history)
 
 
 def _outcome(
     fault: FaultClass,
     activated: bool,
-    detector: FaultDetector,
+    session: DetectionSession,
     end_time: float,
     history: HistoryDatabase,
 ) -> CampaignOutcome:
-    reports = tuple(detector.reports)
+    reports = tuple(session.reports)
     detected = any(report.implicates(fault) for report in reports)
     rules = tuple(sorted({report.rule_id for report in reports}))
     return CampaignOutcome(

@@ -1,0 +1,485 @@
+"""Sharded detection cluster: shard policies, staggered schedules,
+merged-report determinism across shard counts, pooled phase-2 evaluation
+on the thread kernel, durable per-shard recovery, and the retired
+quarantine-record fix."""
+
+import pytest
+
+from repro.apps import BoundedBuffer, SingleResourceAllocator
+from repro.detection import (
+    DetectionCluster,
+    DetectionEngine,
+    DetectorConfig,
+    FaultStatistics,
+    LabelSharding,
+    RateBalancedSharding,
+    RoundRobinSharding,
+    make_shard_policy,
+)
+from repro.history import HistoryDatabase
+from repro.history.sink import merge_event_streams
+from repro.injection import sabotage_entry
+from repro.kernel import Delay, FifoPolicy, SimKernel, ThreadKernel
+
+FAST = 0.002
+
+#: Generous timeouts: no timer sweep fires, so every report is anchored
+#: to its event time (capture-schedule independent) — the property the
+#: determinism tests rely on.
+QUIET = dict(tmax=120.0, tio=120.0, tlimit=120.0)
+
+
+def make_kernel():
+    # FifoPolicy consumes no RNG, so scheduling is identical no matter
+    # how many detection pacing processes share the ready queue.
+    return SimKernel(FifoPolicy(), on_deadlock="stop")
+
+
+def build_allocators(kernel, count=3):
+    return [
+        SingleResourceAllocator(kernel, history=HistoryDatabase())
+        for __ in range(count)
+    ]
+
+
+def spawn_allocator_workload(kernel, allocators, *, rogue_on=0):
+    """Deterministic request/release cycles + one rogue bare release.
+
+    The rogue process calls ``release()`` without a prior ``request()`` at
+    a quiet instant — the real-time Algorithm-3 tap flags the order
+    violation at the event time, which does not move when the checkpoint
+    schedule is staggered.
+    """
+    for index, allocator in enumerate(allocators):
+
+        def user(allocator=allocator, index=index):
+            for __ in range(4):
+                yield Delay(0.1 + 0.01 * index)
+                yield from allocator.request()
+                yield Delay(0.05)
+                yield from allocator.release()
+
+        kernel.spawn(user(), f"user-{index}")
+
+    def rogue():
+        # Long after the users above are done (4 cycles end well before
+        # t=2), so the resource is free and nothing else is perturbed.
+        yield Delay(3.0)
+        yield from allocators[rogue_on].release()
+
+    kernel.spawn(rogue(), "rogue")
+
+
+class TestShardPolicies:
+    def test_round_robin_spreads_in_registration_order(self):
+        kernel = make_kernel()
+        cluster = DetectionCluster(kernel, shards=3)
+        monitors = build_allocators(kernel, 6)
+        for monitor in monitors:
+            cluster.register(monitor)
+        assert [cluster.shard_of(m) for m in monitors] == [0, 1, 2, 0, 1, 2]
+
+    def test_rate_balanced_prefers_least_loaded_shard(self):
+        kernel = make_kernel()
+        cluster = DetectionCluster(
+            kernel, shards=2, policy=RateBalancedSharding()
+        )
+        first, second, third = build_allocators(kernel, 3)
+        entry = cluster.register(first)
+        entry.event_rate = 100.0  # hot shard 0
+        cluster.register(second)
+        cluster.register(third)
+        # Both later monitors avoid the hot shard until it is no longer
+        # the least loaded by entry count.
+        assert cluster.shard_of(second) == 1
+        assert cluster.shard_of(third) == 1
+
+    def test_label_policy_groups_by_shard_label(self):
+        kernel = make_kernel()
+        cluster = DetectionCluster(kernel, shards=2, policy=LabelSharding())
+        monitors = build_allocators(kernel, 4)
+        cluster.register(monitors[0], group="a")
+        cluster.register(monitors[1], group="b")
+        cluster.register(monitors[2], group="a")
+        cluster.register(monitors[3], group="b")
+        assert cluster.shard_of(monitors[0]) == cluster.shard_of(monitors[2])
+        assert cluster.shard_of(monitors[1]) == cluster.shard_of(monitors[3])
+        assert cluster.shard_of(monitors[0]) != cluster.shard_of(monitors[1])
+
+    def test_explicit_shard_pins_placement(self):
+        kernel = make_kernel()
+        cluster = DetectionCluster(kernel, shards=3)
+        monitor = build_allocators(kernel, 1)[0]
+        cluster.register(monitor, shard=2)
+        assert cluster.shard_of(monitor) == 2
+
+    def test_invalid_shard_index_rejected(self):
+        kernel = make_kernel()
+        cluster = DetectionCluster(kernel, shards=2)
+        monitor = build_allocators(kernel, 1)[0]
+        with pytest.raises(ValueError, match="out of range"):
+            cluster.register(monitor, shard=5)
+
+    def test_unknown_policy_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard policy"):
+            make_shard_policy("hash")
+
+    def test_config_shard_fields_validated(self):
+        with pytest.raises(ValueError, match="shards"):
+            DetectorConfig(shards=0)
+        with pytest.raises(ValueError, match="shard_policy"):
+            DetectorConfig(shard_policy="modulo")
+
+    def test_cluster_shape_from_config(self):
+        kernel = make_kernel()
+        config = DetectorConfig(shards=4, shard_policy="rate")
+        cluster = DetectionCluster(kernel, config)
+        assert cluster.shard_count == 4
+        assert isinstance(cluster.policy, RateBalancedSharding)
+
+    def test_duplicate_labels_unique_across_shards(self):
+        kernel = make_kernel()
+        cluster = DetectionCluster(kernel, shards=2)
+        monitors = build_allocators(kernel, 3)
+        for monitor in monitors:
+            cluster.register(monitor)
+        assert len(set(cluster.labels)) == 3
+
+
+class TestStagger:
+    def test_offsets_divide_interval_across_active_shards(self):
+        kernel = make_kernel()
+        cluster = DetectionCluster(
+            kernel, DetectorConfig(interval=1.0), shards=4
+        )
+        monitors = build_allocators(kernel, 4)
+        for monitor in monitors:
+            cluster.register(monitor)
+        assert cluster.offsets == (0.0, 0.25, 0.5, 0.75)
+
+    def test_rebalance_on_unregister(self):
+        kernel = make_kernel()
+        cluster = DetectionCluster(
+            kernel, DetectorConfig(interval=1.0), shards=2
+        )
+        first, second = build_allocators(kernel, 2)
+        cluster.register(first)
+        cluster.register(second)
+        assert cluster.offsets == (0.0, 0.5)
+        cluster.unregister(second)
+        # Only one shard still has monitors; no stagger needed.
+        assert cluster.offsets == (0.0, 0.0)
+
+    def test_stagger_disabled_keeps_zero_offsets(self):
+        kernel = make_kernel()
+        cluster = DetectionCluster(
+            kernel, DetectorConfig(interval=1.0, stagger=False), shards=3
+        )
+        for monitor in build_allocators(kernel, 3):
+            cluster.register(monitor)
+        assert cluster.offsets == (0.0, 0.0, 0.0)
+
+    def test_staggered_captures_never_coincide(self):
+        kernel = make_kernel()
+        config = DetectorConfig(interval=0.5, **QUIET)
+        cluster = DetectionCluster(kernel, config, shards=2)
+        for monitor in build_allocators(kernel, 2):
+            cluster.register(monitor)
+        capture_times = {0: [], 1: []}
+        for shard in cluster.shards:
+            original = shard.engine.capture_phase
+
+            def traced(shard=shard, original=original):
+                capture_times[shard.index].append(kernel.now())
+                return original()
+
+            shard.engine.capture_phase = traced
+        cluster.spawn_processes()
+        kernel.run(until=4.0)
+        cluster.stop()
+        assert capture_times[0] and capture_times[1]
+        overlap = set(capture_times[0]) & set(capture_times[1])
+        assert not overlap
+
+
+def run_determinism_workload(shards):
+    kernel = make_kernel()
+    allocators = build_allocators(kernel, 3)
+    spawn_allocator_workload(kernel, allocators)
+    config = DetectorConfig(interval=0.25, **QUIET)
+    cluster = DetectionCluster(kernel, config, shards=shards)
+    for allocator in allocators:
+        cluster.register(allocator)
+    cluster.spawn_processes()
+    kernel.run(until=8.0)
+    cluster.stop()
+    return cluster
+
+
+class TestMergedReportDeterminism:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_same_reports_as_single_shard(self, shards):
+        baseline = run_determinism_workload(1)
+        sharded = run_determinism_workload(shards)
+
+        def tuples(cluster):
+            return sorted(
+                (
+                    report.rule_id,
+                    report.pids,
+                    report.detected_at,
+                    report.confidence,
+                )
+                for report in cluster.reports
+            )
+
+        assert tuples(baseline), "workload must produce at least one report"
+        assert tuples(sharded) == tuples(baseline)
+
+    def test_merge_order_is_deterministic(self):
+        cluster = run_determinism_workload(2)
+        merged = cluster.reports
+        keys = [(r.detected_at,) for r in merged]
+        assert keys == sorted(keys)
+        # Merged view equals the union of the per-monitor streams.
+        per_monitor = cluster.reports_by_monitor()
+        assert sum(len(v) for v in per_monitor.values()) == len(merged)
+
+    def test_reporting_surface_matches_single_engine(self):
+        cluster = run_determinism_workload(2)
+        kernel = make_kernel()
+        allocators = build_allocators(kernel, 3)
+        spawn_allocator_workload(kernel, allocators)
+        engine = DetectionEngine(
+            kernel, DetectorConfig(interval=0.25, **QUIET)
+        )
+        for allocator in allocators:
+            engine.register(allocator)
+        from repro.detection import engine_process
+
+        kernel.spawn(engine_process(engine), "engine")
+        kernel.run(until=8.0)
+        engine.stop()
+        assert cluster.clean == engine.clean
+        assert cluster.confirmed_clean == engine.confirmed_clean
+        assert cluster.implicated_faults() == engine.implicated_faults()
+        assert {
+            r.rule_id for r in cluster.reports
+        } == {r.rule_id for r in engine.reports}
+
+    def test_statistics_from_cluster(self):
+        cluster = run_determinism_workload(2)
+        stats = FaultStatistics.from_engine(cluster)
+        assert stats.total_reports == len(cluster.reports)
+        assert stats.engine_counters["checkpoints_run"] > 0
+
+
+class TestWorkerPool:
+    def test_thread_kernel_evaluates_in_pool(self):
+        kernel = ThreadKernel(time_scale=FAST)
+        allocators = [
+            SingleResourceAllocator(kernel, history=HistoryDatabase())
+            for __ in range(4)
+        ]
+        config = DetectorConfig(interval=0.5, **QUIET)
+        cluster = DetectionCluster(kernel, config, shards=2)
+        for allocator in allocators:
+            cluster.register(allocator)
+        assert cluster._pool is not None
+
+        def user(allocator):
+            for __ in range(4):
+                yield Delay(0.1)
+                yield from allocator.request()
+                yield Delay(0.05)
+                yield from allocator.release()
+
+        for index, allocator in enumerate(allocators):
+            kernel.spawn(user(allocator), f"user-{index}")
+        cluster.spawn_processes()
+        kernel.run(until=4.0)
+        cluster.stop()
+        assert cluster.clean
+        assert cluster.captures_taken > 0
+        # Every capture got its offloaded evaluation.
+        assert cluster.evaluations_run == cluster.captures_taken
+        assert cluster.checkpoints_run > 0
+
+    def test_sim_kernel_stays_inline(self):
+        kernel = make_kernel()
+        cluster = DetectionCluster(kernel, shards=2)
+        assert cluster._pool is None
+
+    def test_manual_checkpoint_awaits_pool(self):
+        kernel = ThreadKernel(time_scale=FAST)
+        allocator = SingleResourceAllocator(kernel, history=HistoryDatabase())
+        cluster = DetectionCluster(
+            kernel, DetectorConfig(interval=0.5, **QUIET), shards=1
+        )
+        cluster.register(allocator)
+        kernel.run(until=0.2)
+        cluster.checkpoint()
+        cluster.stop()
+        assert cluster.evaluations_run == cluster.captures_taken
+
+
+class TestShardFailureIsolation:
+    def test_sabotaged_shard_quarantines_while_others_detect(self):
+        kernel = make_kernel()
+        allocators = build_allocators(kernel, 2)
+        spawn_allocator_workload(kernel, allocators, rogue_on=1)
+        config = DetectorConfig(interval=0.25, **QUIET)
+        cluster = DetectionCluster(kernel, config, shards=2)
+        broken = cluster.register(allocators[0], shard=0)
+        cluster.register(allocators[1], shard=1)
+        sabotage_entry(broken)
+        cluster.spawn_processes()
+        kernel.run(until=8.0)
+        cluster.stop()
+        # Shard 0's monitor tripped its breaker (it may have reclosed by
+        # now once the sabotage healed); shard 1 still reported the rogue
+        # release.
+        assert broken.breaker.times_opened >= 1
+        assert any(
+            record.label == broken.label
+            for record in cluster.quarantine_report()
+        )
+        shard1_reports = cluster.reports_by_monitor()[
+            cluster.entries[1].label
+        ]
+        assert shard1_reports, "healthy shard must keep detecting"
+
+
+class TestUnregisterQuarantineRecord:
+    def test_unregister_retires_quarantine_record(self):
+        kernel = make_kernel()
+        engine = DetectionEngine(
+            kernel, DetectorConfig(interval=0.25, **QUIET)
+        )
+        allocator = SingleResourceAllocator(kernel, history=HistoryDatabase())
+        entry = engine.register(allocator)
+        sabotage_entry(entry)
+        kernel.spawn(iter([Delay(2.0)]), "clock")
+        from repro.detection import engine_process
+
+        kernel.spawn(engine_process(engine, rounds=5), "engine")
+        kernel.run(until=3.0)
+        assert entry.breaker.transitions or entry.breaker.consecutive_failures
+        before = engine.quarantine_report()
+        assert any(record.label == entry.label for record in before)
+        engine.unregister(entry)
+        after = engine.quarantine_report()
+        # The record survives unregistration instead of leaking away.
+        assert any(record.label == entry.label for record in after)
+        assert engine.retired_quarantines
+
+    def test_unregister_without_breaker_history_retires_nothing(self):
+        kernel = make_kernel()
+        engine = DetectionEngine(kernel)
+        allocator = SingleResourceAllocator(kernel, history=HistoryDatabase())
+        entry = engine.register(allocator)
+        engine.unregister(entry)
+        assert engine.retired_quarantines == []
+        assert engine.quarantine_report() == []
+
+
+class TestDurableCluster:
+    def test_crash_one_shard_recovery(self, tmp_path):
+        def build(root):
+            kernel = make_kernel()
+            allocators = build_allocators(kernel, 2)
+            spawn_allocator_workload(kernel, allocators, rogue_on=0)
+            config = DetectorConfig(interval=0.25, **QUIET)
+            cluster = DetectionCluster(
+                kernel, config, shards=2, durable_root=root
+            )
+            cluster.register(allocators[0], shard=0)
+            cluster.register(allocators[1], shard=1)
+            return kernel, cluster
+
+        kernel, cluster = build(tmp_path / "state")
+        cluster.baseline()
+        cluster.spawn_processes()
+        kernel.run(until=8.0)
+        cluster.stop()
+        delivered = [
+            (r.rule_id, r.pids, r.detected_at)
+            for r in cluster.delivered_reports
+        ]
+        assert delivered, "rogue release must be journaled"
+
+        # "Crash": drop the cluster without closing anything else, then
+        # rebuild the same fleet over the same root and recover.
+        kernel2, restarted = build(tmp_path / "state")
+        summaries = restarted.recover()
+        assert len(summaries) == 2
+        recovered = [
+            (r.rule_id, r.pids, r.detected_at)
+            for r in restarted.delivered_reports
+        ]
+        assert recovered == delivered
+        restarted.close()
+
+    def test_durability_counters_summed(self, tmp_path):
+        kernel = make_kernel()
+        cluster = DetectionCluster(
+            kernel,
+            DetectorConfig(interval=0.5, **QUIET),
+            shards=2,
+            durable_root=tmp_path / "d",
+        )
+        for monitor in build_allocators(kernel, 2):
+            cluster.register(monitor)
+        cluster.baseline()
+        cluster.spawn_processes()
+        kernel.run(until=2.0)
+        cluster.stop()
+        counters = cluster.durability_counters
+        assert counters["snapshots_written"] >= 2
+
+
+class TestMergedEvents:
+    def test_merge_event_streams_orders_by_time(self):
+        kernel = make_kernel()
+        allocators = build_allocators(kernel, 2)
+        spawn_allocator_workload(kernel, allocators)
+        cluster = DetectionCluster(
+            kernel, DetectorConfig(interval=0.5, **QUIET), shards=2
+        )
+        for allocator in allocators:
+            cluster.register(allocator)
+        kernel.run(until=1.0)
+        merged = cluster.merged_events
+        assert merged
+        times = [event.time for event in merged]
+        assert times == sorted(times)
+        streams = [entry.history.pending_events for entry in cluster.entries]
+        assert merge_event_streams(streams) == merged
+        assert len(merged) == sum(len(stream) for stream in streams)
+
+
+class TestBuildFleetShardLabels:
+    def test_build_fleet_sets_scenario_shard_labels(self):
+        from repro.workloads import build_scenario  # noqa: F401 — import check
+        from repro.workloads.scenarios import build_fleet
+
+        kernel = make_kernel()
+        fleet = build_fleet(kernel, 6)
+        assert all(run.shard_label == run.name for run in fleet)
+        labels = {run.shard_label for run in fleet}
+        assert labels == {"allocator", "coordinator", "manager"}
+
+    def test_label_policy_colocates_fleet_scenarios(self):
+        from repro.workloads.scenarios import build_fleet
+
+        kernel = make_kernel()
+        fleet = build_fleet(kernel, 6)
+        cluster = DetectionCluster(kernel, shards=3, policy=LabelSharding())
+        for run in fleet:
+            cluster.register(run.monitor, group=run.shard_label)
+        by_label = {}
+        for run in fleet:
+            by_label.setdefault(run.shard_label, set()).add(
+                cluster.shard_of(run.monitor)
+            )
+        assert all(len(shards) == 1 for shards in by_label.values())

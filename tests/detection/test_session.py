@@ -1,0 +1,228 @@
+"""DetectionSession facade: construction, lifecycle, sharding passthrough,
+config presets, and the deprecation shims over the old entry points."""
+
+import warnings
+
+import pytest
+
+from repro.apps import BoundedBuffer, SingleResourceAllocator
+from repro.detection import (
+    DetectionSession,
+    DetectorConfig,
+    FaultDetector,
+    detector_process,
+)
+from repro.detection import detector as detector_module
+from repro.history import HistoryDatabase
+from repro.kernel import Delay, FifoPolicy, SimKernel
+
+
+QUIET = dict(tmax=120.0, tio=120.0, tlimit=120.0)
+
+
+def make_kernel():
+    return SimKernel(FifoPolicy(), on_deadlock="stop")
+
+
+def build_allocator(kernel):
+    return SingleResourceAllocator(kernel, history=HistoryDatabase())
+
+
+def spawn_users(kernel, allocator, *, rogue=False):
+    def user():
+        for __ in range(4):
+            yield Delay(0.1)
+            yield from allocator.request()
+            yield Delay(0.05)
+            yield from allocator.release()
+
+    kernel.spawn(user(), "user")
+    if rogue:
+
+        def rogue_proc():
+            yield Delay(3.0)
+            yield from allocator.release()
+
+        kernel.spawn(rogue_proc(), "rogue")
+
+
+class TestSessionLifecycle:
+    def test_clean_run(self):
+        kernel = make_kernel()
+        allocator = build_allocator(kernel)
+        spawn_users(kernel, allocator)
+        session = DetectionSession(
+            kernel,
+            monitors=[allocator],
+            config=DetectorConfig(interval=0.25, **QUIET),
+        )
+        session.start()
+        assert session.started
+        kernel.run(until=4.0)
+        session.stop()
+        assert session.clean
+        assert session.confirmed_clean
+        assert session.reports == []
+        assert session.implicated_faults() == frozenset()
+
+    def test_faulty_run_reports(self):
+        kernel = make_kernel()
+        allocator = build_allocator(kernel)
+        spawn_users(kernel, allocator, rogue=True)
+        session = DetectionSession(
+            kernel,
+            monitors=[allocator],
+            config=DetectorConfig(interval=0.25, **QUIET),
+        )
+        session.start()
+        kernel.run(until=5.0)
+        session.stop()
+        assert not session.clean
+        assert session.reports
+        assert session.reports_by_monitor()
+        stats = session.statistics()
+        assert stats.total_reports == len(session.reports)
+
+    def test_start_twice_raises(self):
+        kernel = make_kernel()
+        session = DetectionSession(kernel, monitors=[build_allocator(kernel)])
+        session.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            session.start()
+
+    def test_register_after_construction(self):
+        kernel = make_kernel()
+        session = DetectionSession(kernel)
+        entry = session.register(build_allocator(kernel), label="late")
+        assert entry.label == "late"
+        assert session.cluster.entries == (entry,)
+
+    def test_sharded_session_staggers(self):
+        kernel = make_kernel()
+        monitors = [build_allocator(kernel) for __ in range(2)]
+        session = DetectionSession(
+            kernel,
+            monitors=monitors,
+            config=DetectorConfig(interval=1.0, **QUIET),
+            shards=2,
+        )
+        assert session.cluster.shard_count == 2
+        assert session.cluster.offsets == (0.0, 0.5)
+
+    def test_durable_session_round_trip(self, tmp_path):
+        kernel = make_kernel()
+        allocator = build_allocator(kernel)
+        spawn_users(kernel, allocator, rogue=True)
+        session = DetectionSession(
+            kernel,
+            monitors=[allocator],
+            config=DetectorConfig(interval=0.25, **QUIET),
+            durable_dir=tmp_path / "state",
+        )
+        assert session.durable
+        session.start()  # baselines before spawning
+        kernel.run(until=5.0)
+        session.stop()
+        delivered = [
+            (r.rule_id, r.detected_at) for r in session.delivered_reports
+        ]
+        assert delivered
+
+        kernel2 = make_kernel()
+        restarted = DetectionSession(
+            kernel2,
+            monitors=[build_allocator(kernel2)],
+            config=DetectorConfig(interval=0.25, **QUIET),
+            durable_dir=tmp_path / "state",
+        )
+        restarted.recover()
+        assert [
+            (r.rule_id, r.detected_at) for r in restarted.delivered_reports
+        ] == delivered
+        restarted.close()
+
+    def test_getattr_passthrough_to_cluster(self):
+        kernel = make_kernel()
+        session = DetectionSession(kernel, monitors=[build_allocator(kernel)])
+        assert session.checkpoints_run == 0
+        assert session.shard_stats()
+        with pytest.raises(AttributeError):
+            session.no_such_attribute
+
+
+class TestPresets:
+    def test_paper_preset_is_default_config(self):
+        assert DetectorConfig.preset("paper") == DetectorConfig()
+
+    def test_bounded_preset_sets_budgets(self):
+        config = DetectorConfig.preset("bounded")
+        assert config.checkpoint_budget == 0.5
+        assert config.checkpoint_retries == 2
+        assert config.stall_timeout == 10.0
+
+    def test_adaptive_preset(self):
+        assert DetectorConfig.preset("adaptive").adaptive_intervals
+
+    def test_durable_preset(self):
+        config = DetectorConfig.preset("durable")
+        assert config.checkpoint_retries == 3
+        assert config.stall_timeout == 15.0
+
+    def test_preset_overrides(self):
+        config = DetectorConfig.preset("paper", interval=2.0, shards=4)
+        assert config.interval == 2.0
+        assert config.shards == 4
+
+    def test_unknown_preset_lists_names(self):
+        with pytest.raises(ValueError, match="adaptive.*bounded.*durable.*paper"):
+            DetectorConfig.preset("turbo")
+
+
+class TestDeprecatedShims:
+    def test_fault_detector_warns_once(self):
+        detector_module._warned.clear()
+        kernel = make_kernel()
+        buffer = BoundedBuffer(kernel, 2, history=HistoryDatabase())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            FaultDetector(buffer)
+            FaultDetector(buffer)
+        messages = [
+            str(w.message)
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(messages) == 1
+        assert messages[0].startswith("FaultDetector is deprecated")
+        assert "DetectionSession" in messages[0]
+
+    def test_detector_process_warns_once(self):
+        detector_module._warned.clear()
+        kernel = make_kernel()
+        buffer = BoundedBuffer(kernel, 2, history=HistoryDatabase())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            detector = FaultDetector(buffer)
+            kernel.spawn(detector_process(detector, rounds=1), "detector")
+            kernel.spawn(detector_process(detector, rounds=1), "detector-2")
+        process_warnings = [
+            str(w.message)
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+            and str(w.message).startswith("detector_process is deprecated")
+        ]
+        assert len(process_warnings) == 1
+
+    def test_shims_still_work(self):
+        detector_module._warned.clear()
+        kernel = make_kernel()
+        allocator = build_allocator(kernel)
+        spawn_users(kernel, allocator)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            detector = FaultDetector(
+                allocator, DetectorConfig(interval=0.25, **QUIET)
+            )
+            kernel.spawn(detector_process(detector), "detector")
+        kernel.run(until=4.0)
+        assert detector.clean

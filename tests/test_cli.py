@@ -81,3 +81,74 @@ class TestFaultsCommand:
         assert "Level II" in output
         assert "Level III" in output
         assert "I.a.1" in output and "III.c" in output
+
+
+class TestJsonEnvelope:
+    """Every result-producing subcommand writes the same top-level schema:
+    ``{"command": ..., "seed": ..., "results": {...}}``."""
+
+    def test_demo_json_schema(self, tmp_path):
+        import json
+
+        path = tmp_path / "demo.json"
+        assert main(["demo", "--seed", "7", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"command", "seed", "results"}
+        assert payload["command"] == "demo"
+        assert payload["seed"] == 7
+        assert payload["results"]["clean_run"]["clean"] is True
+        assert payload["results"]["faulty_run"]["reports"] > 0
+        assert payload["results"]["faulty_run"]["rules"]
+
+    def test_demo_json_stdout(self, capsys):
+        import json
+
+        assert main(["demo", "--json", "-"]) == 0
+        output = capsys.readouterr().out
+        # The envelope is printed last, after the human-readable lines.
+        payload = json.loads(output[output.rindex('{\n  "command"'):])
+        assert payload["command"] == "demo"
+
+    def test_scaling_shards_json_schema(self, tmp_path):
+        import json
+
+        path = tmp_path / "scaling.json"
+        status = main(
+            [
+                "scaling", "--backend", "sim", "--seed", "3",
+                "--counts", "4", "--shards", "1", "2",
+                "--quick", "--json", str(path),
+            ]
+        )
+        assert status == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"command", "seed", "results"}
+        assert payload["command"] == "scaling"
+        assert payload["seed"] == 3
+        rows = payload["results"]["rows"]
+        assert {row["shards"] for row in rows} == {1, 2}
+        sharded = next(row for row in rows if row["shards"] == 2)
+        assert len(sharded["per_shard"]) == 2
+        for stat in sharded["per_shard"]:
+            assert {"shard", "monitors", "offset", "worldstop_max"} <= set(stat)
+
+    def test_selftest_json_schema(self, tmp_path):
+        import json
+
+        path = tmp_path / "selftest.json"
+        assert main(["selftest", "--seed", "0", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "selftest"
+        assert payload["results"]["campaign"]["detected"] is True
+
+    def test_chaos_json_schema(self, tmp_path):
+        import json
+
+        path = tmp_path / "chaos.json"
+        status = main(
+            ["chaos", "--seed", "0", "--rounds", "20", "--json", str(path)]
+        )
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "chaos"
+        assert payload["results"]["passed"] is (status == 0)
+        assert "summary" in payload["results"]
