@@ -8,12 +8,14 @@ Commands
 ``coverage [--seed N] [--json PATH]``
     The robustness experiment: inject all 21 fault classes, print the
     per-class detection table (exit status 1 if any class is missed).
-``overhead [--backend sim|threads] [--seed N] [--repeats N] [--engine] [--bounded C] [--wal] [--json PATH]``
+``overhead [--backend sim|threads] [--seed N] [--repeats N] [--engine] [--bounded C] [--wal] [--fleet N] [--json PATH]``
     Regenerate Table 1 (overhead ratio vs checking interval); ``--engine``
     checks through a shared DetectionEngine registration, ``--bounded``
     records through a capacity-C ring buffer and surfaces dropped events,
     ``--wal`` instead measures write-ahead-log recording overhead
-    (events/sec and bytes/event per fsync policy vs the in-memory sink).
+    (events/sec and bytes/event per fsync policy vs the in-memory sink),
+    ``--fleet N`` instead compares incremental checking-list evaluation
+    against the full re-walk on an N-monitor fleet (the hot-path gate).
 ``scaling [--backend sim|threads] [--seed N] [--counts N ...] [--shards N ...] [--quick] [--json PATH]``
     Engine scaling: batched checkpoints vs per-monitor detectors at
     fleet sizes 1/4/16; ``--shards`` compares staggered
@@ -159,6 +161,8 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
         argv += ["--bounded", str(args.bounded)]
     if args.wal:
         argv.append("--wal")
+    if args.fleet is not None:
+        argv += ["--fleet", str(args.fleet)]
     if args.json is not None:
         argv += ["--json", args.json]
     return overhead_main(argv)
@@ -349,6 +353,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--wal",
         action="store_true",
         help="measure WAL recording overhead per fsync policy instead",
+    )
+    overhead.add_argument(
+        "--fleet",
+        type=int,
+        default=None,
+        metavar="N",
+        help="measure the incremental-vs-full phase-2 hot path on an "
+        "N-monitor fleet instead",
     )
     overhead.add_argument("--json", default=None, metavar="PATH")
     overhead.set_defaults(func=_cmd_overhead)

@@ -41,7 +41,7 @@ from repro.history.wal import FSYNC_POLICIES, WriteAheadLog
 from repro.kernel.policies import RandomPolicy
 from repro.kernel.sim import SimKernel
 from repro.kernel.threads import ThreadKernel
-from repro.workloads.scenarios import WorkloadSpec, build_scenario
+from repro.workloads.scenarios import WorkloadSpec, build_fleet, build_scenario
 
 __all__ = [
     "OverheadRow",
@@ -54,6 +54,10 @@ __all__ = [
     "wal_overhead_table",
     "render_wal_table",
     "wal_rows_to_json",
+    "FleetOverheadRow",
+    "measure_fleet_overhead",
+    "render_fleet_table",
+    "fleet_rows_to_json",
     "main",
 ]
 
@@ -535,6 +539,190 @@ def wal_rows_to_json(rows: Sequence[WalOverheadRow], *, backend: str) -> dict:
     }
 
 
+# --------------------------------------------------------- fleet hot path
+
+
+#: Fleet benchmark workload: short busy phase, long idle tail, so both
+#: the replay hot path (busy windows) and the zero-event fast path (idle
+#: windows) contribute to the measured phase-2 split.
+FLEET_SPEC = WorkloadSpec(processes=4, operations=60, think_time=0.05)
+
+#: Checkpoints per fleet run: enough busy rounds to drain the workload
+#: (~3 virtual seconds at 0.25 s intervals) plus a long idle tail.
+FLEET_INTERVAL = 0.25
+FLEET_ROUNDS = 240
+
+
+@dataclass(frozen=True)
+class FleetOverheadRow:
+    """One fleet-sized phase-2 measurement: incremental vs full re-walk.
+
+    Both modes run the identical seeded workload and checkpoint schedule;
+    only :attr:`DetectorConfig.incremental_checking` differs, so
+    ``evaluate_seconds`` isolates what the carried checking lists save.
+    The CI perf-smoke gate asserts the incremental row's
+    ``evaluate_seconds`` is strictly below the full re-walk's.
+    """
+
+    mode: str  # "incremental" | "full"
+    fleet: int
+    events: int
+    events_per_second: float
+    checkpoints: int
+    worldstop_seconds: float
+    worldstop_p50: float
+    worldstop_p99: float
+    evaluate_seconds: float
+    incremental_hits: int
+    incremental_rebases: int
+    incremental_fastpaths: int
+    staged_events: int
+    staged_flushes: int
+
+
+def _run_fleet_once(
+    backend: str,
+    spec: WorkloadSpec,
+    fleet: int,
+    *,
+    incremental: bool,
+    interval: float = FLEET_INTERVAL,
+    rounds: int = FLEET_ROUNDS,
+) -> FleetOverheadRow:
+    """One fleet execution with a fixed checkpoint count.
+
+    The engine runs exactly ``rounds`` checkpoints rather than stopping
+    when the workload drains: the post-workload idle windows are the
+    fast-path territory the incremental mode is built for, and a fair
+    comparison must charge the full re-walk for them too.
+    """
+    kernel = _make_kernel(backend, spec.seed)
+    config = DetectorConfig(
+        interval=interval,
+        tmax=120.0,
+        tio=120.0,
+        tlimit=120.0,
+        incremental_checking=incremental,
+    )
+    engine = DetectionEngine(kernel, config)
+    runs = build_fleet(kernel, fleet, spec)
+    for run in runs:
+        engine.register(run.monitor)
+        run.spawn_all(kernel)
+    kernel.spawn(engine_process(engine, rounds=rounds), "detection-engine")
+    horizon = rounds * interval + 60
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        kernel.run(until=horizon, max_steps=20_000_000)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect()
+    kernel.raise_failures()
+    ops = sum(run.monitor.monitor.op_seconds for run in runs)
+    events = sum(
+        entry.history.total_recorded for entry in engine.entries
+    )
+    return FleetOverheadRow(
+        mode="incremental" if incremental else "full",
+        fleet=fleet,
+        events=events,
+        events_per_second=events / ops if ops > 0 else float("nan"),
+        checkpoints=engine.checkpoints_run,
+        worldstop_seconds=engine.worldstop_seconds,
+        worldstop_p50=engine.worldstop_percentile(0.5),
+        worldstop_p99=engine.worldstop_percentile(0.99),
+        evaluate_seconds=engine.evaluate_seconds,
+        incremental_hits=engine.incremental_hits,
+        incremental_rebases=engine.incremental_rebases,
+        incremental_fastpaths=engine.incremental_fastpaths,
+        staged_events=engine.staged_events,
+        staged_flushes=engine.staged_flushes,
+    )
+
+
+def measure_fleet_overhead(
+    fleet: int,
+    *,
+    backend: str = "sim",
+    spec: Optional[WorkloadSpec] = None,
+    repeats: int = 3,
+) -> list[FleetOverheadRow]:
+    """Paired fleet measurement: one incremental row, one full-re-walk row.
+
+    Timings are the minimum over ``repeats`` runs per mode (noise only
+    adds); the hot-path counters are deterministic across repeats and
+    taken from the last sample.
+    """
+    spec = spec or FLEET_SPEC
+    rows: list[FleetOverheadRow] = []
+    for incremental in (True, False):
+        samples = [
+            _run_fleet_once(backend, spec, fleet, incremental=incremental)
+            for __ in range(repeats)
+        ]
+        best = min(samples, key=lambda row: row.evaluate_seconds)
+        last = samples[-1]
+        rows.append(
+            replace(
+                last,
+                worldstop_seconds=min(
+                    row.worldstop_seconds for row in samples
+                ),
+                worldstop_p50=min(row.worldstop_p50 for row in samples),
+                worldstop_p99=min(row.worldstop_p99 for row in samples),
+                evaluate_seconds=best.evaluate_seconds,
+                events_per_second=max(
+                    row.events_per_second for row in samples
+                ),
+            )
+        )
+    return rows
+
+
+def render_fleet_table(rows: Sequence[FleetOverheadRow]) -> str:
+    headers = [
+        "mode", "fleet", "events", "events/s", "checkpoints",
+        "world-stop (s)", "stop p50 (s)", "stop p99 (s)", "evaluate (s)",
+        "hits", "rebases", "fastpaths", "staged flushes",
+    ]
+    table_rows = [
+        [
+            row.mode,
+            row.fleet,
+            row.events,
+            f"{row.events_per_second:,.0f}",
+            row.checkpoints,
+            f"{row.worldstop_seconds:.4f}",
+            f"{row.worldstop_p50:.6f}",
+            f"{row.worldstop_p99:.6f}",
+            f"{row.evaluate_seconds:.4f}",
+            row.incremental_hits,
+            row.incremental_rebases,
+            row.incremental_fastpaths,
+            row.staged_flushes,
+        ]
+        for row in rows
+    ]
+    return render_table(
+        headers,
+        table_rows,
+        title="Hot path: incremental checking vs full re-walk",
+    )
+
+
+def fleet_rows_to_json(
+    rows: Sequence[FleetOverheadRow], *, backend: str
+) -> dict:
+    """Machine-readable fleet comparison for ``BENCH_overhead.json``."""
+    return {
+        "bench": "overhead-fleet",
+        "backend": backend,
+        "rows": [asdict(row) for row in rows],
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -582,6 +770,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(always/interval/never) against the in-memory sink",
     )
     parser.add_argument(
+        "--fleet",
+        type=int,
+        default=None,
+        metavar="N",
+        help="measure the phase-2 hot path on an N-monitor fleet instead "
+        "of Table 1: incremental (carried checking lists) vs the full "
+        "re-walk, same seeded workload and checkpoint schedule",
+    )
+    parser.add_argument(
         "--scenarios",
         nargs="*",
         default=list(PAPER_SCENARIOS),
@@ -591,6 +788,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     spec = BENCH_SPEC
     if args.seed is not None:
         spec = replace(spec, seed=args.seed)
+    if args.fleet is not None:
+        fleet_spec = FLEET_SPEC
+        if args.seed is not None:
+            fleet_spec = replace(fleet_spec, seed=args.seed)
+        fleet_rows = measure_fleet_overhead(
+            args.fleet,
+            backend=args.backend,
+            spec=fleet_spec,
+            repeats=args.repeats,
+        )
+        print(render_fleet_table(fleet_rows))
+        if args.json is not None:
+            payload = json.dumps(
+                {
+                    "command": "overhead",
+                    "seed": fleet_spec.seed,
+                    "results": fleet_rows_to_json(
+                        fleet_rows, backend=args.backend
+                    ),
+                },
+                indent=2,
+            )
+            if args.json == "-":
+                print(payload)
+            else:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+                print(f"json written to {args.json}")
+        return 0
     if args.wal:
         interval = args.intervals[0] if args.intervals else 1.0
         wal_rows = wal_overhead_table(

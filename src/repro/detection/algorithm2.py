@@ -168,6 +168,25 @@ class ResourceStateChecker:
             )
         return reports
 
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot of the cumulative counters.
+
+        Algorithm-2 *is* an incremental state object — the counters carry
+        across windows by design (FD-Rule 6(a) is cumulative) — so its
+        durable state is just the counters plus the resync count.
+        """
+        return {
+            "sends": self.sends,
+            "receives": self.receives,
+            "resyncs": self.resyncs,
+        }
+
+    def restore_state(self, record: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.sends = record.get("sends", 0)
+        self.receives = record.get("receives", 0)
+        self.resyncs = record.get("resyncs", 0)
+
     def resync(self, state: SchedulingState) -> None:
         """Re-base the cumulative counters on a state snapshot.
 

@@ -807,6 +807,43 @@ class DetectionCluster:
     def forced_captures(self) -> int:
         return int(self._sum("forced_captures"))
 
+    @property
+    def incremental_hits(self) -> int:
+        return int(self._sum("incremental_hits"))
+
+    @property
+    def incremental_rebases(self) -> int:
+        return int(self._sum("incremental_rebases"))
+
+    @property
+    def incremental_fastpaths(self) -> int:
+        return int(self._sum("incremental_fastpaths"))
+
+    @property
+    def staged_events(self) -> int:
+        return int(self._sum("staged_events"))
+
+    @property
+    def staged_flushes(self) -> int:
+        return int(self._sum("staged_flushes"))
+
+    @property
+    def worldstop_samples(self) -> list[float]:
+        """Per-checkpoint phase-1 durations, concatenated in shard order."""
+        samples: list[float] = []
+        for shard in self._shards:
+            samples.extend(shard.engine.worldstop_samples)
+        return samples
+
+    def worldstop_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of phase-1 stalls across all shards."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be within (0, 1], got {q!r}")
+        samples = sorted(self.worldstop_samples)
+        if not samples:
+            return 0.0
+        return samples[max(0, math.ceil(q * len(samples)) - 1)]
+
     def shard_stats(self) -> list[dict]:
         """Per-shard accounting: the bench/CLI ``--shards`` detail rows."""
         return [
@@ -821,6 +858,8 @@ class DetectionCluster:
                 "worldstop_seconds": shard.engine.worldstop_seconds,
                 "worldstop_max": shard.engine.worldstop_max,
                 "evaluate_seconds": shard.engine.evaluate_seconds,
+                "incremental_hits": shard.engine.incremental_hits,
+                "staged_flushes": shard.engine.staged_flushes,
                 "reports": sum(
                     len(entry.reports) for entry in shard.engine.entries
                 ),

@@ -81,6 +81,12 @@ class DetectorConfig:
     #: allocator monitors).  False falls back to replaying the window's
     #: events at each checkpoint instead.
     realtime_orders: bool = True
+    #: Carry Algorithm-1's checking lists across checkpoints (one
+    #: persistent replay machine per monitor) so phase-2 evaluation costs
+    #: O(new events), not O(window re-seed).  The report stream is
+    #: byte-identical either way; False falls back to the stateless
+    #: full re-walk — the differential-testing oracle.
+    incremental_checking: bool = True
     # ------------------------------------------------- supervision tunables
     checkpoint_budget: Optional[float] = None
     checkpoint_retries: int = 2

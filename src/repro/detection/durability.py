@@ -479,13 +479,18 @@ class DurableEngine:
     def _snapshot_payload(self) -> dict:
         checkers: dict[str, dict] = {}
         for entry in self.engine.entries:
-            record: dict = {"algorithm2": None, "algorithm3": None}
+            record: dict = {
+                "algorithm1": None,
+                "algorithm2": None,
+                "algorithm3": None,
+            }
+            if entry.algorithm1 is not None:
+                # The carried checking lists: restoring them lets the
+                # first post-recovery window resume mid-stream instead of
+                # re-seeding from the snapshot state.
+                record["algorithm1"] = entry.algorithm1.state_dict()
             if entry.algorithm2 is not None:
-                record["algorithm2"] = {
-                    "sends": entry.algorithm2.sends,
-                    "receives": entry.algorithm2.receives,
-                    "resyncs": entry.algorithm2.resyncs,
-                }
+                record["algorithm2"] = entry.algorithm2.state_dict()
             if entry.algorithm3 is not None:
                 record["algorithm3"] = {
                     "request_list": [
@@ -535,11 +540,17 @@ class DurableEngine:
             record = checkers.get(entry.label)
             if record is None:
                 continue
+            algo1 = record.get("algorithm1")
+            if algo1 and entry.algorithm1 is not None:
+                # The supervisor restore above already reinstated the
+                # sink's last checkpoint state; binding the carried lists
+                # to that object makes the next cut a carry, not a rebase.
+                entry.algorithm1.restore_state(
+                    algo1, basis=entry.history.last_state
+                )
             algo2 = record.get("algorithm2")
             if algo2 and entry.algorithm2 is not None:
-                entry.algorithm2.sends = algo2["sends"]
-                entry.algorithm2.receives = algo2["receives"]
-                entry.algorithm2.resyncs = algo2["resyncs"]
+                entry.algorithm2.restore_state(algo2)
             algo3 = record.get("algorithm3")
             if algo3 and entry.algorithm3 is not None:
                 entry.algorithm3.request_list = [

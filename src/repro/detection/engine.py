@@ -45,11 +45,15 @@ façade over this engine, so existing call sites keep working unchanged.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Iterator, Optional, Union
 
-from repro.detection.algorithm1 import check_general_concurrency_control
+from repro.detection.algorithm1 import (
+    IncrementalConcurrencyChecker,
+    check_general_concurrency_control,
+)
 from repro.detection.algorithm2 import ResourceStateChecker
 from repro.detection.algorithm3 import CallingOrderChecker, sweep_request_list
 from repro.detection.config import DetectorConfig
@@ -125,6 +129,10 @@ class RegisteredMonitor:
             history.open(monitor.core.snapshot())
         self.history: EventSink = history
         declaration = monitor.declaration
+        #: Incremental Algorithm-1 state (None = stateless full re-walk).
+        self.algorithm1: Optional[IncrementalConcurrencyChecker] = None
+        if config.incremental_checking:
+            self.algorithm1 = IncrementalConcurrencyChecker(declaration)
         self.algorithm2: Optional[ResourceStateChecker] = None
         if declaration.mtype.needs_resource_checking:
             checker = ResourceStateChecker(declaration)
@@ -284,12 +292,17 @@ class RegisteredMonitor:
         truncated trace must degrade, not false-positive.
         """
         snapshot, segment = capture.snapshot, capture.segment
-        found = check_general_concurrency_control(
-            self.monitor.declaration,
-            segment,
-            tmax=self.config.tmax,
-            tio=self.config.tio,
-        )
+        if self.algorithm1 is not None:
+            found = self.algorithm1.check_window(
+                segment, tmax=self.config.tmax, tio=self.config.tio
+            )
+        else:
+            found = check_general_concurrency_control(
+                self.monitor.declaration,
+                segment,
+                tmax=self.config.tmax,
+                tio=self.config.tio,
+            )
         if self.algorithm2 is not None:
             found.extend(self.algorithm2.check_window(segment))
         if self.algorithm3 is not None:
@@ -371,6 +384,33 @@ class RegisteredMonitor:
         )
         return kept
 
+    # --------------------------------------------------- hot-path accounting
+
+    @property
+    def incremental_hits(self) -> int:
+        """Windows evaluated on carried checking lists (no re-seeding)."""
+        return 0 if self.algorithm1 is None else self.algorithm1.hits
+
+    @property
+    def incremental_rebases(self) -> int:
+        """Windows that re-seeded the checking lists from the snapshot."""
+        return 0 if self.algorithm1 is None else self.algorithm1.rebases
+
+    @property
+    def incremental_fastpaths(self) -> int:
+        """Zero-event carried windows that skipped the full comparison."""
+        return 0 if self.algorithm1 is None else self.algorithm1.fastpaths
+
+    @property
+    def staged_events(self) -> int:
+        """Events this monitor's sink flushed through its staging buffer."""
+        return getattr(self.history, "staged_events", 0)
+
+    @property
+    def staged_flushes(self) -> int:
+        """Staged-batch flushes performed by this monitor's sink."""
+        return getattr(self.history, "staged_flushes", 0)
+
     @property
     def quarantined(self) -> bool:
         """True while this monitor's breaker is OPEN (checker sat out)."""
@@ -434,6 +474,8 @@ class DetectionEngine:
         self.worldstop_seconds = 0.0
         #: Longest single phase-1 section (per-checkpoint world-stop max).
         self.worldstop_max = 0.0
+        #: Per-checkpoint phase-1 durations (world-stop percentile source).
+        self.worldstop_samples: list[float] = []
         #: Wall-clock seconds spent in phase-2 evaluation (workload live).
         self.evaluate_seconds = 0.0
         #: Per-monitor evaluations that raised (absorbed by the breaker
@@ -566,6 +608,7 @@ class DetectionEngine:
         finally:
             elapsed = perf_counter() - started
             self.worldstop_seconds += elapsed
+            self.worldstop_samples.append(elapsed)
             if elapsed > self.worldstop_max:
                 self.worldstop_max = elapsed
         return taken
@@ -651,6 +694,20 @@ class DetectionEngine:
         :attr:`worldstop_seconds` of it stalls the workload.
         """
         return self.worldstop_seconds + self.evaluate_seconds
+
+    def worldstop_percentile(self, q: float) -> float:
+        """The ``q``-quantile (0 < q <= 1) of per-checkpoint world-stops.
+
+        Nearest-rank over :attr:`worldstop_samples`; 0.0 before the first
+        checkpoint.  The overhead bench publishes p50/p99 from here.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be within (0, 1], got {q!r}")
+        samples = sorted(self.worldstop_samples)
+        if not samples:
+            return 0.0
+        rank = max(0, math.ceil(q * len(samples)) - 1)
+        return samples[rank]
 
     # ------------------------------------------------------------- reporting
 
@@ -751,6 +808,31 @@ class DetectionEngine:
         """Drop-safety captures taken before ``next_due`` (all monitors)."""
         return sum(entry.forced_captures for entry in self._entries)
 
+    @property
+    def incremental_hits(self) -> int:
+        """Windows evaluated on carried checking lists (all monitors)."""
+        return sum(entry.incremental_hits for entry in self._entries)
+
+    @property
+    def incremental_rebases(self) -> int:
+        """Windows that re-seeded checking lists (all monitors)."""
+        return sum(entry.incremental_rebases for entry in self._entries)
+
+    @property
+    def incremental_fastpaths(self) -> int:
+        """Zero-event windows that skipped the comparison (all monitors)."""
+        return sum(entry.incremental_fastpaths for entry in self._entries)
+
+    @property
+    def staged_events(self) -> int:
+        """Events flushed through sink staging buffers (all monitors)."""
+        return sum(entry.staged_events for entry in self._entries)
+
+    @property
+    def staged_flushes(self) -> int:
+        """Staged-batch flushes across all registered monitors' sinks."""
+        return sum(entry.staged_flushes for entry in self._entries)
+
     def __repr__(self) -> str:
         return (
             f"DetectionEngine(monitors={len(self._entries)}, "
@@ -759,6 +841,8 @@ class DetectionEngine:
             f"captures_taken={self.captures_taken}, "
             f"evaluations_run={self.evaluations_run}, "
             f"intervals_skipped={self.intervals_skipped}, "
+            f"incremental_hits={self.incremental_hits}, "
+            f"staged_flushes={self.staged_flushes}, "
             f"reports={sum(len(e.reports) for e in self._entries)}, "
             f"dropped_events={self.dropped_events}, "
             f"degraded_windows={self.degraded_windows}, "

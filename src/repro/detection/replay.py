@@ -40,6 +40,22 @@ from repro.monitor.semantics import Discipline
 __all__ = ["ReplayMachine", "sweep_timers"]
 
 
+def _entries_match(
+    model: list[QueueEntry], actual: tuple[QueueEntry, ...]
+) -> bool:
+    """Positional equality of a model checking list and an actual queue."""
+    if len(model) != len(actual):
+        return False
+    for mine, theirs in zip(model, actual):
+        if (
+            mine.pid != theirs.pid
+            or mine.since != theirs.since
+            or mine.pname != theirs.pname
+        ):
+            return False
+    return True
+
+
 def sweep_timers(
     state: SchedulingState,
     monitor: str,
@@ -124,6 +140,78 @@ class ReplayMachine:
         self.urgent: list[QueueEntry] = list(base_state.urgent)
         self.violations: list[FaultReport] = []
         self._window_start = base_state.time
+
+    # ------------------------------------------------------- incremental use
+
+    def begin_window(self, window_start: float) -> None:
+        """Open the next checking window on the carried lists.
+
+        Used by the incremental Algorithm-1 checker when the lists were
+        verified against the last checkpoint's snapshot: nothing is
+        re-seeded, only the window anchor for report provenance moves.
+        """
+        self._window_start = window_start
+
+    def rebase(self, base_state: SchedulingState) -> None:
+        """Re-seed every checking list from an actual state snapshot.
+
+        Equivalent to constructing a fresh machine on ``base_state`` but
+        reuses the allocated lists: declared conditions are re-seeded from
+        the snapshot, conditions picked up mid-window via undeclared Waits
+        are cleared (a fresh machine would not know them either).
+        """
+        self.enter0[:] = base_state.entry_queue
+        cond_queues = base_state.cond_queues
+        declared = self._declaration.conditions
+        for cond, queue in self.wait_cond.items():
+            if cond in declared:
+                queue[:] = cond_queues.get(cond, ())
+            else:
+                queue.clear()
+        self.running[:] = base_state.running
+        self.urgent[:] = base_state.urgent
+        self._window_start = base_state.time
+
+    def matches(self, state: SchedulingState) -> bool:
+        """True when the lists equal what a fresh machine would seed from
+        ``state`` — i.e. carrying them into the next window is provably
+        indistinguishable from re-basing on the snapshot."""
+        if not _entries_match(self.running, state.running):
+            return False
+        if not _entries_match(self.enter0, state.entry_queue):
+            return False
+        if not _entries_match(self.urgent, state.urgent):
+            return False
+        cond_queues = state.cond_queues
+        declared = self._declaration.conditions
+        for cond in declared:
+            model = self.wait_cond.get(cond)
+            if not _entries_match(
+                model if model is not None else [], cond_queues.get(cond, ())
+            ):
+                return False
+        for cond, queue in self.wait_cond.items():
+            if queue and cond not in declared:
+                return False
+        return True
+
+    def take_violations(self) -> list[FaultReport]:
+        """Hand over the violations found so far and reset the list."""
+        found = self.violations
+        self.violations = []
+        return found
+
+    def export_state(self) -> SchedulingState:
+        """The checking lists as one state snapshot (durable snapshots)."""
+        return SchedulingState(
+            time=self._window_start,
+            entry_queue=tuple(self.enter0),
+            cond_queues={
+                cond: tuple(queue) for cond, queue in self.wait_cond.items()
+            },
+            running=tuple(self.running),
+            urgent=tuple(self.urgent),
+        )
 
     # ------------------------------------------------------------- reporting
 
@@ -367,18 +455,7 @@ class ReplayMachine:
                     time=now,
                     pids=tuple(set(model_cq) ^ set(actual_cq)),
                 )
-        if len(current.running) > 1:
-            # The snapshot directly witnesses a mutual-exclusion violation,
-            # independent of whether the event replay re-converged: this is
-            # how transient double admissions are caught when the checking
-            # interval is tight enough (the paper's T-accuracy trade-off).
-            self._report(
-                STRule.ONE_INSIDE,
-                f"snapshot shows {len(current.running)} processes inside "
-                f"the monitor simultaneously: {list(current.running_pids)}",
-                time=now,
-                pids=tuple(current.running_pids),
-            )
+        self._snapshot_witness(current)
         model_running = sorted(e.pid for e in self.running)
         actual_running = sorted(current.running_pids)
         if model_running != actual_running:
@@ -399,6 +476,41 @@ class ReplayMachine:
                 time=now,
                 pids=tuple(set(model_urgent) ^ set(actual_urgent)),
             )
+        self._sweep_model_timers(now, tmax, tio)
+
+    def compare_unchanged(
+        self,
+        current: SchedulingState,
+        *,
+        tmax: Optional[float] = None,
+        tio: Optional[float] = None,
+    ) -> None:
+        """:meth:`compare_with` for a window whose lists provably equal
+        ``current``'s queues (zero events on verified carried lists).
+
+        Every membership comparison is then a foregone conclusion, so only
+        the snapshot's mutual-exclusion witness and the timer sweeps can
+        fire — emitted in exactly the order ``compare_with`` would."""
+        self._snapshot_witness(current)
+        self._sweep_model_timers(current.time, tmax, tio)
+
+    def _snapshot_witness(self, current: SchedulingState) -> None:
+        if len(current.running) > 1:
+            # The snapshot directly witnesses a mutual-exclusion violation,
+            # independent of whether the event replay re-converged: this is
+            # how transient double admissions are caught when the checking
+            # interval is tight enough (the paper's T-accuracy trade-off).
+            self._report(
+                STRule.ONE_INSIDE,
+                f"snapshot shows {len(current.running)} processes inside "
+                f"the monitor simultaneously: {list(current.running_pids)}",
+                time=current.time,
+                pids=tuple(current.running_pids),
+            )
+
+    def _sweep_model_timers(
+        self, now: float, tmax: Optional[float], tio: Optional[float]
+    ) -> None:
         if tmax is not None:
             for entry in self.running:
                 if entry.timer(now) >= tmax:

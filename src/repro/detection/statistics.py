@@ -104,6 +104,16 @@ class FaultStatistics:
             "intervals_skipped": engine.intervals_skipped,
             "worldstop_seconds": engine.worldstop_seconds,
             "evaluate_seconds": engine.evaluate_seconds,
+            # Hot-path accounting: carried checking lists and staged record
+            # batches.  getattr defaults keep older engine-shaped objects
+            # (plain detectors in tests) working.
+            "incremental_hits": getattr(engine, "incremental_hits", 0),
+            "incremental_rebases": getattr(engine, "incremental_rebases", 0),
+            "incremental_fastpaths": getattr(
+                engine, "incremental_fastpaths", 0
+            ),
+            "staged_events": getattr(engine, "staged_events", 0),
+            "staged_flushes": getattr(engine, "staged_flushes", 0),
         }
         # A DurableEngine (or anything else wearing durability counters)
         # additionally reports its WAL/snapshot/recovery accounting.
@@ -195,6 +205,17 @@ class FaultStatistics:
                 f"world-stop {counters['worldstop_seconds']:.4f}s, "
                 f"evaluate {counters['evaluate_seconds']:.4f}s"
             )
+            if counters.get("incremental_hits") or counters.get(
+                "staged_flushes"
+            ):
+                parts.append(
+                    "hot path: "
+                    f"{counters.get('incremental_hits', 0):g} carried windows "
+                    f"({counters.get('incremental_fastpaths', 0):g} fast-path), "
+                    f"{counters.get('incremental_rebases', 0):g} rebases; "
+                    f"{counters.get('staged_events', 0):g} events staged over "
+                    f"{counters.get('staged_flushes', 0):g} flushes"
+                )
             if "wal_bytes_written" in counters:
                 parts.append(
                     "durability: "

@@ -16,7 +16,9 @@ window was incomplete rather than quietly checking a truncated trace.
 from __future__ import annotations
 
 from collections import deque
+from typing import Optional
 
+from repro.history.database import DEFAULT_STAGING
 from repro.history.events import SchedulingEvent
 from repro.history.sink import EventSink
 
@@ -32,12 +34,19 @@ class BoundedHistory(EventSink):
         Maximum number of events held between checkpoints.  Recording the
         ``capacity + 1``-th event of a window evicts the window's oldest
         event and increments the drop counters.
+    staging:
+        Recording batch size (see :class:`~repro.history.sink.EventSink`).
+        Defaults to ``min(capacity, DEFAULT_STAGING)`` so the staged batch
+        never holds more than one ring's worth of events; eviction
+        accounting runs at flush and stays exact.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, *, staging: Optional[int] = None) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
-        super().__init__()
+        if staging is None:
+            staging = min(capacity, DEFAULT_STAGING)
+        super().__init__(staging=staging)
         self._buffer: deque[SchedulingEvent] = deque(maxlen=capacity)
         self._dropped_total = 0
         self._dropped_in_window = 0
@@ -77,6 +86,7 @@ class BoundedHistory(EventSink):
         """
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
+        self.flush_staged()
         evicted = min(count, len(self._buffer))
         for __ in range(evicted):
             self._buffer.popleft()
@@ -94,25 +104,30 @@ class BoundedHistory(EventSink):
 
     @property
     def pending_events(self) -> tuple[SchedulingEvent, ...]:
+        self.flush_staged()
         return tuple(self._buffer)
 
     @property
     def live_events(self) -> int:
+        self.flush_staged()
         return len(self._buffer)
 
     @property
     def dropped_events(self) -> int:
         """Total events evicted since construction (all windows)."""
+        self.flush_staged()
         return self._dropped_total
 
     @property
     def pending_dropped(self) -> int:
         """Events evicted from the still-open window (reset by ``cut``)."""
+        self.flush_staged()
         return self._dropped_in_window
 
     @property
     def peak_live_events(self) -> int:
         """High-water mark of the ring buffer (never exceeds capacity)."""
+        self.flush_staged()
         return self._peak_live
 
     def __repr__(self) -> str:

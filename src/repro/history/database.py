@@ -25,19 +25,37 @@ the unbounded open segment and the optional full-trace retention.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import HistoryError
 from repro.history.events import SchedulingEvent
 from repro.history.sink import EventSink, Segment
 from repro.history.states import SchedulingState
 
-__all__ = ["Segment", "HistoryDatabase"]
+__all__ = ["DEFAULT_STAGING", "Segment", "HistoryDatabase"]
+
+#: Default staging-batch size of the in-memory sinks: ``record`` appends
+#: to a plain list inside the atomic section and storage (plus its
+#: accounting) runs once per batch / checkpoint instead of per event.
+DEFAULT_STAGING = 64
 
 
 class HistoryDatabase(EventSink):
-    """Append-only event log with checkpoint-based pruning."""
+    """Append-only event log with checkpoint-based pruning.
 
-    def __init__(self, *, retain_full_trace: bool = False) -> None:
-        super().__init__()
+    ``staging`` batches the recording hot path (see
+    :class:`~repro.history.sink.EventSink`); it defaults to
+    :data:`DEFAULT_STAGING` and is observationally transparent — every
+    inspection property flushes the staged batch first.
+    """
+
+    def __init__(
+        self,
+        *,
+        retain_full_trace: bool = False,
+        staging: Optional[int] = None,
+    ) -> None:
+        super().__init__(staging=DEFAULT_STAGING if staging is None else staging)
         self._open_events: list[SchedulingEvent] = []
         self._retain_full = retain_full_trace
         self._full_trace: list[SchedulingEvent] = []
@@ -73,16 +91,19 @@ class HistoryDatabase(EventSink):
     @property
     def pending_events(self) -> tuple[SchedulingEvent, ...]:
         """Events recorded since the last checkpoint (not yet consumed)."""
+        self.flush_staged()
         return tuple(self._open_events)
 
     @property
     def live_events(self) -> int:
         """Events currently held in memory in the open segment."""
+        self.flush_staged()
         return len(self._open_events)
 
     @property
     def full_trace(self) -> tuple[SchedulingEvent, ...]:
         """Complete event sequence (only with ``retain_full_trace=True``)."""
+        self.flush_staged()
         if not self._retain_full:
             raise HistoryError(
                 "full trace was not retained; construct the database with "
@@ -103,6 +124,7 @@ class HistoryDatabase(EventSink):
     @property
     def peak_live_events(self) -> int:
         """High-water mark of the open segment (ablation metric)."""
+        self.flush_staged()
         return self._peak_live
 
     def __repr__(self) -> str:

@@ -11,6 +11,17 @@ swapped without touching the monitor core or the detection algorithms:
   (``next_seq``), fans events out to real-time taps (``subscribe`` /
   ``unsubscribe``) and closes checkpoint windows (``cut``), returning a
   :class:`Segment` for the checker.
+
+``record`` runs inside the monitor's atomic transition — it is the one
+sink call the workload pays for on every operation.  A sink constructed
+with ``staging > 1`` therefore defers storage: ``record`` appends to a
+plain local list and the batch is handed to the storage hooks in one
+``_flush_batch`` call once the list reaches ``staging`` events, at the
+next checkpoint ``cut``, or whenever the stored window is inspected
+(``pending_events`` and friends call :meth:`EventSink.flush_staged`
+first, so staging is invisible to every reader).  Real-time taps are
+*not* deferred: listeners fire synchronously inside ``record`` exactly
+as before, staged or not.
 * :class:`Segment` — one checkpoint window: previous state, event
   sequence, current state, plus the number of events the sink had to drop
   inside the window (0 for unbounded sinks).
@@ -71,18 +82,36 @@ class EventSink(abc.ABC):
     """Abstract recording interface between gathering and checking.
 
     The base class owns everything every sink needs — sequence numbering,
-    the listener registry, checkpoint-state bookkeeping and total-recorded
-    accounting — and delegates the actual event storage to three hooks:
-    ``_append`` (store one event), ``_drain`` (hand over and clear the open
-    window) and ``_take_dropped`` (report and reset the window's drop
-    count, 0 by default).
+    the listener registry, checkpoint-state bookkeeping, total-recorded
+    accounting and the staging buffer — and delegates the actual event
+    storage to three hooks: ``_append`` (store one event), ``_drain``
+    (hand over and clear the open window) and ``_take_dropped`` (report
+    and reset the window's drop count, 0 by default).  Sinks that can
+    store a whole batch cheaper than event-by-event (the write-ahead log)
+    additionally override ``_flush_batch``.
+
+    Parameters
+    ----------
+    staging:
+        Events ``record`` may hold in the staging list before the batch
+        is flushed to storage.  ``1`` (the default) stores every event
+        immediately — the seed's behaviour, and what durability-sensitive
+        sinks need.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, staging: int = 1) -> None:
+        if staging < 1:
+            raise ValueError(f"staging must be >= 1, got {staging}")
         self._seq = 0
         self._last_state: Optional[SchedulingState] = None
         self._listeners: list[EventListener] = []
         self._total_recorded = 0
+        self._staging_limit = staging
+        self._staged: list[SchedulingEvent] = []
+        #: Events that went through a staged-batch flush (cumulative).
+        self.staged_events = 0
+        #: Batch flushes that moved at least one staged event.
+        self.staged_flushes = 0
 
     # ---------------------------------------------------------------- tapping
 
@@ -120,11 +149,39 @@ class EventSink(abc.ABC):
         return seq
 
     def record(self, event: SchedulingEvent) -> None:
-        """Append one scheduling event (called by data-gathering routines)."""
-        self._append(event)
-        self._total_recorded += 1
+        """Append one scheduling event (called by data-gathering routines).
+
+        With ``staging > 1`` the event lands in a cheap local list and
+        storage is deferred to the next batch flush; real-time listeners
+        are invoked synchronously either way.
+        """
+        if self._staging_limit > 1:
+            self._staged.append(event)
+            self._total_recorded += 1
+            if len(self._staged) >= self._staging_limit:
+                self.flush_staged()
+        else:
+            self._append(event)
+            self._total_recorded += 1
         for listener in self._listeners:
             listener(event)
+
+    def flush_staged(self) -> int:
+        """Hand every staged event to storage; returns the batch size.
+
+        Called automatically by ``cut`` and by every inspection property,
+        so readers never observe a partially staged window.  Cheap no-op
+        when nothing is staged.
+        """
+        staged = self._staged
+        if not staged:
+            return 0
+        batch = tuple(staged)
+        staged.clear()
+        self._flush_batch(batch)
+        self.staged_events += len(batch)
+        self.staged_flushes += 1
+        return len(batch)
 
     def open(self, initial_state: SchedulingState) -> None:
         """Install the state snapshot that starts the first segment."""
@@ -153,6 +210,7 @@ class EventSink(abc.ABC):
                 f"checkpoint at t={current_state.time:g} precedes the last "
                 f"checkpoint at t={self._last_state.time:g}"
             )
+        self.flush_staged()
         segment = Segment(
             previous=self._last_state,
             events=self._drain(),
@@ -168,6 +226,14 @@ class EventSink(abc.ABC):
     @abc.abstractmethod
     def _append(self, event: SchedulingEvent) -> None:
         """Store one recorded event in the open window."""
+
+    def _flush_batch(self, batch: tuple[SchedulingEvent, ...]) -> None:
+        """Store one staged batch.  Defaults to ``_append`` per event, so
+        subclass accounting (capacity eviction, peaks) is exact; sinks
+        with a cheaper bulk path (the WAL's fused serializer) override."""
+        append = self._append
+        for event in batch:
+            append(event)
 
     @abc.abstractmethod
     def _drain(self) -> tuple[SchedulingEvent, ...]:

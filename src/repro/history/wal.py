@@ -41,7 +41,7 @@ from typing import IO, Iterator, Optional, Union
 
 from repro.errors import HistoryError
 from repro.history.events import SchedulingEvent
-from repro.history.serialize import event_from_dict, event_to_dict
+from repro.history.serialize import event_from_dict, event_to_json_line
 from repro.history.sink import EventSink
 from repro.history.states import SchedulingState
 
@@ -52,37 +52,6 @@ FSYNC_POLICIES = ("always", "interval", "never")
 
 _SEGMENT_PREFIX = "segment-"
 _SEGMENT_SUFFIX = ".jsonl"
-
-#: Memoised JSON string encodings — event kinds, process names and
-#: condition names repeat constantly, and the append path is the
-#: monitor-operation hot path the overhead bench measures.
-_ESCAPED: dict[str, str] = {}
-
-
-def _escape(value: str) -> str:
-    cached = _ESCAPED.get(value)
-    if cached is None:
-        cached = _ESCAPED[value] = json.dumps(value)
-    return cached
-
-
-def _event_line(event: SchedulingEvent) -> str:
-    """``event_to_dict`` + compact ``json.dumps``, hand-fused.
-
-    Produces byte-identical JSON to
-    ``json.dumps(event_to_dict(event), separators=(",", ":"))`` (floats
-    via ``repr``, exactly as the json encoder emits them; pure ASCII, so
-    ``len`` is the byte length) without building the intermediate dict.
-    """
-    head = (
-        f'{{"kind":"event","event":{_escape(event.kind.value)},'
-        f'"seq":{event.seq},"pid":{event.pid},'
-        f'"pname":{_escape(event.pname)},"time":{event.time!r},'
-        f'"flag":{event.flag}'
-    )
-    if event.cond is not None:
-        return head + f',"cond":{_escape(event.cond)}}}\n'
-    return head + "}\n"
 
 
 class WriteAheadLog(EventSink):
@@ -101,7 +70,16 @@ class WriteAheadLog(EventSink):
         Appends between fsyncs under the ``"interval"`` policy.
     segment_bytes:
         Rotation threshold: an append that finds the active segment at or
-        past this size starts a new segment first.
+        past this size starts a new segment first (a staged batch may
+        overshoot by at most one batch; the threshold was always soft).
+    staging:
+        Recording batch size (see :class:`~repro.history.sink.EventSink`).
+        Defaults to ``1`` — every event is durable before ``record``
+        returns, exactly the seed's contract.  ``staging > 1`` trades a
+        bounded loss window (up to ``staging - 1`` staged events die with
+        the process) for one fused serialisation + ``write`` per batch;
+        it is rejected under the ``"always"`` policy, whose whole point
+        is per-event durability.
     """
 
     def __init__(
@@ -111,6 +89,7 @@ class WriteAheadLog(EventSink):
         fsync: str = "interval",
         fsync_every: int = 32,
         segment_bytes: int = 1 << 20,
+        staging: int = 1,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise HistoryError(
@@ -122,7 +101,12 @@ class WriteAheadLog(EventSink):
             raise HistoryError(
                 f"segment_bytes must be >= 1, got {segment_bytes}"
             )
-        super().__init__()
+        if staging > 1 and fsync == "always":
+            raise HistoryError(
+                "staging > 1 batches appends and cannot honour the "
+                "per-event durability of fsync='always'"
+            )
+        super().__init__(staging=staging)
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
         self.fsync_policy = fsync
@@ -229,7 +213,7 @@ class WriteAheadLog(EventSink):
         assert self._handle is not None, "append to a closed WAL"
         if self._active_size >= self.segment_bytes:
             self._rotate()
-        line = _event_line(event)
+        line = event_to_json_line(event)
         self._handle.write(line)
         self._active_size += len(line)
         self.bytes_written += len(line)
@@ -237,6 +221,26 @@ class WriteAheadLog(EventSink):
             self._fsync()
         elif self.fsync_policy == "interval":
             self._appends_since_fsync += 1
+            if self._appends_since_fsync >= self.fsync_every:
+                self._fsync()
+
+    def _flush_batch(self, batch: tuple[SchedulingEvent, ...]) -> None:
+        # The staged-batch fast path: serialise the whole batch with the
+        # fused encoder and hand the segment file one string, paying the
+        # rotation check, size accounting and fsync-policy bookkeeping
+        # once per batch instead of once per event.
+        self._open_window.extend(batch)
+        if self._replaying:
+            return
+        assert self._handle is not None, "append to a closed WAL"
+        if self._active_size >= self.segment_bytes:
+            self._rotate()
+        lines = "".join(map(event_to_json_line, batch))
+        self._handle.write(lines)
+        self._active_size += len(lines)
+        self.bytes_written += len(lines)
+        if self.fsync_policy == "interval":
+            self._appends_since_fsync += len(batch)
             if self._appends_since_fsync >= self.fsync_every:
                 self._fsync()
 
@@ -317,6 +321,7 @@ class WriteAheadLog(EventSink):
 
     def iter_durable_events(self) -> Iterator[SchedulingEvent]:
         """Replay every durable event, oldest first (torn-tail tolerant)."""
+        self.flush_staged()
         if self._handle is not None:
             self._handle.flush()
         segments = self.segment_paths()
@@ -329,6 +334,7 @@ class WriteAheadLog(EventSink):
     def flush(self, *, sync: bool = False) -> None:
         if self._handle is None:
             return
+        self.flush_staged()
         if sync:
             self._fsync()
         else:
@@ -338,6 +344,7 @@ class WriteAheadLog(EventSink):
         """Close the active segment handle (idempotent)."""
         if self._handle is None:
             return
+        self.flush_staged()
         self._handle.close()
         self._handle = None
 
@@ -349,6 +356,7 @@ class WriteAheadLog(EventSink):
 
     @property
     def pending_events(self) -> tuple[SchedulingEvent, ...]:
+        self.flush_staged()
         return tuple(self._open_window)
 
     # ----------------------------------------------------------------- chaos
@@ -361,6 +369,7 @@ class WriteAheadLog(EventSink):
         must truncate.  No real event is lost — the junk never carried one.
         """
         assert self._handle is not None, "torn append on a closed WAL"
+        self.flush_staged()
         junk = '{"kind": "event", "event": "Enter", "seq"'
         self._handle.write(junk)
         self._handle.flush()

@@ -273,6 +273,25 @@ class TestMergedReportDeterminism:
         assert stats.total_reports == len(cluster.reports)
         assert stats.engine_counters["checkpoints_run"] > 0
 
+    def test_hot_path_counters_aggregate_across_shards(self):
+        cluster = run_determinism_workload(2)
+        # Every evaluated window is either a carried hit or a rebase.
+        assert (
+            cluster.incremental_hits + cluster.incremental_rebases
+            == cluster.evaluations_run
+        )
+        assert cluster.incremental_hits > 0
+        assert cluster.staged_flushes > 0
+        # One world-stop sample per phase-1 atomic section, across shards.
+        samples = cluster.worldstop_samples
+        assert len(samples) == cluster.atomic_sections
+        p50 = cluster.worldstop_percentile(0.5)
+        p99 = cluster.worldstop_percentile(0.99)
+        assert 0.0 < p50 <= p99 <= cluster.worldstop_max
+        for stat in cluster.shard_stats():
+            assert "incremental_hits" in stat
+            assert "staged_flushes" in stat
+
 
 class TestWorkerPool:
     def test_thread_kernel_evaluates_in_pool(self):

@@ -249,3 +249,32 @@ class TestDurableEngine:
         assert stats.engine_counters["wal_bytes_written"] > 0
         assert "durability:" in stats.render()
         durable.close()
+
+    def test_recover_restores_incremental_rule_state(self, tmp_path):
+        crashed = run_with_misuse(tmp_path)
+        entry = crashed.engine.entries[0]
+        before = entry.algorithm1.state_dict()
+        assert before["carried"], "run should end on verified carried lists"
+        reports_before = [report_key(r) for r in crashed.reports]
+        crashed.close()
+
+        kernel, __, rebuilt = build_durable(tmp_path)
+        rebuilt.recover()
+        restored = rebuilt.engine.entries[0].algorithm1
+        assert restored.hits == before["hits"]
+        assert restored.rebases == before["rebases"]
+        assert restored.carried
+        # The first post-recovery checkpoint resumes mid-stream: the
+        # carried lists are reused (a hit, not a rebase) and no spurious
+        # report appears on the healthy, idle monitor.  (Advance the fresh
+        # kernel's clock past the restored checkpoint time first.)
+        def idle():
+            yield Delay(5.0)
+
+        kernel.spawn(idle(), "idle")
+        kernel.run(until=5.0)
+        rebuilt.checkpoint()
+        assert restored.hits == before["hits"] + 1
+        assert restored.rebases == before["rebases"]
+        assert [report_key(r) for r in rebuilt.reports] == reports_before
+        rebuilt.close()

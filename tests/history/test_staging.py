@@ -1,0 +1,157 @@
+"""Per-process staging buffer: batched ``record()`` across every sink.
+
+Staging makes ``record()`` a cheap local append, flushed once per atomic
+section (``cut()``) or whenever the batch fills.  The contract tested
+here: staging is *observationally transparent* — every inspection surface
+flushes first, listeners still fire synchronously per event, drop
+accounting stays exact — and the WAL's staged batches produce bytes
+identical to per-event appends.
+"""
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.history import (
+    BoundedHistory,
+    EventSink,
+    HistoryDatabase,
+    WriteAheadLog,
+)
+from repro.history.database import DEFAULT_STAGING
+from repro.history.events import enter_event
+from repro.history.states import SchedulingState
+
+
+def event(seq, pid=1, t=None):
+    return enter_event(
+        seq, pid, "Send", t if t is not None else float(seq), flag=1
+    )
+
+
+def state(t):
+    return SchedulingState(time=t, entry_queue=(), cond_queues={}, running=())
+
+
+class TestSinkStaging:
+    def test_staging_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HistoryDatabase(staging=0)
+
+    def test_unstaged_sink_counts_no_flushes(self):
+        sink = HistoryDatabase(staging=1)
+        sink.open(state(0.0))
+        for seq in range(5):
+            sink.record(event(seq))
+        assert sink.staged_events == 0
+        assert sink.staged_flushes == 0
+        assert sink.live_events == 5
+
+    def test_batch_flushes_at_limit(self):
+        sink = HistoryDatabase(staging=3)
+        sink.open(state(0.0))
+        for seq in range(7):
+            sink.record(event(seq))
+        # 7 records = two full batches flushed, one event still staged.
+        assert sink.staged_flushes == 2
+        assert sink.staged_events == 6
+        assert sink.total_recorded == 7
+
+    def test_cut_flushes_the_tail(self):
+        sink = HistoryDatabase(staging=100)
+        sink.open(state(0.0))
+        for seq in range(4):
+            sink.record(event(seq))
+        segment = sink.cut(state(5.0))
+        assert len(segment) == 4
+        assert sink.staged_flushes == 1
+        assert sink.staged_events == 4
+
+    def test_inspection_properties_flush(self):
+        sink = HistoryDatabase(staging=100)
+        sink.open(state(0.0))
+        for seq in range(3):
+            sink.record(event(seq))
+        # Reading pending_events must not miss staged appends.
+        assert [e.seq for e in sink.pending_events] == [0, 1, 2]
+        assert sink.live_events == 3
+
+    def test_listeners_fire_synchronously_despite_staging(self):
+        sink = HistoryDatabase(staging=100)
+        sink.open(state(0.0))
+        seen = []
+        sink.subscribe(lambda e: seen.append(e.seq))
+        for seq in range(3):
+            sink.record(event(seq))
+        assert seen == [0, 1, 2]
+
+    def test_database_stages_by_default(self):
+        sink = HistoryDatabase()
+        assert sink._staging_limit == DEFAULT_STAGING
+
+    def test_flush_staged_reports_batch_size(self):
+        sink = HistoryDatabase(staging=100)
+        sink.open(state(0.0))
+        for seq in range(4):
+            sink.record(event(seq))
+        assert sink.flush_staged() == 4
+        assert sink.flush_staged() == 0
+
+
+class TestBoundedStaging:
+    def test_default_staging_bounded_by_capacity(self):
+        assert BoundedHistory(4)._staging_limit == 4
+        assert BoundedHistory(10_000)._staging_limit == DEFAULT_STAGING
+
+    def test_drop_accounting_exact_across_flushes(self):
+        sink = BoundedHistory(3, staging=2)
+        sink.open(state(0.0))
+        for seq in range(9):
+            sink.record(event(seq))
+        segment = sink.cut(state(10.0))
+        # Capacity 3: only the last three events survive; six dropped.
+        assert [e.seq for e in segment.events] == [6, 7, 8]
+        assert segment.dropped == 6
+        assert not segment.complete
+
+    def test_dropped_events_property_flushes(self):
+        sink = BoundedHistory(2, staging=10)
+        sink.open(state(0.0))
+        for seq in range(5):
+            sink.record(event(seq))
+        # The staged tail must be folded in before eviction is counted.
+        assert sink.dropped_events == 3
+
+
+class TestWalStaging:
+    def test_staged_wal_bytes_identical_to_unstaged(self, tmp_path):
+        staged = WriteAheadLog(tmp_path / "staged", fsync="never", staging=4)
+        plain = WriteAheadLog(tmp_path / "plain", fsync="never")
+        for wal in (staged, plain):
+            wal.open(state(0.0))
+            for seq in range(10):
+                wal.record(event(seq))
+            wal.cut(state(11.0))
+            wal.close()
+        staged_bytes = b"".join(
+            p.read_bytes() for p in sorted((tmp_path / "staged").iterdir())
+        )
+        plain_bytes = b"".join(
+            p.read_bytes() for p in sorted((tmp_path / "plain").iterdir())
+        )
+        assert staged_bytes == plain_bytes
+
+    def test_staged_wal_replays_identically(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync="never", staging=3)
+        wal.open(state(0.0))
+        for seq in range(7):
+            wal.record(event(seq))
+        wal.flush()
+        assert [e.seq for e in wal.iter_durable_events()] == list(range(7))
+
+    def test_staging_incompatible_with_fsync_always(self, tmp_path):
+        with pytest.raises(HistoryError):
+            WriteAheadLog(tmp_path / "wal", fsync="always", staging=8)
+
+    def test_unstaged_is_the_wal_default(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync="never")
+        assert wal._staging_limit == 1

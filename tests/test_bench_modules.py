@@ -4,9 +4,13 @@ import pytest
 
 from repro.bench.coverage import coverage_table, run_coverage
 from repro.bench.overhead import (
+    FleetOverheadRow,
     OverheadRow,
+    fleet_rows_to_json,
+    measure_fleet_overhead,
     measure_overhead,
     overhead_table,
+    render_fleet_table,
     render_overhead_table,
 )
 from repro.bench.tables import render_table
@@ -75,6 +79,37 @@ class TestOverheadHarness:
         assert "Table 1" in text
         assert "coordinator" in text
         assert "T=1s" in text
+
+
+class TestFleetHarness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return measure_fleet_overhead(2, backend="sim", spec=FAST_SPEC, repeats=1)
+
+    def test_paired_rows_same_workload(self, rows):
+        assert [row.mode for row in rows] == ["incremental", "full"]
+        incremental, full = rows
+        assert isinstance(incremental, FleetOverheadRow)
+        # Identical seeded workload and checkpoint schedule on both sides.
+        assert incremental.events == full.events
+        assert incremental.checkpoints == full.checkpoints
+        assert incremental.events > 0
+        assert incremental.evaluate_seconds > 0
+
+    def test_mode_counters(self, rows):
+        incremental, full = rows
+        assert incremental.incremental_hits > 0
+        assert full.incremental_hits == 0
+        assert full.incremental_rebases == 0
+        assert incremental.staged_flushes > 0
+
+    def test_render_and_json(self, rows):
+        text = render_fleet_table(rows)
+        assert "incremental" in text and "full" in text
+        payload = fleet_rows_to_json(rows, backend="sim")
+        assert payload["bench"] == "overhead-fleet"
+        modes = [row["mode"] for row in payload["rows"]]
+        assert modes == ["incremental", "full"]
 
 
 class TestCoverageHarness:
