@@ -20,16 +20,35 @@ Commands
     Engine scaling: batched checkpoints vs per-monitor detectors at
     fleet sizes 1/4/16; ``--shards`` compares staggered
     DetectionCluster shard counts instead (per-shard world-stop detail).
-``chaos [--seed N] [--rounds N] [--json PATH]``
+``chaos [--seed N] [--rounds N] [--network] [--clients N] [--json PATH]``
     Detector-resilience chaos campaign: a healthy workload with faults
     injected into the detection pipeline itself (raising evaluators,
     transient checkpoint failures, delays, event-drop bursts); exit
     status 1 unless the supervised engine rides it out cleanly.
+    ``--network`` runs the detection-*service* campaign instead:
+    N remote clients over a sim network with connection drops, partial
+    frames, slow-consumer stalls and a server crash/restart; passes only
+    with zero client-side exceptions, every lossy window DEGRADED and no
+    duplicate reports after recovery.
 ``crash-recovery [--seed N] [--rounds N] [--crashes N] [--backend sim|threads] [--fsync P] [--points P ...] [--json PATH]``
     Crash-durability campaign: kill a WAL-backed DurableEngine at seeded
     crash points, restart and recover it, and compare the delivered fault
     set against an uninterrupted golden run; exit status 1 unless the
     sets match with zero duplicates.
+``serve --socket PATH [--durable DIR] [--runtime S] [--json PATH]``
+    Run the detection ingestion daemon behind a unix socket: remote
+    clients ship checkpoint windows, the daemon replays them into shadow
+    monitors and journals delivered reports (exactly-once across
+    restarts when ``--durable`` is set).
+``service-client --socket PATH [--rounds N] [--seed N] [--json PATH]``
+    Run a demo workload (bounded buffer + allocator misuser) whose
+    monitors report to a ``serve`` daemon through the fault-tolerant
+    client; exits 0 only if no client-side exception escaped.
+``service-smoke [--rounds N] [--json PATH]``
+    End-to-end service smoke: start a daemon, run two client processes,
+    SIGKILL and restart the daemon mid-run, and assert both clients
+    survive with zero errors and the recovered journal holds no
+    duplicate reports.
 ``check TRACE.jsonl --monitor {buffer,allocator} [--tmax T] ...``
     Offline FD-rule checking of a persisted JSONL trace (see
     :mod:`repro.history.serialize`).
@@ -163,6 +182,8 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
         argv.append("--wal")
     if args.fleet is not None:
         argv += ["--fleet", str(args.fleet)]
+    if args.service:
+        argv.append("--service")
     if args.json is not None:
         argv += ["--json", args.json]
     return overhead_main(argv)
@@ -186,6 +207,33 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.network:
+        from repro.injection.network import (
+            NetworkChaosConfig,
+            run_network_chaos_campaign,
+        )
+
+        result = run_network_chaos_campaign(
+            NetworkChaosConfig(
+                seed=args.seed, rounds=args.rounds, clients=args.clients
+            )
+        )
+        print(result.summary())
+        _emit_json(
+            args,
+            {
+                "passed": result.passed,
+                "summary": result.summary(),
+                "windows_accepted": result.windows_accepted,
+                "lossy_windows": result.lossy_windows,
+                "degraded_windows": result.degraded_windows,
+                "delivered_reports": result.delivered_reports,
+                "duplicate_journal_keys": result.duplicate_journal_keys,
+                "reconnects": result.reconnects,
+                "client_errors": list(result.client_errors),
+            },
+        )
+        return 0 if result.passed else 1
     from repro.injection.chaos import run_chaos_campaign
 
     result = run_chaos_campaign(seed=args.seed, rounds=args.rounds)
@@ -217,6 +265,213 @@ def _cmd_crash_recovery(args: argparse.Namespace) -> int:
         args, {"passed": result.passed, "summary": result.summary()}
     )
     return 0 if result.passed else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    print(f"detection daemon listening on {args.socket}")
+    stats = serve(
+        args.socket,
+        durable_dir=args.durable,
+        runtime=args.runtime,
+        ready_file=args.ready_file,
+        poll_interval=args.poll_interval,
+    )
+    print(
+        f"daemon stopped: {stats['windows_accepted']} windows, "
+        f"{stats['delivered_reports']} reports, "
+        f"{stats['quarantined_connections']} quarantined"
+    )
+    _emit_json(args, stats)
+    return 0
+
+
+def _cmd_service_client(args: argparse.Namespace) -> int:
+    from repro.apps.bounded_buffer import BoundedBuffer
+    from repro.apps.resource_allocator import SingleResourceAllocator
+    from repro.kernel.syscalls import Delay
+    from repro.kernel.threads import ThreadKernel
+    from repro.service.client import DetectionClient, client_process
+    from repro.service.transport import unix_connector
+
+    kernel = ThreadKernel(time_scale=args.time_scale)
+    buffer = BoundedBuffer(kernel, capacity=3)
+    allocator = SingleResourceAllocator(kernel, name="allocator")
+    client = DetectionClient(
+        kernel,
+        unix_connector(args.socket),
+        name=args.name,
+        interval=args.interval,
+        backoff_base=0.5,
+        backoff_max=2.0 * args.interval,
+        seed=args.seed,
+    )
+    client.attach(buffer, label="buffer")
+    client.attach(allocator, label="allocator", tlimit=2.0 * args.interval)
+    operations = args.rounds * 4
+    phase = args.rounds * args.interval * 0.4
+
+    def producer():
+        for item in range(operations):
+            yield Delay(0.11)
+            yield from buffer.send(item)
+
+    def consumer():
+        for __ in range(operations):
+            yield Delay(0.12)
+            yield from buffer.receive()
+
+    def misuser():
+        yield Delay(0.35)
+        yield from allocator.release()  # ST-8b + ST-PX
+        yield Delay(phase)
+        yield from allocator.request()
+        yield Delay(0.07)
+        yield from allocator.request()  # ST-8a; blocks on itself
+        yield Delay(3.1 * args.interval)
+        yield from allocator.release()
+
+    def rescuer():
+        yield Delay(0.35 + phase + 0.6)
+        yield from allocator.release()  # un-wedges the misuser
+
+    kernel.spawn(producer(), "producer")
+    kernel.spawn(consumer(), "consumer")
+    kernel.spawn(misuser(), "misuser")
+    kernel.spawn(rescuer(), "rescuer")
+    kernel.spawn(
+        client_process(client, rounds=args.rounds, drain_rounds=60),
+        "service-client",
+    )
+    horizon = (args.rounds + 65) * args.interval + 60.0
+    kernel.run(until=horizon)
+    stats = client.stats()
+    print(
+        f"{args.name}: {stats['windows_captured']} windows captured, "
+        f"{stats['windows_acked']} acked, {stats['connects']} connect(s), "
+        f"{stats['disconnects']} disconnect(s), "
+        f"{len(stats['errors'])} error(s)"
+    )
+    for error in stats["errors"]:
+        print(f"   client error: {error}")
+    _emit_json(args, stats)
+    ok = not stats["errors"] and stats["windows_acked"] > 0
+    return 0 if ok else 1
+
+
+def _cmd_service_smoke(args: argparse.Namespace) -> int:
+    import os
+    import shutil
+    import signal
+    import subprocess
+    import tempfile
+    import time
+    from pathlib import Path
+
+    import repro
+    from repro.service.server import ServiceJournal, service_report_key
+
+    root = Path(tempfile.mkdtemp(prefix="repro-service-smoke-"))
+    socket_path = root / "daemon.sock"
+    ready = root / "ready"
+    durable = root / "journal"
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        path
+        for path in (package_root, env.get("PYTHONPATH"))
+        if path
+    )
+    procs: list[subprocess.Popen] = []
+
+    def daemon() -> subprocess.Popen:
+        if ready.exists():
+            ready.unlink()
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--socket", str(socket_path),
+                "--durable", str(durable),
+                "--ready-file", str(ready),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        procs.append(proc)
+        deadline = time.monotonic() + 20.0
+        while not ready.exists():
+            if proc.poll() is not None or time.monotonic() > deadline:
+                raise RuntimeError("daemon failed to start")
+            time.sleep(0.05)
+        return proc
+
+    try:
+        first = daemon()
+        clients = []
+        for index in range(2):
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "service-client",
+                    "--socket", str(socket_path),
+                    "--rounds", str(args.rounds),
+                    "--interval", "2.0",
+                    "--time-scale", "0.1",
+                    "--seed", str(index),
+                    "--name", f"smoke-{index}",
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            procs.append(proc)
+            clients.append(proc)
+        # Let both clients connect and ship a few windows, then kill the
+        # daemon without ceremony and bring up a recovered incarnation.
+        time.sleep(2.5)
+        first.send_signal(signal.SIGKILL)
+        first.wait(timeout=10)
+        time.sleep(0.5)
+        second = daemon()
+        client_codes = [proc.wait(timeout=180) for proc in clients]
+        second.send_signal(signal.SIGTERM)
+        second.wait(timeout=30)
+        journal = ServiceJournal(durable / "service.jsonl")
+        keys = [service_report_key(r) for r in journal.reports]
+        journal.close()
+        duplicates = len(keys) - len(set(keys))
+        results = {
+            "client_exit_codes": client_codes,
+            "reports_delivered": len(keys),
+            "duplicate_reports": duplicates,
+            "daemon_restarted": True,
+        }
+        passed = (
+            all(code == 0 for code in client_codes)
+            and duplicates == 0
+            and len(keys) > 0
+        )
+        verdict = "PASS" if passed else "FAIL"
+        print(
+            f"service smoke [{verdict}]: clients={client_codes}, "
+            f"{len(keys)} reports, {duplicates} duplicates after restart"
+        )
+        if not passed:
+            for proc in clients:
+                output = proc.stdout.read() if proc.stdout else ""
+                if output:
+                    print(output)
+        _emit_json(args, results)
+        return 0 if passed else 1
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        shutil.rmtree(root, ignore_errors=True)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -362,6 +617,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="measure the incremental-vs-full phase-2 hot path on an "
         "N-monitor fleet instead",
     )
+    overhead.add_argument(
+        "--service",
+        action="store_true",
+        help="measure detection-service ingest throughput instead",
+    )
     overhead.add_argument("--json", default=None, metavar="PATH")
     overhead.set_defaults(func=_cmd_overhead)
 
@@ -388,8 +648,79 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--rounds", type=int, default=60)
+    chaos.add_argument(
+        "--network",
+        action="store_true",
+        help="run the network-fault campaign against the detection "
+        "service instead (connection drops, torn frames, stalls, "
+        "server crash/restart)",
+    )
+    chaos.add_argument(
+        "--clients",
+        type=int,
+        default=3,
+        metavar="N",
+        help="client sessions for --network (default: 3)",
+    )
     chaos.add_argument("--json", default=None, metavar="PATH")
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the detection ingestion daemon on a unix socket",
+    )
+    serve.add_argument("--socket", required=True, metavar="PATH")
+    serve.add_argument(
+        "--durable",
+        default=None,
+        metavar="DIR",
+        help="journal directory; enables crash recovery + exactly-once",
+    )
+    serve.add_argument(
+        "--runtime",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this long (default: run until SIGTERM)",
+    )
+    serve.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="PATH",
+        help="touch this file once the socket is listening",
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=0.05, metavar="SECONDS"
+    )
+    serve.add_argument("--json", default=None, metavar="PATH")
+    serve.set_defaults(func=_cmd_serve)
+
+    service_client = subparsers.add_parser(
+        "service-client",
+        help="run a fault-injecting workload that reports to a daemon",
+    )
+    service_client.add_argument("--socket", required=True, metavar="PATH")
+    service_client.add_argument("--rounds", type=int, default=10)
+    service_client.add_argument("--interval", type=float, default=2.0)
+    service_client.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.1,
+        help="wall seconds per virtual second (default: 0.1)",
+    )
+    service_client.add_argument("--seed", type=int, default=0)
+    service_client.add_argument("--name", default="client")
+    service_client.add_argument("--json", default=None, metavar="PATH")
+    service_client.set_defaults(func=_cmd_service_client)
+
+    service_smoke = subparsers.add_parser(
+        "service-smoke",
+        help="end-to-end daemon smoke: two clients, kill + restart "
+        "the server mid-run, assert no duplicate reports",
+    )
+    service_smoke.add_argument("--rounds", type=int, default=10)
+    service_smoke.add_argument("--json", default=None, metavar="PATH")
+    service_smoke.set_defaults(func=_cmd_service_smoke)
 
     crash = subparsers.add_parser(
         "crash-recovery",

@@ -784,10 +784,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=list(PAPER_SCENARIOS),
         help="monitor scenarios to measure (default: all three)",
     )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="measure detection-service ingest instead of Table 1: replay "
+        "a deterministic window-frame corpus through a DetectionServer "
+        "(frames/s, events/s, per-frame latency percentiles)",
+    )
     args = parser.parse_args(argv)
     spec = BENCH_SPEC
     if args.seed is not None:
         spec = replace(spec, seed=args.seed)
+    if args.service:
+        from repro.bench.service_bench import main as service_main
+
+        service_argv = ["--repeats", str(args.repeats)]
+        if args.seed is not None:
+            service_argv += ["--seed", str(args.seed)]
+        if args.json is not None:
+            service_argv += ["--json", args.json]
+        return service_main(service_argv)
     if args.fleet is not None:
         fleet_spec = FLEET_SPEC
         if args.seed is not None:

@@ -1,0 +1,260 @@
+"""Detection-service ingest benchmark (``repro overhead --service``).
+
+Measures the daemon-side cost of remote checking: how fast a
+:class:`~repro.service.server.DetectionServer` can decode, validate,
+evaluate and journal window frames.
+
+The corpus is built deterministically: a sim-kernel workload records
+through a :class:`~repro.service.client.DetectionClient` whose connector
+never succeeds, so every captured window stays in the replay buffer —
+then the buffered frames are replayed byte-for-byte into a fresh server,
+one ``feed`` + ``poll`` (one supervised evaluation round) per frame,
+timed with ``perf_counter``.  That makes the measured path exactly the
+live ingestion path — framing, protocol validation, shadow-monitor
+evaluation, journal admit — with zero workload noise in the timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import asdict, dataclass
+from time import perf_counter
+from typing import Iterator, Optional, Sequence
+
+from repro._tables import render_table
+from repro.apps.bounded_buffer import BoundedBuffer
+from repro.apps.resource_allocator import SingleResourceAllocator
+from repro.detection.config import DetectorConfig
+from repro.kernel.policies import RandomPolicy
+from repro.kernel.sim import SimKernel
+from repro.kernel.syscalls import Delay, Syscall
+from repro.service.client import DetectionClient, client_process
+from repro.service.framing import encode_frame
+from repro.service.protocol import hello_frame
+from repro.service.server import DetectionServer
+
+__all__ = [
+    "ServiceIngestRow",
+    "build_window_corpus",
+    "measure_service_ingest",
+    "render_service_table",
+    "service_rows_to_json",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class ServiceIngestRow:
+    """One measured replay of the corpus through a fresh server."""
+
+    frames: int
+    events: int
+    bytes_fed: int
+    reports: int
+    elapsed_seconds: float
+    frames_per_second: float
+    events_per_second: float
+    frame_p50_ms: float
+    frame_p99_ms: float
+
+
+def build_window_corpus(
+    *, seed: int = 0, rounds: int = 30, operations: int = 120
+) -> tuple[list[bytes], dict, int]:
+    """Deterministic window frames + the hello that introduces them.
+
+    Returns ``(frames, hello, events)`` where ``frames`` are encoded
+    window frames in ship order and ``hello`` is the handshake dict for
+    the session that produced them.
+    """
+    kernel = SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
+    client = DetectionClient(
+        kernel,
+        lambda: None,  # never connects: all windows stay buffered
+        name="bench",
+        interval=1.0,
+        replay_limit=1_000_000,
+        seed=seed,
+    )
+    buffer = BoundedBuffer(kernel, capacity=3)
+    allocator = SingleResourceAllocator(kernel, name="allocator")
+    client.attach(buffer, label="buffer", capacity=100_000)
+    client.attach(allocator, label="allocator", capacity=100_000)
+
+    def producer() -> Iterator[Syscall]:
+        for item in range(operations):
+            yield Delay(0.011)
+            yield from buffer.send(item)
+
+    def consumer() -> Iterator[Syscall]:
+        for __ in range(operations):
+            yield Delay(0.012)
+            yield from buffer.receive()
+
+    def user() -> Iterator[Syscall]:
+        for __ in range(operations // 2):
+            yield Delay(0.021)
+            yield from allocator.request()
+            yield Delay(0.003)
+            yield from allocator.release()
+
+    kernel.spawn(producer(), "producer")
+    kernel.spawn(consumer(), "consumer")
+    kernel.spawn(user(), "user")
+    kernel.spawn(
+        client_process(client, rounds=rounds, drain_rounds=0), "client"
+    )
+    kernel.run(until=rounds * 2.0 + 30.0, max_steps=20_000_000)
+    kernel.raise_failures()
+    hello = hello_frame(
+        client.name,
+        client.token,
+        [stream.spec() for stream in client.streams.values()],
+        {label: -1 for label in client.streams},
+    )
+    frames: list[bytes] = []
+    events = 0
+    # Interleave streams in capture order (seq-major) — the ship order a
+    # live client would use.
+    per_stream = [list(s.pending) for s in client.streams.values()]
+    for index in range(max(len(p) for p in per_stream)):
+        for pending in per_stream:
+            if index < len(pending):
+                frame = pending[index]
+                events += len(frame["segment"]["events"])
+                frames.append(encode_frame(frame))
+    return frames, hello, events
+
+
+def measure_service_ingest(
+    *,
+    seed: int = 0,
+    rounds: int = 30,
+    operations: int = 120,
+    repeats: int = 3,
+) -> list[ServiceIngestRow]:
+    """Replay one corpus through ``repeats`` fresh servers; a row each."""
+    frames, hello, events = build_window_corpus(
+        seed=seed, rounds=rounds, operations=operations
+    )
+    hello_bytes = encode_frame(hello)
+    rows: list[ServiceIngestRow] = []
+    for __ in range(repeats):
+        kernel = SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
+        server = DetectionServer(
+            kernel,
+            config=DetectorConfig(
+                interval=1.0, tmax=120.0, tio=120.0, tlimit=120.0
+            ),
+        )
+        server.connect(1)
+        server.feed(1, hello_bytes)
+        server.poll()
+        latencies: list[float] = []
+        started = perf_counter()
+        for payload in frames:
+            frame_start = perf_counter()
+            server.feed(1, payload)
+            server.poll()
+            latencies.append(perf_counter() - frame_start)
+        elapsed = perf_counter() - started
+        assert server.windows_accepted == len(frames), (
+            f"ingest rejected frames: {server.windows_accepted} of "
+            f"{len(frames)} accepted"
+        )
+        ordered = sorted(latencies)
+        rows.append(
+            ServiceIngestRow(
+                frames=len(frames),
+                events=events,
+                bytes_fed=sum(len(payload) for payload in frames),
+                reports=len(server.delivered),
+                elapsed_seconds=elapsed,
+                frames_per_second=(
+                    len(frames) / elapsed if elapsed > 0 else float("nan")
+                ),
+                events_per_second=(
+                    events / elapsed if elapsed > 0 else float("nan")
+                ),
+                frame_p50_ms=1e3 * ordered[len(ordered) // 2],
+                frame_p99_ms=1e3
+                * ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))],
+            )
+        )
+        server.close()
+    return rows
+
+
+def render_service_table(rows: Sequence[ServiceIngestRow]) -> str:
+    headers = [
+        "frames", "events", "KiB", "reports", "elapsed (s)",
+        "frames/s", "events/s", "p50 (ms)", "p99 (ms)",
+    ]
+    table_rows = [
+        [
+            row.frames,
+            row.events,
+            f"{row.bytes_fed / 1024:.0f}",
+            row.reports,
+            f"{row.elapsed_seconds:.4f}",
+            f"{row.frames_per_second:,.0f}",
+            f"{row.events_per_second:,.0f}",
+            f"{row.frame_p50_ms:.3f}",
+            f"{row.frame_p99_ms:.3f}",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        headers, table_rows, title="Detection-service ingest (one run per row)"
+    )
+
+
+def service_rows_to_json(rows: Sequence[ServiceIngestRow]) -> dict:
+    """Machine-readable ingest figures for ``BENCH_service.json``."""
+    best = max(rows, key=lambda row: row.events_per_second)
+    return {
+        "bench": "service-ingest",
+        "rows": [asdict(row) for row in rows],
+        "best_events_per_second": best.events_per_second,
+        "best_frames_per_second": best.frames_per_second,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rounds", type=int, default=30)
+    parser.add_argument("--operations", type=int, default=120)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--json", metavar="PATH", default=None)
+    args = parser.parse_args(argv)
+    rows = measure_service_ingest(
+        seed=args.seed,
+        rounds=args.rounds,
+        operations=args.operations,
+        repeats=args.repeats,
+    )
+    print(render_service_table(rows))
+    if args.json is not None:
+        payload = json.dumps(
+            {
+                "command": "overhead",
+                "seed": args.seed,
+                "results": service_rows_to_json(rows),
+            },
+            indent=2,
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"json written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -41,6 +41,7 @@ from __future__ import annotations
 import abc
 import math
 import queue
+import random
 import threading
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Sequence, Union
@@ -273,7 +274,13 @@ class ClusterShard:
         #: Installed by the cluster when thread-kernel evaluation runs in
         #: the worker pool; None = evaluate inline.
         self.pool: Optional[_ShardWorkerPool] = None
-        self.supervisor = CheckpointSupervisor(self)
+        # Per-shard jitter seed: shards retrying a shared failing
+        # dependency (one WAL disk, one slow evaluator pool) must not
+        # back off in lockstep, so each shard's supervisor draws from its
+        # own index-seeded RNG — still fully deterministic per seed.
+        self.supervisor = CheckpointSupervisor(
+            self, rng=random.Random(index)
+        )
 
     # Surface the supervisor and pacing processes expect of an "engine".
 
@@ -927,7 +934,7 @@ def shard_process(
                         )
                     )
                     break
-                backoff = supervisor.backoff * (2**attempt)
+                backoff = supervisor.retry_delay(attempt)
                 attempt += 1
                 supervisor.retries_performed += 1
                 supervisor.events.append(

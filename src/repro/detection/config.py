@@ -91,6 +91,13 @@ class DetectorConfig:
     checkpoint_budget: Optional[float] = None
     checkpoint_retries: int = 2
     retry_backoff: float = 0.1
+    #: Randomised stretch on each retry backoff: the delay becomes
+    #: ``backoff * 2**attempt * (1 + U[0, retry_jitter])``, drawn from the
+    #: supervisor's own seeded RNG so sim runs stay deterministic.  Zero
+    #: keeps the historical lockstep schedule — with many supervised
+    #: engines sharing a failing dependency, lockstep retries stampede it
+    #: in unison; jitter spreads them out.
+    retry_jitter: float = 0.0
     stall_timeout: Optional[float] = None
     monitor_check_budget: Optional[float] = None
     breaker_failure_threshold: int = 3
@@ -115,6 +122,7 @@ class DetectorConfig:
             "checkpoint_budget": 0.5,
             "checkpoint_retries": 2,
             "retry_backoff": 0.1,
+            "retry_jitter": 0.25,
             "stall_timeout": 10.0,
             "monitor_check_budget": 0.25,
         },
@@ -126,6 +134,7 @@ class DetectorConfig:
         "durable": {
             "checkpoint_retries": 3,
             "retry_backoff": 0.1,
+            "retry_jitter": 0.25,
             "stall_timeout": 15.0,
         },
     }
@@ -185,6 +194,10 @@ class DetectorConfig:
         if self.retry_backoff <= 0:
             raise ValueError(
                 f"retry_backoff must be positive, got {self.retry_backoff!r}"
+            )
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError(
+                f"retry_jitter must be in [0, 1], got {self.retry_jitter!r}"
             )
         if self.breaker_failure_threshold < 1:
             raise ValueError(

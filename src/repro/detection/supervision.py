@@ -38,6 +38,7 @@ Three mechanisms, all deterministic on the sim kernel:
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Iterator, Optional
@@ -203,13 +204,23 @@ class CheckpointSupervisor:
         budget: Optional[float] = None,
         retries: Optional[int] = None,
         backoff: Optional[float] = None,
+        jitter: Optional[float] = None,
         stall_timeout: Optional[float] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         config = engine.config
         self.engine = engine
         self.budget = config.checkpoint_budget if budget is None else budget
         self.retries = config.checkpoint_retries if retries is None else retries
         self.backoff = config.retry_backoff if backoff is None else backoff
+        self.jitter = (
+            getattr(config, "retry_jitter", 0.0) if jitter is None else jitter
+        )
+        #: Seeded source of retry jitter.  A fixed default seed keeps any
+        #: single supervisor deterministic; callers running many
+        #: supervisors (the cluster) seed each differently so their retry
+        #: schedules decorrelate instead of stampeding in lockstep.
+        self._rng = random.Random(0) if rng is None else rng
         self.stall_timeout = (
             config.stall_timeout if stall_timeout is None else stall_timeout
         )
@@ -258,6 +269,24 @@ class CheckpointSupervisor:
         self.last_success_at = self.engine.kernel.now()
         self._stall_flagged = False
         return True, reports
+
+    # -------------------------------------------------------------- backoff
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based): exponential with
+        seeded jitter.
+
+        ``backoff * 2**attempt`` stretched by ``1 + U[0, jitter]``.  With
+        ``jitter == 0`` this is exactly the historical schedule; with it
+        on, supervisors sharing a failing dependency spread their retries
+        instead of hammering it in lockstep.  The jitter draw comes from
+        this supervisor's own seeded RNG, so sim runs stay deterministic
+        and never perturb the kernel's scheduling policy RNG.
+        """
+        delay = self.backoff * (2**attempt)
+        if self.jitter > 0.0:
+            delay *= 1.0 + self._rng.random() * self.jitter
+        return delay
 
     # ------------------------------------------------------------- watchdog
 
@@ -422,7 +451,7 @@ def supervisor_process(
                     )
                 )
                 break
-            delay = supervisor.backoff * (2**attempt)
+            delay = supervisor.retry_delay(attempt)
             attempt += 1
             supervisor.retries_performed += 1
             supervisor.events.append(

@@ -37,6 +37,7 @@ __all__ = [
     "PathExpressionSyntaxError",
     "HistoryError",
     "CheckpointError",
+    "ServiceError",
     "InjectionError",
     "UnknownCampaignError",
     "RecoveryError",
@@ -148,6 +149,20 @@ class HistoryError(ReproError):
 
 class CheckpointError(HistoryError):
     """A checkpoint operation was invalid (e.g. out-of-order cut)."""
+
+
+# ---------------------------------------------------------------------------
+# Detection-service (remote ingestion) errors
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for detection-service (daemon/client) errors.
+
+    Transport failures are *not* service errors — a dead socket is data
+    the client's reconnect machinery absorbs.  ServiceError covers the
+    protocol itself: malformed frames, handshake violations, quota abuse.
+    """
 
 
 # ---------------------------------------------------------------------------

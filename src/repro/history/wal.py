@@ -44,6 +44,7 @@ from repro.history.events import SchedulingEvent
 from repro.history.serialize import event_from_dict, event_to_json_line
 from repro.history.sink import EventSink
 from repro.history.states import SchedulingState
+from repro.service.framing import good_jsonl_prefix
 
 __all__ = ["FSYNC_POLICIES", "WriteAheadLog"]
 
@@ -165,26 +166,18 @@ class WriteAheadLog(EventSink):
     # --------------------------------------------------------- torn-tail scan
 
     def _truncate_torn_tail(self, path: Path) -> None:
-        """Physically drop a partial or unparseable final line.
+        """Physically drop whatever a dying writer left after the last record.
 
-        Dying mid-append leaves either a line without its newline or (under
-        interleaved writers, which we do not support but defend against) a
-        final line that is not valid JSON.  Either way the durable prefix
-        up to the last good line is what the log resumes from.
+        Dying mid-append can leave a line without its newline, a complete
+        line that is not valid JSON, or — now that the wire protocol
+        shares this file format — a dangling length prefix (a bare
+        integer line) whose frame body never made it to disk.  The shared
+        :func:`~repro.service.framing.good_jsonl_prefix` scanner finds
+        the durable prefix (last complete line that is a JSON *object*)
+        and the log resumes from there.
         """
         raw = path.read_bytes()
-        good = len(raw)
-        if raw and not raw.endswith(b"\n"):
-            good = raw.rfind(b"\n") + 1
-        else:
-            # Complete final line: keep it only if it parses.
-            body = raw[:good]
-            last_start = body.rfind(b"\n", 0, good - 1) + 1 if body else 0
-            if body:
-                try:
-                    json.loads(body[last_start:good].decode("utf-8"))
-                except (ValueError, UnicodeDecodeError):
-                    good = last_start
+        good = good_jsonl_prefix(raw)
         if good == len(raw):
             return
         with open(path, "r+b") as handle:
@@ -317,6 +310,16 @@ class WriteAheadLog(EventSink):
                 raise HistoryError(
                     f"{path.name} line {number}: corrupt WAL record: {exc}"
                 ) from exc
+            if not isinstance(record, dict):
+                # Valid JSON but not a record — e.g. a bare integer left
+                # by a torn length-prefixed write on a log that was never
+                # reopened (reopen would have truncated it away).
+                if final and number == len(lines):
+                    return
+                raise HistoryError(
+                    f"{path.name} line {number}: corrupt WAL record: "
+                    f"expected an object, got {type(record).__name__}"
+                )
             yield record
 
     def iter_durable_events(self) -> Iterator[SchedulingEvent]:
@@ -371,6 +374,23 @@ class WriteAheadLog(EventSink):
         assert self._handle is not None, "torn append on a closed WAL"
         self.flush_staged()
         junk = '{"kind": "event", "event": "Enter", "seq"'
+        self._handle.write(junk)
+        self._handle.flush()
+        self._active_size += len(junk)
+        self.bytes_written += len(junk)
+
+    def simulate_torn_length_prefix(self) -> None:
+        """Write a complete length-prefix line whose body never follows.
+
+        The frame-sharing crash signature: a writer using the wire's
+        length-prefixed framing dies after the header line's newline but
+        before any body byte.  The tail is a *complete* line of digits —
+        valid JSON (an integer), but no record — which reopen must
+        truncate exactly like a half-written line.
+        """
+        assert self._handle is not None, "torn append on a closed WAL"
+        self.flush_staged()
+        junk = "187\n"
         self._handle.write(junk)
         self._handle.flush()
         self._active_size += len(junk)

@@ -1,0 +1,112 @@
+"""Detection as a service: an ingestion daemon plus a fault-tolerant client.
+
+The paper's detector shares an address space with the monitors it
+watches; this package splits them.  Workloads record through a
+:class:`~repro.service.client.RemoteEventSink` (a drop-in
+:class:`~repro.history.sink.EventSink`), a
+:class:`~repro.service.client.DetectionClient` ships checkpoint windows
+as length-prefixed JSON frames, and a
+:class:`~repro.service.server.DetectionServer` replays them into shadow
+monitors registered with an ordinary
+:class:`~repro.detection.engine.DetectionEngine` — same rules, breakers,
+degraded-mode handling and report streams as in-process detection.
+
+Attribute access is lazy so that importing a leaf module (the WAL
+imports :mod:`repro.service.framing` for the shared torn-tail scanner)
+does not drag the whole detection stack in and create a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "FrameDecoder",
+    "encode_frame",
+    "good_jsonl_prefix",
+    "ProtocolError",
+    "segment_to_wire",
+    "segment_from_wire",
+    "ServiceConfig",
+    "ServiceJournal",
+    "DetectionServer",
+    "serve",
+    "RemoteEventSink",
+    "DetectionClient",
+    "client_process",
+    "PipeConnection",
+    "SimNetwork",
+    "network_process",
+    "SocketConnection",
+    "unix_connector",
+]
+
+_EXPORTS = {
+    "MAX_FRAME_BYTES": "repro.service.framing",
+    "FrameError": "repro.service.framing",
+    "FrameDecoder": "repro.service.framing",
+    "encode_frame": "repro.service.framing",
+    "good_jsonl_prefix": "repro.service.framing",
+    "ProtocolError": "repro.service.protocol",
+    "segment_to_wire": "repro.service.protocol",
+    "segment_from_wire": "repro.service.protocol",
+    "ServiceConfig": "repro.service.server",
+    "ServiceJournal": "repro.service.server",
+    "DetectionServer": "repro.service.server",
+    "serve": "repro.service.server",
+    "RemoteEventSink": "repro.service.client",
+    "DetectionClient": "repro.service.client",
+    "client_process": "repro.service.client",
+    "PipeConnection": "repro.service.transport",
+    "SimNetwork": "repro.service.transport",
+    "network_process": "repro.service.transport",
+    "SocketConnection": "repro.service.transport",
+    "unix_connector": "repro.service.transport",
+}
+
+if TYPE_CHECKING:  # pragma: no cover — static import surface for tooling
+    from repro.service.client import (  # noqa: F401
+        DetectionClient,
+        RemoteEventSink,
+        client_process,
+    )
+    from repro.service.framing import (  # noqa: F401
+        MAX_FRAME_BYTES,
+        FrameDecoder,
+        FrameError,
+        encode_frame,
+        good_jsonl_prefix,
+    )
+    from repro.service.protocol import (  # noqa: F401
+        ProtocolError,
+        segment_from_wire,
+        segment_to_wire,
+    )
+    from repro.service.server import (  # noqa: F401
+        DetectionServer,
+        ServiceConfig,
+        ServiceJournal,
+        serve,
+    )
+    from repro.service.transport import (  # noqa: F401
+        PipeConnection,
+        SimNetwork,
+        SocketConnection,
+        network_process,
+        unix_connector,
+    )
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,321 @@
+"""Transports for the detection service: deterministic sim and real sockets.
+
+:class:`SimNetwork` moves bytes between :class:`DetectionClient`\\ s and a
+:class:`DetectionServer` entirely in memory, one :meth:`SimNetwork.pump`
+at a time, so a :class:`~repro.kernel.sim.SimKernel` run is bit-for-bit
+reproducible — including every network fault the chaos campaign injects:
+
+* :meth:`~SimNetwork.cut` / :meth:`~SimNetwork.cut_all` — connection
+  drops (clients notice, back off, reconnect);
+* :meth:`~SimNetwork.truncate_next` — a partial frame: bytes vanish from
+  the middle of the stream, the server's decoder raises, the connection
+  is quarantined and the client reconnects on a fresh one;
+* :meth:`~SimNetwork.stall` — a slow consumer: pumps are skipped, acks
+  stop, client credits dry up and replay buffers fill;
+* :meth:`~SimNetwork.crash_server` / :meth:`~SimNetwork.restart_server`
+  — the daemon dies mid-run and a new incarnation recovers from the
+  durable journal.
+
+:class:`SocketConnection` / :func:`unix_connector` are the real
+counterparts used by ``repro service-client`` against ``repro serve``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.kernel.syscalls import Delay, Syscall
+from repro.service.server import DetectionServer
+
+__all__ = [
+    "PipeConnection",
+    "SimNetwork",
+    "network_process",
+    "SocketConnection",
+    "unix_connector",
+]
+
+
+class PipeConnection:
+    """One in-memory duplex byte pipe between a client and the sim network.
+
+    The client half is the connection protocol
+    (``send``/``receive``/``close``/``alive``); the network half drains
+    ``take_outbound`` into the server and pushes replies with
+    ``push_inbound``.  ``receive`` keeps working after death so a client
+    can still drain a final error frame before noticing the cut.
+    """
+
+    def __init__(self, conn_id: int) -> None:
+        self.conn_id = conn_id
+        self.alive = True
+        self.closed_by_client = False
+        self._to_server = bytearray()
+        self._to_client = bytearray()
+        #: Fault: drop this many bytes from the tail of the next send —
+        #: the wire-level signature of a connection dying mid-frame.
+        self.truncate_next = 0
+
+    # -------------------------------------------------------- client half
+
+    def send(self, data: bytes) -> bool:
+        if not self.alive:
+            return False
+        if self.truncate_next > 0:
+            data = data[: max(0, len(data) - self.truncate_next)]
+            self.truncate_next = 0
+        self._to_server += data
+        return True
+
+    def receive(self) -> bytes:
+        data = bytes(self._to_client)
+        self._to_client.clear()
+        return data
+
+    def close(self) -> None:
+        self.alive = False
+        self.closed_by_client = True
+
+    # ------------------------------------------------------- network half
+
+    def take_outbound(self) -> bytes:
+        data = bytes(self._to_server)
+        self._to_server.clear()
+        return data
+
+    def push_inbound(self, payload: bytes) -> None:
+        if payload:
+            self._to_client += payload
+
+    def __repr__(self) -> str:
+        return (
+            f"PipeConnection(id={self.conn_id}, alive={self.alive}, "
+            f"out={len(self._to_server)}B, in={len(self._to_client)}B)"
+        )
+
+
+class SimNetwork:
+    """Deterministic in-memory network in front of a
+    :class:`~repro.service.server.DetectionServer`.
+
+    ``connect`` is handed to clients as their connector; :meth:`pump`
+    (driven by :func:`network_process`) moves client bytes into
+    :meth:`~DetectionServer.feed`, runs one :meth:`~DetectionServer.poll`
+    and routes the replies back.  All fault injection happens here, never
+    inside the sans-IO endpoints.
+    """
+
+    def __init__(self, server: Optional[DetectionServer]) -> None:
+        self.server = server
+        self.accepting = True
+        self.conns: dict[int, PipeConnection] = {}
+        self._next_id = 1
+        self._stall_pumps = 0
+        self.pumps = 0
+        self.pumps_stalled = 0
+        self.connections_cut = 0
+        self.frames_truncated = 0
+        self.server_crashes = 0
+
+    # ------------------------------------------------------------- connect
+
+    def connect(self) -> Optional[PipeConnection]:
+        """Connector handed to clients; None while the server is down."""
+        if not self.accepting or self.server is None or self.server.closed:
+            return None
+        conn = PipeConnection(self._next_id)
+        self._next_id += 1
+        self.conns[conn.conn_id] = conn
+        self.server.connect(conn.conn_id)
+        return conn
+
+    # ---------------------------------------------------------------- pump
+
+    def pump(self) -> None:
+        """Deliver pending bytes both ways and run one server poll."""
+        self.pumps += 1
+        if self._stall_pumps > 0:
+            self._stall_pumps -= 1
+            self.pumps_stalled += 1
+            return
+        server = self.server
+        if server is None or server.closed:
+            return
+        for conn_id, conn in list(self.conns.items()):
+            data = conn.take_outbound()
+            if data:
+                conn.push_inbound(server.feed(conn_id, data))
+        for conn_id, payload in server.poll().items():
+            conn = self.conns.get(conn_id)
+            if conn is not None:
+                conn.push_inbound(payload)
+        for conn_id, conn in list(self.conns.items()):
+            if conn.closed_by_client or not server.connection_alive(conn_id):
+                # Quarantined / said bye / cut: the error frame (if any)
+                # is already in the client-bound buffer; the client will
+                # drain it, see ``alive`` False and reconnect.
+                conn.alive = False
+                server.disconnect(conn_id)
+                del self.conns[conn_id]
+
+    # -------------------------------------------------------------- faults
+
+    def cut(self, conn_id: int) -> bool:
+        """Drop one connection without warning (both directions)."""
+        conn = self.conns.pop(conn_id, None)
+        if conn is None:
+            return False
+        conn.alive = False
+        if self.server is not None:
+            self.server.disconnect(conn_id)
+        self.connections_cut += 1
+        return True
+
+    def cut_all(self) -> int:
+        return sum(1 for conn_id in list(self.conns) if self.cut(conn_id))
+
+    def truncate_next(self, conn_id: int, drop: int = 7) -> bool:
+        """Lose the tail of the connection's next send (partial frame)."""
+        conn = self.conns.get(conn_id)
+        if conn is None:
+            return False
+        conn.truncate_next = max(1, drop)
+        self.frames_truncated += 1
+        return True
+
+    def stall(self, pumps: int) -> None:
+        """Freeze delivery for ``pumps`` rounds — the slow-consumer fault:
+        no acks flow, client credits dry up, replay buffers fill."""
+        self._stall_pumps = max(self._stall_pumps, pumps)
+
+    def crash_server(self) -> Optional[DetectionServer]:
+        """Kill the daemon ungracefully: no flush, no goodbyes.
+
+        Every live connection is cut and new connects fail until
+        :meth:`restart_server`.  Returns the dead server (its journal
+        file, written line-buffered, survives like a real crash would).
+        """
+        dead, self.server = self.server, None
+        self.cut_all()
+        self.accepting = False
+        self.server_crashes += 1
+        if dead is not None and dead.journal._handle is not None:
+            # Close the fd without the orderly close() path — the
+            # process died; whatever reached the fs stays, nothing else.
+            dead.journal._handle.close()
+            dead.journal._handle = None
+        return dead
+
+    def restart_server(self, server: DetectionServer) -> None:
+        """Bring a new incarnation online (call its ``recover`` first)."""
+        self.server = server
+        self.accepting = True
+
+    @property
+    def live_connections(self) -> int:
+        return sum(1 for conn in self.conns.values() if conn.alive)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimNetwork(conns={self.live_connections}, pumps={self.pumps}, "
+            f"cut={self.connections_cut}, crashes={self.server_crashes})"
+        )
+
+
+def network_process(
+    net: SimNetwork, *, interval: float, rounds: Optional[int] = None
+) -> Iterator[Syscall]:
+    """Kernel process pumping the sim network every ``interval``.
+
+    Pump at half the client checkpoint interval (or faster) so
+    handshakes and heartbeats complete between captures.
+    """
+    remaining = rounds
+    while remaining is None or remaining > 0:
+        yield Delay(interval)
+        net.pump()
+        if remaining is not None:
+            remaining -= 1
+
+
+# ------------------------------------------------------------ real sockets
+
+
+class SocketConnection:
+    """Non-blocking socket wrapped in the client connection protocol.
+
+    Outbound bytes are staged in a local outbox and flushed
+    opportunistically on every ``send``/``receive`` — a full kernel
+    buffer is never an error, only a dead peer is.
+    """
+
+    def __init__(self, sock) -> None:
+        self._sock = sock
+        sock.setblocking(False)
+        self.alive = True
+        self._outbox = bytearray()
+
+    def _flush(self) -> None:
+        while self._outbox and self.alive:
+            try:
+                sent = self._sock.send(bytes(self._outbox))
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self.alive = False
+                return
+            if sent <= 0:
+                return
+            del self._outbox[:sent]
+
+    def send(self, data: bytes) -> bool:
+        if not self.alive:
+            return False
+        self._outbox += data
+        self._flush()
+        return self.alive
+
+    def receive(self) -> bytes:
+        if not self.alive:
+            return b""
+        self._flush()
+        chunks = bytearray()
+        while True:
+            try:
+                data = self._sock.recv(1 << 16)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self.alive = False
+                break
+            if not data:
+                self.alive = False
+                break
+            chunks += data
+        return bytes(chunks)
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def unix_connector(socket_path, *, timeout: float = 1.0):
+    """Connector factory for a unix-socket daemon (``repro serve``)."""
+    import socket as socketlib
+
+    path = str(socket_path)
+
+    def _connect() -> Optional[SocketConnection]:
+        sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(path)
+        except OSError:
+            sock.close()
+            return None
+        return SocketConnection(sock)
+
+    return _connect

@@ -451,8 +451,80 @@ class TestSupervisionConfig:
             {"monitor_check_budget": 0.0},
             {"breaker_failure_threshold": 0},
             {"breaker_cooldown": 0.0},
+            {"retry_jitter": -0.1},
+            {"retry_jitter": 1.5},
         ],
     )
     def test_rejects_bad_values(self, kwargs):
         with pytest.raises(ValueError):
             DetectorConfig(**kwargs)
+
+
+class TestRetryJitter:
+    """Seeded jitter on retry backoff: no lockstep fleets, sim-determinism."""
+
+    def build_supervisor(self, **config_kwargs):
+        import random
+
+        kernel = make_kernel()
+        engine = DetectionEngine(kernel, DetectorConfig(**config_kwargs))
+        return CheckpointSupervisor(engine, rng=random.Random(42))
+
+    def test_zero_jitter_is_exact_exponential_backoff(self):
+        supervisor = self.build_supervisor(retry_backoff=0.25)
+        assert supervisor.jitter == 0.0
+        assert [supervisor.retry_delay(a) for a in range(4)] == [
+            0.25, 0.5, 1.0, 2.0
+        ]
+
+    def test_jitter_stays_within_the_configured_band(self):
+        supervisor = self.build_supervisor(
+            retry_backoff=0.25, retry_jitter=0.5
+        )
+        for attempt in range(6):
+            base = 0.25 * 2**attempt
+            delay = supervisor.retry_delay(attempt)
+            assert base <= delay <= base * 1.5
+
+    def test_seeded_rng_makes_jitter_deterministic(self):
+        first = self.build_supervisor(retry_backoff=0.25, retry_jitter=0.5)
+        second = self.build_supervisor(retry_backoff=0.25, retry_jitter=0.5)
+        schedule = [first.retry_delay(a) for a in range(8)]
+        assert schedule == [second.retry_delay(a) for a in range(8)]
+        # And it is actually jittered, not a constant multiplier.
+        ratios = {round(d / (0.25 * 2**a), 9) for a, d in enumerate(schedule)}
+        assert len(ratios) > 1
+
+    def test_jitter_override_beats_config(self):
+        import random
+
+        kernel = make_kernel()
+        engine = DetectionEngine(
+            kernel, DetectorConfig(retry_jitter=0.5)
+        )
+        supervisor = CheckpointSupervisor(
+            engine, jitter=0.0, rng=random.Random(0)
+        )
+        assert supervisor.retry_delay(1) == engine.config.retry_backoff * 2
+
+    def test_presets_enable_jitter(self):
+        assert DetectorConfig.preset("bounded").retry_jitter == 0.25
+        assert DetectorConfig.preset("durable").retry_jitter == 0.25
+        assert DetectorConfig().retry_jitter == 0.0
+
+    def test_distinct_rngs_decorrelate_two_supervisors(self):
+        import random
+
+        kernel = make_kernel()
+        config = DetectorConfig(retry_jitter=0.5)
+        one = CheckpointSupervisor(
+            DetectionEngine(kernel, config), rng=random.Random(1)
+        )
+        two = CheckpointSupervisor(
+            DetectionEngine(kernel, config), rng=random.Random(2)
+        )
+        schedules = (
+            [one.retry_delay(a) for a in range(6)],
+            [two.retry_delay(a) for a in range(6)],
+        )
+        assert schedules[0] != schedules[1]

@@ -134,6 +134,33 @@ class TestTornTails:
         assert reopened.torn_tails_truncated == 1
         assert [e.seq for e in reopened.iter_durable_events()] == [0]
 
+    def test_truncated_length_prefix_truncated_on_reopen(self, tmp_path):
+        # A crash can land between writing a frame's length header and
+        # its body; the tail is then a bare integer line — valid JSON,
+        # but not a record.  Regression: this used to survive the torn-
+        # tail scan and crash replay with an AttributeError.
+        wal = make_wal(tmp_path)
+        wal.open(state(0.0))
+        for seq in range(3):
+            wal.record(event(seq))
+        wal.simulate_torn_length_prefix()
+        wal.close()
+        reopened = make_wal(tmp_path)
+        assert reopened.torn_tails_truncated == 1
+        assert [e.seq for e in reopened.iter_durable_events()] == [0, 1, 2]
+
+    def test_new_appends_after_torn_prefix_recovery_replay(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.open(state(0.0))
+        wal.record(event(0))
+        wal.simulate_torn_length_prefix()
+        wal.close()
+        reopened = make_wal(tmp_path)
+        reopened.open(state(1.0))
+        reopened.record(event(1))
+        reopened.flush()
+        assert [e.seq for e in reopened.iter_durable_events()] == [0, 1]
+
     def test_corruption_before_the_tail_is_an_error(self, tmp_path):
         wal = make_wal(tmp_path)
         wal.open(state(0.0))

@@ -1,0 +1,424 @@
+"""DetectionServer + DetectionClient: ingest, exactly-once, quarantine."""
+
+import pytest
+
+from repro.detection.reports import Confidence, FaultReport
+from repro.detection.rules import STRule
+from repro.kernel.policies import RandomPolicy
+from repro.kernel.sim import SimKernel
+from repro.kernel.syscalls import Delay
+from repro.service.client import DetectionClient, client_process
+from repro.service.framing import FrameDecoder, encode_frame
+from repro.service.protocol import PROTOCOL_VERSION, hello_frame
+from repro.service.server import (
+    DetectionServer,
+    ServiceConfig,
+    ServiceJournal,
+    service_report_key,
+)
+from repro.service.transport import SimNetwork, network_process
+from tests.service.workload import attach_workload, make_kernel
+
+# --------------------------------------------------------------- fixtures
+
+
+def make_report(confidence=Confidence.CONFIRMED, *, seq=3, message="m"):
+    return FaultReport(
+        rule=STRule.ONE_INSIDE,
+        message=message,
+        monitor="buffer",
+        detected_at=5.0,
+        pids=(1, 2),
+        event_seq=seq,
+        window_start=0.0,
+        confidence=confidence,
+    )
+
+
+_CORPUS = {}
+
+
+def corpus(seed=0):
+    """Deterministic (hello, window frames) for one buffer stream.
+
+    Built by running a real client whose connector never succeeds: every
+    captured window stays in the replay buffer, frames and declaration
+    exactly as a live client would ship them.
+    """
+    if seed not in _CORPUS:
+        from repro.apps.bounded_buffer import BoundedBuffer
+
+        kernel = make_kernel(seed)
+        client = DetectionClient(
+            kernel, lambda: None, name="direct", interval=1.0,
+            replay_limit=1_000, seed=seed,
+        )
+        buffer = BoundedBuffer(kernel, capacity=3)
+        client.attach(buffer, label="buffer")
+
+        def producer():
+            for item in range(12):
+                yield Delay(0.11)
+                yield from buffer.send(item)
+
+        def consumer():
+            for __ in range(12):
+                yield Delay(0.12)
+                yield from buffer.receive()
+
+        kernel.spawn(producer(), "producer")
+        kernel.spawn(consumer(), "consumer")
+        kernel.spawn(
+            client_process(client, rounds=6, drain_rounds=0), "client"
+        )
+        kernel.run(until=20.0)
+        kernel.raise_failures()
+        hello = hello_frame(
+            client.name,
+            client.token,
+            [stream.spec() for stream in client.streams.values()],
+            {label: -1 for label in client.streams},
+        )
+        windows = [dict(w) for w in client.streams["buffer"].pending]
+        assert len(windows) >= 5
+        _CORPUS[seed] = (hello, windows)
+    hello, windows = _CORPUS[seed]
+    return dict(hello), [dict(w) for w in windows]
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("service", ServiceConfig(window_credits=4))
+    return DetectionServer(make_kernel(0), **kwargs)
+
+
+def decode_all(raw):
+    return FrameDecoder().feed(raw)
+
+
+def handshake(server, conn_id=1, hello=None, resume=None):
+    if hello is None:
+        hello, __ = corpus()
+    if resume is not None:
+        hello["resume"] = resume
+    server.connect(conn_id)
+    reply = server.feed(conn_id, encode_frame(hello))
+    (welcome,) = decode_all(reply)
+    return welcome
+
+
+# ---------------------------------------------------------------- journal
+
+
+class TestServiceJournal:
+    def test_admit_dedups_identical_reports(self, tmp_path):
+        journal = ServiceJournal(tmp_path / "j.jsonl")
+        assert journal.admit(make_report())
+        assert not journal.admit(make_report())
+        assert journal.deduplicated == 1
+
+    def test_dedup_key_is_confidence_blind(self, tmp_path):
+        # A replayed window re-evaluated after a restart is stamped
+        # DEGRADED; it must still collapse onto the original derivation.
+        journal = ServiceJournal(tmp_path / "j.jsonl")
+        assert journal.admit(make_report(Confidence.CONFIRMED))
+        assert not journal.admit(make_report(Confidence.DEGRADED))
+        assert len(journal.reports) == 1
+        assert journal.reports[0].confidence is Confidence.CONFIRMED
+
+    def test_dedup_key_ignores_message_text(self):
+        confirmed = make_report(message="one")
+        other = make_report(message="two")
+        assert service_report_key(confirmed) == service_report_key(other)
+
+    def test_reload_restores_reports_and_watermarks(self, tmp_path):
+        journal = ServiceJournal(tmp_path / "j.jsonl")
+        journal.admit(make_report())
+        journal.advance("tok", "buffer", 7)
+        journal.advance("tok", "buffer", 4)  # stale: must not regress
+        journal.close()
+        reopened = ServiceJournal(tmp_path / "j.jsonl")
+        assert len(reopened.reports) == 1
+        assert reopened.watermarks[("tok", "buffer")] == 7
+        assert not reopened.admit(make_report(Confidence.DEGRADED))
+
+    def test_torn_tail_truncated_on_reload(self, tmp_path):
+        journal = ServiceJournal(tmp_path / "j.jsonl")
+        journal.admit(make_report())
+        journal.close()
+        with open(tmp_path / "j.jsonl", "a", encoding="utf-8") as handle:
+            handle.write("187\n")  # dangling frame-length prefix
+        reopened = ServiceJournal(tmp_path / "j.jsonl")
+        assert reopened.torn_tails_truncated == 1
+        assert len(reopened.reports) == 1
+
+
+# -------------------------------------------------------------- handshake
+
+
+class TestHandshake:
+    def test_welcome_carries_fresh_watermarks_and_credits(self):
+        server = make_server()
+        welcome = handshake(server)
+        assert welcome["type"] == "welcome"
+        assert welcome["watermarks"] == {"buffer": -1}
+        assert welcome["credits"] == 4
+        assert welcome["resumed"] is False
+
+    def test_version_mismatch_quarantines(self):
+        server = make_server()
+        hello, __ = corpus()
+        hello["version"] = PROTOCOL_VERSION + 1
+        server.connect(1)
+        (error,) = decode_all(server.feed(1, encode_frame(hello)))
+        assert error["type"] == "error"
+        assert server.connection_quarantined(1)
+
+    def test_hello_without_streams_quarantines(self):
+        server = make_server()
+        hello, __ = corpus()
+        hello["streams"] = []
+        server.connect(1)
+        (error,) = decode_all(server.feed(1, encode_frame(hello)))
+        assert error["type"] == "error"
+
+    def test_token_takeover_cuts_the_stale_connection(self):
+        # Same session token on a new connection = the client noticed a
+        # silent death before the server did; newest handshake wins.
+        server = make_server()
+        handshake(server, conn_id=1)
+        server.connect(2)
+        hello, __ = corpus()
+        (welcome,) = decode_all(server.feed(2, encode_frame(hello)))
+        assert welcome["resumed"] is True
+        assert not server.connection_alive(1)
+        assert server.connection_alive(2)
+        assert server.stats()["sessions"] == 1
+
+    def test_resume_watermark_skips_already_acked_windows(self):
+        server = make_server()
+        hello, windows = corpus()
+        handshake(server, resume={"buffer": 1})
+        for window in windows[:3]:  # seq 0,1 duplicates; seq 2 fresh
+            server.feed(1, encode_frame(window))
+        assert server.windows_duplicate == 2
+        assert server.windows_accepted == 1
+
+
+# ------------------------------------------------------------------ ingest
+
+
+class TestIngest:
+    def test_windows_evaluate_and_ack_watermark_advances(self):
+        server = make_server()
+        hello, windows = corpus()
+        handshake(server)
+        for window in windows:
+            server.feed(1, encode_frame(window))
+            server.poll()
+        acks = decode_all(server.poll().get(1, b""))
+        stats = server.stats()
+        assert stats["windows_accepted"] == len(windows)
+        assert stats["evaluations_run"] == len(windows)
+        assert stats["lossy_windows"] == 0
+        assert stats["degraded_windows"] == 0
+        final_ack = (acks or [None])[-1]
+        if final_ack is None:  # ack consumed by an earlier poll
+            server._connections[1].ack_due = True
+            (final_ack,) = decode_all(server.poll()[1])
+        assert final_ack["watermarks"] == {"buffer": len(windows) - 1}
+
+    def test_replayed_duplicate_is_skipped_and_reacked(self):
+        server = make_server()
+        hello, windows = corpus()
+        handshake(server)
+        server.feed(1, encode_frame(windows[0]))
+        server.poll()
+        server.feed(1, encode_frame(windows[0]))  # replay: ack was lost
+        assert server.windows_duplicate == 1
+        (ack,) = decode_all(server.poll()[1])
+        assert ack["type"] == "ack"
+        assert ack["watermarks"] == {"buffer": 0}
+
+    def test_sequence_gap_forces_degraded_evaluation(self):
+        server = make_server()
+        hello, windows = corpus()
+        handshake(server)
+        server.feed(1, encode_frame(windows[0]))
+        server.poll()
+        server.feed(1, encode_frame(windows[3]))  # seq 1,2 never arrive
+        server.poll()
+        stats = server.stats()
+        assert stats["gaps_detected"] == 1
+        assert stats["lossy_windows"] == 1
+        assert stats["degraded_windows"] == 1
+
+    def test_client_reported_loss_forces_degraded_evaluation(self):
+        server = make_server()
+        hello, windows = corpus()
+        handshake(server)
+        window = dict(windows[0])
+        window["lost_events"] = 5
+        server.feed(1, encode_frame(window))
+        server.poll()
+        assert server.stats()["degraded_windows"] == 1
+
+    def test_backpressure_at_credit_quota(self):
+        server = make_server(service=ServiceConfig(window_credits=2))
+        hello, windows = corpus()
+        handshake(server)
+        raw = b"".join(encode_frame(w) for w in windows[:2])
+        replies = decode_all(server.feed(1, raw))  # no poll in between
+        assert any(f["type"] == "backpressure" for f in replies)
+        assert server.stats()["backpressure_sent"] == 1
+        assert server.connection_alive(1)  # throttled, not poisoned
+
+    def test_quota_abuse_quarantines_only_that_connection(self):
+        server = make_server(service=ServiceConfig(window_credits=2))
+        hello, windows = corpus()
+        handshake(server, conn_id=1)
+        server.connect(2)
+        decode_all(server.feed(2, encode_frame(hello)))  # same token: takeover
+        raw = b"".join(encode_frame(w) for w in windows)  # 2*quota and beyond
+        replies = decode_all(server.feed(2, raw))
+        assert replies[-1]["type"] == "error"
+        assert server.connection_quarantined(2)
+        assert len(server.quarantines) == 1
+
+    def test_malformed_bytes_quarantine_not_the_fleet(self):
+        server = make_server()
+        hello, windows = corpus()
+        handshake(server, conn_id=1)
+        (error,) = decode_all(server.feed(1, b"GARBAGE not a frame\n"))
+        assert error["type"] == "error"
+        assert server.connection_quarantined(1)
+        # A second connection (same session, post-takeover) still ingests.
+        server.connect(2)
+        decode_all(server.feed(2, encode_frame(hello)))
+        server.feed(2, encode_frame(windows[0]))
+        assert server.windows_accepted == 1
+
+    def test_window_for_unknown_stream_quarantines(self):
+        server = make_server()
+        hello, windows = corpus()
+        handshake(server)
+        window = dict(windows[0])
+        window["stream"] = "who"
+        (error,) = decode_all(server.feed(1, encode_frame(window)))
+        assert error["type"] == "error"
+
+    def test_window_before_hello_quarantines(self):
+        server = make_server()
+        __, windows = corpus()
+        server.connect(1)
+        (error,) = decode_all(server.feed(1, encode_frame(windows[0])))
+        assert error["type"] == "error"
+
+    def test_oversized_window_quarantines(self):
+        server = make_server(
+            service=ServiceConfig(window_credits=4, max_events_per_window=1)
+        )
+        hello, windows = corpus()
+        handshake(server)
+        big = next(w for w in windows if len(w["segment"]["events"]) > 1)
+        (error,) = decode_all(server.feed(1, encode_frame(big)))
+        assert error["type"] == "error"
+
+    def test_ping_answers_pong(self):
+        server = make_server()
+        handshake(server)
+        (pong,) = decode_all(
+            server.feed(1, encode_frame({"type": "ping", "sent_at": 9.5}))
+        )
+        assert pong == {"type": "pong", "sent_at": 9.5}
+
+
+# ---------------------------------------------------------- crash recovery
+
+
+class TestCrashRecovery:
+    def test_restart_resumes_watermarks_and_dedups_reports(self, tmp_path):
+        hello, windows = corpus()
+        first = make_server(durable_dir=tmp_path)
+        handshake(first)
+        for window in windows[:3]:
+            first.feed(1, encode_frame(window))
+            first.poll()
+        delivered = [service_report_key(r) for r in first.delivered]
+        first.close()
+
+        second = make_server(durable_dir=tmp_path)
+        recovery = second.recover()
+        assert recovery["streams"] == 1
+        welcome = handshake(second, resume={"buffer": -1})
+        # The journal, not the client, is authoritative after a restart.
+        assert welcome["watermarks"] == {"buffer": 2}
+        assert welcome["resumed"] is True
+        for window in windows:  # full replay: 0..2 duplicates, rest fresh
+            second.feed(1, encode_frame(window))
+            second.poll()
+        assert second.windows_duplicate == 3
+        assert second.windows_accepted == len(windows) - 3
+        # First post-restart window ran against a cold checker: degraded.
+        assert second.stats()["resync_windows"] == 1
+        assert second.stats()["degraded_windows"] >= 1
+        keys = [service_report_key(r) for r in second.journal.reports]
+        assert len(keys) == len(set(keys))
+        assert set(delivered) <= set(keys)
+
+
+# ---------------------------------------------------- end-to-end (SimNetwork)
+
+
+class TestEndToEndSim:
+    def test_live_client_ships_detects_and_drains(self):
+        kernel = make_kernel(3)
+        server = DetectionServer(kernel)
+        net = SimNetwork(server)
+        client = DetectionClient(
+            kernel, net.connect, name="c0", interval=5.0, seed=3
+        )
+        attach_workload(kernel, client, operations=30, misuse=True)
+        kernel.spawn(client_process(client, rounds=12), "client")
+        kernel.spawn(network_process(net, interval=0.5), "net")
+        kernel.run(until=200.0)
+        kernel.raise_failures()
+        stats = client.stats()
+        assert stats["errors"] == []
+        assert stats["windows_acked"] == stats["windows_captured"] > 0
+        assert stats["pending_windows"] == 0
+        rules = {report.rule_id for report in server.reports}
+        assert "ST-8b" in rules  # the misuser's release-without-request
+        assert server.stats()["lossy_windows"] == 0
+        assert all(
+            report.confidence is Confidence.CONFIRMED
+            for report in server.reports
+        )
+
+    def test_connection_cut_recovers_without_loss(self):
+        kernel = make_kernel(4)
+        server = DetectionServer(kernel)
+        net = SimNetwork(server)
+        client = DetectionClient(
+            kernel, net.connect, name="c0", interval=5.0,
+            backoff_base=0.5, backoff_max=4.0, seed=4,
+        )
+        attach_workload(kernel, client, operations=30, misuse=True)
+
+        def saboteur():
+            for __ in range(3):
+                yield Delay(17.0)
+                net.cut_all()
+
+        kernel.spawn(client_process(client, rounds=12), "client")
+        kernel.spawn(network_process(net, interval=0.5), "net")
+        kernel.spawn(saboteur(), "saboteur")
+        kernel.run(until=300.0)
+        kernel.raise_failures()
+        stats = client.stats()
+        assert stats["errors"] == []
+        assert stats["connects"] >= 4  # initial + one per cut
+        assert stats["windows_acked"] == stats["windows_captured"] > 0
+        # Buffered replay covered every cut: nothing lossy, nothing lost.
+        assert server.stats()["lossy_windows"] == 0
+        keys = [service_report_key(r) for r in server.reports]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,48 @@
+"""Shared workload plumbing for the service test suite."""
+
+from repro.apps.bounded_buffer import BoundedBuffer
+from repro.apps.resource_allocator import SingleResourceAllocator
+from repro.kernel.policies import RandomPolicy
+from repro.kernel.sim import SimKernel
+from repro.kernel.syscalls import Delay
+
+
+def make_kernel(seed=0):
+    return SimKernel(RandomPolicy(seed=seed), on_deadlock="stop")
+
+
+def attach_workload(kernel, client, *, operations=30, misuse=True, tag=""):
+    """Producer/consumer traffic plus (optionally) an allocator misuser.
+
+    The misuser's release-without-request is an ST-8b/ST-PX violation —
+    purely event-pattern based, so the reports it produces are identical
+    no matter when the windows that carry those events get evaluated.
+    """
+    buffer = BoundedBuffer(kernel, capacity=3)
+    allocator = SingleResourceAllocator(kernel, name=f"allocator{tag}")
+    client.attach(buffer, label="buffer")
+    client.attach(allocator, label="allocator")
+
+    def producer():
+        for item in range(operations):
+            yield Delay(0.11)
+            yield from buffer.send(item)
+
+    def consumer():
+        for __ in range(operations):
+            yield Delay(0.12)
+            yield from buffer.receive()
+
+    def misuser():
+        yield Delay(2.3)
+        yield from allocator.release()  # never requested: ST-8b + ST-PX
+        yield Delay(5.0)
+        yield from allocator.request()
+        yield Delay(1.1)
+        yield from allocator.release()
+
+    kernel.spawn(producer(), f"producer{tag}")
+    kernel.spawn(consumer(), f"consumer{tag}")
+    if misuse:
+        kernel.spawn(misuser(), f"misuser{tag}")
+    return buffer, allocator
