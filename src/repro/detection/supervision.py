@@ -290,6 +290,15 @@ class CheckpointSupervisor:
 
     # ------------------------------------------------------------- watchdog
 
+    def note_idle(self) -> None:
+        """Feed the watchdog on a tick with nothing to attempt.
+
+        An idle pipeline cannot be stalled; marking the idle instant as
+        healthy makes the next busy episode measure from now instead of
+        from the last completed round long ago.
+        """
+        self.last_success_at = self.engine.kernel.now()
+
     def check_stall(self) -> bool:
         """Stall watchdog: has the pipeline gone too long without success?
 

@@ -305,9 +305,12 @@ class DetectionClient:
                 + shed["segment"]["dropped"]
                 + shed["lost_events"]
             )
-            # The shed window's loss rides on the *oldest surviving*
-            # window so the server sees the gap the moment replay resumes.
-            survivor = stream.pending[0]
+            # The shed window's loss rides on the *oldest unsent*
+            # window so the server hears about the gap on this
+            # connection's next send — never on a frame already on the
+            # wire, whose bytes were encoded at send time.  The frame
+            # just appended is always unsent, so the index is in range.
+            survivor = stream.pending[stream.sent]
             survivor["lost_windows"] += 1 + shed["lost_windows"]
             survivor["lost_events"] += lost
             stream.windows_evicted += 1

@@ -411,6 +411,11 @@ class DetectionServer:
         #: Watermarks loaded by :meth:`recover`, consumed by handshakes.
         self._recovered: dict[tuple[str, str], int] = {}
         self._pending_meta: list[_WindowMeta] = []
+        #: Reports evaluated but not yet journal-admitted: a round that
+        #: dies between ``evaluate_phase`` (destructive drain) and the
+        #: journal write parks them here so the retry delivers them
+        #: instead of acking their windows with the findings lost.
+        self._pending_reports: list[FaultReport] = []
         #: Reports admitted by the journal, in delivery order.
         self.delivered: list[FaultReport] = []
         self.windows_accepted = 0
@@ -592,7 +597,8 @@ class DetectionServer:
             welcome_frame(
                 watermarks,
                 credits,
-                resumed=resumed or bool(self._recovered),
+                resumed=resumed
+                or any(key[0] == token for key in self._recovered),
             )
         )
 
@@ -626,9 +632,22 @@ class DetectionServer:
             for key in STREAM_OVERRIDES
             if key in spec
         }
-        entry_config = replace(
-            self.engine.config, realtime_orders=False, **overrides
-        )
+        for key, value in overrides.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ProtocolError(
+                    f"stream {label!r}: override {key} must be a number, "
+                    f"got {value!r}"
+                )
+        try:
+            entry_config = replace(
+                self.engine.config, realtime_orders=False, **overrides
+            )
+        except (TypeError, ValueError) as exc:
+            # Out-of-range overrides (tmax=-1, ...) are the client's
+            # fault, not the fleet's: quarantine this connection.
+            raise ProtocolError(
+                f"stream {label!r}: invalid override: {exc}"
+            ) from exc
         shadow = Monitor(self.kernel, declaration)
         entry = self.engine.register(
             shadow, entry_config, label=f"{session.name}:{label}"
@@ -747,12 +766,18 @@ class DetectionServer:
         ``failure`` event and the round is retried with backoff.
         """
         meta = self._pending_meta
-        reports = self.engine.evaluate_phase()
+        pending = self._pending_reports
+        pending.extend(self.engine.evaluate_phase())
         admitted: list[FaultReport] = []
-        for report in reports:
+        while pending:
+            # Pop only after a successful admit: if the journal throws
+            # mid-drain, the retry resumes at the exact report that
+            # failed (admit itself dedups, so no double delivery).
+            report = pending[0]
             if self.journal.admit(report):
                 self.delivered.append(report)
                 admitted.append(report)
+            pending.pop(0)
         for item in meta:
             if item.seq > item.stream.watermark:
                 item.stream.watermark = item.seq
@@ -778,9 +803,16 @@ class DetectionServer:
         """
         if self._closed:
             return {}
-        if self.engine._pending_captures:
+        if self.engine._pending_captures or self._pending_meta:
+            # _pending_meta alone means a previous round died *after*
+            # evaluate_phase drained the captures (journal write failed):
+            # the un-acked windows still need their journal/ack half, and
+            # a backpressured client will never send the new window that
+            # used to be the only retry trigger.
             self.supervisor.attempt()
-            self.supervisor.check_stall()
+        else:
+            self.supervisor.note_idle()
+        self.supervisor.check_stall()
         out: dict[int, bytes] = {}
         for conn in self._connections.values():
             if not conn.alive or not conn.ack_due or conn.session is None:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.detection.config import DetectorConfig
 from repro.detection.reports import Confidence, FaultReport
 from repro.detection.rules import STRule
 from repro.kernel.policies import RandomPolicy
@@ -150,6 +151,40 @@ class TestServiceJournal:
         reopened = ServiceJournal(tmp_path / "j.jsonl")
         assert reopened.torn_tails_truncated == 1
         assert len(reopened.reports) == 1
+
+
+_MISUSE_CORPUS = {}
+
+
+def misuse_corpus(seed=1):
+    """Like :func:`corpus`, but the workload includes the allocator
+    misuser, so the shipped windows carry a real ST-8b fault."""
+    if seed not in _MISUSE_CORPUS:
+        kernel = make_kernel(seed)
+        client = DetectionClient(
+            kernel, lambda: None, name="misused", interval=2.0,
+            replay_limit=1_000, seed=seed,
+        )
+        attach_workload(kernel, client, operations=12, misuse=True)
+        kernel.spawn(
+            client_process(client, rounds=6, drain_rounds=0), "client"
+        )
+        kernel.run(until=20.0)
+        kernel.raise_failures()
+        hello = hello_frame(
+            client.name,
+            client.token,
+            [stream.spec() for stream in client.streams.values()],
+            {label: -1 for label in client.streams},
+        )
+        windows = [
+            dict(w)
+            for stream in client.streams.values()
+            for w in stream.pending
+        ]
+        _MISUSE_CORPUS[seed] = (hello, windows)
+    hello, windows = _MISUSE_CORPUS[seed]
+    return dict(hello), [dict(w) for w in windows]
 
 
 # -------------------------------------------------------------- handshake
@@ -332,6 +367,101 @@ class TestIngest:
         assert pong == {"type": "pong", "sent_at": 9.5}
 
 
+# ------------------------------------------------------- stream overrides
+
+
+def override_hello(**overrides):
+    """Corpus hello with per-stream overrides on a private copy."""
+    hello, __ = corpus()
+    hello["streams"] = [dict(s) for s in hello["streams"]]
+    hello["streams"][0].update(overrides)
+    return hello
+
+
+class TestStreamOverrides:
+    def test_numeric_override_applies_to_the_shadow_entry(self):
+        server = make_server()
+        welcome = handshake(server, hello=override_hello(tmax=7.5))
+        assert welcome["type"] == "welcome"
+        session = next(iter(server._sessions.values()))
+        assert session.streams["buffer"].entry.config.tmax == 7.5
+
+    def test_out_of_range_override_quarantines_not_crashes(self):
+        server = make_server()
+        server.connect(1)
+        raw = encode_frame(override_hello(tmax=-1))
+        (error,) = decode_all(server.feed(1, raw))  # must not raise
+        assert error["type"] == "error"
+        assert "tmax" in error["reason"]
+        assert server.connection_quarantined(1)
+
+    @pytest.mark.parametrize("bad", ["x", True, None, [3]])
+    def test_non_numeric_override_quarantines_not_crashes(self, bad):
+        server = make_server()
+        server.connect(1)
+        raw = encode_frame(override_hello(tlimit=bad))
+        (error,) = decode_all(server.feed(1, raw))  # must not raise
+        assert error["type"] == "error"
+        assert server.connection_quarantined(1)
+        # The poisoned hello never reached the fleet: a clean client works.
+        assert handshake(server, conn_id=2)["type"] == "welcome"
+
+
+# ------------------------------------------------------- evaluation retry
+
+
+class TestEvaluationRetry:
+    def test_journal_failure_retries_without_new_windows(self):
+        # A round that dies *after* evaluate_phase drained the captures
+        # (journal write fails) must still be retried by the next poll —
+        # a backpressured client sends nothing new to trigger it.
+        server = make_server(service=ServiceConfig(window_credits=50))
+        hello, windows = misuse_corpus()
+        handshake(server, hello=hello)
+        server.feed(1, b"".join(encode_frame(w) for w in windows))
+        assert server._connections[1].in_flight == len(windows)
+
+        state = {"fail": True}
+        original = server.journal.admit
+
+        def flaky(report):
+            if state["fail"]:
+                state["fail"] = False
+                raise OSError("disk full")
+            return original(report)
+
+        server.journal.admit = flaky
+        assert server.poll() == {}  # round fails mid-journal: no acks
+        assert not server.engine._pending_captures  # drain already happened
+        assert server._pending_meta  # un-acked windows still owed a retry
+
+        acks = server.poll()  # no new window arrived: retry must still run
+        assert 1 in acks
+        (ack,) = decode_all(acks[1])
+        assert ack["type"] == "ack"
+        labels = {w["stream"] for w in windows}
+        assert ack["watermarks"] == {
+            label: max(w["seq"] for w in windows if w["stream"] == label)
+            for label in labels
+        }
+        assert server._connections[1].in_flight == 0
+        assert not server._pending_meta
+        # Reports evaluated in the failed round were not lost on retry...
+        assert "ST-8b" in {report.rule_id for report in server.reports}
+        # ...and the recovery did not double-deliver anything.
+        keys = [service_report_key(r) for r in server.reports]
+        assert len(keys) == len(set(keys))
+
+    def test_idle_polls_feed_the_stall_watchdog(self):
+        server = make_server(config=DetectorConfig(stall_timeout=5.0))
+        handshake(server)
+        for __ in range(4):
+            server.kernel.clock.advance_by(3.0)
+            server.poll()
+        # 12 idle virtual seconds > stall_timeout, but idle is healthy.
+        assert server.supervisor.stalls_detected == 0
+
+
 # ---------------------------------------------------------- crash recovery
 
 
@@ -364,6 +494,75 @@ class TestCrashRecovery:
         keys = [service_report_key(r) for r in second.journal.reports]
         assert len(keys) == len(set(keys))
         assert set(delivered) <= set(keys)
+
+    def test_resumed_flag_is_per_session_after_recovery(self, tmp_path):
+        hello, windows = corpus()
+        first = make_server(durable_dir=tmp_path)
+        handshake(first)
+        first.feed(1, encode_frame(windows[0]))
+        first.poll()
+        first.close()
+
+        second = make_server(durable_dir=tmp_path)
+        second.recover()
+        fresh = dict(hello)
+        fresh["token"] = "never-seen-before"
+        fresh["resume"] = {}
+        # A brand-new session is not a resume, no matter what other
+        # sessions' watermarks the restarted server recovered.
+        assert handshake(second, hello=fresh)["resumed"] is False
+        # The session the watermarks belong to does resume.
+        assert handshake(second, conn_id=2)["resumed"] is True
+
+
+# --------------------------------------------------------- replay eviction
+
+
+class TestReplayEviction:
+    def test_eviction_folds_loss_into_first_unsent_window(self):
+        # A frame already shipped on the live connection was encoded at
+        # send time: mutating it is invisible to the server.  Shed-window
+        # loss must ride the first *unsent* survivor instead.
+        kernel = make_kernel(0)
+        client = DetectionClient(
+            kernel, lambda: None, name="evict", interval=1.0,
+            replay_limit=4, seed=0,
+        )
+        from repro.apps.bounded_buffer import BoundedBuffer
+
+        client.attach(BoundedBuffer(kernel, capacity=3), label="buffer")
+        for __ in range(4):
+            client.capture()
+        stream = client.streams["buffer"]
+        assert len(stream.pending) == 4
+        stream.sent = 2  # first two frames are on the wire, unacked
+
+        client.capture()  # overflow: the oldest (sent) window is shed
+        assert len(stream.pending) == 4
+        assert stream.sent == 1  # shed frame left the sent prefix
+        assert stream.windows_evicted == 1
+        # The surviving sent frame is untouched; the first unsent frame
+        # carries the loss and will reach the server on the next pump.
+        assert stream.pending[0]["lost_windows"] == 0
+        assert stream.pending[1]["lost_windows"] == 1
+        assert all(w["lost_windows"] == 0 for w in stream.pending[2:])
+
+    def test_eviction_with_nothing_sent_folds_into_the_oldest(self):
+        kernel = make_kernel(0)
+        client = DetectionClient(
+            kernel, lambda: None, name="evict", interval=1.0,
+            replay_limit=2, seed=0,
+        )
+        from repro.apps.bounded_buffer import BoundedBuffer
+
+        client.attach(BoundedBuffer(kernel, capacity=3), label="buffer")
+        for __ in range(4):
+            client.capture()
+        stream = client.streams["buffer"]
+        assert len(stream.pending) == 2
+        assert stream.windows_evicted == 2
+        assert stream.pending[0]["lost_windows"] == 2
+        assert stream.pending[1]["lost_windows"] == 0
 
 
 # ---------------------------------------------------- end-to-end (SimNetwork)
