@@ -182,6 +182,8 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
         argv.append("--wal")
     if args.fleet is not None:
         argv += ["--fleet", str(args.fleet)]
+    if args.evaluation is not None:
+        argv += ["--evaluation", args.evaluation]
     if args.service:
         argv.append("--service")
     if args.json is not None:
@@ -199,6 +201,12 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         argv += ["--counts"] + [str(count) for count in args.counts]
     if args.shards:
         argv += ["--shards"] + [str(count) for count in args.shards]
+    if args.processes:
+        argv += [
+            "--processes",
+            "--workers", str(args.workers),
+            "--repeats", str(args.repeats),
+        ]
     if args.quick:
         argv.append("--quick")
     if args.json is not None:
@@ -618,6 +626,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "N-monitor fleet instead",
     )
     overhead.add_argument(
+        "--evaluation",
+        choices=("threads", "processes"),
+        default=None,
+        help="with --fleet: route phase 2 through the given evaluation "
+        "plane instead of in-line evaluation",
+    )
+    overhead.add_argument(
         "--service",
         action="store_true",
         help="measure detection-service ingest throughput instead",
@@ -638,6 +653,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         metavar="N",
         help="compare staggered DetectionCluster shard counts instead",
+    )
+    scaling.add_argument(
+        "--processes",
+        action="store_true",
+        help="compare phase-2 evaluation planes instead: pooled worker "
+        "threads vs one evaluator worker process per shard",
+    )
+    scaling.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="shard/worker count for --processes (default 4)",
+    )
+    scaling.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        metavar="K",
+        help="runs per plane for --processes; best wall kept (default 2)",
     )
     scaling.add_argument("--quick", action="store_true")
     scaling.add_argument("--json", default=None, metavar="PATH")

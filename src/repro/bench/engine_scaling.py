@@ -20,6 +20,16 @@ reports:
   per-checkpoint world-stop max/mean makes the "O(snapshot) world-stop"
   claim auditable from the output alone.
 
+``--processes`` switches to the evaluation-plane comparison instead:
+the same seeded sim fleet is driven once per phase-2 plane (pooled
+worker *threads* vs one evaluator worker *process* per shard), every
+checkpoint is drained synchronously so the timed wall clock covers the
+full capture→evaluate round trip, and the merged report streams are
+compared byte-for-byte against an inline 1-shard baseline.  On a
+multi-core box the process plane escapes the GIL: N workers burn CPU
+concurrently, so evaluate-bound fleets finish the same rule evaluation
+in a fraction of the thread plane's wall clock.
+
 ``--json PATH`` writes the grid machine-readably so ``BENCH_*.json``
 trajectories can accumulate across runs.
 
@@ -32,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import time
 from dataclasses import asdict, dataclass, replace
 from typing import Optional, Sequence
 
@@ -41,15 +52,21 @@ from repro.detection.detector import DetectorConfig, FaultDetector, detector_pro
 from repro.detection.engine import DetectionEngine, engine_process
 from repro.kernel.policies import RandomPolicy
 from repro.kernel.sim import SimKernel
+from repro.kernel.syscalls import Delay
 from repro.kernel.threads import ThreadKernel
 from repro.workloads.scenarios import WorkloadSpec, build_fleet
 
 __all__ = [
     "ScalingRow",
+    "PlaneRow",
     "measure_scaling",
+    "measure_plane",
+    "planes_table",
     "scaling_table",
     "render_scaling_table",
+    "render_planes_table",
     "rows_to_json",
+    "planes_to_json",
     "main",
 ]
 
@@ -209,6 +226,206 @@ def measure_scaling(
     )
 
 
+#: Evaluate-bound plane-comparison workload: full-window Algorithm-1
+#: sweeps (no incremental carry) and phase-2 order replay (no real-time
+#: tap) maximise the rule-evaluation share of each checkpoint, which is
+#: exactly the work the process plane parallelises.
+PLANES_SPEC = WorkloadSpec(processes=8, operations=100, think_time=0.005)
+PLANES_CONFIG = DetectorConfig(
+    interval=2.0,
+    tmax=120.0,
+    tio=120.0,
+    tlimit=120.0,
+    realtime_orders=False,
+    incremental_checking=False,
+    stagger=False,
+)
+
+#: Allocator monitors run all three algorithms per window (general
+#: checking, resource counters, order replay) — the heaviest
+#: rule-evaluation per event of the scenario set.
+PLANES_SCENARIOS: tuple[str, ...] = ("allocator",)
+
+
+@dataclass(frozen=True)
+class PlaneRow:
+    """One phase-2 evaluation plane under the identical seeded workload."""
+
+    plane: str  # "inline", "threads" or "processes"
+    monitors: int
+    workers: int
+    checkpoints: int
+    #: Wall clock of the synchronous checkpoint→drain rounds — the
+    #: headline number: how long the full capture+evaluate round trip
+    #: took under this plane.
+    evaluate_wall: float
+    #: Engine-side phase-2 accounting (CPU-ish; sums across shards).
+    evaluate_seconds: float
+    #: Per-worker CPU seconds (worker processes, or dispatch threads).
+    worker_cpu: tuple
+    worldstop_p50: float
+    worldstop_p99: float
+    reports: int
+    events: int
+
+
+def measure_plane(
+    plane: str,
+    monitors: int,
+    workers: int,
+    *,
+    spec: Optional[WorkloadSpec] = None,
+    config: Optional[DetectorConfig] = None,
+) -> tuple[PlaneRow, list[str]]:
+    """Run one evaluation plane; return its row and the rendered stream.
+
+    Every checkpoint is drained before the sim advances, so the timed
+    wall clock covers the complete evaluation round trip and the report
+    stream is deterministic regardless of plane.
+    """
+    spec = spec or PLANES_SPEC
+    config = config or PLANES_CONFIG
+    kernel = SimKernel(RandomPolicy(seed=spec.seed), on_deadlock="stop")
+    fleet = build_fleet(kernel, monitors, spec, names=PLANES_SCENARIOS)
+    shards = 1 if plane == "inline" else workers
+    cluster = DetectionCluster(
+        kernel, config, shards=shards, evaluation=plane
+    )
+    for index, run in enumerate(fleet):
+        cluster.register(run.monitor, label=f"{run.name}-{index}")
+        run.spawn_all(kernel, prefix=f"m{index}-")
+
+    wall = [0.0]
+
+    def pacer():
+        while True:
+            yield Delay(config.interval)
+            started = time.perf_counter()
+            cluster.checkpoint()
+            cluster.drain()
+            wall[0] += time.perf_counter() - started
+
+    kernel.spawn(pacer(), "plane-pacer")
+    horizon = spec.operations * spec.think_time * 40 + 60
+    kernel.run(until=horizon, max_steps=50_000_000)
+    kernel.raise_failures()
+    pool = cluster._pool
+    cluster.stop()
+    if pool is None:
+        worker_cpu: tuple = ()
+    elif pool.plane == "processes":
+        worker_cpu = tuple(pool.per_worker_cpu)
+    else:
+        worker_cpu = tuple(pool.dispatch_cpu)
+    events = sum(
+        run.monitor.monitor.history.total_recorded
+        for run in fleet
+        if run.monitor.monitor.history is not None
+    )
+    row = PlaneRow(
+        plane=plane,
+        monitors=monitors,
+        workers=shards,
+        checkpoints=cluster.checkpoints_run,
+        evaluate_wall=wall[0],
+        evaluate_seconds=cluster.evaluate_seconds,
+        worker_cpu=worker_cpu,
+        worldstop_p50=cluster.worldstop_percentile(0.5),
+        worldstop_p99=cluster.worldstop_percentile(0.99),
+        reports=len(cluster.reports),
+        events=events,
+    )
+    return row, [report.render() for report in cluster.reports]
+
+
+def planes_table(
+    *,
+    monitors: int = 8,
+    workers: int = 4,
+    spec: Optional[WorkloadSpec] = None,
+    config: Optional[DetectorConfig] = None,
+    repeats: int = 2,
+) -> tuple[list[PlaneRow], dict]:
+    """Threads vs processes under the identical workload, plus an inline
+    1-shard baseline for the byte-identical-stream check.
+
+    Each plane runs ``repeats`` times and keeps its best wall clock
+    (pool start-up and OS noise shouldn't decide the comparison); the
+    report stream must not vary across repeats of the same plane.
+    """
+    rows: list[PlaneRow] = []
+    streams: dict[str, list[str]] = {}
+    for plane in ("inline", "threads", "processes"):
+        best: Optional[PlaneRow] = None
+        for repeat in range(1 if plane == "inline" else repeats):
+            row, stream = measure_plane(
+                plane, monitors, workers, spec=spec, config=config
+            )
+            if plane in streams and streams[plane] != stream:
+                raise AssertionError(
+                    f"{plane} plane produced a different report stream on "
+                    f"repeat {repeat}"
+                )
+            streams[plane] = stream
+            if best is None or row.evaluate_wall < best.evaluate_wall:
+                best = row
+        assert best is not None
+        rows.append(best)
+    by_plane = {row.plane: row for row in rows}
+    threads_wall = by_plane["threads"].evaluate_wall
+    processes_wall = by_plane["processes"].evaluate_wall
+    comparison = {
+        "threads_wall": threads_wall,
+        "processes_wall": processes_wall,
+        "speedup": (threads_wall / processes_wall) if processes_wall else 0.0,
+        "streams_identical": (
+            streams["inline"] == streams["threads"] == streams["processes"]
+        ),
+        "reports": len(streams["inline"]),
+    }
+    return rows, comparison
+
+
+def render_planes_table(rows: Sequence[PlaneRow]) -> str:
+    headers = [
+        "plane", "monitors", "workers", "checkpoints",
+        "evaluate wall (s)", "evaluate (s)", "worker CPU (s)",
+        "stop p50 (us)", "stop p99 (us)", "reports", "events",
+    ]
+    table_rows = [
+        [
+            row.plane,
+            str(row.monitors),
+            str(row.workers),
+            str(row.checkpoints),
+            f"{row.evaluate_wall:.4f}",
+            f"{row.evaluate_seconds:.4f}",
+            " ".join(f"{cpu:.3f}" for cpu in row.worker_cpu) or "-",
+            f"{row.worldstop_p50 * 1e6:.1f}",
+            f"{row.worldstop_p99 * 1e6:.1f}",
+            str(row.reports),
+            str(row.events),
+        ]
+        for row in rows
+    ]
+    return render_table(
+        headers,
+        table_rows,
+        title="Phase-2 evaluation planes: in-thread vs worker processes",
+    )
+
+
+def planes_to_json(
+    rows: Sequence[PlaneRow], comparison: dict, *, backend: str = "sim"
+) -> dict:
+    return {
+        "bench": "engine_scaling_planes",
+        "backend": backend,
+        "rows": [asdict(row) for row in rows],
+        "comparison": comparison,
+    }
+
+
 def scaling_table(
     *,
     counts: Sequence[int] = DEFAULT_COUNTS,
@@ -308,6 +525,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(fleet size, shard count), e.g. --shards 1 4",
     )
     parser.add_argument(
+        "--processes",
+        action="store_true",
+        help="compare phase-2 evaluation planes instead: pooled worker "
+        "threads vs one evaluator worker process per shard, same seeded "
+        "sim workload, byte-identical-stream check included",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="shard/worker count for the plane comparison (default 4)",
+    )
+    parser.add_argument(
+        "--monitors",
+        type=int,
+        default=8,
+        metavar="N",
+        help="fleet size for the plane comparison (default 8)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        metavar="K",
+        help="runs per plane; the best wall clock is kept (default 2)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=None, help="workload RNG seed"
     )
     parser.add_argument(
@@ -322,6 +567,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also write the grid as JSON to PATH ('-' for stdout)",
     )
     args = parser.parse_args(argv)
+    if args.processes:
+        spec = (
+            WorkloadSpec(processes=3, operations=20, think_time=0.02)
+            if args.quick
+            else PLANES_SPEC
+        )
+        if args.seed is not None:
+            spec = replace(spec, seed=args.seed)
+        plane_rows, comparison = planes_table(
+            monitors=args.monitors,
+            workers=args.workers,
+            spec=spec,
+            repeats=args.repeats,
+        )
+        print(render_planes_table(plane_rows))
+        print(
+            f"evaluate wall: threads {comparison['threads_wall']:.4f}s vs "
+            f"processes {comparison['processes_wall']:.4f}s "
+            f"(speedup {comparison['speedup']:.2f}x with "
+            f"{args.workers} workers)"
+        )
+        print(
+            "report streams byte-identical across inline/threads/processes: "
+            f"{comparison['streams_identical']} "
+            f"({comparison['reports']} reports)"
+        )
+        if args.json is not None:
+            envelope = {
+                "command": "scaling",
+                "seed": spec.seed,
+                "results": planes_to_json(plane_rows, comparison),
+            }
+            payload = json.dumps(envelope, indent=2)
+            if args.json == "-":
+                print(payload)
+            else:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+                print(f"json written to {args.json}")
+        return 0
     spec = (
         WorkloadSpec(processes=2, operations=10, think_time=0.05)
         if args.quick

@@ -578,6 +578,8 @@ class FleetOverheadRow:
     incremental_fastpaths: int
     staged_events: int
     staged_flushes: int
+    #: Phase-2 evaluation plane ("inline", "threads" or "processes").
+    evaluation: str = "inline"
 
 
 def _run_fleet_once(
@@ -588,6 +590,7 @@ def _run_fleet_once(
     incremental: bool,
     interval: float = FLEET_INTERVAL,
     rounds: int = FLEET_ROUNDS,
+    evaluation: Optional[str] = None,
 ) -> FleetOverheadRow:
     """One fleet execution with a fixed checkpoint count.
 
@@ -604,12 +607,27 @@ def _run_fleet_once(
         tlimit=120.0,
         incremental_checking=incremental,
     )
-    engine = DetectionEngine(kernel, config)
     runs = build_fleet(kernel, fleet, spec)
-    for run in runs:
-        engine.register(run.monitor)
-        run.spawn_all(kernel)
-    kernel.spawn(engine_process(engine, rounds=rounds), "detection-engine")
+    cluster = None
+    if evaluation is None:
+        engine = DetectionEngine(kernel, config)
+        for run in runs:
+            engine.register(run.monitor)
+            run.spawn_all(kernel)
+        kernel.spawn(engine_process(engine, rounds=rounds), "detection-engine")
+    else:
+        # Route phase 2 through the requested evaluation plane: a
+        # 1-shard cluster is a single engine plus the worker pool.
+        from repro.detection.cluster import DetectionCluster
+
+        cluster = DetectionCluster(
+            kernel, config, shards=1, evaluation=evaluation
+        )
+        engine = cluster.shards[0].engine
+        for run in runs:
+            cluster.register(run.monitor)
+            run.spawn_all(kernel)
+        cluster.spawn_processes(rounds=rounds, supervised=False)
     horizon = rounds * interval + 60
     gc_was_enabled = gc.isenabled()
     gc.disable()
@@ -620,6 +638,8 @@ def _run_fleet_once(
             gc.enable()
             gc.collect()
     kernel.raise_failures()
+    if cluster is not None:
+        cluster.stop()
     ops = sum(run.monitor.monitor.op_seconds for run in runs)
     events = sum(
         entry.history.total_recorded for entry in engine.entries
@@ -639,6 +659,7 @@ def _run_fleet_once(
         incremental_fastpaths=engine.incremental_fastpaths,
         staged_events=engine.staged_events,
         staged_flushes=engine.staged_flushes,
+        evaluation=evaluation or "inline",
     )
 
 
@@ -648,6 +669,7 @@ def measure_fleet_overhead(
     backend: str = "sim",
     spec: Optional[WorkloadSpec] = None,
     repeats: int = 3,
+    evaluation: Optional[str] = None,
 ) -> list[FleetOverheadRow]:
     """Paired fleet measurement: one incremental row, one full-re-walk row.
 
@@ -659,7 +681,13 @@ def measure_fleet_overhead(
     rows: list[FleetOverheadRow] = []
     for incremental in (True, False):
         samples = [
-            _run_fleet_once(backend, spec, fleet, incremental=incremental)
+            _run_fleet_once(
+                backend,
+                spec,
+                fleet,
+                incremental=incremental,
+                evaluation=evaluation,
+            )
             for __ in range(repeats)
         ]
         best = min(samples, key=lambda row: row.evaluate_seconds)
@@ -779,6 +807,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "re-walk, same seeded workload and checkpoint schedule",
     )
     parser.add_argument(
+        "--evaluation",
+        choices=("threads", "processes"),
+        default=None,
+        help="with --fleet: route phase 2 through the given evaluation "
+        "plane (pooled worker threads, or one evaluator worker process "
+        "per shard) instead of in-line evaluation",
+    )
+    parser.add_argument(
         "--scenarios",
         nargs="*",
         default=list(PAPER_SCENARIOS),
@@ -813,6 +849,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             backend=args.backend,
             spec=fleet_spec,
             repeats=args.repeats,
+            evaluation=args.evaluation,
         )
         print(render_fleet_table(fleet_rows))
         if args.json is not None:

@@ -58,6 +58,11 @@ from repro.detection.cluster import (
 from repro.detection.algorithm1 import check_general_concurrency_control
 from repro.detection.algorithm2 import ResourceStateChecker
 from repro.detection.algorithm3 import CallingOrderChecker
+from repro.detection.procpool import (
+    EvaluationPool,
+    ProcessEvaluationPool,
+    ThreadEvaluationPool,
+)
 from repro.detection.detector import DetectorConfig, FaultDetector, detector_process
 from repro.detection.durability import (
     DurableEngine,
@@ -72,6 +77,7 @@ from repro.detection.engine import (
     DetectionEngine,
     RegisteredMonitor,
     engine_process,
+    evaluate_capture,
 )
 from repro.detection.faults import FaultClass, FaultLevel
 from repro.detection.fd_rules import check_full_trace
@@ -114,6 +120,10 @@ __all__ = [
     "DetectionEngine",
     "RegisteredMonitor",
     "engine_process",
+    "evaluate_capture",
+    "EvaluationPool",
+    "ThreadEvaluationPool",
+    "ProcessEvaluationPool",
     "DetectionCluster",
     "DetectionSession",
     "ShardPolicy",

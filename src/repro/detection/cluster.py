@@ -14,9 +14,13 @@ partition the registered monitors across N engine *shards* so that
   ``interval * k / N`` within the checking period, recomputed over the
   non-empty shards whenever a monitor registers or unregisters, so
   phase-1 sections never pile onto the same instant,
-* on the thread kernel, phase-2 evaluation runs in a per-shard **worker
-  pool**: evaluation of shard A overlaps capture of shard B, while each
-  shard's single worker still serialises its own checker-state mutation.
+* phase-2 evaluation can leave the checkpointing process entirely: a
+  per-shard **worker pool** (:mod:`repro.detection.procpool`) runs
+  evaluation on worker threads (overlap — the thread-kernel default) or
+  in one evaluator worker *process* per shard
+  (``evaluation="processes"`` — true multi-core parallelism past the
+  GIL), while each shard's single worker still serialises its own
+  checker-state mutation.
 
 Which monitor lands on which shard is a pluggable :class:`ShardPolicy`:
 round-robin (:class:`RoundRobinSharding`), lowest event-rate EWMA load
@@ -40,11 +44,9 @@ from __future__ import annotations
 
 import abc
 import math
-import queue
 import random
-import threading
 from pathlib import Path
-from typing import Callable, Iterator, Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from repro.detection.config import DetectorConfig
 from repro.detection.durability import DurableEngine, RecoverySummary
@@ -53,6 +55,11 @@ from repro.detection.engine import (
     MonitorLike,
     RegisteredMonitor,
     _unwrap,
+)
+from repro.detection.procpool import (
+    EvaluationPool,
+    ProcessEvaluationPool,
+    ThreadEvaluationPool,
 )
 from repro.detection.reports import Confidence, FaultReport
 from repro.detection.supervision import (
@@ -183,66 +190,6 @@ def make_shard_policy(name: str) -> ShardPolicy:
         ) from None
 
 
-# ------------------------------------------------------------- worker pool
-
-
-class _ShardWorkerPool:
-    """One evaluation worker per shard (thread-kernel phase-2 offload).
-
-    Each shard owns exactly one worker thread draining its own queue, so
-    per-shard checker state (Algorithm-2 counters, replay state) is still
-    mutated by a single thread — while different shards evaluate and
-    capture concurrently.
-    """
-
-    def __init__(self, shard_count: int) -> None:
-        self._queues: list[queue.Queue] = [
-            queue.Queue() for __ in range(shard_count)
-        ]
-        self.jobs_run = 0
-        #: Exceptions that escaped a job (engine-level bugs; checker
-        #: failures are already absorbed by the breakers inside the job).
-        self.errors: list[Exception] = []
-        self._threads: list[threading.Thread] = []
-        for index, jobs in enumerate(self._queues):
-            thread = threading.Thread(
-                target=self._run,
-                args=(jobs,),
-                name=f"shard-evaluate-{index}",
-                daemon=True,
-            )
-            thread.start()
-            self._threads.append(thread)
-
-    def _run(self, jobs: queue.Queue) -> None:
-        while True:
-            job = jobs.get()
-            try:
-                if job is None:
-                    return
-                try:
-                    job()
-                    self.jobs_run += 1
-                except Exception as exc:  # noqa: BLE001 — surfaced via errors
-                    self.errors.append(exc)
-            finally:
-                jobs.task_done()
-
-    def submit(self, shard_index: int, job: Callable[[], object]) -> None:
-        self._queues[shard_index].put(job)
-
-    def drain(self) -> None:
-        """Block until every submitted evaluation has finished."""
-        for jobs in self._queues:
-            jobs.join()
-
-    def close(self) -> None:
-        for jobs in self._queues:
-            jobs.put(None)
-        for thread in self._threads:
-            thread.join(timeout=5.0)
-
-
 # ------------------------------------------------------------------ shards
 
 
@@ -271,9 +218,9 @@ class ClusterShard:
         #: Stagger offset of this shard's capture schedule within the
         #: checking interval (maintained by the cluster's rebalance).
         self.offset = 0.0
-        #: Installed by the cluster when thread-kernel evaluation runs in
-        #: the worker pool; None = evaluate inline.
-        self.pool: Optional[_ShardWorkerPool] = None
+        #: Installed by the cluster when phase-2 evaluation runs in a
+        #: worker pool (threads or processes); None = evaluate inline.
+        self.pool: Optional[EvaluationPool] = None
         # Per-shard jitter seed: shards retrying a shared failing
         # dependency (one WAL disk, one slow evaluator pool) must not
         # back off in lockstep, so each shard's supervisor draws from its
@@ -319,16 +266,20 @@ class ClusterShard:
         if self.pool is None:
             return self.target.checkpoint()
         self.engine.capture_phase()
-        self.pool.submit(self.index, self._evaluate_offloaded)
+        self.pool.submit_shard(self)
         return []
 
     def _evaluate_offloaded(self) -> list[FaultReport]:
         reports = self.engine.evaluate_phase()
         self.engine.checkpoints_run += 1
+        self.finish_durable_checkpoint()
+        return reports
+
+    def finish_durable_checkpoint(self) -> None:
+        """Journal new reports and snapshot state after pooled evaluation."""
         if isinstance(self.target, DurableEngine):
             self.target._admit_new_reports()
             self.target._write_snapshot()
-        return reports
 
     def __repr__(self) -> str:
         return (
@@ -363,10 +314,17 @@ class DetectionCluster:
         :class:`~repro.detection.durability.DurableEngine` rooted at
         ``durable_root/shard-<k>`` — per-shard WAL, snapshots and report
         journal, restored together by :meth:`recover`.
+    evaluation:
+        Which phase-2 evaluation plane to run: ``"threads"`` (one worker
+        thread per shard — overlap, GIL-serialised), ``"processes"``
+        (one evaluator worker *process* per shard — true multi-core
+        parallelism) or ``"inline"`` (evaluate on the checkpointing
+        process).  Default (None): ``config.evaluation``, else threads on
+        :class:`~repro.kernel.threads.ThreadKernel` and inline on the
+        deterministic sim kernel.
     evaluate_in_workers:
-        Run phase-2 evaluation in a per-shard worker pool.  Default
-        (None): on for :class:`~repro.kernel.threads.ThreadKernel`, off
-        for the deterministic sim kernel.
+        Legacy boolean spelling of ``evaluation`` (True = ``"threads"``,
+        False = ``"inline"``); ignored when ``evaluation`` decides.
     """
 
     def __init__(
@@ -378,6 +336,7 @@ class DetectionCluster:
         policy: Optional[ShardPolicy] = None,
         durable_root: Optional[Union[str, Path]] = None,
         fsync: str = "interval",
+        evaluation: Optional[str] = None,
         evaluate_in_workers: Optional[bool] = None,
     ) -> None:
         self.kernel = kernel
@@ -387,11 +346,30 @@ class DetectionCluster:
             raise ValueError(f"shard count must be >= 1, got {count}")
         self.policy = policy or make_shard_policy(self.config.shard_policy)
         self.durable_root = Path(durable_root) if durable_root else None
-        if evaluate_in_workers is None:
-            evaluate_in_workers = isinstance(kernel, ThreadKernel)
-        self._pool: Optional[_ShardWorkerPool] = (
-            _ShardWorkerPool(count) if evaluate_in_workers else None
-        )
+        if evaluation is None and evaluate_in_workers is not None:
+            evaluation = "threads" if evaluate_in_workers else "inline"
+        if evaluation is None:
+            evaluation = self.config.evaluation
+        if evaluation is None:
+            evaluation = (
+                "threads" if isinstance(kernel, ThreadKernel) else "inline"
+            )
+        if evaluation not in ("inline", "threads", "processes"):
+            raise ValueError(
+                f"evaluation must be 'inline', 'threads' or 'processes'; "
+                f"got {evaluation!r}"
+            )
+        #: The resolved phase-2 evaluation plane.
+        self.evaluation = evaluation
+        self._pool: Optional[EvaluationPool] = None
+        if evaluation == "threads":
+            self._pool = ThreadEvaluationPool(count)
+        elif evaluation == "processes":
+            self._pool = ProcessEvaluationPool(count)
+        #: ``(shard index, worker name)`` of pool workers that outlived
+        #: the close timeout (each also logged as a "leak" event on the
+        #: shard's supervisor).
+        self.pool_leaks: list[tuple[int, str]] = []
         self._shards: list[ClusterShard] = []
         for index in range(count):
             engine = DetectionEngine(kernel, self.config)
@@ -403,6 +381,8 @@ class DetectionCluster:
             shard = ClusterShard(index, engine, target)
             shard.pool = self._pool
             self._shards.append(shard)
+        if self._pool is not None:
+            self._pool.warm_up(self._shards)
         #: Cluster-wide registration order: ``(entry, shard index)``.
         self._order: list[tuple[RegisteredMonitor, int]] = []
         self._labels: set[str] = set()
@@ -473,6 +453,8 @@ class DetectionCluster:
         )
         self._labels.add(entry.label)
         self._order.append((entry, index))
+        if self._pool is not None:
+            self._pool.entry_registered(self._shards[index], entry)
         self._rebalance()
         return entry
 
@@ -503,6 +485,8 @@ class DetectionCluster:
         entry = self._find(target)
         index = self.shard_of(entry)
         self._shards[index].engine.unregister(entry)
+        if self._pool is not None:
+            self._pool.entry_unregistered(self._shards[index], entry.label)
         self._labels.discard(entry.label)
         self._order = [
             (candidate, shard_index)
@@ -592,10 +576,26 @@ class DetectionCluster:
             shard.target.stop()
         if self._pool is not None:
             self._pool.drain()
-            self._pool.close()
-            self._pool = None
+            self._close_pool()
             for shard in self._shards:
                 shard.pool = None
+
+    def _close_pool(self) -> None:
+        """Close the pool; surface — never swallow — leaked workers."""
+        assert self._pool is not None
+        leaked = self._pool.close()
+        self._pool = None
+        for index, name in leaked:
+            shard = self._shards[index if 0 <= index < len(self._shards) else 0]
+            shard.supervisor.events.append(
+                SupervisorEvent(
+                    self.kernel.now(),
+                    "leak",
+                    f"evaluation worker {name!r} still alive after its "
+                    "close timeout",
+                )
+            )
+        self.pool_leaks.extend(leaked)
 
     @property
     def stopped(self) -> bool:
@@ -622,6 +622,11 @@ class DetectionCluster:
         for shard in self._shards:
             if isinstance(shard.target, DurableEngine):
                 summaries.append(shard.target.recover())
+        if self._pool is not None:
+            # The recovery rebuilt checker state behind the pool's back;
+            # push full stream state to the shadow evaluators.
+            for shard in self._shards:
+                self._pool.resync_shard(shard)
         return summaries
 
     def close(self) -> None:
@@ -630,8 +635,7 @@ class DetectionCluster:
             if isinstance(shard.target, DurableEngine):
                 shard.target.close()
         if self._pool is not None:
-            self._pool.close()
-            self._pool = None
+            self._close_pool()
 
     @property
     def durability_counters(self) -> dict[str, int]:

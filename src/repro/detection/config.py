@@ -67,6 +67,12 @@ class DetectorConfig:
       ``interval * k / N`` so phase-1 world-stops never coincide; off, all
       shards fire at the same instants (useful for apples-to-apples
       measurements).
+    * ``evaluation`` — which phase-2 evaluation plane the cluster runs:
+      ``"threads"`` (one worker thread per shard — overlap, but the GIL
+      serialises the checkers), ``"processes"`` (one evaluator worker
+      *process* per shard — true multi-core parallelism, captures cross
+      the pipe wire-serialized) or ``None`` (auto: threads on the thread
+      kernel, inline on the sim kernel).
 
     Rather than memorising the kwarg sprawl, start from a
     :meth:`preset` — ``DetectorConfig.preset("bounded", interval=0.5)`` —
@@ -112,6 +118,7 @@ class DetectorConfig:
     shards: int = 1
     shard_policy: str = "round-robin"
     stagger: bool = True
+    evaluation: Optional[str] = None
 
     #: Named starting points for common deployments (see :meth:`preset`).
     _PRESETS = {
@@ -234,4 +241,9 @@ class DetectorConfig:
             raise ValueError(
                 f"shard_policy must be one of 'round-robin', 'rate', "
                 f"'label'; got {self.shard_policy!r}"
+            )
+        if self.evaluation not in (None, "threads", "processes"):
+            raise ValueError(
+                f"evaluation must be None, 'threads' or 'processes'; "
+                f"got {self.evaluation!r}"
             )

@@ -45,8 +45,14 @@ from typing import IO, Callable, Optional, Union
 
 from repro.detection.config import DetectorConfig
 from repro.detection.engine import DetectionEngine, RegisteredMonitor
-from repro.detection.reports import Confidence, FaultReport
-from repro.detection.rules import FDRule, STRule
+
+# The report codec lives with the report type; re-exported here because the
+# journal format is this module's contract (import sites predate the move).
+from repro.detection.reports import (
+    FaultReport,
+    report_from_dict,
+    report_to_dict,
+)
 from repro.detection.supervision import CheckpointSupervisor
 from repro.errors import RecoveryError
 from repro.history.wal import WriteAheadLog
@@ -63,15 +69,6 @@ __all__ = [
 
 
 # ----------------------------------------------------------------- reports
-
-
-def _rule_from_id(value: str):
-    for enum_type in (STRule, FDRule):
-        try:
-            return enum_type(value)
-        except ValueError:
-            continue
-    raise RecoveryError(f"unknown rule id {value!r} in journaled report")
 
 
 def report_key(report: FaultReport) -> str:
@@ -93,39 +90,6 @@ def report_key(report: FaultReport) -> str:
             report.confidence.value,
         )
     )
-
-
-def report_to_dict(report: FaultReport) -> dict:
-    """One fault report as a JSON-compatible journal record."""
-    return {
-        "kind": "report",
-        "rule": report.rule_id,
-        "message": report.message,
-        "monitor": report.monitor,
-        "detected_at": report.detected_at,
-        "pids": list(report.pids),
-        "event_seq": report.event_seq,
-        "window_start": report.window_start,
-        "confidence": report.confidence.value,
-    }
-
-
-def report_from_dict(record: dict) -> FaultReport:
-    if record.get("kind") != "report":
-        raise RecoveryError(f"not a report record: {record!r}")
-    try:
-        return FaultReport(
-            rule=_rule_from_id(record["rule"]),
-            message=record["message"],
-            monitor=record["monitor"],
-            detected_at=record["detected_at"],
-            pids=tuple(record["pids"]),
-            event_seq=record["event_seq"],
-            window_start=record["window_start"],
-            confidence=Confidence(record["confidence"]),
-        )
-    except (KeyError, TypeError, ValueError) as exc:
-        raise RecoveryError(f"malformed report record: {exc}") from exc
 
 
 class ReportJournal:

@@ -74,6 +74,7 @@ __all__ = [
     "RegisteredMonitor",
     "DetectionEngine",
     "engine_process",
+    "evaluate_capture",
 ]
 
 MonitorLike = Union[Monitor, MonitorBase]
@@ -103,6 +104,118 @@ class CheckpointCapture:
     segment: Segment
     request_list: Optional[tuple[tuple[Pid, float], ...]]
     taken_at: float
+
+
+def _degrade_window(
+    found: list[FaultReport],
+    segment: Segment,
+    *,
+    monitor_name: str,
+    tmax: Optional[float],
+    tio: Optional[float],
+) -> list[FaultReport]:
+    """Keep only drop-tolerant findings, downgraded to DEGRADED.
+
+    The filter itself is the pure
+    :func:`~repro.detection.rules.degrade_to_drop_tolerant`; ST-5/6
+    are then re-derived from the current snapshot
+    (:func:`~repro.detection.replay.sweep_timers`): the replay sweep
+    covers only entries it reconstructed from surviving events, so on
+    a lossy window it can miss exactly the wedged process the timer
+    rules exist to catch.  The snapshot's queue entries carry their
+    own ``since`` timestamps, making the snapshot sweep exact without
+    any events.
+    """
+    kept = degrade_to_drop_tolerant(found)
+    kept.extend(
+        replace(report, confidence=Confidence.DEGRADED)
+        for report in sweep_timers(
+            segment.current,
+            monitor_name,
+            tmax=tmax,
+            tio=tio,
+            window_start=segment.previous.time,
+        )
+    )
+    return kept
+
+
+def evaluate_capture(
+    declaration,
+    config: DetectorConfig,
+    *,
+    monitor_name: str,
+    algorithm1: Optional[IncrementalConcurrencyChecker],
+    algorithm2: Optional[ResourceStateChecker],
+    algorithm3: Optional[CallingOrderChecker],
+    order_checking: bool,
+    snapshot: SchedulingState,
+    segment: Segment,
+    request_list: Optional[tuple[tuple[Pid, float], ...]],
+) -> list[FaultReport]:
+    """Run every rule over one frozen capture — the phase-2 seam.
+
+    Pure over its inputs apart from the checker instances it advances
+    (Algorithm-1 carried lists, Algorithm-2 cumulative counters,
+    Algorithm-3 replay state); shared verbatim by the in-process
+    :meth:`RegisteredMonitor.evaluate` and the process plane's shadow
+    streams (:mod:`repro.detection.procpool`), which is what makes thread
+    and process evaluation byte-identical.
+
+    ``order_checking`` is passed separately from ``algorithm3`` because a
+    realtime-tap shadow stream has no checker instance at all — the frozen
+    ``request_list`` plus the pure sweep is the entirety of its phase-2
+    order checking.
+    """
+    if algorithm1 is not None:
+        found = algorithm1.check_window(
+            segment, tmax=config.tmax, tio=config.tio
+        )
+    else:
+        found = check_general_concurrency_control(
+            declaration, segment, tmax=config.tmax, tio=config.tio
+        )
+    if algorithm2 is not None:
+        found.extend(algorithm2.check_window(segment))
+    if order_checking:
+        if not config.realtime_orders and segment.complete:
+            # Window replay of calling orders needs every event; on a
+            # lossy window the real-time tap (when on) already saw the
+            # true sequence, and the replay would start mid-pattern.
+            assert algorithm3 is not None
+            for event in segment.events:
+                found.extend(algorithm3.on_event(event))
+        if config.tlimit is not None:
+            if config.realtime_orders:
+                # Tap mode: sweep the Request-List frozen in phase 1 —
+                # consistent with the snapshot even though the live
+                # list has moved on since the section ended.
+                assert request_list is not None
+                found.extend(
+                    sweep_request_list(
+                        request_list, monitor_name, snapshot.time,
+                        config.tlimit,
+                    )
+                )
+            else:
+                # Replay mode: the sweep must see the list as the
+                # replay above just rebuilt it.
+                assert algorithm3 is not None
+                found.extend(algorithm3.periodic(snapshot.time, config.tlimit))
+    if not segment.complete:
+        found = _degrade_window(
+            found,
+            segment,
+            monitor_name=monitor_name,
+            tmax=config.tmax,
+            tio=config.tio,
+        )
+        if algorithm2 is not None:
+            # The lossy window desynchronised Algorithm-2's cumulative
+            # counters; re-base them on the snapshot so later complete
+            # windows don't report ST-7a on a healthy monitor.
+            algorithm2.resync(segment.current)
+    return found
 
 
 class RegisteredMonitor:
@@ -291,59 +404,22 @@ class RegisteredMonitor:
         reports are downgraded to :attr:`Confidence.DEGRADED` — a
         truncated trace must degrade, not false-positive.
         """
-        snapshot, segment = capture.snapshot, capture.segment
-        if self.algorithm1 is not None:
-            found = self.algorithm1.check_window(
-                segment, tmax=self.config.tmax, tio=self.config.tio
-            )
-        else:
-            found = check_general_concurrency_control(
-                self.monitor.declaration,
-                segment,
-                tmax=self.config.tmax,
-                tio=self.config.tio,
-            )
-        if self.algorithm2 is not None:
-            found.extend(self.algorithm2.check_window(segment))
-        if self.algorithm3 is not None:
-            if not self.config.realtime_orders and segment.complete:
-                # Window replay of calling orders needs every event; on a
-                # lossy window the real-time tap (when on) already saw the
-                # true sequence, and the replay would start mid-pattern.
-                for event in segment.events:
-                    found.extend(self.algorithm3.on_event(event))
-            if self.config.tlimit is not None:
-                if self.config.realtime_orders:
-                    # Tap mode: sweep the Request-List frozen in phase 1 —
-                    # consistent with the snapshot even though the live
-                    # list has moved on since the section ended.
-                    assert capture.request_list is not None
-                    found.extend(
-                        sweep_request_list(
-                            capture.request_list,
-                            self.monitor.name,
-                            snapshot.time,
-                            self.config.tlimit,
-                        )
-                    )
-                else:
-                    # Replay mode: the sweep must see the list as the
-                    # replay above just rebuilt it.
-                    found.extend(
-                        self.algorithm3.periodic(
-                            snapshot.time, self.config.tlimit
-                        )
-                    )
+        found = evaluate_capture(
+            self.monitor.declaration,
+            self.config,
+            monitor_name=self.monitor.name,
+            algorithm1=self.algorithm1,
+            algorithm2=self.algorithm2,
+            algorithm3=self.algorithm3,
+            order_checking=self.algorithm3 is not None,
+            snapshot=capture.snapshot,
+            segment=capture.segment,
+            request_list=capture.request_list,
+        )
         self.checkpoints_run += 1
-        if not segment.complete:
-            self.dropped_in_windows += segment.dropped
+        if not capture.segment.complete:
+            self.dropped_in_windows += capture.segment.dropped
             self.degraded_windows += 1
-            found = self._degrade(found, segment)
-            if self.algorithm2 is not None:
-                # The lossy window desynchronised Algorithm-2's cumulative
-                # counters; re-base them on the snapshot so later complete
-                # windows don't report ST-7a on a healthy monitor.
-                self.algorithm2.resync(segment.current)
         return found
 
     def check(self) -> list[FaultReport]:
@@ -356,33 +432,72 @@ class RegisteredMonitor:
         """
         return self.evaluate(self.capture(self.monitor.kernel.now()))
 
-    def _degrade(
-        self, found: list[FaultReport], segment: Segment
-    ) -> list[FaultReport]:
-        """Keep only drop-tolerant findings, downgraded to DEGRADED.
+    # ------------------------------------------------------ state hand-off
 
-        The filter itself is the pure
-        :func:`~repro.detection.rules.degrade_to_drop_tolerant`; ST-5/6
-        are then re-derived from the current snapshot
-        (:func:`~repro.detection.replay.sweep_timers`): the replay sweep
-        covers only entries it reconstructed from surviving events, so on
-        a lossy window it can miss exactly the wedged process the timer
-        rules exist to catch.  The snapshot's queue entries carry their
-        own ``since`` timestamps, making the snapshot sweep exact without
-        any events.
+    def export_stream_spec(self) -> dict:
+        """Everything a shadow evaluator needs to mirror this entry.
+
+        The declaration travels as rendered text (the same
+        render/parse seam the detection service uses — no pickling of
+        monitor objects), the per-entry rule configuration as plain
+        scalars, and the current checker state via the ``state_dict``
+        surface.  In realtime-order mode Algorithm-3 stays home: the live
+        tap owns its state, and phase 2 only needs the frozen
+        Request-List each capture already carries.
         """
-        kept = degrade_to_drop_tolerant(found)
-        kept.extend(
-            replace(report, confidence=Confidence.DEGRADED)
-            for report in sweep_timers(
-                segment.current,
-                self.monitor.name,
-                tmax=self.config.tmax,
-                tio=self.config.tio,
-                window_start=segment.previous.time,
-            )
-        )
-        return kept
+        return {
+            "label": self.label,
+            "monitor_name": self.monitor.name,
+            "declaration": self.monitor.declaration.render(),
+            "config": {
+                "tmax": self.config.tmax,
+                "tio": self.config.tio,
+                "tlimit": self.config.tlimit,
+                "realtime_orders": self.config.realtime_orders,
+                "incremental_checking": self.config.incremental_checking,
+            },
+            "state": self.export_checker_state(),
+        }
+
+    def export_checker_state(self) -> dict:
+        """The carried phase-2 checker state, JSON-compatible."""
+        return {
+            "algorithm1": (
+                None if self.algorithm1 is None else self.algorithm1.state_dict()
+            ),
+            "algorithm2": (
+                None if self.algorithm2 is None else self.algorithm2.state_dict()
+            ),
+            "algorithm3": (
+                self.algorithm3.state_dict()
+                if self.algorithm3 is not None
+                and not self.config.realtime_orders
+                else None
+            ),
+        }
+
+    def import_checker_state(self, record: dict, *, basis=None) -> None:
+        """Adopt a shadow evaluator's checker state after a batch.
+
+        ``basis`` is the state object Algorithm-1's carried lists were
+        left matching (the last evaluated window's ``current``); passing
+        the engine's own object restores the identity-based carry, so a
+        later in-thread window continues incrementally instead of
+        rebasing.
+        """
+        raw = record.get("algorithm1")
+        if raw is not None and self.algorithm1 is not None:
+            self.algorithm1.restore_state(raw, basis=basis)
+        raw = record.get("algorithm2")
+        if raw is not None and self.algorithm2 is not None:
+            self.algorithm2.restore_state(raw)
+        raw = record.get("algorithm3")
+        if (
+            raw is not None
+            and self.algorithm3 is not None
+            and not self.config.realtime_orders
+        ):
+            self.algorithm3.restore_state(raw)
 
     # --------------------------------------------------- hot-path accounting
 
@@ -679,6 +794,18 @@ class DetectionEngine:
         finally:
             self.evaluate_seconds += perf_counter() - started
         return found
+
+    def take_pending_captures(self) -> list[CheckpointCapture]:
+        """Claim the queued phase-1 captures for external evaluation.
+
+        The process evaluation plane fixes each worker batch at submit
+        time with this — once taken, the captures belong to the caller
+        (ship them, evaluate them, or push them back onto
+        ``_pending_captures`` for the in-thread fallback), and a later
+        :meth:`evaluate_phase` sees only captures taken afterwards.
+        """
+        captures, self._pending_captures = self._pending_captures, []
+        return captures
 
     @property
     def pending_captures(self) -> int:

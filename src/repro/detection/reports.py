@@ -15,9 +15,16 @@ from typing import Optional, Union
 
 from repro.detection.faults import FaultClass
 from repro.detection.rules import SUSPECTS, FDRule, STRule
+from repro.errors import RecoveryError
 from repro.ids import Pid
 
-__all__ = ["Confidence", "FaultReport"]
+__all__ = [
+    "Confidence",
+    "FaultReport",
+    "rule_from_id",
+    "report_to_dict",
+    "report_from_dict",
+]
 
 Rule = Union[FDRule, STRule]
 
@@ -88,3 +95,56 @@ class FaultReport:
 
     def __str__(self) -> str:
         return self.render()
+
+
+# ------------------------------------------------------------------- codec
+
+# The canonical JSON codec for reports.  Shared by the report journal
+# (exactly-once delivery across restarts, :mod:`repro.detection.durability`)
+# and the process-parallel evaluation plane (reports crossing the worker
+# pipe, :mod:`repro.detection.procpool`).  Round trips are exact:
+# ``report_from_dict(report_to_dict(r)) == r`` — floats survive JSON
+# bit-for-bit via repr-based encoding.
+
+
+def rule_from_id(value: str) -> Rule:
+    """Resolve a ``rule_id`` string back to its ST-/FD-Rule member."""
+    for enum_type in (STRule, FDRule):
+        try:
+            return enum_type(value)
+        except ValueError:
+            continue
+    raise RecoveryError(f"unknown rule id {value!r} in serialized report")
+
+
+def report_to_dict(report: FaultReport) -> dict:
+    """One fault report as a JSON-compatible record."""
+    return {
+        "kind": "report",
+        "rule": report.rule_id,
+        "message": report.message,
+        "monitor": report.monitor,
+        "detected_at": report.detected_at,
+        "pids": list(report.pids),
+        "event_seq": report.event_seq,
+        "window_start": report.window_start,
+        "confidence": report.confidence.value,
+    }
+
+
+def report_from_dict(record: dict) -> FaultReport:
+    if record.get("kind") != "report":
+        raise RecoveryError(f"not a report record: {record!r}")
+    try:
+        return FaultReport(
+            rule=rule_from_id(record["rule"]),
+            message=record["message"],
+            monitor=record["monitor"],
+            detected_at=record["detected_at"],
+            pids=tuple(record["pids"]),
+            event_seq=record["event_seq"],
+            window_start=record["window_start"],
+            confidence=Confidence(record["confidence"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RecoveryError(f"malformed report record: {exc}") from exc

@@ -71,6 +71,10 @@ class DetectionSession:
         Pace checkpoints through each shard's
         :class:`~repro.detection.supervision.CheckpointSupervisor`
         (retry/backoff/stall watchdog) instead of raw checkpoints.
+    evaluation:
+        Phase-2 evaluation plane — ``"threads"``, ``"processes"`` or
+        ``"inline"`` (default ``config.evaluation``, else the kernel's
+        auto choice; see :class:`DetectionCluster`).
     """
 
     def __init__(
@@ -84,6 +88,7 @@ class DetectionSession:
         policy: Optional[ShardPolicy] = None,
         supervised: bool = True,
         fsync: str = "interval",
+        evaluation: Optional[str] = None,
     ) -> None:
         self.config = config or DetectorConfig()
         self.cluster = DetectionCluster(
@@ -93,6 +98,7 @@ class DetectionSession:
             policy=policy,
             durable_root=durable_dir,
             fsync=fsync,
+            evaluation=evaluation,
         )
         self.supervised = supervised
         self._pids: list = []

@@ -183,7 +183,12 @@ class SupervisorEvent:
     """One entry of the supervisor's audit log."""
 
     time: float
-    kind: str  # "failure" | "retry" | "gave-up" | "budget" | "stall"
+    #: "failure" | "retry" | "gave-up" | "budget" | "stall" from the
+    #: checkpoint supervisor itself, plus two raised by the cluster's
+    #: evaluation pools: "worker-death" (an evaluator worker process died;
+    #: its shard fell back to in-thread evaluation) and "leak" (a pool
+    #: worker outlived its close timeout).
+    kind: str
     detail: str = ""
 
 

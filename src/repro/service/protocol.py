@@ -33,13 +33,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import ServiceError
-from repro.history.serialize import (
-    event_from_dict,
-    event_to_dict,
-    state_from_dict,
-    state_to_dict,
-)
+from repro.errors import HistoryError, ServiceError
+from repro.history.serialize import segment_from_dict, segment_to_dict
 from repro.history.sink import Segment
 
 __all__ = [
@@ -74,25 +69,20 @@ class ProtocolError(ServiceError):
 
 
 def segment_to_wire(segment: Segment) -> dict:
-    """One cut checkpoint window as a JSON-compatible dict."""
-    return {
-        "previous": state_to_dict(segment.previous),
-        "events": [event_to_dict(event) for event in segment.events],
-        "current": state_to_dict(segment.current),
-        "dropped": segment.dropped,
-    }
+    """One cut checkpoint window as a JSON-compatible dict.
+
+    The codec itself lives in :mod:`repro.history.serialize` (the
+    process-parallel evaluation plane shares it); this wrapper pins the
+    service's wire shape to it.
+    """
+    return segment_to_dict(segment)
 
 
 def segment_from_wire(raw: dict) -> Segment:
     """Rebuild a :class:`~repro.history.sink.Segment` from wire form."""
     try:
-        return Segment(
-            previous=state_from_dict(raw["previous"]),
-            events=tuple(event_from_dict(event) for event in raw["events"]),
-            current=state_from_dict(raw["current"]),
-            dropped=int(raw.get("dropped", 0)),
-        )
-    except (KeyError, TypeError, ValueError) as exc:
+        return segment_from_dict(raw)
+    except HistoryError as exc:
         raise ProtocolError(f"malformed window segment: {exc}") from exc
 
 

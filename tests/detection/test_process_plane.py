@@ -1,0 +1,187 @@
+"""Process-parallel phase-2 evaluation: byte-identical report streams
+across evaluation planes, deterministic in-thread fallback after a
+``kill -9``'d evaluator worker, and the pool-close leak accounting.
+
+The plane must be invisible in the output: same seeded sim workload,
+``evaluation="threads"`` vs ``"processes"`` (and a 1-shard inline
+baseline) must merge to byte-identical report streams, because the
+worker evaluates the same frozen windows with the same shadow checkers
+and the merge key is plane-independent.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.apps import SingleResourceAllocator
+from repro.detection import DetectionCluster, DetectorConfig
+from repro.detection.procpool import EvaluationPool, ThreadEvaluationPool
+from repro.history import HistoryDatabase
+from repro.kernel import Delay, FifoPolicy, SimKernel
+
+#: Generous timeouts: reports anchor to event times, so the merged
+#: stream is capture-schedule (and so shard-count) independent.
+CONFIG = DetectorConfig(
+    interval=0.5,
+    tmax=120.0,
+    tio=120.0,
+    tlimit=120.0,
+    realtime_orders=False,
+    stagger=False,
+)
+
+
+def build_workload(kernel, count=6):
+    """``count`` allocators with deterministic request/release cycles and
+    two rogue bare releases — order violations the phase-2 replay checker
+    flags *worker-side* (``realtime_orders=False``)."""
+    allocators = [
+        SingleResourceAllocator(kernel, history=HistoryDatabase())
+        for __ in range(count)
+    ]
+    for index, allocator in enumerate(allocators):
+
+        def user(allocator=allocator, index=index):
+            for __ in range(4):
+                yield Delay(0.1 + 0.01 * index)
+                yield from allocator.request()
+                yield Delay(0.05)
+                yield from allocator.release()
+
+        kernel.spawn(user(), f"user-{index}")
+
+    def rogue(allocator, delay):
+        def proc():
+            yield Delay(delay)
+            yield from allocator.release()
+
+        return proc()
+
+    kernel.spawn(rogue(allocators[0], 3.0), "rogue-0")
+    kernel.spawn(rogue(allocators[3], 3.5), "rogue-3")
+    return allocators
+
+
+def run_plane(evaluation, shards, *, sabotage=None):
+    kernel = SimKernel(FifoPolicy(), on_deadlock="stop")
+    allocators = build_workload(kernel)
+    cluster = DetectionCluster(
+        kernel, CONFIG, shards=shards, evaluation=evaluation
+    )
+    for index, allocator in enumerate(allocators):
+        cluster.register(allocator, label=f"alloc-{index}")
+    pool = cluster._pool
+
+    def pacer():
+        rounds = 0
+        while True:
+            yield Delay(CONFIG.interval)
+            cluster.checkpoint()
+            rounds += 1
+            if sabotage is not None and rounds == 3:
+                sabotage(cluster, pool)
+
+    kernel.spawn(pacer(), "pacer")
+    kernel.run(until=8.0)
+    cluster.stop()
+    return cluster, pool
+
+
+class TestPlaneDeterminism:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_threads_vs_processes_byte_identical(self, shards):
+        baseline, __ = run_plane("inline", 1)
+        expected = [report.render() for report in baseline.reports]
+        assert expected, "workload produced no fault reports"
+        for plane in ("threads", "processes"):
+            cluster, __ = run_plane(plane, shards)
+            assert [
+                report.render() for report in cluster.reports
+            ] == expected, plane
+            # Structural identity too, not just the rendered text.
+            assert cluster.reports == baseline.reports, plane
+            assert not cluster.pool_leaks
+
+    def test_worker_evaluations_actually_ran_out_of_process(self):
+        cluster, pool = run_plane("processes", 2)
+        # No deaths, no fallbacks: every window was evaluated by a worker.
+        assert pool.worker_deaths == []
+        assert pool.windows_recovered == 0
+        assert sum(pool.per_worker_cpu) > 0.0
+        assert sum(
+            shard.engine.evaluations_run for shard in cluster.shards
+        ) > 0
+
+
+class TestWorkerDeathFallback:
+    def test_killed_worker_degrades_without_losing_reports(self):
+        baseline, __ = run_plane("inline", 1)
+        expected = [report.render() for report in baseline.reports]
+        assert expected
+
+        def kill_worker(cluster, pool):
+            handle = pool._handles[0]
+            handle.process.kill()  # SIGKILL: no goodbye, no flush
+            handle.process.join(timeout=10.0)
+
+        cluster, pool = run_plane("processes", 2, sabotage=kill_worker)
+        # Not one report lost, duplicated or reordered.
+        assert [report.render() for report in cluster.reports] == expected
+        assert pool.worker_deaths and pool.worker_deaths[0][0] == 0
+        assert pool.windows_recovered > 0
+        kinds = [
+            event.kind
+            for shard in cluster.shards
+            for event in shard.supervisor.events
+        ]
+        assert "worker-death" in kinds
+        # The healthy shard kept its worker.
+        assert not pool._handles[1].dead
+
+
+class TestPoolCloseLeak:
+    def test_close_surfaces_stuck_worker_threads(self):
+        pool = ThreadEvaluationPool(1)
+        release = threading.Event()
+        pool.submit(0, release.wait)
+        time.sleep(0.05)  # let the dispatch thread pick the job up
+        leaked = pool.close(timeout=0.1)
+        try:
+            assert leaked == [(0, "shard-evaluate-0")]
+            assert pool.leaked == leaked
+        finally:
+            release.set()
+
+    def test_clean_close_leaks_nothing(self):
+        pool = ThreadEvaluationPool(2)
+        pool.submit(0, lambda: None)
+        pool.submit(1, lambda: None)
+        pool.drain()
+        assert pool.close(timeout=5.0) == []
+        assert pool.leaked == []
+
+    def test_cluster_records_leak_event(self):
+        kernel = SimKernel(FifoPolicy(), on_deadlock="stop")
+        cluster = DetectionCluster(
+            kernel, CONFIG, shards=1, evaluation="threads"
+        )
+        pool = cluster._pool
+        release = threading.Event()
+        pool.submit(0, release.wait)
+        time.sleep(0.05)
+        # The cluster closes pools with the default (long) join timeout;
+        # shrink it so the stuck worker is surfaced promptly.
+        pool.close = lambda timeout=5.0: EvaluationPool.close(
+            pool, timeout=0.1
+        )
+        try:
+            cluster.close()
+            assert cluster.pool_leaks == [(0, "shard-evaluate-0")]
+            kinds = [
+                event.kind
+                for event in cluster.shards[0].supervisor.events
+            ]
+            assert "leak" in kinds
+        finally:
+            release.set()

@@ -1,0 +1,269 @@
+"""Property tests: the process-plane wire codecs round-trip exactly.
+
+The :class:`~repro.detection.procpool.ProcessEvaluationPool` ships
+checking windows to evaluator worker processes as JSON — segments,
+checkpoint captures and fault reports all cross the process boundary
+through :mod:`repro.history.serialize`.  Whatever the sim produces,
+``decode(encode(x)) == x`` must hold bit-for-bit (structural equality on
+the frozen dataclasses), including lossy windows where the bounded sink
+dropped events (``Segment.dropped > 0``), because the byte-identical
+report-stream guarantee of the plane comparison rests on it.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.engine import CheckpointCapture
+from repro.detection.reports import (
+    Confidence,
+    FaultReport,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.detection.rules import FDRule, STRule
+from repro.history import BoundedHistory
+from repro.history.serialize import (
+    capture_from_dict,
+    capture_to_dict,
+    event_from_dict,
+    events_from_wire,
+    event_to_dict,
+    request_list_from_wire,
+    request_list_to_wire,
+    segment_from_dict,
+    segment_to_dict,
+    segment_to_json,
+    state_from_dict,
+    state_to_dict,
+)
+from repro.history.sink import Segment
+from repro.history.states import QueueEntry, SchedulingState
+from repro.kernel import Delay, FifoPolicy, SimKernel
+from tests.history.test_serialize import events_strategy
+
+
+# --------------------------------------------------------- strategies
+
+
+@st.composite
+def queue_entries(draw):
+    return QueueEntry(
+        draw(st.integers(1, 500)),
+        draw(st.sampled_from(["Send", "Receive", "Request"])),
+        draw(st.floats(0, 1e6, allow_nan=False, allow_infinity=False)),
+    )
+
+
+@st.composite
+def states_strategy(draw):
+    conds = draw(
+        st.dictionaries(
+            st.sampled_from(["full", "empty", "ready"]),
+            st.tuples(queue_entries()),
+            max_size=3,
+        )
+    )
+    return SchedulingState(
+        time=draw(st.floats(0, 1e6, allow_nan=False, allow_infinity=False)),
+        entry_queue=tuple(draw(st.lists(queue_entries(), max_size=3))),
+        cond_queues=conds,
+        running=tuple(draw(st.lists(queue_entries(), max_size=2))),
+        urgent=tuple(draw(st.lists(queue_entries(), max_size=2))),
+        resource_count=draw(st.integers(0, 5)),
+    )
+
+
+@st.composite
+def segments_strategy(draw):
+    events = draw(st.lists(events_strategy(), max_size=12))
+    return Segment(
+        previous=draw(states_strategy()),
+        events=tuple(events),
+        current=draw(states_strategy()),
+        # Lossy windows included: dropped > 0 is the DEGRADED-confidence
+        # path and must survive the wire unchanged.
+        dropped=draw(st.integers(0, 5)),
+    )
+
+
+@st.composite
+def reports_strategy(draw):
+    rule = draw(st.sampled_from(list(STRule) + list(FDRule)))
+    return FaultReport(
+        rule=rule,
+        message=draw(st.sampled_from(["boom", "late exit", "pid 3 stuck"])),
+        monitor=draw(st.sampled_from(["alloc", "buffer"])),
+        detected_at=draw(
+            st.floats(0, 1e6, allow_nan=False, allow_infinity=False)
+        ),
+        pids=tuple(draw(st.lists(st.integers(1, 500), max_size=3))),
+        event_seq=draw(st.one_of(st.none(), st.integers(0, 10_000))),
+        window_start=draw(
+            st.one_of(
+                st.none(),
+                st.floats(0, 1e6, allow_nan=False, allow_infinity=False),
+            )
+        ),
+        confidence=draw(st.sampled_from(list(Confidence))),
+    )
+
+
+request_lists = st.one_of(
+    st.none(),
+    st.lists(
+        st.tuples(
+            st.integers(1, 500),
+            st.floats(0, 1e6, allow_nan=False, allow_infinity=False),
+        ),
+        max_size=5,
+    ).map(tuple),
+)
+
+
+# ------------------------------------------------------ arbitrary inputs
+
+
+class TestWireRoundTripProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(segment=segments_strategy())
+    def test_any_segment_round_trips(self, segment):
+        assert segment_from_dict(segment_to_dict(segment)) == segment
+
+    @settings(max_examples=100, deadline=None)
+    @given(segment=segments_strategy())
+    def test_fused_json_matches_dict_encoder(self, segment):
+        # The hand-fused encoder rides the dispatch thread's hot path;
+        # it must stay byte-identical to the reference encoding.
+        reference = json.dumps(segment_to_dict(segment), separators=(",", ":"))
+        assert segment_to_json(segment) == reference
+        assert segment_from_dict(json.loads(segment_to_json(segment))) == segment
+
+    @settings(max_examples=100, deadline=None)
+    @given(events=st.lists(events_strategy(), max_size=12))
+    def test_batch_event_decoder_matches_reference(self, events):
+        records = [event_to_dict(event) for event in events]
+        assert events_from_wire(records) == tuple(
+            event_from_dict(record) for record in records
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(request_list=request_lists)
+    def test_any_request_list_round_trips(self, request_list):
+        wire = request_list_to_wire(request_list)
+        assert request_list_from_wire(wire) == request_list
+        # JSON-compatible on the nose: survives an actual dumps/loads.
+        assert request_list_from_wire(json.loads(json.dumps(wire))) == (
+            request_list
+        )
+
+    @settings(max_examples=150, deadline=None)
+    @given(report=reports_strategy())
+    def test_any_report_round_trips(self, report):
+        record = report_to_dict(report)
+        assert report_from_dict(json.loads(json.dumps(record))) == report
+
+
+# ------------------------------------------------------ seeded sim runs
+
+
+def run_detected_workload(*, bounded=None, seed_delay=0.1):
+    """A seeded allocator run with a bare-release order violation.
+
+    Returns the session's engine after the workload drained: its report
+    stream is non-empty (the replay checker flags the rogue release) and,
+    with ``bounded``, its capture windows carry ``dropped > 0``.
+    """
+    from repro.apps import SingleResourceAllocator
+    from repro.detection import DetectionEngine, DetectorConfig
+    from repro.history import HistoryDatabase
+
+    kernel = SimKernel(FifoPolicy(), on_deadlock="stop")
+    history = BoundedHistory(bounded) if bounded else HistoryDatabase()
+    allocator = SingleResourceAllocator(kernel, history=history)
+    config = DetectorConfig(
+        interval=0.5,
+        tmax=120.0,
+        tio=120.0,
+        tlimit=120.0,
+        realtime_orders=False,
+        incremental_checking=False,
+    )
+    engine = DetectionEngine(kernel, config)
+    engine.register(allocator)
+
+    def user():
+        for __ in range(6):
+            yield Delay(seed_delay)
+            yield from allocator.request()
+            yield Delay(0.05)
+            yield from allocator.release()
+
+    def rogue():
+        yield Delay(3.0)
+        yield from allocator.release()
+
+    kernel.spawn(user(), "user")
+    kernel.spawn(rogue(), "rogue")
+    return kernel, engine
+
+
+class TestSeededSimWindows:
+    def _captures(self, *, bounded=None):
+        kernel, engine = run_detected_workload(bounded=bounded)
+        captures = []
+
+        def pacer():
+            while True:
+                yield Delay(0.5)
+                engine.capture_phase()
+                batch = engine.take_pending_captures()
+                captures.extend(batch)
+                # Keep the parent checkers advancing like the real plane.
+                engine._pending_captures[:0] = batch
+                engine.evaluate_phase()
+
+        kernel.spawn(pacer(), "pacer")
+        kernel.run(until=6.0)
+        return captures, engine
+
+    def test_sim_captures_round_trip(self):
+        captures, engine = self._captures()
+        assert captures, "workload produced no checkpoint windows"
+        entry = engine.entries[0]
+        for capture in captures:
+            record = json.loads(
+                json.dumps(capture_to_dict(capture), separators=(",", ":"))
+            )
+            decoded = capture_from_dict(record, entry)
+            assert decoded.segment == capture.segment
+            assert decoded.snapshot == capture.snapshot
+            assert decoded.request_list == capture.request_list
+            assert decoded.taken_at == capture.taken_at
+            assert isinstance(decoded, CheckpointCapture)
+
+    def test_sim_lossy_windows_round_trip_with_drop_count(self):
+        captures, engine = self._captures(bounded=3)
+        dropped = [c for c in captures if c.segment.dropped > 0]
+        assert dropped, "bounded sink produced no lossy windows"
+        for capture in dropped:
+            decoded = segment_from_dict(segment_to_dict(capture.segment))
+            assert decoded == capture.segment
+            assert decoded.dropped == capture.segment.dropped
+            assert not decoded.complete
+
+    def test_sim_reports_round_trip(self):
+        captures, engine = self._captures()
+        reports = engine.reports
+        assert reports, "rogue release produced no fault report"
+        for report in reports:
+            record = json.loads(json.dumps(report_to_dict(report)))
+            assert report_from_dict(record) == report
+
+    def test_sim_states_round_trip(self):
+        captures, engine = self._captures()
+        for capture in captures:
+            assert state_from_dict(state_to_dict(capture.snapshot)) == (
+                capture.snapshot
+            )
