@@ -52,6 +52,17 @@ Commands
 ``check TRACE.jsonl --monitor {buffer,allocator} [--tmax T] ...``
     Offline FD-rule checking of a persisted JSONL trace (see
     :mod:`repro.history.serialize`).
+``metrics [--seed N] [--monitors N] [--shards N] [--until S] [--stable] [--json PATH]``
+    Run a seeded sim-kernel fleet through a :class:`DetectionSession` and
+    export its live metrics registry: Prometheus text on stdout, the
+    versioned ``repro-metrics/1`` JSON document via ``--json``.
+    ``--stable`` drops wall-clock histogram families so two identical
+    invocations produce byte-identical JSON.
+``gates run SPEC.toml --metrics FILE [FILE ...] [--json PATH]``
+    Evaluate declarative performance gates (TOML specs) against exported
+    metrics JSON (``repro metrics`` dumps or ``BENCH_*.json`` bench
+    envelopes); prints a pass/fail table and exits nonzero on any
+    violation.
 ``selftest [--seed N] [--json PATH]``
     One fast end-to-end sanity pass (clean run + one injected fault).
 
@@ -186,6 +197,10 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
         argv += ["--evaluation", args.evaluation]
     if args.service:
         argv.append("--service")
+    if args.intervals is not None:
+        argv += ["--intervals"] + [str(value) for value in args.intervals]
+    if args.scenarios is not None:
+        argv += ["--scenarios"] + list(args.scenarios)
     if args.json is not None:
         argv += ["--json", args.json]
     return overhead_main(argv)
@@ -285,6 +300,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         runtime=args.runtime,
         ready_file=args.ready_file,
         poll_interval=args.poll_interval,
+        metrics_path=args.metrics_out,
+        metrics_every=args.metrics_every,
     )
     print(
         f"daemon stopped: {stats['windows_accepted']} windows, "
@@ -425,8 +442,8 @@ def _cmd_service_smoke(args: argparse.Namespace) -> int:
                     sys.executable, "-m", "repro", "service-client",
                     "--socket", str(socket_path),
                     "--rounds", str(args.rounds),
-                    "--interval", "2.0",
-                    "--time-scale", "0.1",
+                    "--interval", str(args.interval),
+                    "--time-scale", str(args.time_scale),
                     "--seed", str(index),
                     "--name", f"smoke-{index}",
                 ],
@@ -439,7 +456,7 @@ def _cmd_service_smoke(args: argparse.Namespace) -> int:
             clients.append(proc)
         # Let both clients connect and ship a few windows, then kill the
         # daemon without ceremony and bring up a recovered incarnation.
-        time.sleep(2.5)
+        time.sleep(args.kill_after)
         first.send_signal(signal.SIGKILL)
         first.wait(timeout=10)
         time.sleep(0.5)
@@ -559,6 +576,65 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.detection.config import DetectorConfig
+    from repro.detection.session import DetectionSession
+    from repro.kernel.policies import RandomPolicy
+    from repro.kernel.sim import SimKernel
+    from repro.observability.export import to_json_dict, to_prometheus_text
+    from repro.workloads.scenarios import WorkloadSpec, build_fleet
+
+    kernel = SimKernel(RandomPolicy(seed=args.seed), on_deadlock="stop")
+    spec = WorkloadSpec(
+        processes=4, operations=args.operations, think_time=0.05,
+        seed=args.seed,
+    )
+    session = DetectionSession(
+        kernel,
+        config=DetectorConfig(
+            interval=0.5, tmax=120.0, tio=120.0, tlimit=120.0
+        ),
+        shards=args.shards,
+    )
+    fleet = build_fleet(kernel, args.monitors, spec)
+    for run in fleet:
+        session.register(run.monitor)
+        run.spawn_all(kernel)
+    session.start()
+    kernel.run(until=args.until, max_steps=20_000_000)
+    kernel.raise_failures()
+    session.stop()
+    registry = session.metrics()
+    print(to_prometheus_text(registry), end="")
+    _emit_json(args, to_json_dict(registry, stable_only=args.stable))
+    return 0
+
+
+def _cmd_gates(args: argparse.Namespace) -> int:
+    from repro.observability.gates import (
+        MetricsView,
+        load_gate_specs,
+        render_gate_table,
+        run_gates,
+    )
+
+    specs = load_gate_specs(args.spec)
+    view = MetricsView.from_files(args.metrics)
+    results = run_gates(specs, view)
+    print(render_gate_table(results))
+    failed = sum(1 for result in results if result.status == "fail")
+    _emit_json(
+        args,
+        {
+            "spec": str(args.spec),
+            "metrics_files": [str(path) for path in args.metrics],
+            "gates": [result.to_dict() for result in results],
+            "failed": failed,
+        },
+    )
+    return 1 if failed else 0
+
+
 def _cmd_selftest(args: argparse.Namespace) -> int:
     from repro.detection import FaultClass
     from repro.injection import run_campaign
@@ -636,6 +712,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--service",
         action="store_true",
         help="measure detection-service ingest throughput instead",
+    )
+    overhead.add_argument(
+        "--intervals",
+        type=float,
+        nargs="*",
+        default=None,
+        metavar="T",
+        help="checking intervals to sweep (default: the paper's grid)",
+    )
+    overhead.add_argument(
+        "--scenarios",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="monitor scenarios to measure (default: all three)",
     )
     overhead.add_argument("--json", default=None, metavar="PATH")
     overhead.set_defaults(func=_cmd_overhead)
@@ -727,6 +818,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     serve.add_argument(
         "--poll-interval", type=float, default=0.05, metavar="SECONDS"
     )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="dump the server's metrics registry as JSON here on "
+        "shutdown (and periodically with --metrics-every)",
+    )
+    serve.add_argument(
+        "--metrics-every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="rewrite --metrics-out every this many seconds while serving",
+    )
     serve.add_argument("--json", default=None, metavar="PATH")
     serve.set_defaults(func=_cmd_serve)
 
@@ -754,6 +859,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "the server mid-run, assert no duplicate reports",
     )
     service_smoke.add_argument("--rounds", type=int, default=10)
+    service_smoke.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="client checkpoint interval in virtual seconds (default 2.0)",
+    )
+    service_smoke.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.1,
+        metavar="S",
+        help="client wall seconds per virtual second (default 0.1)",
+    )
+    service_smoke.add_argument(
+        "--kill-after",
+        type=float,
+        default=2.5,
+        metavar="SECONDS",
+        help="wall seconds before the daemon is SIGKILLed (default 2.5)",
+    )
     service_smoke.add_argument("--json", default=None, metavar="PATH")
     service_smoke.set_defaults(func=_cmd_service_smoke)
 
@@ -801,6 +927,68 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "faults", help="fault-taxonomy reference card"
     )
     faults.set_defaults(func=_cmd_faults)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="export a live DetectionSession's metrics "
+        "(Prometheus text + repro-metrics JSON)",
+    )
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "--monitors",
+        type=int,
+        default=4,
+        metavar="N",
+        help="fleet size to drive (default 4)",
+    )
+    metrics.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="engine shards (default 2)",
+    )
+    metrics.add_argument(
+        "--operations",
+        type=int,
+        default=40,
+        metavar="N",
+        help="operations per workload process (default 40)",
+    )
+    metrics.add_argument(
+        "--until",
+        type=float,
+        default=20.0,
+        metavar="SECONDS",
+        help="virtual-time horizon (default 20)",
+    )
+    metrics.add_argument(
+        "--stable",
+        action="store_true",
+        help="drop wall-clock histogram families from the JSON export "
+        "so identical seeded runs are byte-identical",
+    )
+    metrics.add_argument("--json", default=None, metavar="PATH")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    gates = subparsers.add_parser(
+        "gates",
+        help="evaluate declarative perf gates against exported metrics",
+    )
+    gates_sub = gates.add_subparsers(dest="gates_command", required=True)
+    gates_run = gates_sub.add_parser(
+        "run", help="run a TOML gate spec against metrics JSON files"
+    )
+    gates_run.add_argument("spec", metavar="SPEC.toml")
+    gates_run.add_argument(
+        "--metrics",
+        nargs="+",
+        required=True,
+        metavar="FILE",
+        help="metrics JSON documents (repro metrics dumps or BENCH_*.json)",
+    )
+    gates_run.add_argument("--json", default=None, metavar="PATH")
+    gates_run.set_defaults(func=_cmd_gates)
 
     selftest = subparsers.add_parser("selftest", help="fast sanity pass")
     selftest.add_argument("--seed", type=int, default=0)

@@ -42,10 +42,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from dataclasses import asdict, dataclass, replace
 from typing import Optional, Sequence
 
+from repro.bench.overhead import _fill_gauges
 from repro.bench.tables import render_table
 from repro.detection.cluster import DetectionCluster
 from repro.detection.detector import DetectorConfig, FaultDetector, detector_process
@@ -54,6 +56,8 @@ from repro.kernel.policies import RandomPolicy
 from repro.kernel.sim import SimKernel
 from repro.kernel.syscalls import Delay
 from repro.kernel.threads import ThreadKernel
+from repro.observability.export import to_json_dict
+from repro.observability.registry import MetricsRegistry
 from repro.workloads.scenarios import WorkloadSpec, build_fleet
 
 __all__ = [
@@ -415,6 +419,66 @@ def render_planes_table(rows: Sequence[PlaneRow]) -> str:
     )
 
 
+def _planes_metrics(
+    rows: Sequence[PlaneRow], comparison: dict, *, backend: str
+) -> MetricsRegistry:
+    """Registry view of the evaluation-plane comparison.
+
+    Besides per-plane gauges, this exports the comparison verdicts the CI
+    scaling gate reads (`repro_bench_streams_identical`, the wall clocks)
+    and a `repro_bench_cpu_count` gauge so the processes-beat-threads
+    gate can be conditioned on actually having cores to scale onto.
+    """
+    registry = MetricsRegistry()
+    registry.gauge(
+        "repro_bench_backend_info",
+        "Bench backend marker (value is always 1).",
+        ("backend",),
+    ).labels(backend=backend).set(1.0)
+    _fill_gauges(
+        registry,
+        ("plane",),
+        [
+            ("repro_bench_evaluate_wall",
+             "Wall clock of the synchronous checkpoint+drain rounds.",
+             lambda r: r.evaluate_wall),
+            ("repro_bench_evaluate_seconds",
+             "Engine-side phase-2 accounting (sums across shards).",
+             lambda r: r.evaluate_seconds),
+            ("repro_bench_worldstop_p50",
+             "Median phase-1 section.",
+             lambda r: r.worldstop_p50),
+            ("repro_bench_worldstop_p99",
+             "p99 phase-1 section.",
+             lambda r: r.worldstop_p99),
+            ("repro_bench_checkpoints",
+             "Checkpoints run.",
+             lambda r: r.checkpoints),
+            ("repro_bench_reports",
+             "Fault reports produced.",
+             lambda r: r.reports),
+            ("repro_bench_events",
+             "Events recorded.",
+             lambda r: r.events),
+        ],
+        rows,
+        lambda r: {"plane": r.plane},
+    )
+    registry.gauge(
+        "repro_bench_streams_identical",
+        "1 when every plane produced a byte-identical report stream.",
+    ).labels().set(1.0 if comparison["streams_identical"] else 0.0)
+    registry.gauge(
+        "repro_bench_plane_speedup",
+        "threads_wall / processes_wall.",
+    ).labels().set(comparison["speedup"])
+    registry.gauge(
+        "repro_bench_cpu_count",
+        "os.cpu_count() of the bench host (gate precondition input).",
+    ).labels().set(float(os.cpu_count() or 1))
+    return registry
+
+
 def planes_to_json(
     rows: Sequence[PlaneRow], comparison: dict, *, backend: str = "sim"
 ) -> dict:
@@ -423,6 +487,9 @@ def planes_to_json(
         "backend": backend,
         "rows": [asdict(row) for row in rows],
         "comparison": comparison,
+        "metrics": to_json_dict(
+            _planes_metrics(rows, comparison, backend=backend)
+        ),
     }
 
 
@@ -494,6 +561,58 @@ def render_scaling_table(rows: Sequence[ScalingRow]) -> str:
     )
 
 
+def _scaling_metrics(
+    rows: Sequence[ScalingRow], *, backend: str
+) -> MetricsRegistry:
+    """Registry view of the scaling grid (one child per fleet cell)."""
+    registry = MetricsRegistry()
+    registry.gauge(
+        "repro_bench_backend_info",
+        "Bench backend marker (value is always 1).",
+        ("backend",),
+    ).labels(backend=backend).set(1.0)
+    _fill_gauges(
+        registry,
+        ("monitors", "mode", "shards"),
+        [
+            ("repro_bench_atomic_sections",
+             "World-stop sections entered by checking.",
+             lambda r: r.atomic_sections),
+            ("repro_bench_checkpoints",
+             "Checkpoints run.",
+             lambda r: r.checkpoints),
+            ("repro_bench_checking_seconds",
+             "Total checking seconds.",
+             lambda r: r.checking_seconds),
+            ("repro_bench_worldstop_seconds",
+             "Phase-1 world-stop seconds.",
+             lambda r: r.worldstop_seconds),
+            ("repro_bench_worldstop_max",
+             "Longest single phase-1 section.",
+             lambda r: r.worldstop_max),
+            ("repro_bench_evaluate_seconds",
+             "Phase-2 evaluation seconds.",
+             lambda r: r.evaluate_seconds),
+            ("repro_bench_reports",
+             "Fault reports produced.",
+             lambda r: r.reports),
+            ("repro_bench_events",
+             "Events recorded.",
+             lambda r: r.events),
+            ("repro_bench_dropped_events",
+             "Events the fleet's sinks discarded.",
+             lambda r: r.dropped),
+        ],
+        rows,
+        lambda r: {
+            "monitors": r.monitors,
+            "mode": r.mode,
+            "shards": r.shards,
+        },
+    )
+    return registry
+
+
 def rows_to_json(rows: Sequence[ScalingRow], *, backend: str) -> dict:
     """Machine-readable grid for ``--json`` (BENCH_*.json trajectories)."""
     return {
@@ -506,6 +625,7 @@ def rows_to_json(rows: Sequence[ScalingRow], *, backend: str) -> dict:
             }
             for row in rows
         ],
+        "metrics": to_json_dict(_scaling_metrics(rows, backend=backend)),
     }
 
 

@@ -41,6 +41,8 @@ from repro.history.wal import FSYNC_POLICIES, WriteAheadLog
 from repro.kernel.policies import RandomPolicy
 from repro.kernel.sim import SimKernel
 from repro.kernel.threads import ThreadKernel
+from repro.observability.export import to_json_dict
+from repro.observability.registry import MetricsRegistry
 from repro.workloads.scenarios import WorkloadSpec, build_fleet, build_scenario
 
 __all__ = [
@@ -312,8 +314,78 @@ def render_overhead_table(rows: Sequence[OverheadRow]) -> str:
     )
 
 
+def _fill_gauges(
+    registry: MetricsRegistry,
+    labelnames: Sequence[str],
+    fields: Sequence[tuple],
+    rows: Sequence,
+    labels_of,
+) -> None:
+    """Declare one gauge family per (name, help, getter) and set a child
+    per row — the shared shape of every bench registry."""
+    for name, help_text, get in fields:
+        family = registry.gauge(name, help_text, labelnames)
+        for row in rows:
+            family.labels(**labels_of(row)).set(float(get(row)))
+
+
+def _table_metrics(
+    rows: Sequence[OverheadRow], *, backend: str
+) -> MetricsRegistry:
+    """Registry view of the Table-1 grid (one gauge child per cell)."""
+    registry = MetricsRegistry()
+    registry.gauge(
+        "repro_bench_backend_info",
+        "Bench backend marker (value is always 1).",
+        ("backend",),
+    ).labels(backend=backend).set(1.0)
+    _fill_gauges(
+        registry,
+        ("scenario", "interval"),
+        [
+            ("repro_bench_overhead_ratio",
+             "Extended-vs-base overhead ratio (Table 1 cell).",
+             lambda r: r.ratio),
+            ("repro_bench_base_seconds",
+             "Monitor-op seconds of the plain construct.",
+             lambda r: r.base_seconds),
+            ("repro_bench_extended_seconds",
+             "Monitor-op seconds with recording and checking.",
+             lambda r: r.extended_seconds),
+            ("repro_bench_checking_seconds",
+             "Checkpoint seconds at this interval.",
+             lambda r: r.checking_seconds),
+            ("repro_bench_worldstop_seconds",
+             "Phase-1 world-stop share of the checking seconds.",
+             lambda r: r.worldstop_seconds),
+            ("repro_bench_worldstop_max",
+             "Longest single phase-1 section observed.",
+             lambda r: r.worldstop_max),
+            ("repro_bench_evaluate_seconds",
+             "Phase-2 evaluation share of the checking seconds.",
+             lambda r: r.evaluate_seconds),
+            ("repro_bench_events",
+             "Events recorded by the workload.",
+             lambda r: r.events),
+            ("repro_bench_checkpoints",
+             "Checkpoints run.",
+             lambda r: r.checkpoints),
+            ("repro_bench_dropped_events",
+             "Events the bounded sink discarded.",
+             lambda r: r.dropped),
+        ],
+        rows,
+        lambda r: {"scenario": r.scenario, "interval": f"{r.interval:g}"},
+    )
+    return registry
+
+
 def rows_to_json(rows: Sequence[OverheadRow], *, backend: str) -> dict:
-    """Machine-readable grid for ``--json`` (BENCH_*.json trajectories)."""
+    """Machine-readable grid for ``--json`` (BENCH_*.json trajectories).
+
+    ``metrics`` carries the same cells as a ``repro-metrics/1`` export so
+    gate specs and ``repro metrics`` consumers read one schema.
+    """
     return {
         "bench": "overhead",
         "backend": backend,
@@ -324,6 +396,7 @@ def rows_to_json(rows: Sequence[OverheadRow], *, backend: str) -> dict:
             }
             for row in rows
         ],
+        "metrics": to_json_dict(_table_metrics(rows, backend=backend)),
     }
 
 
@@ -520,6 +593,64 @@ def render_wal_table(rows: Sequence[WalOverheadRow]) -> str:
     )
 
 
+def _wal_metrics(
+    rows: Sequence[WalOverheadRow], *, backend: str
+) -> MetricsRegistry:
+    """Registry view of the WAL grid, plus per-policy worst-case ratios
+    (`repro_bench_ratio_vs_memory_worst`) so a gate can bound a policy
+    with one selector instead of one per scenario."""
+    registry = MetricsRegistry()
+    registry.gauge(
+        "repro_bench_backend_info",
+        "Bench backend marker (value is always 1).",
+        ("backend",),
+    ).labels(backend=backend).set(1.0)
+    _fill_gauges(
+        registry,
+        ("scenario", "policy"),
+        [
+            ("repro_bench_ratio_vs_memory",
+             "Monitor-op cost of this sink vs the in-memory baseline.",
+             lambda r: r.ratio_vs_memory),
+            ("repro_bench_op_seconds",
+             "Monitor-op seconds against this sink.",
+             lambda r: r.op_seconds),
+            ("repro_bench_events",
+             "Events recorded through this sink.",
+             lambda r: r.events),
+            ("repro_bench_events_per_second",
+             "Recording throughput against this sink.",
+             lambda r: r.events_per_second),
+            ("repro_bench_wal_bytes_written",
+             "Bytes appended to the WAL (0 for the memory baseline).",
+             lambda r: r.bytes_written),
+            ("repro_bench_wal_bytes_per_event",
+             "WAL bytes per recorded event.",
+             lambda r: r.bytes_per_event),
+            ("repro_bench_wal_fsyncs",
+             "fsync calls issued by the WAL.",
+             lambda r: r.fsyncs),
+            ("repro_bench_wal_segments",
+             "WAL segments written.",
+             lambda r: r.segments),
+        ],
+        rows,
+        lambda r: {"scenario": r.scenario, "policy": r.policy},
+    )
+    worst = registry.gauge(
+        "repro_bench_ratio_vs_memory_worst",
+        "Max ratio_vs_memory across scenarios, per sink policy.",
+        ("policy",),
+    )
+    for policy in sorted({row.policy for row in rows}):
+        worst.labels(policy=policy).set(
+            max(
+                row.ratio_vs_memory for row in rows if row.policy == policy
+            )
+        )
+    return registry
+
+
 def wal_rows_to_json(rows: Sequence[WalOverheadRow], *, backend: str) -> dict:
     """Machine-readable WAL grid, durability counters included per row."""
     return {
@@ -536,6 +667,7 @@ def wal_rows_to_json(rows: Sequence[WalOverheadRow], *, backend: str) -> dict:
             }
             for row in rows
         ],
+        "metrics": to_json_dict(_wal_metrics(rows, backend=backend)),
     }
 
 
@@ -740,6 +872,71 @@ def render_fleet_table(rows: Sequence[FleetOverheadRow]) -> str:
     )
 
 
+def _fleet_metrics(
+    rows: Sequence[FleetOverheadRow], *, backend: str
+) -> MetricsRegistry:
+    """Registry view of the incremental-vs-full fleet comparison.
+
+    The CI hot-path gate reads ``repro_bench_evaluate_seconds`` with the
+    ``full`` row as its ratio baseline, and asserts the hot-path counters
+    actually fired on the incremental row.
+    """
+    registry = MetricsRegistry()
+    registry.gauge(
+        "repro_bench_backend_info",
+        "Bench backend marker (value is always 1).",
+        ("backend",),
+    ).labels(backend=backend).set(1.0)
+    _fill_gauges(
+        registry,
+        ("mode", "evaluation"),
+        [
+            ("repro_bench_evaluate_seconds",
+             "Phase-2 evaluation seconds over the fixed checkpoint grid.",
+             lambda r: r.evaluate_seconds),
+            ("repro_bench_worldstop_seconds",
+             "Phase-1 world-stop seconds.",
+             lambda r: r.worldstop_seconds),
+            ("repro_bench_worldstop_p50",
+             "Median phase-1 section.",
+             lambda r: r.worldstop_p50),
+            ("repro_bench_worldstop_p99",
+             "p99 phase-1 section.",
+             lambda r: r.worldstop_p99),
+            ("repro_bench_events",
+             "Events recorded by the fleet workload.",
+             lambda r: r.events),
+            ("repro_bench_events_per_second",
+             "Events recorded per monitor-op second.",
+             lambda r: r.events_per_second),
+            ("repro_bench_checkpoints",
+             "Checkpoints run.",
+             lambda r: r.checkpoints),
+            ("repro_bench_fleet_size",
+             "Monitors in the fleet.",
+             lambda r: r.fleet),
+            ("repro_bench_incremental_hits",
+             "Windows served from a carried checking list.",
+             lambda r: r.incremental_hits),
+            ("repro_bench_incremental_rebases",
+             "Carried checking lists rebased.",
+             lambda r: r.incremental_rebases),
+            ("repro_bench_incremental_fastpaths",
+             "Zero-event windows skipped entirely.",
+             lambda r: r.incremental_fastpaths),
+            ("repro_bench_staged_events",
+             "Events staged through record batching.",
+             lambda r: r.staged_events),
+            ("repro_bench_staged_flushes",
+             "Staged-batch flushes.",
+             lambda r: r.staged_flushes),
+        ],
+        rows,
+        lambda r: {"mode": r.mode, "evaluation": r.evaluation},
+    )
+    return registry
+
+
 def fleet_rows_to_json(
     rows: Sequence[FleetOverheadRow], *, backend: str
 ) -> dict:
@@ -748,6 +945,7 @@ def fleet_rows_to_json(
         "bench": "overhead-fleet",
         "backend": backend,
         "rows": [asdict(row) for row in rows],
+        "metrics": to_json_dict(_fleet_metrics(rows, backend=backend)),
     }
 
 

@@ -24,6 +24,9 @@ from typing import Iterator, Optional, Sequence
 
 from repro._tables import render_table
 from repro.apps.bounded_buffer import BoundedBuffer
+from repro.bench.overhead import _fill_gauges
+from repro.observability.export import to_json_dict
+from repro.observability.registry import MetricsRegistry
 from repro.apps.resource_allocator import SingleResourceAllocator
 from repro.detection.config import DetectorConfig
 from repro.kernel.policies import RandomPolicy
@@ -210,6 +213,58 @@ def render_service_table(rows: Sequence[ServiceIngestRow]) -> str:
     )
 
 
+def _service_metrics(rows: Sequence[ServiceIngestRow]) -> MetricsRegistry:
+    """Registry view of the ingest rows (one child per repeat), plus the
+    best-repeat throughput gauges gates read with one selector."""
+    registry = MetricsRegistry()
+    indices = {id(row): index for index, row in enumerate(rows)}
+    _fill_gauges(
+        registry,
+        ("repeat",),
+        [
+            ("repro_bench_frames",
+             "Frames replayed into the server.",
+             lambda r: r.frames),
+            ("repro_bench_events",
+             "Events carried by the replayed frames.",
+             lambda r: r.events),
+            ("repro_bench_bytes_fed",
+             "Encoded frame bytes fed.",
+             lambda r: r.bytes_fed),
+            ("repro_bench_reports",
+             "Reports the server delivered.",
+             lambda r: r.reports),
+            ("repro_bench_elapsed_seconds",
+             "Wall clock of the replay.",
+             lambda r: r.elapsed_seconds),
+            ("repro_bench_frames_per_second",
+             "Ingest throughput in frames.",
+             lambda r: r.frames_per_second),
+            ("repro_bench_events_per_second",
+             "Ingest throughput in events.",
+             lambda r: r.events_per_second),
+            ("repro_bench_frame_p50_ms",
+             "Median per-frame feed+poll latency.",
+             lambda r: r.frame_p50_ms),
+            ("repro_bench_frame_p99_ms",
+             "p99 per-frame feed+poll latency.",
+             lambda r: r.frame_p99_ms),
+        ],
+        list(rows),
+        lambda r: {"repeat": indices[id(r)]},
+    )
+    best = max(rows, key=lambda row: row.events_per_second)
+    registry.gauge(
+        "repro_bench_best_events_per_second",
+        "Best ingest throughput (events) across repeats.",
+    ).labels().set(best.events_per_second)
+    registry.gauge(
+        "repro_bench_best_frames_per_second",
+        "Best ingest throughput (frames) across repeats.",
+    ).labels().set(best.frames_per_second)
+    return registry
+
+
 def service_rows_to_json(rows: Sequence[ServiceIngestRow]) -> dict:
     """Machine-readable ingest figures for ``BENCH_service.json``."""
     best = max(rows, key=lambda row: row.events_per_second)
@@ -218,6 +273,7 @@ def service_rows_to_json(rows: Sequence[ServiceIngestRow]) -> dict:
         "rows": [asdict(row) for row in rows],
         "best_events_per_second": best.events_per_second,
         "best_frames_per_second": best.frames_per_second,
+        "metrics": to_json_dict(_service_metrics(rows)),
     }
 
 

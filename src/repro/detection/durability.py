@@ -41,6 +41,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import IO, Callable, Optional, Union
 
 from repro.detection.config import DetectorConfig
@@ -56,6 +57,7 @@ from repro.detection.reports import (
 from repro.detection.supervision import CheckpointSupervisor
 from repro.errors import RecoveryError
 from repro.history.wal import WriteAheadLog
+from repro.observability.registry import Histogram, MetricsRegistry
 
 __all__ = [
     "report_key",
@@ -346,6 +348,9 @@ class DurableEngine:
         self.recoveries = 0
         #: Re-derived reports the journal rejected (exactly-once at work).
         self.reports_deduplicated = 0
+        #: Wall-clock duration of each :meth:`recover` (snapshot restore
+        #: plus WAL replay), for the recovery latency histogram.
+        self.recover_latency = Histogram()
         #: Supervisor used for its snapshot/restore of per-monitor state;
         #: also usable to pace this wrapper (it sees ``self.checkpoint``).
         self.supervisor = CheckpointSupervisor(self)
@@ -554,6 +559,7 @@ class DurableEngine:
         :meth:`baseline`) the whole WAL replays against the attach-time
         base state.
         """
+        recover_started = perf_counter()
         self.reports = list(self.journal.reports)
         restored = len(self.reports)
         loaded = self.snapshots.load_latest()
@@ -592,6 +598,7 @@ class DurableEngine:
             self._consumed[entry.label] = len(entry.reports)
         self.reports_deduplicated += deduplicated
         self.recoveries += 1
+        self.recover_latency.observe(perf_counter() - recover_started)
         return RecoverySummary(
             snapshot_path=snapshot_path,
             snapshot_fallbacks=self.snapshots.corrupt_skipped,
@@ -619,6 +626,52 @@ class DurableEngine:
         self.journal.close()
 
     # ------------------------------------------------------------- inspection
+
+    def metrics(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        labels: Optional[dict] = None,
+    ) -> MetricsRegistry:
+        """Engine metrics plus the durability families.
+
+        The wrapped engine's sampling already folds in each monitor's WAL
+        (append/fsync counters and latency); this adds snapshots, journal
+        dedup, and the recovery-replay latency histogram.
+        """
+        registry = self.engine.metrics(registry, labels=labels)
+        base = {str(k): str(v) for k, v in (labels or {}).items()}
+        names = tuple(base)
+
+        def counter(name: str, help: str, value: float) -> None:
+            registry.counter(name, help, names).labels(**base).inc(value)
+
+        counter(
+            "repro_snapshots_written_total",
+            "Checksummed state snapshots written.",
+            self.snapshots.written,
+        )
+        counter(
+            "repro_recoveries_total",
+            "recover() runs completed in this process.",
+            self.recoveries,
+        )
+        counter(
+            "repro_reports_deduplicated_total",
+            "Re-derived reports rejected by the exactly-once journal.",
+            self.reports_deduplicated,
+        )
+        registry.gauge(
+            "repro_journal_reports",
+            "Reports delivered through the durable journal.",
+            names,
+        ).labels(**base).set(len(self.reports))
+        registry.histogram(
+            "repro_phase_latency_seconds",
+            "Wall-clock latency per detection phase.",
+            names + ("phase",),
+        ).labels(**base, phase="recover").merge(self.recover_latency)
+        return registry
 
     @property
     def durability_counters(self) -> dict[str, int]:

@@ -67,6 +67,7 @@ from repro.history.sink import EventSink, Segment
 from repro.history.states import SchedulingState
 from repro.ids import Pid
 from repro.kernel.syscalls import Delay, Syscall
+from repro.observability.registry import MetricsRegistry
 from repro.monitor.construct import Monitor, MonitorBase
 
 __all__ = [
@@ -593,6 +594,8 @@ class DetectionEngine:
         self.worldstop_samples: list[float] = []
         #: Wall-clock seconds spent in phase-2 evaluation (workload live).
         self.evaluate_seconds = 0.0
+        #: Per-drain phase-2 durations (evaluate latency histogram source).
+        self.evaluate_samples: list[float] = []
         #: Per-monitor evaluations that raised (absorbed by the breaker
         #: instead of escaping the checkpoint).
         self.check_failures = 0
@@ -792,7 +795,9 @@ class DetectionEngine:
                 entry.reports.extend(reports)
                 found.extend(reports)
         finally:
-            self.evaluate_seconds += perf_counter() - started
+            elapsed = perf_counter() - started
+            self.evaluate_seconds += elapsed
+            self.evaluate_samples.append(elapsed)
         return found
 
     def take_pending_captures(self) -> list[CheckpointCapture]:
@@ -835,6 +840,181 @@ class DetectionEngine:
             return 0.0
         rank = max(0, math.ceil(q * len(samples)) - 1)
         return samples[rank]
+
+    # --------------------------------------------------------------- metrics
+
+    def metrics(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        labels: Optional[dict] = None,
+    ) -> MetricsRegistry:
+        """Snapshot this engine's counters into a metrics registry.
+
+        The single stats surface: exporters, ``FaultStatistics``, and the
+        gate runner all read this instead of scraping attributes or
+        reprs.  ``labels`` (e.g. ``{"shard": "0"}``) are stamped onto
+        every family — :meth:`DetectionCluster.metrics` samples each
+        shard's engine into one registry this way.  Pass a fresh
+        ``registry`` per snapshot; sampling is additive.
+        """
+        registry = MetricsRegistry() if registry is None else registry
+        base = {str(k): str(v) for k, v in (labels or {}).items()}
+        names = tuple(base)
+
+        def counter(name: str, help: str, value: float) -> None:
+            registry.counter(name, help, names).labels(**base).inc(value)
+
+        def gauge(name: str, help: str, value: float) -> None:
+            registry.gauge(name, help, names).labels(**base).set(value)
+
+        counter(
+            "repro_engine_checkpoints_total",
+            "Two-phase checkpoints completed.",
+            self.checkpoints_run,
+        )
+        counter(
+            "repro_engine_atomic_sections_total",
+            "Kernel atomic sections entered for checking.",
+            self.atomic_sections,
+        )
+        counter(
+            "repro_engine_captures_total",
+            "Phase-1 captures taken (snapshot + cut).",
+            self.captures_taken,
+        )
+        counter(
+            "repro_engine_evaluations_total",
+            "Phase-2 evaluations completed.",
+            self.evaluations_run,
+        )
+        counter(
+            "repro_engine_intervals_skipped_total",
+            "Adaptive-schedule checkpoint skips.",
+            self.intervals_skipped,
+        )
+        counter(
+            "repro_engine_forced_captures_total",
+            "Drop-safety captures taken before next_due.",
+            self.forced_captures,
+        )
+        counter(
+            "repro_engine_check_failures_total",
+            "Capture/evaluate exceptions absorbed by breakers.",
+            self.check_failures,
+        )
+        counter(
+            "repro_engine_incremental_hits_total",
+            "Windows evaluated on carried checking lists.",
+            self.incremental_hits,
+        )
+        counter(
+            "repro_engine_incremental_rebases_total",
+            "Windows that re-seeded checking lists.",
+            self.incremental_rebases,
+        )
+        counter(
+            "repro_engine_incremental_fastpaths_total",
+            "Zero-event windows that skipped comparison.",
+            self.incremental_fastpaths,
+        )
+        counter(
+            "repro_engine_staged_events_total",
+            "Events flushed through sink staging buffers.",
+            self.staged_events,
+        )
+        counter(
+            "repro_engine_staged_flushes_total",
+            "Staged-batch flushes across monitor sinks.",
+            self.staged_flushes,
+        )
+        counter(
+            "repro_engine_dropped_events_total",
+            "Events dropped at bounded sinks.",
+            self.dropped_events,
+        )
+        counter(
+            "repro_engine_dropped_in_windows_total",
+            "Per-window drop counts over cut checking windows.",
+            self.dropped_in_windows,
+        )
+        counter(
+            "repro_engine_degraded_windows_total",
+            "Checking windows evaluated in degraded (lossy) mode.",
+            self.degraded_windows,
+        )
+        gauge(
+            "repro_engine_monitors",
+            "Monitors currently registered.",
+            len(self._entries),
+        )
+        gauge(
+            "repro_engine_quarantined_monitors",
+            "Monitors currently sitting out checkpoints (breaker OPEN).",
+            len(self.quarantined),
+        )
+        gauge(
+            "repro_engine_pending_captures",
+            "Phase-1 captures awaiting evaluation.",
+            self.pending_captures,
+        )
+
+        reports_family = registry.counter(
+            "repro_reports_total",
+            "Fault reports by confidence.",
+            names + ("confidence",),
+        )
+        for confidence, reports in self.reports_by_confidence().items():
+            reports_family.labels(
+                **base, confidence=confidence.name.lower()
+            ).inc(len(reports))
+
+        monitor_names = names + ("monitor",)
+        monitor_reports = registry.counter(
+            "repro_monitor_reports_total",
+            "Fault reports per registered monitor.",
+            monitor_names,
+        )
+        monitor_checkpoints = registry.counter(
+            "repro_monitor_checkpoints_total",
+            "Checkpoints evaluated per registered monitor.",
+            monitor_names,
+        )
+        monitor_degraded = registry.counter(
+            "repro_monitor_degraded_windows_total",
+            "Degraded (lossy) windows per registered monitor.",
+            monitor_names,
+        )
+        for entry in self._entries:
+            monitor_reports.labels(**base, monitor=entry.label).inc(
+                len(entry.reports)
+            )
+            monitor_checkpoints.labels(**base, monitor=entry.label).inc(
+                entry.checkpoints_run
+            )
+            monitor_degraded.labels(**base, monitor=entry.label).inc(
+                entry.degraded_windows
+            )
+
+        phase_family = registry.histogram(
+            "repro_phase_latency_seconds",
+            "Wall-clock latency per detection phase.",
+            names + ("phase",),
+        )
+        phase_family.labels(**base, phase="capture").observe_all(
+            self.worldstop_samples
+        )
+        phase_family.labels(**base, phase="evaluate").observe_all(
+            self.evaluate_samples
+        )
+
+        for entry in self._entries:
+            # Durable sinks (WriteAheadLog) carry their own latency
+            # histograms; fold them in without a hard dependency.
+            observe = getattr(entry.history, "observe_metrics", None)
+            if callable(observe):
+                observe(registry, labels=base)
+        return registry
 
     # ------------------------------------------------------------- reporting
 

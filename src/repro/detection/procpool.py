@@ -350,7 +350,9 @@ class ProcessEvaluationPool(EvaluationPool):
                 if handle.dead:
                     self.windows_recovered += len(captures)
         finally:
-            engine.evaluate_seconds += perf_counter() - started
+            elapsed = perf_counter() - started
+            engine.evaluate_seconds += elapsed
+            engine.evaluate_samples.append(elapsed)
         engine.checkpoints_run += 1
         shard.finish_durable_checkpoint()
 

@@ -41,6 +41,9 @@ from repro.detection.durability import RecoverySummary
 from repro.detection.engine import MonitorLike, RegisteredMonitor
 from repro.detection.reports import FaultReport
 from repro.detection.statistics import FaultStatistics
+from repro.kernel.syscalls import Delay
+from repro.observability.export import write_metrics_json
+from repro.observability.registry import MetricsRegistry
 
 __all__ = ["DetectionSession"]
 
@@ -89,7 +92,19 @@ class DetectionSession:
         supervised: bool = True,
         fsync: str = "interval",
         evaluation: Optional[str] = None,
+        metrics_path: Optional[Union[str, Path]] = None,
+        metrics_every: Optional[float] = None,
     ) -> None:
+        if metrics_every is not None and metrics_every <= 0:
+            raise ValueError(
+                f"metrics_every must be positive, got {metrics_every}"
+            )
+        if metrics_every is not None and metrics_path is None:
+            raise ValueError("metrics_every requires metrics_path")
+        #: Opt-in metrics dump target: written on :meth:`stop`, and every
+        #: ``metrics_every`` kernel seconds while the session runs.
+        self.metrics_path = Path(metrics_path) if metrics_path else None
+        self.metrics_every = metrics_every
         self.config = config or DetectorConfig()
         self.cluster = DetectionCluster(
             kernel,
@@ -148,7 +163,20 @@ class DetectionSession:
         self._pids = self.cluster.spawn_processes(
             rounds=rounds, supervised=self.supervised
         )
+        if self.metrics_path is not None and self.metrics_every is not None:
+            self._pids.append(
+                self.kernel.spawn(
+                    self._metrics_dumper(), name="metrics-dumper"
+                )
+            )
         return list(self._pids)
+
+    def _metrics_dumper(self):
+        while not self.stopped:
+            yield Delay(self.metrics_every)
+            if self.stopped:
+                return
+            self.dump_metrics()
 
     @property
     def started(self) -> bool:
@@ -163,8 +191,14 @@ class DetectionSession:
         self.cluster.drain()
 
     def stop(self) -> None:
-        """Stop all shards, drain the worker pool, flush durable state."""
+        """Stop all shards, drain the worker pool, flush durable state.
+
+        When the session was built with ``metrics_path``, the final
+        metrics snapshot is exported there as JSON.
+        """
         self.cluster.stop()
+        if self.metrics_path is not None:
+            self.dump_metrics()
 
     @property
     def stopped(self) -> bool:
@@ -206,6 +240,24 @@ class DetectionSession:
     def statistics(self) -> FaultStatistics:
         """Frequency statistics over the merged report stream."""
         return FaultStatistics.from_engine(self.cluster)
+
+    def metrics(self) -> MetricsRegistry:
+        """A fresh registry snapshot of the whole session (see
+        :meth:`DetectionCluster.metrics`) — the surface ``repro metrics``,
+        the exporters, and the gate runner consume."""
+        return self.cluster.metrics()
+
+    def dump_metrics(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Export the current metrics snapshot as JSON to ``path``
+        (default: the session's ``metrics_path``)."""
+        target = Path(path) if path is not None else self.metrics_path
+        if target is None:
+            raise ValueError(
+                "no dump target: pass path= or build the session "
+                "with metrics_path="
+            )
+        write_metrics_json(str(target), self.metrics())
+        return target
 
     def __getattr__(self, name: str):
         # Everything not overridden falls through to the cluster, so the

@@ -12,6 +12,7 @@ windows), with a text rendering for operator consumption.
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from typing import Iterable, Optional
 
@@ -19,8 +20,72 @@ from repro._tables import render_table
 from repro.detection.detector import FaultDetector
 from repro.detection.faults import FaultClass, FaultLevel
 from repro.detection.reports import Confidence, FaultReport
+from repro.observability.registry import MetricsRegistry
 
 __all__ = ["FaultStatistics"]
+
+# Warn-once bookkeeping for the deprecated attribute surface (mirrors the
+# FaultDetector shim): each name warns on first touch, then goes quiet.
+_warned: set[str] = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+#: Legacy counters key -> registry counter family (summed across labels).
+_REGISTRY_COUNTERS = {
+    "checkpoints_run": "repro_engine_checkpoints_total",
+    "atomic_sections": "repro_engine_atomic_sections_total",
+    "captures_taken": "repro_engine_captures_total",
+    "evaluations_run": "repro_engine_evaluations_total",
+    "intervals_skipped": "repro_engine_intervals_skipped_total",
+    "incremental_hits": "repro_engine_incremental_hits_total",
+    "incremental_rebases": "repro_engine_incremental_rebases_total",
+    "incremental_fastpaths": "repro_engine_incremental_fastpaths_total",
+    "staged_events": "repro_engine_staged_events_total",
+    "staged_flushes": "repro_engine_staged_flushes_total",
+}
+
+#: Durability keys, present only when the source exported WAL families.
+_REGISTRY_DURABILITY = {
+    "wal_bytes_written": "repro_wal_bytes_written_total",
+    "wal_fsyncs": "repro_wal_fsyncs_total",
+    "snapshots_written": "repro_snapshots_written_total",
+    "recoveries": "repro_recoveries_total",
+    "reports_deduplicated": "repro_reports_deduplicated_total",
+}
+
+
+def _counters_from_registry(registry: MetricsRegistry) -> dict[str, float]:
+    """Flatten a ``metrics()`` snapshot into the legacy counters mapping."""
+    counters = {
+        key: registry.value(metric) if registry.get(metric) else 0.0
+        for key, metric in _REGISTRY_COUNTERS.items()
+    }
+    if registry.get("repro_phase_latency_seconds"):
+        counters["worldstop_seconds"] = registry.histogram_sum(
+            "repro_phase_latency_seconds", {"phase": "capture"}
+        )
+        counters["evaluate_seconds"] = registry.histogram_sum(
+            "repro_phase_latency_seconds", {"phase": "evaluate"}
+        )
+    else:
+        counters["worldstop_seconds"] = 0.0
+        counters["evaluate_seconds"] = 0.0
+    if registry.get("repro_wal_bytes_written_total"):
+        for key, metric in _REGISTRY_DURABILITY.items():
+            counters[key] = (
+                registry.value(metric) if registry.get(metric) else 0.0
+            )
+    return counters
 
 
 class FaultStatistics:
@@ -36,12 +101,37 @@ class FaultStatistics:
         #: Per fault class: how many implications were confirmed vs degraded.
         self.fault_confidence: dict[FaultClass, Counter[Confidence]] = {}
         #: Two-phase pipeline counters of the source engine (when built via
-        #: :meth:`from_engine`): checkpoints_run, atomic_sections,
-        #: captures_taken, evaluations_run, intervals_skipped, plus the
-        #: worldstop/evaluate wall-clock split.
-        self.engine_counters: dict[str, float] = {}
+        #: :meth:`from_engine`, flattened from its ``metrics()`` registry):
+        #: checkpoints_run, atomic_sections, captures_taken,
+        #: evaluations_run, intervals_skipped, plus the worldstop/evaluate
+        #: wall-clock split.  Read via :attr:`counters`.
+        self._counters: dict[str, float] = {}
         self._first_at: Optional[float] = None
         self._last_at: Optional[float] = None
+
+    @property
+    def counters(self) -> dict[str, float]:
+        """Pipeline/durability counters of the source engine (flattened
+        from its ``metrics()`` registry snapshot by :meth:`from_engine`;
+        empty for statistics built from raw report streams)."""
+        return self._counters
+
+    @property
+    def engine_counters(self) -> dict[str, float]:
+        """Deprecated alias of :attr:`counters` (warns once)."""
+        _warn_deprecated(
+            "FaultStatistics.engine_counters",
+            "FaultStatistics.counters (or the source's metrics() registry)",
+        )
+        return self._counters
+
+    @engine_counters.setter
+    def engine_counters(self, value: dict[str, float]) -> None:
+        _warn_deprecated(
+            "FaultStatistics.engine_counters",
+            "FaultStatistics.counters (or the source's metrics() registry)",
+        )
+        self._counters = dict(value)
 
     # ---------------------------------------------------------------- intake
 
@@ -91,12 +181,20 @@ class FaultStatistics:
         """Aggregate a :class:`DetectionEngine`'s reports and counters.
 
         Besides the report stream this picks up the engine's two-phase
-        pipeline counters, so one object carries both "what was found" and
-        "what the finding cost" — the split the benches report.
+        pipeline counters — flattened from the same ``metrics()``
+        registry snapshot the exporters and gate runner read — so one
+        object carries both "what was found" and "what the finding cost".
+        Engines, clusters, durable wrappers and sessions all expose
+        ``metrics()``; engine-shaped objects without it fall back to
+        attribute reads.
         """
         stats = cls()
         stats.record_all(engine.reports)
-        stats.engine_counters = {
+        metrics = getattr(engine, "metrics", None)
+        if callable(metrics):
+            stats._counters = _counters_from_registry(metrics())
+            return stats
+        stats._counters = {
             "checkpoints_run": engine.checkpoints_run,
             "atomic_sections": engine.atomic_sections,
             "captures_taken": engine.captures_taken,
@@ -115,11 +213,11 @@ class FaultStatistics:
             "staged_events": getattr(engine, "staged_events", 0),
             "staged_flushes": getattr(engine, "staged_flushes", 0),
         }
-        # A DurableEngine (or anything else wearing durability counters)
-        # additionally reports its WAL/snapshot/recovery accounting.
+        # Anything else wearing durability counters additionally reports
+        # its WAL/snapshot/recovery accounting.
         durability = getattr(engine, "durability_counters", None)
         if durability:
-            stats.engine_counters.update(durability)
+            stats._counters.update(durability)
         return stats
 
     # --------------------------------------------------------------- queries
@@ -193,8 +291,8 @@ class FaultStatistics:
                 title="\nby monitor",
             )
         )
-        if self.engine_counters:
-            counters = self.engine_counters
+        if self._counters:
+            counters = self._counters
             parts.append(
                 "\nengine: "
                 f"{counters['checkpoints_run']:g} checkpoints, "

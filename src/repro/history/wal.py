@@ -37,6 +37,7 @@ import json
 import os
 from contextlib import contextmanager
 from pathlib import Path
+from time import perf_counter
 from typing import IO, Iterator, Optional, Union
 
 from repro.errors import HistoryError
@@ -44,6 +45,7 @@ from repro.history.events import SchedulingEvent
 from repro.history.serialize import event_from_dict, event_to_json_line
 from repro.history.sink import EventSink
 from repro.history.states import SchedulingState
+from repro.observability.registry import Histogram, MetricsRegistry
 from repro.service.framing import good_jsonl_prefix
 
 __all__ = ["FSYNC_POLICIES", "WriteAheadLog"]
@@ -124,6 +126,11 @@ class WriteAheadLog(EventSink):
         self.segments_rotated = 0
         #: Torn final lines truncated away when the log was (re)opened.
         self.torn_tails_truncated = 0
+        #: Wall-clock latency of segment writes (one observation per
+        #: append or fused staged batch, excluding fsync).
+        self.append_latency = Histogram()
+        #: Wall-clock latency of flush + ``os.fsync`` calls.
+        self.fsync_latency = Histogram()
         segments = self.segment_paths()
         if segments:
             self._truncate_torn_tail(segments[-1])
@@ -206,8 +213,10 @@ class WriteAheadLog(EventSink):
         assert self._handle is not None, "append to a closed WAL"
         if self._active_size >= self.segment_bytes:
             self._rotate()
+        started = perf_counter()
         line = event_to_json_line(event)
         self._handle.write(line)
+        self.append_latency.observe(perf_counter() - started)
         self._active_size += len(line)
         self.bytes_written += len(line)
         if self.fsync_policy == "always":
@@ -228,8 +237,10 @@ class WriteAheadLog(EventSink):
         assert self._handle is not None, "append to a closed WAL"
         if self._active_size >= self.segment_bytes:
             self._rotate()
+        started = perf_counter()
         lines = "".join(map(event_to_json_line, batch))
         self._handle.write(lines)
+        self.append_latency.observe(perf_counter() - started)
         self._active_size += len(lines)
         self.bytes_written += len(lines)
         if self.fsync_policy == "interval":
@@ -251,8 +262,10 @@ class WriteAheadLog(EventSink):
 
     def _fsync(self) -> None:
         assert self._handle is not None
+        started = perf_counter()
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        self.fsync_latency.observe(perf_counter() - started)
         self.fsyncs += 1
         self._appends_since_fsync = 0
 
@@ -266,6 +279,58 @@ class WriteAheadLog(EventSink):
         self._handle = self._open_handle(self._active_path)
         self._active_size = 0
         self.segments_rotated += 1
+
+    # --------------------------------------------------------------- metrics
+
+    def observe_metrics(
+        self,
+        registry: MetricsRegistry,
+        *,
+        labels: Optional[dict] = None,
+    ) -> None:
+        """Fold this log's counters and latency histograms into ``registry``.
+
+        The duck-typed hook :meth:`DetectionEngine.metrics` calls on every
+        registered sink; several logs sampled under the same labels merge
+        additively (counters sum, histogram buckets add).
+        """
+        base = {str(k): str(v) for k, v in (labels or {}).items()}
+        names = tuple(base)
+
+        def counter(name: str, help: str, value: float) -> None:
+            registry.counter(name, help, names).labels(**base).inc(value)
+
+        counter(
+            "repro_wal_bytes_written_total",
+            "Bytes appended to WAL segment files.",
+            self.bytes_written,
+        )
+        counter(
+            "repro_wal_fsyncs_total",
+            "os.fsync calls issued by the WAL.",
+            self.fsyncs,
+        )
+        counter(
+            "repro_wal_segments_rotated_total",
+            "WAL segment rotations performed.",
+            self.segments_rotated,
+        )
+        counter(
+            "repro_wal_torn_tails_total",
+            "Torn final lines truncated at WAL (re)open.",
+            self.torn_tails_truncated,
+        )
+        phase_family = registry.histogram(
+            "repro_phase_latency_seconds",
+            "Wall-clock latency per detection phase.",
+            names + ("phase",),
+        )
+        phase_family.labels(**base, phase="wal_append").merge(
+            self.append_latency
+        )
+        phase_family.labels(**base, phase="wal_fsync").merge(
+            self.fsync_latency
+        )
 
     # -------------------------------------------------------------- recovery
 

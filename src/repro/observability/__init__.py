@@ -1,0 +1,58 @@
+"""Observability plane: metrics registry, exporters, and release gates.
+
+``repro.observability`` is deliberately leaf-free of the rest of the
+package: :mod:`~repro.observability.registry` and
+:mod:`~repro.observability.export` import nothing from ``repro``, so any
+layer (kernel, history, detection, service, bench) can depend on them
+without cycles.  Components expose ``metrics()`` methods that assemble a
+:class:`MetricsRegistry` snapshot; :func:`to_prometheus_text` /
+:func:`to_json_dict` serialize it; :mod:`~repro.observability.gates`
+turns CI perf assertions into declarative obligations evaluated against
+the exported JSON.
+"""
+
+from repro.observability.export import (
+    METRICS_SCHEMA,
+    metric_samples,
+    to_json_dict,
+    to_prometheus_text,
+    write_metrics_json,
+)
+from repro.observability.gates import (
+    GateResult,
+    GateSpec,
+    MetricsView,
+    load_gate_specs,
+    parse_gate_specs,
+    render_gate_table,
+    run_gates,
+)
+from repro.observability.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "GateResult",
+    "GateSpec",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsView",
+    "load_gate_specs",
+    "metric_samples",
+    "parse_gate_specs",
+    "render_gate_table",
+    "run_gates",
+    "to_json_dict",
+    "to_prometheus_text",
+    "write_metrics_json",
+]

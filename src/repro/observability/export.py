@@ -1,0 +1,191 @@
+"""Prometheus text-format and stable-JSON exporters for the registry.
+
+Two serializations of one :class:`~repro.observability.registry.MetricsRegistry`:
+
+* :func:`to_prometheus_text` — the Prometheus exposition format
+  (``# HELP`` / ``# TYPE`` comments, ``name{label="v"} value`` samples,
+  cumulative ``_bucket{le="..."}`` rows plus ``_sum``/``_count`` for
+  histograms).  Scrapeable line syntax; ordering is deterministic.
+* :func:`to_json_dict` — a versioned JSON document (``schema`` =
+  :data:`METRICS_SCHEMA`) shared by ``repro metrics``, the bench
+  ``BENCH_*.json`` payloads, and the gate runner.  Keys and metric order
+  are stable, so identical seeded sim-kernel runs serialize to identical
+  bytes (``stable_only=True`` additionally drops wall-clock families).
+
+The JSON schema, version ``repro-metrics/1``::
+
+    {
+      "schema": "repro-metrics/1",
+      "metrics": [
+        {"name": ..., "kind": "counter"|"gauge", "help": ...,
+         "labels": {...}, "value": <float>},
+        {"name": ..., "kind": "histogram", "help": ..., "labels": {...},
+         "buckets": [<bound>, ...],          # finite bounds
+         "counts": [<int>, ...],             # per-bucket, +Inf slot last
+         "sum": <float>, "count": <int>,
+         "p50": <float>, "p95": <float>, "p99": <float>}
+      ]
+    }
+
+One entry per child (label set), sorted by ``(name, label values)``.
+Bump the schema suffix on any incompatible change; consumers (gates,
+CI artifact diffing) check the prefix.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional, Union
+
+from repro.observability.registry import Histogram, MetricsRegistry
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "to_prometheus_text",
+    "to_json_dict",
+    "write_metrics_json",
+    "metric_samples",
+]
+
+#: Version tag carried by every JSON export.  ``repro-metrics/<major>``.
+METRICS_SCHEMA = "repro-metrics/1"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in labels.items()
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(bound)
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.samples():
+            if isinstance(child, Histogram):
+                cumulative = child.cumulative()
+                for bound, count in zip(child.bounds, cumulative):
+                    le = _format_labels(labels, f'le="{_format_bound(bound)}"')
+                    lines.append(f"{family.name}_bucket{le} {count}")
+                inf = _format_labels(labels, 'le="+Inf"')
+                lines.append(f"{family.name}_bucket{inf} {cumulative[-1]}")
+                suffix = _format_labels(labels)
+                lines.append(
+                    f"{family.name}_sum{suffix} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{suffix} {child.count}")
+            else:
+                suffix = _format_labels(labels)
+                lines.append(
+                    f"{family.name}{suffix} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def to_json_dict(
+    registry: MetricsRegistry, *, stable_only: bool = False
+) -> dict:
+    """Serialize the registry to the versioned JSON document.
+
+    ``stable_only=True`` drops families declared ``stable=False`` (the
+    wall-clock latency histograms), leaving only values that reproduce
+    exactly under the sim kernel.
+    """
+    metrics: list[dict] = []
+    for family in registry.collect():
+        if stable_only and not family.stable:
+            continue
+        for labels, child in family.samples():
+            entry: dict = {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "labels": labels,
+            }
+            if isinstance(child, Histogram):
+                entry["buckets"] = list(child.bounds)
+                entry["counts"] = list(child.bucket_counts())
+                entry["sum"] = child.sum
+                entry["count"] = child.count
+                entry["p50"] = child.percentile(0.50)
+                entry["p95"] = child.percentile(0.95)
+                entry["p99"] = child.percentile(0.99)
+            else:
+                entry["value"] = child.value
+            metrics.append(entry)
+    return {"schema": METRICS_SCHEMA, "metrics": metrics}
+
+
+def write_metrics_json(
+    target: Union[str, IO[str]],
+    registry: MetricsRegistry,
+    *,
+    stable_only: bool = False,
+) -> None:
+    """Dump :func:`to_json_dict` to a path or stream, byte-stable."""
+    payload = to_json_dict(registry, stable_only=stable_only)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if hasattr(target, "write"):
+        target.write(text)  # type: ignore[union-attr]
+    else:
+        with open(target, "w", encoding="utf-8") as stream:  # type: ignore[arg-type]
+            stream.write(text)
+
+
+def metric_samples(payload: dict) -> list[dict]:
+    """Extract the metric entry list from any export-bearing document.
+
+    Accepts a raw :func:`to_json_dict` document, a CLI envelope whose
+    ``results`` is (or contains) one, or a bench envelope with the export
+    under ``results["metrics"]``.  Raises ``ValueError`` when no
+    ``repro-metrics`` document is found or the schema major is unknown.
+    """
+    candidates = [payload]
+    results = payload.get("results")
+    if isinstance(results, dict):
+        candidates.append(results)
+        nested = results.get("metrics")
+        if isinstance(nested, dict):
+            candidates.append(nested)
+    nested = payload.get("metrics")
+    if isinstance(nested, dict):
+        candidates.append(nested)
+    for candidate in candidates:
+        schema = candidate.get("schema")
+        if isinstance(schema, str) and schema.startswith("repro-metrics/"):
+            if schema != METRICS_SCHEMA:
+                raise ValueError(
+                    f"unsupported metrics schema {schema!r}; "
+                    f"this build reads {METRICS_SCHEMA!r}"
+                )
+            entries = candidate.get("metrics")
+            if not isinstance(entries, list):
+                raise ValueError("metrics document has no 'metrics' list")
+            return entries
+    raise ValueError(
+        "no repro-metrics document found (expected a 'schema': "
+        f"'{METRICS_SCHEMA}' block at top level or under results.metrics)"
+    )

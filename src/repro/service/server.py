@@ -51,6 +51,7 @@ import json
 import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from time import perf_counter
 from typing import IO, Optional, Union
 
 from repro.detection.config import DetectorConfig
@@ -63,6 +64,8 @@ from repro.detection.reports import FaultReport
 from repro.detection.supervision import CheckpointSupervisor
 from repro.errors import DeclarationError, RecoveryError, ServiceError
 from repro.monitor.construct import Monitor
+from repro.observability.export import write_metrics_json
+from repro.observability.registry import Histogram, MetricsRegistry
 from repro.monitor.declaration import MonitorDeclaration
 from repro.service.framing import (
     FrameDecoder,
@@ -426,6 +429,12 @@ class DetectionServer:
         self.backpressure_sent = 0
         self.quarantines: list[tuple[int, str]] = []
         self.frames_received = 0
+        #: Frames emitted to clients (welcomes, acks, backpressure,
+        #: pongs, errors) — the out half of frames in/out accounting.
+        self.frames_sent = 0
+        #: Wall-clock duration of each supervised evaluation round —
+        #: the window-to-ack service latency histogram.
+        self.ack_latency = Histogram()
         self._closed = False
 
     # ------------------------------------------------------------- lifecycle
@@ -547,6 +556,7 @@ class DetectionServer:
                 # A handler quarantined the connection itself (e.g. the
                 # ingest quota): the rest of the batch is dead bytes.
                 break
+        self.frames_sent += len(replies)
         return b"".join(replies)
 
     def _on_hello(self, conn: _Connection, frame: dict) -> bytes:
@@ -765,6 +775,7 @@ class DetectionServer:
         evaluation-plane adapter; an exception here is a supervisor
         ``failure`` event and the round is retried with backoff.
         """
+        round_started = perf_counter()
         meta = self._pending_meta
         pending = self._pending_reports
         pending.extend(self.engine.evaluate_phase())
@@ -793,6 +804,7 @@ class DetectionServer:
                     conn.in_flight -= 1
                 conn.ack_due = True
         self.engine.checkpoints_run += 1
+        self.ack_latency.observe(perf_counter() - round_started)
         return admitted
 
     def poll(self) -> dict[int, bytes]:
@@ -824,6 +836,7 @@ class DetectionServer:
             }
             credits = max(0, self.service.window_credits - conn.in_flight)
             out[conn.conn_id] = encode_frame(ack_frame(watermarks, credits))
+        self.frames_sent += len(out)
         return out
 
     # ------------------------------------------------------------ inspection
@@ -832,6 +845,121 @@ class DetectionServer:
     def reports(self) -> list[FaultReport]:
         """Delivered (journal-admitted) reports, in delivery order."""
         return list(self.delivered)
+
+    def metrics(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> MetricsRegistry:
+        """Engine metrics plus the ingestion-plane families.
+
+        Frames in/out, window admission/duplication/gap/lossy/resync
+        counters, backpressure events, quarantines, journal dedup, the
+        supervised-round (window-to-ack) latency histogram, and live
+        connection/session/stream gauges.
+        """
+        registry = self.engine.metrics(registry)
+
+        def counter(name: str, help: str, value: float) -> None:
+            registry.counter(name, help).labels().inc(value)
+
+        def gauge(name: str, help: str, value: float) -> None:
+            registry.gauge(name, help).labels().set(value)
+
+        counter(
+            "repro_service_frames_received_total",
+            "Frames ingested from client connections.",
+            self.frames_received,
+        )
+        counter(
+            "repro_service_frames_sent_total",
+            "Frames emitted to clients (welcome/ack/backpressure/...).",
+            self.frames_sent,
+        )
+        counter(
+            "repro_service_windows_accepted_total",
+            "Event windows admitted for evaluation.",
+            self.windows_accepted,
+        )
+        counter(
+            "repro_service_windows_duplicate_total",
+            "Windows rejected as already-delivered duplicates.",
+            self.windows_duplicate,
+        )
+        counter(
+            "repro_service_gaps_total",
+            "Sequence gaps detected in client streams.",
+            self.gaps_detected,
+        )
+        counter(
+            "repro_service_lossy_windows_total",
+            "Windows evaluated with acknowledged client-side loss.",
+            self.lossy_windows,
+        )
+        counter(
+            "repro_service_resync_windows_total",
+            "Windows evaluated degraded after a stream resync.",
+            self.resync_windows,
+        )
+        counter(
+            "repro_service_backpressure_total",
+            "Backpressure frames sent to over-credit connections.",
+            self.backpressure_sent,
+        )
+        counter(
+            "repro_service_quarantined_total",
+            "Connections quarantined for protocol violations.",
+            len(self.quarantines),
+        )
+        counter(
+            "repro_service_delivered_reports_total",
+            "Reports delivered through the service journal.",
+            len(self.delivered),
+        )
+        counter(
+            "repro_service_journal_deduplicated_total",
+            "Re-derived reports rejected by the service journal.",
+            self.journal.deduplicated,
+        )
+        counter(
+            "repro_supervisor_retries_total",
+            "Checkpoint retries performed by the service supervisor.",
+            self.supervisor.retries_performed,
+        )
+        counter(
+            "repro_supervisor_stalls_total",
+            "Watchdog stalls detected by the service supervisor.",
+            self.supervisor.stalls_detected,
+        )
+        counter(
+            "repro_supervisor_completed_total",
+            "Evaluation rounds completed under the service supervisor.",
+            self.supervisor.checkpoints_completed,
+        )
+        counter(
+            "repro_supervisor_abandoned_total",
+            "Evaluation rounds abandoned by the service supervisor.",
+            self.supervisor.checkpoints_abandoned,
+        )
+        gauge(
+            "repro_service_connections",
+            "Live transport connections.",
+            len(self._connections),
+        )
+        gauge(
+            "repro_service_sessions",
+            "Known client sessions (resume tokens).",
+            len(self._sessions),
+        )
+        gauge(
+            "repro_service_streams",
+            "Registered client streams across sessions.",
+            sum(len(s.streams) for s in self._sessions.values()),
+        )
+        registry.histogram(
+            "repro_phase_latency_seconds",
+            "Wall-clock latency per detection phase.",
+            ("phase",),
+        ).labels(phase="ack").merge(self.ack_latency)
+        return registry
 
     def stats(self) -> dict:
         """Counters for the CLI envelope and campaign assertions."""
@@ -842,6 +970,7 @@ class DetectionServer:
                 len(session.streams) for session in self._sessions.values()
             ),
             "frames_received": self.frames_received,
+            "frames_sent": self.frames_sent,
             "windows_accepted": self.windows_accepted,
             "windows_duplicate": self.windows_duplicate,
             "gaps_detected": self.gaps_detected,
@@ -879,6 +1008,8 @@ def serve(
     poll_interval: float = 0.05,
     runtime: Optional[float] = None,
     ready_file: Optional[Union[str, Path]] = None,
+    metrics_path: Optional[Union[str, Path]] = None,
+    metrics_every: Optional[float] = None,
 ) -> dict:
     """Run a :class:`DetectionServer` behind a unix stream socket.
 
@@ -888,6 +1019,11 @@ def serve(
     orchestration (the ``service-smoke`` harness) can wait for it.  The
     loop is single-threaded: select, feed, poll, write — all ingestion
     robustness lives in the sans-IO core, not here.
+
+    ``metrics_path`` opts into metrics export: the daemon dumps its
+    :meth:`~DetectionServer.metrics` snapshot there as JSON on shutdown,
+    and every ``metrics_every`` wall seconds while running (a scrape
+    file for sidecar collectors).
     """
     import selectors
     import signal
@@ -928,9 +1064,16 @@ def serve(
     sockets: dict[int, socketlib.socket] = {}
     outboxes: dict[int, bytearray] = {}
     next_id = 1
+    if metrics_every is not None and metrics_every <= 0:
+        raise ValueError(f"metrics_every must be positive, got {metrics_every}")
+    if metrics_every is not None and metrics_path is None:
+        raise ValueError("metrics_every requires metrics_path")
     if ready_file is not None:
         Path(ready_file).write_text("ready\n", encoding="utf-8")
     deadline = None if runtime is None else time.monotonic() + runtime
+    next_dump = (
+        None if metrics_every is None else time.monotonic() + metrics_every
+    )
 
     def _enqueue(conn_id: int, payload: bytes) -> None:
         if payload and conn_id in sockets:
@@ -1004,8 +1147,13 @@ def serve(
                     conn_id
                 ):
                     _drop(conn_id)
+            if next_dump is not None and time.monotonic() >= next_dump:
+                write_metrics_json(str(metrics_path), server.metrics())
+                next_dump = time.monotonic() + metrics_every
     finally:
         stats = server.stats()
+        if metrics_path is not None:
+            write_metrics_json(str(metrics_path), server.metrics())
         server.close()
         for conn_id in list(sockets):
             _drop(conn_id)

@@ -271,7 +271,7 @@ class TestMergedReportDeterminism:
         cluster = run_determinism_workload(2)
         stats = FaultStatistics.from_engine(cluster)
         assert stats.total_reports == len(cluster.reports)
-        assert stats.engine_counters["checkpoints_run"] > 0
+        assert stats.counters["checkpoints_run"] > 0
 
     def test_hot_path_counters_aggregate_across_shards(self):
         cluster = run_determinism_workload(2)

@@ -246,7 +246,7 @@ class TestDurableEngine:
 
         durable = run_with_misuse(tmp_path)
         stats = FaultStatistics.from_engine(durable)
-        assert stats.engine_counters["wal_bytes_written"] > 0
+        assert stats.counters["wal_bytes_written"] > 0
         assert "durability:" in stats.render()
         durable.close()
 

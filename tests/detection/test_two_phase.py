@@ -445,7 +445,7 @@ class TestCountersSurfaced:
         kernel.raise_failures()
         stats = FaultStatistics.from_engine(engine)
         assert stats.total_reports == len(engine.reports)
-        counters = stats.engine_counters
+        counters = stats.counters
         assert counters["atomic_sections"] == 4
         assert counters["captures_taken"] == 12
         assert counters["evaluations_run"] == 12

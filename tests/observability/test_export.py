@@ -1,0 +1,168 @@
+"""Prometheus/JSON exporter tests."""
+
+import io
+import json
+import re
+
+import pytest
+
+from repro.observability.export import (
+    METRICS_SCHEMA,
+    metric_samples,
+    to_json_dict,
+    to_prometheus_text,
+    write_metrics_json,
+)
+from repro.observability.registry import MetricsRegistry
+
+
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "repro_engine_checkpoints_total", "Checkpoints run.", ("shard",)
+    )
+    counter.labels(shard=0).inc(3)
+    counter.labels(shard=1).inc(4)
+    registry.gauge("repro_engine_monitors", "Registered monitors.").labels().set(6)
+    histogram = registry.histogram(
+        "repro_phase_latency_seconds",
+        "Per-phase latency.",
+        ("phase",),
+        buckets=(0.001, 0.01, 0.1),
+    )
+    histogram.labels(phase="capture").observe(0.005)
+    histogram.labels(phase="capture").observe(0.05)
+    return registry
+
+
+#: One Prometheus exposition line: name{labels} value  (labels optional).
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" [0-9eE.+-]+$|^[+]Inf$"
+)
+
+
+class TestPrometheusText:
+    def test_every_line_is_valid_exposition_syntax(self):
+        text = to_prometheus_text(sample_registry())
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert line.startswith("# HELP ") or line.startswith(
+                    "# TYPE "
+                )
+                continue
+            name_part = line.split("{")[0].split(" ")[0]
+            assert re.match(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$", name_part), line
+            assert " " in line, line
+
+    def test_histogram_renders_cumulative_buckets(self):
+        text = to_prometheus_text(sample_registry())
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_phase_latency_seconds_bucket")
+        ]
+        # Three finite bounds + the +Inf bucket for the one label set.
+        assert len(lines) == 4
+        assert 'le="+Inf"' in lines[-1]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert counts[-1] == 2
+        assert "repro_phase_latency_seconds_sum" in text
+        assert 'repro_phase_latency_seconds_count{phase="capture"} 2' in text
+
+    def test_counter_lines_carry_labels(self):
+        text = to_prometheus_text(sample_registry())
+        assert 'repro_engine_checkpoints_total{shard="0"} 3' in text
+        assert 'repro_engine_checkpoints_total{shard="1"} 4' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_esc_total", "", ("monitor",)).labels(
+            monitor='we"ird\\name'
+        ).inc()
+        text = to_prometheus_text(registry)
+        assert 'monitor="we\\"ird\\\\name"' in text
+
+
+class TestJsonExport:
+    def test_document_schema(self):
+        payload = to_json_dict(sample_registry())
+        assert payload["schema"] == METRICS_SCHEMA
+        names = [entry["name"] for entry in payload["metrics"]]
+        assert names == sorted(names)
+        checkpoint_entries = [
+            entry
+            for entry in payload["metrics"]
+            if entry["name"] == "repro_engine_checkpoints_total"
+        ]
+        assert [entry["labels"] for entry in checkpoint_entries] == [
+            {"shard": "0"},
+            {"shard": "1"},
+        ]
+        histogram_entry = next(
+            entry
+            for entry in payload["metrics"]
+            if entry["name"] == "repro_phase_latency_seconds"
+        )
+        assert histogram_entry["kind"] == "histogram"
+        assert histogram_entry["count"] == 2
+        assert histogram_entry["sum"] == pytest.approx(0.055)
+        assert len(histogram_entry["counts"]) == len(
+            histogram_entry["buckets"]
+        ) + 1
+        for key in ("p50", "p95", "p99"):
+            assert key in histogram_entry
+
+    def test_stable_only_drops_unstable_families(self):
+        payload = to_json_dict(sample_registry(), stable_only=True)
+        names = {entry["name"] for entry in payload["metrics"]}
+        # Histograms default to stable=False (wall-clock data).
+        assert "repro_phase_latency_seconds" not in names
+        assert "repro_engine_checkpoints_total" in names
+
+    def test_write_metrics_json_accepts_path_and_stream(self, tmp_path):
+        registry = sample_registry()
+        target = tmp_path / "metrics.json"
+        write_metrics_json(str(target), registry)
+        from_path = json.loads(target.read_text())
+        stream = io.StringIO()
+        write_metrics_json(stream, registry)
+        from_stream = json.loads(stream.getvalue())
+        assert from_path == from_stream
+        assert from_path["schema"] == METRICS_SCHEMA
+
+    def test_export_is_deterministic(self):
+        a = json.dumps(to_json_dict(sample_registry()), sort_keys=True)
+        b = json.dumps(to_json_dict(sample_registry()), sort_keys=True)
+        assert a == b
+
+
+class TestMetricSamples:
+    def test_reads_raw_document(self):
+        payload = to_json_dict(sample_registry())
+        assert metric_samples(payload) == payload["metrics"]
+
+    def test_reads_cli_envelope(self):
+        doc = to_json_dict(sample_registry())
+        envelope = {"command": "metrics", "seed": 0, "results": doc}
+        assert metric_samples(envelope) == doc["metrics"]
+
+    def test_reads_bench_envelope(self):
+        doc = to_json_dict(sample_registry())
+        envelope = {
+            "command": "overhead",
+            "seed": 0,
+            "results": {"bench": "overhead", "rows": [], "metrics": doc},
+        }
+        assert metric_samples(envelope) == doc["metrics"]
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            metric_samples({"schema": "repro-metrics/99", "metrics": []})
+
+    def test_document_without_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            metric_samples({"command": "demo", "results": {}})

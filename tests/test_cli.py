@@ -152,3 +152,212 @@ class TestJsonEnvelope:
         assert payload["command"] == "chaos"
         assert payload["results"]["passed"] is (status == 0)
         assert "summary" in payload["results"]
+
+    def test_coverage_json_schema(self, tmp_path):
+        import json
+
+        path = tmp_path / "coverage.json"
+        assert main(["coverage", "--seed", "0", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"command", "seed", "results"}
+        assert payload["command"] == "coverage"
+        assert payload["results"]["total"] > 0
+        assert payload["results"]["faults"]
+
+    def test_overhead_json_schema_and_metrics_block(self, tmp_path):
+        import json
+
+        path = tmp_path / "overhead.json"
+        status = main(
+            [
+                "overhead", "--backend", "sim", "--repeats", "1",
+                "--seed", "0", "--intervals", "1.0",
+                "--scenarios", "allocator", "--json", str(path),
+            ]
+        )
+        assert status == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"command", "seed", "results"}
+        assert payload["command"] == "overhead"
+        assert payload["results"]["rows"]
+        metrics = payload["results"]["metrics"]
+        assert metrics["schema"] == "repro-metrics/1"
+        names = {entry["name"] for entry in metrics["metrics"]}
+        assert "repro_bench_overhead_ratio" in names
+
+    def test_crash_recovery_json_schema(self, tmp_path):
+        import json
+
+        path = tmp_path / "crash.json"
+        status = main(
+            [
+                "crash-recovery", "--seed", "0", "--rounds", "8",
+                "--crashes", "1", "--json", str(path),
+            ]
+        )
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"command", "seed", "results"}
+        assert payload["command"] == "crash-recovery"
+        assert payload["results"]["passed"] is (status == 0)
+
+    def test_serve_json_schema_and_metrics_out(self, tmp_path):
+        import json
+
+        socket_path = tmp_path / "serve.sock"
+        metrics_path = tmp_path / "serve_metrics.json"
+        path = tmp_path / "serve.json"
+        status = main(
+            [
+                "serve", "--socket", str(socket_path),
+                "--runtime", "0.4", "--metrics-out", str(metrics_path),
+                "--json", str(path),
+            ]
+        )
+        assert status == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"command", "seed", "results"}
+        assert payload["command"] == "serve"
+        assert "frames_received" in payload["results"]
+        dumped = json.loads(metrics_path.read_text())
+        assert dumped["schema"] == "repro-metrics/1"
+        names = {entry["name"] for entry in dumped["metrics"]}
+        assert "repro_service_frames_received_total" in names
+
+    def test_service_client_json_schema(self, tmp_path):
+        import json
+        import os
+        import subprocess
+        import sys
+        import time
+
+        socket_path = tmp_path / "daemon.sock"
+        ready = tmp_path / "daemon.ready"
+        path = tmp_path / "client.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in ("src", env.get("PYTHONPATH")) if part
+        )
+        daemon = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--socket", str(socket_path), "--ready-file", str(ready),
+                "--runtime", "8",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 8.0
+            while not ready.exists():
+                assert time.monotonic() < deadline, "daemon never came up"
+                time.sleep(0.05)
+            status = main(
+                [
+                    "service-client", "--socket", str(socket_path),
+                    "--rounds", "3", "--interval", "1.0",
+                    "--time-scale", "0.03", "--seed", "0",
+                    "--json", str(path),
+                ]
+            )
+        finally:
+            daemon.terminate()
+            daemon.wait(timeout=10)
+        assert status == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"command", "seed", "results"}
+        assert payload["command"] == "service-client"
+        assert payload["results"]["windows_acked"] >= 0
+
+    def test_service_smoke_json_schema(self, tmp_path):
+        import json
+
+        path = tmp_path / "smoke.json"
+        status = main(
+            [
+                "service-smoke", "--rounds", "4", "--interval", "1.0",
+                "--time-scale", "0.03", "--kill-after", "0.8",
+                "--json", str(path),
+            ]
+        )
+        assert status == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"command", "seed", "results"}
+        assert payload["command"] == "service-smoke"
+        assert payload["results"]["duplicate_reports"] == 0
+        assert payload["results"]["daemon_restarted"] is True
+
+    def test_metrics_json_schema(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        status = main(
+            [
+                "metrics", "--seed", "0", "--monitors", "2",
+                "--operations", "20", "--until", "10",
+                "--stable", "--json", str(path),
+            ]
+        )
+        assert status == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"command", "seed", "results"}
+        assert payload["command"] == "metrics"
+        assert payload["seed"] == 0
+        assert payload["results"]["schema"] == "repro-metrics/1"
+        names = {entry["name"] for entry in payload["results"]["metrics"]}
+        assert "repro_engine_checkpoints_total" in names
+
+    def test_gates_run_json_schema_and_exit_codes(self, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "bench.json"
+        metrics_path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro-metrics/1",
+                    "metrics": [
+                        {
+                            "name": "repro_bench_hits",
+                            "kind": "gauge",
+                            "labels": {},
+                            "value": 5.0,
+                        }
+                    ],
+                }
+            )
+        )
+        spec = tmp_path / "gates.toml"
+        spec.write_text(
+            '[[gate]]\nname = "hits-nonzero"\n'
+            'metric = "repro_bench_hits"\nop = ">"\nthreshold = 0\n'
+        )
+        path = tmp_path / "gates.json"
+        status = main(
+            [
+                "gates", "run", str(spec),
+                "--metrics", str(metrics_path), "--json", str(path),
+            ]
+        )
+        assert status == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"command", "seed", "results"}
+        assert payload["command"] == "gates"
+        assert payload["results"]["failed"] == 0
+        assert payload["results"]["gates"][0]["status"] == "pass"
+
+        failing = tmp_path / "failing.toml"
+        failing.write_text(
+            '[[gate]]\nname = "hits-bounded"\n'
+            'metric = "repro_bench_hits"\nop = "<"\nthreshold = 1\n'
+        )
+        fail_out = tmp_path / "gates_fail.json"
+        status = main(
+            [
+                "gates", "run", str(failing),
+                "--metrics", str(metrics_path), "--json", str(fail_out),
+            ]
+        )
+        assert status == 1
+        payload = json.loads(fail_out.read_text())
+        assert payload["results"]["failed"] == 1
+        assert payload["results"]["gates"][0]["status"] == "fail"
